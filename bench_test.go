@@ -1,0 +1,485 @@
+// Package repro's benchmark harness: one benchmark family per paper
+// artifact, mirroring the experiment index in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// F2.1  BenchmarkFig21Classify
+// F4.1  BenchmarkFig41InsertRewrite
+// F4.2  BenchmarkFig42DeleteRewrite
+// T3    BenchmarkSubsumption
+// T5.1  BenchmarkTheorem51 / BenchmarkKlug (the paper's comparison)
+// T5.2  BenchmarkLocalTestReductions
+// T5.3  BenchmarkRACompile / BenchmarkRALocalTest
+// F6.1  BenchmarkIntervalDatalog / BenchmarkIntervalSweep (ablation)
+// D1    BenchmarkDistributedStaged / BenchmarkDistributedNaive
+// plus substrate micro-benchmarks (solver, evaluator, SAT).
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/containment"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/icq"
+	"repro/internal/incremental"
+	"repro/internal/ineq"
+	"repro/internal/parser"
+	"repro/internal/reduction"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/store"
+	"repro/internal/subsume"
+	"repro/internal/workload"
+)
+
+// --- F2.1 ----------------------------------------------------------------
+
+func BenchmarkFig21Classify(b *testing.B) {
+	progs := []*ast.Program{
+		parser.MustParseProgram("panic :- emp(E,sales) & emp(E,accounting)."),
+		parser.MustParseProgram("panic :- emp(E,D,S) & not dept(D) & S < 100."),
+		parser.MustParseProgram(`panic :- boss(E,E).
+			boss(E,M) :- emp(E,D,S) & manager(D,M).
+			boss(E,F) :- boss(E,G) & boss(G,F).`),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			_ = classify.Classify(p)
+		}
+	}
+}
+
+// --- F4.1 / F4.2 -----------------------------------------------------------
+
+func BenchmarkFig41InsertRewrite(b *testing.B) {
+	c := parser.MustParseProgram("panic :- emp(E,D,S) & not dept(D).")
+	t := relation.Strs("toy")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.Insert(c, "dept", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig42DeleteRewrite(b *testing.B) {
+	c := parser.MustParseProgram("panic :- emp(E,D,S) & not dept(D).")
+	t := relation.TupleOf(ast.Str("jones"), ast.Str("shoe"), ast.Int(50))
+	b.Run("arith", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rewrite.DeleteArith(c, "emp", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("neg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rewrite.DeleteNeg(c, "emp", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- T3 --------------------------------------------------------------------
+
+func BenchmarkSubsumption(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("subgoals=%d", k), func(b *testing.B) {
+			c := ast.NewProgram(workload.ChainCQC(k))
+			set := []*ast.Program{ast.NewProgram(workload.ChainCQC(k))}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := subsume.Subsumes(c, set)
+				if err != nil || res.Verdict != subsume.Yes {
+					b.Fatalf("unexpected: %+v %v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// --- T5.1: Theorem 5.1 vs Klug ----------------------------------------------
+
+func BenchmarkTheorem51(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("dupPreds=%d", k), func(b *testing.B) {
+			c1, c2 := workload.ChainCQC(k), workload.ChainCQC(k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := containment.Theorem51(c1, c2)
+				if err != nil || !ok {
+					b.Fatalf("unexpected: %v %v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKlug(b *testing.B) {
+	// Klug's enumeration grows with the ordered Bell numbers of 2k
+	// variables; k=4 already means millions of orders, so the sweep stops
+	// earlier than Theorem 5.1's.
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("dupPreds=%d", k), func(b *testing.B) {
+			c1, c2 := workload.ChainCQC(k), workload.ChainCQC(k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := containment.Klug(c1, c2)
+				if err != nil || !ok {
+					b.Fatalf("unexpected: %v %v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// --- T5.2 --------------------------------------------------------------------
+
+func BenchmarkLocalTestReductions(b *testing.B) {
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+	cqc, err := ast.NewCQC(rule, "l")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("L=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			L := workload.Intervals(rng, n, 20, 200)
+			ins := relation.Ints(50, 60)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reduction.LocalTest(cqc, ins, L); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T5.3 --------------------------------------------------------------------
+
+func BenchmarkRACompile(b *testing.B) {
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Y,W) & s(W,X).")
+	ins := relation.Ints(3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reduction.CompileRA(rule, "l", ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRALocalTest(b *testing.B) {
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Y,W) & s(W,X).")
+	ins := relation.Ints(3, 4)
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("L=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			db := store.New()
+			for i := 0; i < n; i++ {
+				if _, err := db.Insert("l", relation.Ints(rng.Int63n(50), rng.Int63n(50))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reduction.RALocalTest(rule, "l", ins, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F6.1 ablation -------------------------------------------------------------
+
+func intervalAnalysis(b *testing.B) *icq.Analysis {
+	b.Helper()
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+	cqc, err := ast.NewCQC(rule, "l")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := icq.Analyze(cqc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func BenchmarkIntervalDatalog(b *testing.B) {
+	// The paper's nonlinear Fig 6.1 program materializes O(|L|^2) merged
+	// intervals through a derived×derived join; sizes stay small.
+	a := intervalAnalysis(b)
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("L=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			db := store.New()
+			for _, t := range workload.Intervals(rng, n, 20, 200) {
+				if _, err := db.Insert("l", t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ins := relation.Ints(50, 60)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CertifyInsertDatalog(ins, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIntervalDatalogLinear(b *testing.B) {
+	// Ablation: the linear merge variant (derived×basis join) scales much
+	// further than the paper's nonlinear rule while answering identically.
+	a := intervalAnalysis(b)
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("L=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			db := store.New()
+			for _, t := range workload.Intervals(rng, n, 20, 200) {
+				if _, err := db.Insert("l", t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ins := relation.Ints(50, 60)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CertifyInsertDatalogLinear(ins, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIntervalSweep(b *testing.B) {
+	a := intervalAnalysis(b)
+	for _, n := range []int{8, 32, 128, 1024, 8192} {
+		b.Run(fmt.Sprintf("L=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			L := workload.Intervals(rng, n, 20, 200)
+			ins := relation.Ints(50, 60)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.CertifyInsert(ins, L); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- D1 --------------------------------------------------------------------
+
+func benchDistributed(b *testing.B, naive bool) {
+	rngSeed := int64(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(rngSeed))
+		db := store.New()
+		for _, t := range workload.Intervals(rng, 40, 20, 200) {
+			if _, err := db.Insert("l", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := int64(0); j < 100; j++ {
+			if _, err := db.Insert("r", relation.Ints(10000+j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		opts := core.Options{LocalRelations: []string{"l"}}
+		if naive {
+			opts.DisableUpdateOnly = true
+			opts.DisableLocalData = true
+		}
+		sys := dist.NewWithOptions(db, opts, dist.DefaultCost)
+		if err := sys.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+			b.Fatal(err)
+		}
+		updates := workload.IntervalInserts(rng, 20, 10, 200, "l")
+		b.StartTimer()
+		for _, u := range updates {
+			if _, err := sys.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(sys.Stats().RemoteTuples), "remote-tuples/op")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkDistributedStaged(b *testing.B) { benchDistributed(b, false) }
+func BenchmarkDistributedNaive(b *testing.B)  { benchDistributed(b, true) }
+
+// --- substrate micro-benchmarks ----------------------------------------------
+
+func BenchmarkIneqImplies(b *testing.B) {
+	z := ast.V("Z")
+	premise := []ast.Comparison{
+		ast.NewComparison(ast.CInt(4), ast.Le, z),
+		ast.NewComparison(z, ast.Le, ast.CInt(8)),
+	}
+	disjuncts := [][]ast.Comparison{
+		{ast.NewComparison(ast.CInt(3), ast.Le, z), ast.NewComparison(z, ast.Le, ast.CInt(6))},
+		{ast.NewComparison(ast.CInt(5), ast.Le, z), ast.NewComparison(z, ast.Le, ast.CInt(10))},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ineq.Implies(premise, disjuncts) {
+			b.Fatal("implication lost")
+		}
+	}
+}
+
+// BenchmarkImpliesAblation compares the lazy DPLL-style implication
+// checker against the textbook DNF expansion on a many-disjunct interval
+// instance — the design-choice ablation called out in DESIGN.md.
+func BenchmarkImpliesAblation(b *testing.B) {
+	z := ast.V("Z")
+	mk := func(n int) ([]ast.Comparison, [][]ast.Comparison) {
+		premise := []ast.Comparison{
+			ast.NewComparison(ast.CInt(0), ast.Le, z),
+			ast.NewComparison(z, ast.Le, ast.CInt(int64(2*n))),
+		}
+		var disjuncts [][]ast.Comparison
+		for i := 0; i < n; i++ {
+			disjuncts = append(disjuncts, []ast.Comparison{
+				ast.NewComparison(ast.CInt(int64(2*i)), ast.Le, z),
+				ast.NewComparison(z, ast.Le, ast.CInt(int64(2*i+3))),
+			})
+		}
+		return premise, disjuncts
+	}
+	for _, n := range []int{4, 8, 12} {
+		premise, disjuncts := mk(n)
+		b.Run(fmt.Sprintf("dpll/disjuncts=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !ineq.Implies(premise, disjuncts) {
+					b.Fatal("implication lost")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("dnf/disjuncts=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !ineq.ImpliesDNF(premise, disjuncts) {
+					b.Fatal("implication lost")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvalTransitiveClosure(b *testing.B) {
+	prog := parser.MustParseProgram(`
+		reach(X,Y) :- edge(X,Y).
+		reach(X,Y) :- reach(X,Z) & edge(Z,Y).`)
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			db := store.New()
+			for i := 0; i < n; i++ {
+				if _, err := db.Insert("edge", relation.Ints(int64(i), int64(i+1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Eval(prog, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNegationContainment(b *testing.B) {
+	c1 := parser.MustParseConstraint("panic :- emp(E,D) & vip(E) & not dept(D).")
+	c2 := parser.MustParseConstraint("panic :- emp(E,D) & not dept(D).")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := containment.ContainsWithNegation(c1, c2)
+		if err != nil || !ok {
+			b.Fatalf("unexpected: %v %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkGlobalPhase compares the two global-phase implementations —
+// full re-evaluation vs DRed incremental maintenance (Gupta [1994]) — in
+// both regimes: a tiny database with churny updates (recompute wins: the
+// fixpoint is cheap and DRed bookkeeping is pure overhead) and a large
+// materialization with localized updates (incremental wins: recompute
+// pays the whole transitive closure on every update).
+func BenchmarkGlobalPhase(b *testing.B) {
+	prog := parser.MustParseProgram(`
+		reach(X,Y) :- edge(X,Y).
+		reach(X,Y) :- reach(X,Z) & edge(Z,Y).
+		panic :- reach(X,X).`)
+	seedChain := func(db *store.Store, n int) {
+		for i := 0; i < n; i++ {
+			if _, err := db.Insert("edge", relation.Ints(int64(i), int64(i+1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Updates toggle a pendant edge off the end of the chain: a small,
+	// localized change to a large reach materialization.
+	toggle := func(n int) []store.Update {
+		var out []store.Update
+		for i := 0; i < 10; i++ {
+			out = append(out,
+				store.Ins("edge", relation.Ints(int64(n), int64(n+1))),
+				store.Del("edge", relation.Ints(int64(n), int64(n+1))))
+		}
+		return out
+	}
+	for _, n := range []int{8, 48, 128} {
+		b.Run(fmt.Sprintf("recompute/chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := store.New()
+				seedChain(db, n)
+				updates := toggle(n)
+				b.StartTimer()
+				for _, u := range updates {
+					if err := u.Apply(db); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eval.Eval(prog, db); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := store.New()
+				seedChain(db, n)
+				m, err := incremental.Materialize(prog, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				updates := toggle(n)
+				b.StartTimer()
+				for _, u := range updates {
+					if err := m.Apply(u); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

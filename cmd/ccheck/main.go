@@ -1,0 +1,153 @@
+// Command ccheck loads constraints and data, applies an update script
+// through the staged partial-information pipeline, and reports — per
+// update — which phase decided each constraint and at what data cost.
+//
+// Usage:
+//
+//	ccheck -constraints c.dl -data d.dl -updates u.txt [-local emp,dept]
+//
+// Constraint files hold one or more constraint programs separated by
+// blank lines (each must define panic). Data files hold facts. Update
+// scripts hold one update per line: +emp(jones,shoe,50) or -dept(toy);
+// '%' comments and blank lines are ignored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		constraintsPath = flag.String("constraints", "", "path to constraint programs (blank-line separated)")
+		dataPath        = flag.String("data", "", "path to initial facts")
+		updatesPath     = flag.String("updates", "", "path to update script (+rel(...) / -rel(...) per line)")
+		localList       = flag.String("local", "", "comma-separated local relations (default: all local)")
+		verbose         = flag.Bool("v", false, "print per-update decisions")
+		savePath        = flag.String("save", "", "write the final database to this file as facts")
+	)
+	flag.Parse()
+	if *constraintsPath == "" || *updatesPath == "" {
+		fmt.Fprintln(os.Stderr, "ccheck: -constraints and -updates are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*constraintsPath, *dataPath, *updatesPath, *localList, *verbose, *savePath); err != nil {
+		fmt.Fprintln(os.Stderr, "ccheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(constraintsPath, dataPath, updatesPath, localList string, verbose bool, savePath ...string) error {
+	db := store.New()
+	if dataPath != "" {
+		src, err := os.ReadFile(dataPath)
+		if err != nil {
+			return err
+		}
+		facts, err := parser.ParseProgram(string(src))
+		if err != nil {
+			return fmt.Errorf("data: %w", err)
+		}
+		if err := db.LoadFacts(facts); err != nil {
+			return err
+		}
+	}
+	var locals []string
+	if localList != "" {
+		locals = strings.Split(localList, ",")
+	}
+	sys := dist.New(db, locals, dist.DefaultCost)
+
+	csrc, err := os.ReadFile(constraintsPath)
+	if err != nil {
+		return err
+	}
+	for i, block := range splitBlocks(string(csrc)) {
+		name := fmt.Sprintf("c%d", i+1)
+		if err := sys.Checker.AddConstraintSource(name, block); err != nil {
+			return fmt.Errorf("constraint %s: %w", name, err)
+		}
+	}
+	db.ResetReads()
+
+	usrc, err := os.ReadFile(updatesPath)
+	if err != nil {
+		return err
+	}
+	updates, err := ParseUpdates(string(usrc))
+	if err != nil {
+		return err
+	}
+	for _, u := range updates {
+		rep, err := sys.Apply(u)
+		if err != nil {
+			return fmt.Errorf("update %v: %w", u, err)
+		}
+		if verbose {
+			status := "applied"
+			if !rep.Applied {
+				status = "REJECTED (" + strings.Join(rep.Violations(), ",") + ")"
+			}
+			fmt.Printf("%-30s %s\n", u, status)
+			for _, d := range rep.Decisions {
+				fmt.Printf("    %-10s decided by %s: %s\n", d.Constraint, d.Phase, d.Verdict)
+			}
+		}
+	}
+	fmt.Print(sys.Report())
+	if len(savePath) > 0 && savePath[0] != "" {
+		if err := os.WriteFile(savePath[0], []byte(db.Dump()), 0o644); err != nil {
+			return fmt.Errorf("save: %w", err)
+		}
+	}
+	return nil
+}
+
+// splitBlocks splits a file into blank-line-separated program blocks.
+func splitBlocks(src string) []string {
+	var out []string
+	for _, block := range strings.Split(src, "\n\n") {
+		if strings.TrimSpace(block) != "" {
+			out = append(out, block)
+		}
+	}
+	return out
+}
+
+// ParseUpdates parses an update script: one +atom or -atom per line.
+func ParseUpdates(src string) ([]store.Update, error) {
+	var out []store.Update
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		insert := true
+		switch line[0] {
+		case '+':
+		case '-':
+			insert = false
+		default:
+			return nil, fmt.Errorf("line %d: update must start with + or -: %q", ln+1, line)
+		}
+		atom, err := parser.ParseAtom(strings.TrimSpace(line[1:]))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		t, err := relation.TermsToTuple(atom.Args)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		u := store.Update{Insert: insert, Relation: atom.Pred, Tuple: t}
+		out = append(out, u)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseUpdates(t *testing.T) {
+	src := `
+% a comment
++emp(jones, shoe, 50)
+-dept(toy)
+// another comment
++l(3,6)
+`
+	us, err := ParseUpdates(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 3 {
+		t.Fatalf("parsed %d updates, want 3", len(us))
+	}
+	if !us[0].Insert || us[0].Relation != "emp" || len(us[0].Tuple) != 3 {
+		t.Errorf("update 0 = %v", us[0])
+	}
+	if us[1].Insert || us[1].Relation != "dept" {
+		t.Errorf("update 1 = %v", us[1])
+	}
+}
+
+func TestParseUpdatesErrors(t *testing.T) {
+	bad := []string{
+		"emp(a)",  // missing sign
+		"+emp(X)", // non-ground
+		"+emp(a) junk",
+	}
+	for _, src := range bad {
+		if _, err := ParseUpdates(src); err == nil {
+			t.Errorf("ParseUpdates(%q) accepted", src)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	constraints := write("c.dl", `panic :- emp(E,D,S) & not dept(D).
+
+panic :- emp(E,D,S) & S > 100.`)
+	data := write("d.dl", "dept(toy). emp(ann,toy,50).")
+	updates := write("u.txt", `
++dept(shoe)
++emp(bob,shoe,60)
++emp(eve,ghost,70)
++emp(zed,toy,900)
+-emp(ann,toy,50)
+`)
+	saved := filepath.Join(dir, "out.dl")
+	if err := run(constraints, data, updates, "emp,dept", true, saved); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "emp(bob,shoe,60).") {
+		t.Errorf("saved dump missing applied tuple:\n%s", dump)
+	}
+	if strings.Contains(string(dump), "ghost") || strings.Contains(string(dump), "zed") {
+		t.Errorf("saved dump contains rejected tuples:\n%s", dump)
+	}
+	if strings.Contains(string(dump), "emp(ann,toy,50).") {
+		t.Errorf("saved dump contains deleted tuple:\n%s", dump)
+	}
+	// Violated constraint at load time must error.
+	badData := write("bad.dl", "emp(x,ghost,5).")
+	if err := run(constraints, badData, updates, "", false); err == nil {
+		t.Error("initially-violated database accepted")
+	}
+	// Missing file.
+	if err := run(filepath.Join(dir, "missing.dl"), data, updates, "", false); err == nil {
+		t.Error("missing constraints file accepted")
+	}
+}

@@ -1,0 +1,72 @@
+// Activedb: the paper's active-database application (Section 2,
+// "Applications"): rules "if C holds, perform action A" are constraints
+// panic :- C whose derivation triggers A. The engine uses the Section 4
+// rewriting as a triggering filter — updates provably independent of a
+// rule's condition never evaluate it — and the example prints how many
+// evaluations the filter saves.
+//
+//	go run ./examples/activedb
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/active"
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func main() {
+	db := store.New()
+	if err := db.LoadFacts(parser.MustParseProgram(`
+		dept(toy). dept(shoe).
+	`)); err != nil {
+		log.Fatal(err)
+	}
+	engine := active.NewEngine(db)
+
+	// Rule 1: employees of unknown departments trigger an audit entry.
+	if err := engine.AddRule("audit-unknown-dept",
+		"panic :- emp(E,D,S) & not dept(D).",
+		active.InsertAction(store.Ins("audit", relation.Strs("unknown-dept")))); err != nil {
+		log.Fatal(err)
+	}
+	// Rule 2: any salary above 100 triggers a payroll review…
+	if err := engine.AddRule("payroll-review",
+		"panic :- emp(E,D,S) & S > 100.",
+		active.InsertAction(store.Ins("review", relation.Strs("payroll")))); err != nil {
+		log.Fatal(err)
+	}
+	// Rule 3: …and a payroll review escalates to the board (a cascade).
+	if err := engine.AddRule("escalate",
+		"panic :- review(R).",
+		active.InsertAction(store.Ins("board", relation.Strs("notified")))); err != nil {
+		log.Fatal(err)
+	}
+
+	updates := []store.Update{
+		store.Ins("dept", relation.Strs("sales")),                                         // independent of every rule
+		store.Ins("emp", relation.TupleOf(ast.Str("ann"), ast.Str("toy"), ast.Int(50))),   // filtered for payroll (50 ≤ 100)
+		store.Ins("emp", relation.TupleOf(ast.Str("bob"), ast.Str("ghost"), ast.Int(60))), // fires audit
+		store.Ins("emp", relation.TupleOf(ast.Str("eve"), ast.Str("toy"), ast.Int(900))),  // fires payroll, cascades
+	}
+	for _, u := range updates {
+		fired, err := engine.Apply(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s fired: %v\n", u, fired)
+	}
+
+	st := engine.Stats()
+	fmt.Printf("\nupdates: %d   rule evaluations: %d   filtered out: %d   firings: %d\n",
+		st.UpdatesSeen, st.RuleEvaluations, st.FilteredOut, st.Firings)
+	fmt.Println("(the Section 4 independence filter skipped", st.FilteredOut,
+		"(rule,update) condition evaluations)")
+	if db.Contains("board", relation.Strs("notified")) {
+		fmt.Println("cascade reached the board, as intended")
+	}
+}

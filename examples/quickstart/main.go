@@ -1,0 +1,65 @@
+// Quickstart: manage two constraints over a small database and watch the
+// staged checker decide updates with as little information as possible.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func main() {
+	// A database: employees and departments.
+	db := store.New()
+	if err := db.LoadFacts(parser.MustParseProgram(`
+		dept(toy). dept(shoe).
+		emp(ann, toy, 50).
+	`)); err != nil {
+		log.Fatal(err)
+	}
+
+	// A checker with the paper's two running constraints (Example 4.1):
+	// referential integrity and a salary cap.
+	chk := core.New(db, core.Options{})
+	for name, src := range map[string]string{
+		"referential": "panic :- emp(E,D,S) & not dept(D).",
+		"salary-cap":  "panic :- emp(E,D,S) & S > 100.",
+	} {
+		if err := chk.AddConstraintSource(name, src); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Push updates through the pipeline.
+	updates := []store.Update{
+		store.Ins("dept", relation.Strs("sales")),                                         // safe from constraints+update alone
+		store.Ins("emp", relation.TupleOf(ast.Str("bob"), ast.Str("toy"), ast.Int(60))),   // needs data
+		store.Ins("emp", relation.TupleOf(ast.Str("eve"), ast.Str("ghost"), ast.Int(70))), // violates referential
+		store.Ins("emp", relation.TupleOf(ast.Str("zed"), ast.Str("toy"), ast.Int(900))),  // violates cap: caught with no data at all
+	}
+	for _, u := range updates {
+		rep, err := chk.Apply(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "applied"
+		if !rep.Applied {
+			status = fmt.Sprintf("REJECTED (violates %v)", rep.Violations())
+		}
+		fmt.Printf("%-22s -> %s\n", u, status)
+		for _, d := range rep.Decisions {
+			fmt.Printf("    %-12s decided by %-11s (%s)\n", d.Constraint, d.Phase, d.Verdict)
+		}
+	}
+
+	st := chk.Stats()
+	fmt.Printf("\n%d updates, %d rejected; decisions by phase: %v\n",
+		st.Updates, st.Rejected, st.ByPhase)
+}

@@ -1,0 +1,150 @@
+package active
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func TestSimpleFiring(t *testing.T) {
+	db := store.New()
+	e := NewEngine(db)
+	// When an employee is in a missing department, record an alert.
+	if err := e.AddRule("missing-dept",
+		"panic :- emp(E,D) & not dept(D).",
+		InsertAction(store.Ins("alert", relation.Strs("missing-dept")))); err != nil {
+		t.Fatal(err)
+	}
+	fired, err := e.Apply(store.Ins("emp", relation.Strs("ann", "ghost")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "missing-dept" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if !db.Contains("alert", relation.Strs("missing-dept")) {
+		t.Error("action not applied")
+	}
+}
+
+func TestTriggeringFilterSkipsIrrelevant(t *testing.T) {
+	db := store.New()
+	e := NewEngine(db)
+	if err := e.AddRule("high-salary",
+		"panic :- emp(E,D,S) & S > 100.", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Updates to an unrelated relation never evaluate the condition.
+	if _, err := e.Apply(store.Ins("dept", relation.Strs("toy"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().RuleEvaluations; got != 0 {
+		t.Errorf("unrelated update evaluated the condition %d times", got)
+	}
+	// A low-salary hire is provably independent (the Section 4 filter).
+	if _, err := e.Apply(store.Ins("emp", relation.TupleOf(
+		relation.Strs("bob")[0], relation.Strs("toy")[0], relation.Ints(50)[0]))); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().RuleEvaluations; got != 0 {
+		t.Errorf("independent update evaluated the condition %d times", got)
+	}
+	// A high-salary hire passes the filter and fires.
+	fired, err := e.Apply(store.Ins("emp", relation.TupleOf(
+		relation.Strs("eve")[0], relation.Strs("toy")[0], relation.Ints(500)[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Errorf("fired = %v", fired)
+	}
+	if got := e.Stats().RuleEvaluations; got != 1 {
+		t.Errorf("RuleEvaluations = %d, want 1", got)
+	}
+}
+
+func TestCascade(t *testing.T) {
+	db := store.New()
+	e := NewEngine(db)
+	// r1: a raw event produces a stage1 fact; r2: stage1 produces stage2.
+	if err := e.AddRule("r1", "panic :- raw(X).",
+		InsertAction(store.Ins("stage1", relation.Ints(1)))); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule("r2", "panic :- stage1(X).",
+		InsertAction(store.Ins("stage2", relation.Ints(2)))); err != nil {
+		t.Fatal(err)
+	}
+	fired, err := e.Apply(store.Ins("raw", relation.Ints(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) < 2 {
+		t.Fatalf("cascade fired = %v", fired)
+	}
+	if !db.Contains("stage2", relation.Ints(2)) {
+		t.Error("cascaded action missing")
+	}
+}
+
+func TestNonQuiescentCascadeBounded(t *testing.T) {
+	db := store.New()
+	e := NewEngine(db)
+	e.MaxRounds = 5
+	// A rule that keeps feeding itself with fresh tuples would loop
+	// forever; the engine must stop and report.
+	n := int64(0)
+	if err := e.AddRule("loop", "panic :- ping(X).",
+		func(*store.Store) ([]store.Update, error) {
+			n++
+			return []store.Update{store.Ins("ping", relation.Ints(n))}, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(store.Ins("ping", relation.Ints(-1))); err == nil {
+		t.Error("non-quiescent cascade not reported")
+	}
+}
+
+func TestDeletionQuiesces(t *testing.T) {
+	db := store.New()
+	if err := db.LoadFacts(parser.MustParseProgram("emp(ann,ghost).")); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(db)
+	// Deleting the offending tuple cures the condition: one firing, then
+	// quiescence.
+	if err := e.AddRule("cure", "panic :- emp(E,D) & not dept(D).",
+		func(s *store.Store) ([]store.Update, error) {
+			return []store.Update{store.Del("emp", relation.Strs("ann", "ghost"))}, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	fired, err := e.Apply(store.Ins("emp", relation.Strs("bob", "ghost")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) == 0 {
+		t.Fatal("rule never fired")
+	}
+	// The cure deletes ann; bob remains offending — the rule fires again
+	// but its action targets ann only, so the database stays offending
+	// and the cascade... the second firing's deletion is a no-op, no new
+	// updates, so the engine quiesces despite the condition still holding
+	// (condition-holds ≠ livelock: rules fire per update round).
+	if db.Contains("emp", relation.Strs("ann", "ghost")) {
+		t.Error("cure did not delete")
+	}
+}
+
+func TestAddRuleValidation(t *testing.T) {
+	e := NewEngine(store.New())
+	if err := e.AddRule("bad", "q(X) :- p(X).", nil); err == nil {
+		t.Error("condition without panic accepted")
+	}
+	if err := e.AddRule("syntax", "panic :- ", nil); err == nil {
+		t.Error("syntax error accepted")
+	}
+}

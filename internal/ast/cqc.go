@@ -1,0 +1,189 @@
+package ast
+
+import (
+	"fmt"
+)
+
+// CQC is a conjunctive-query constraint in the normal form of Section 5:
+//
+//	panic :- l & r1 & … & rn & c1 & … & ck
+//
+// with one subgoal over the designated local predicate, any number of
+// remote subgoals, and arithmetic comparisons. The paper's standing
+// assumptions are enforced by Check:
+//
+//   - comparison variables occur in l or some ri;
+//   - no variable appears twice among the ordinary subgoals;
+//   - no constants appear among the ordinary subgoals;
+//   - exactly one subgoal uses the local predicate.
+//
+// Normalize rewrites an arbitrary conjunctive panic rule into this form by
+// replacing repeated variables and constants with fresh variables equated
+// by arithmetic equality subgoals, exactly as the paper prescribes.
+type CQC struct {
+	Rule      *Rule
+	LocalPred string
+}
+
+// NewCQC wraps rule as a CQC with the given local predicate and verifies
+// the Section 5 normal form.
+func NewCQC(rule *Rule, localPred string) (*CQC, error) {
+	c := &CQC{Rule: rule, LocalPred: localPred}
+	if err := c.Check(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Check verifies the Section 5 normal-form conditions.
+func (c *CQC) Check() error {
+	r := c.Rule
+	if r.Head.Pred != PanicPred || r.Head.Arity() != 0 {
+		return fmt.Errorf("ast: CQC head must be 0-ary %s, got %s", PanicPred, r.Head)
+	}
+	if r.HasNegation() {
+		return fmt.Errorf("ast: CQC may not contain negated subgoals")
+	}
+	locals := 0
+	seen := map[string]bool{}
+	ordinaryVars := map[string]bool{}
+	for _, a := range r.PositiveAtoms() {
+		if a.Pred == c.LocalPred {
+			locals++
+		}
+		for _, t := range a.Args {
+			if t.IsConst() {
+				return fmt.Errorf("ast: CQC ordinary subgoal %s contains constant %s (normalize first)", a, t)
+			}
+			if seen[t.Var] {
+				return fmt.Errorf("ast: variable %s appears twice among ordinary subgoals (normalize first)", t.Var)
+			}
+			seen[t.Var] = true
+			ordinaryVars[t.Var] = true
+		}
+	}
+	if locals != 1 {
+		return fmt.Errorf("ast: CQC must have exactly one subgoal over local predicate %s, found %d", c.LocalPred, locals)
+	}
+	for _, cmp := range r.Comparisons() {
+		for _, v := range cmp.Vars(nil) {
+			if !ordinaryVars[v] {
+				return fmt.Errorf("ast: comparison variable %s does not occur in an ordinary subgoal", v)
+			}
+		}
+	}
+	return nil
+}
+
+// LocalAtom returns the single subgoal over the local predicate.
+func (c *CQC) LocalAtom() Atom {
+	for _, a := range c.Rule.PositiveAtoms() {
+		if a.Pred == c.LocalPred {
+			return a
+		}
+	}
+	panic("ast: CQC without local subgoal") // Check prevents this
+}
+
+// RemoteAtoms returns the ordinary subgoals over remote predicates.
+func (c *CQC) RemoteAtoms() []Atom {
+	var out []Atom
+	for _, a := range c.Rule.PositiveAtoms() {
+		if a.Pred != c.LocalPred {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RemoteVars returns the variables that occur in no local subgoal — the
+// "remote variables" of Section 6 — in sorted order.
+func (c *CQC) RemoteVars() []string {
+	local := map[string]bool{}
+	for _, v := range c.LocalAtom().Vars(nil) {
+		local[v] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range c.RemoteAtoms() {
+		for _, v := range a.Vars(nil) {
+			if !local[v] && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (c *CQC) Clone() *CQC { return &CQC{Rule: c.Rule.Clone(), LocalPred: c.LocalPred} }
+
+// String renders the underlying rule.
+func (c *CQC) String() string { return c.Rule.String() }
+
+// NormalizeCQC rewrites an arbitrary conjunctive panic rule (positive
+// atoms + comparisons, no negation) into Section 5 normal form over the
+// given local predicate: repeated variables and constants in ordinary
+// subgoals are replaced by fresh variables constrained by equality
+// comparisons. Fresh variables are named Xn# for n = 0,1,… (the parser
+// forbids '#' in user variable names, so no capture is possible).
+func NormalizeCQC(rule *Rule, localPred string) (*CQC, error) {
+	if rule.HasNegation() {
+		return nil, fmt.Errorf("ast: cannot normalize rule with negated subgoals into a CQC")
+	}
+	if rule.Head.Pred != PanicPred || rule.Head.Arity() != 0 {
+		return nil, fmt.Errorf("ast: CQC head must be 0-ary %s", PanicPred)
+	}
+	fresh := 0
+	newVar := func() Term {
+		t := V(fmt.Sprintf("X%d#", fresh))
+		fresh++
+		return t
+	}
+	seen := map[string]bool{}
+	var body []Literal
+	var eqs []Literal
+	locals := 0
+	for _, l := range rule.Body {
+		if l.IsComp() {
+			body = append(body, l)
+			continue
+		}
+		a := l.Atom
+		if a.Pred == localPred {
+			locals++
+		}
+		args := make([]Term, len(a.Args))
+		for i, t := range a.Args {
+			switch {
+			case t.IsConst():
+				v := newVar()
+				args[i] = v
+				eqs = append(eqs, Cmp(NewComparison(v, Eq, t)))
+			case seen[t.Var]:
+				v := newVar()
+				args[i] = v
+				eqs = append(eqs, Cmp(NewComparison(v, Eq, t)))
+			default:
+				seen[t.Var] = true
+				args[i] = t
+			}
+		}
+		body = append(body, Pos(Atom{Pred: a.Pred, Args: args}))
+	}
+	if locals != 1 {
+		return nil, fmt.Errorf("ast: rule must have exactly one subgoal over local predicate %s, found %d", localPred, locals)
+	}
+	body = append(body, eqs...)
+	return NewCQC(&Rule{Head: rule.Head, Body: body}, localPred)
+}

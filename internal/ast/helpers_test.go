@@ -1,0 +1,142 @@
+package ast
+
+import "testing"
+
+func TestAtomEqual(t *testing.T) {
+	a := NewAtom("p", V("X"), CInt(1))
+	if !a.Equal(NewAtom("p", V("X"), CInt(1))) {
+		t.Error("identical atoms unequal")
+	}
+	for _, other := range []Atom{
+		NewAtom("q", V("X"), CInt(1)),
+		NewAtom("p", V("Y"), CInt(1)),
+		NewAtom("p", V("X")),
+		NewAtom("p", V("X"), CInt(2)),
+	} {
+		if a.Equal(other) {
+			t.Errorf("%s equal to %s", a, other)
+		}
+	}
+}
+
+func TestCompOpStringAll(t *testing.T) {
+	want := map[CompOp]string{Lt: "<", Le: "<=", Eq: "=", Ne: "<>", Ge: ">=", Gt: ">"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d prints %q, want %q", int(op), op.String(), s)
+		}
+	}
+	if CompOp(99).String() == "" {
+		t.Error("invalid op must still print something")
+	}
+}
+
+func TestComparisonHelpers(t *testing.T) {
+	c := NewComparison(V("X"), Lt, CInt(5))
+	got := c.Apply(Subst{"X": CInt(3)})
+	if !got.Left.Equal(CInt(3)) {
+		t.Errorf("Apply = %v", got)
+	}
+	v, ground := got.Ground()
+	if !ground || !v {
+		t.Errorf("Ground(3<5) = %v,%v", v, ground)
+	}
+	if _, ground := c.Ground(); ground {
+		t.Error("non-ground comparison claimed ground")
+	}
+	if !c.Equal(NewComparison(V("X"), Lt, CInt(5))) || c.Equal(c.Negate()) {
+		t.Error("Comparison.Equal wrong")
+	}
+	if c.Negate().Op != Ge {
+		t.Errorf("Negate = %v", c.Negate())
+	}
+	if vs := c.Vars(nil); len(vs) != 1 || vs[0] != "X" {
+		t.Errorf("Vars = %v", vs)
+	}
+}
+
+func TestLiteralHelpers(t *testing.T) {
+	p := Pos(NewAtom("p", V("X")))
+	n := Neg(NewAtom("p", V("X")))
+	cmp := Cmp(NewComparison(V("X"), Lt, V("Y")))
+	if p.Equal(n) || p.Equal(cmp) || !p.Equal(Pos(NewAtom("p", V("X")))) {
+		t.Error("Literal.Equal wrong")
+	}
+	if got := cmp.Apply(Subst{"X": CInt(1)}); !got.Comp.Left.Equal(CInt(1)) {
+		t.Errorf("Literal.Apply on comparison = %v", got)
+	}
+	if vs := cmp.Vars(nil); len(vs) != 2 {
+		t.Errorf("Vars = %v", vs)
+	}
+	set := SortedVarSet([]Literal{p, n, cmp})
+	if len(set) != 2 || set[0] != "X" || set[1] != "Y" {
+		t.Errorf("SortedVarSet = %v", set)
+	}
+}
+
+func TestRuleHelpers(t *testing.T) {
+	f := Fact(NewAtom("dept", CStr("toy")))
+	if !f.IsFact() || f.HasComparison() || f.HasNegation() {
+		t.Error("fact helpers wrong")
+	}
+	r := NewRule(NewAtom(PanicPred),
+		Pos(NewAtom("p", V("X"))),
+		Cmp(NewComparison(V("X"), Gt, CInt(0))))
+	if !r.HasComparison() {
+		t.Error("HasComparison missed")
+	}
+	c := r.Clone()
+	if !c.Equal(r) {
+		t.Error("clone unequal")
+	}
+	c.Body[0].Atom.Pred = "q"
+	if c.Equal(r) {
+		t.Error("clone shares structure with original")
+	}
+	if r.Body[0].Atom.Pred != "p" {
+		t.Error("mutating clone changed original")
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p := NewProgram(
+		NewRule(NewAtom(PanicPred), Pos(NewAtom("emp", V("E"), V("D"))), Neg(NewAtom("dept", V("D")))),
+	)
+	if !p.HasNegation() || p.HasComparison() {
+		t.Error("program feature detection wrong")
+	}
+	preds := p.Preds()
+	if preds["emp"] != 2 || preds["dept"] != 1 || preds[PanicPred] != 0 {
+		t.Errorf("Preds = %v", preds)
+	}
+	c := p.Clone()
+	c.Rules[0].Body[0].Atom.Pred = "x"
+	if p.Rules[0].Body[0].Atom.Pred != "emp" {
+		t.Error("program clone shares rules")
+	}
+}
+
+func TestCQCCloneString(t *testing.T) {
+	rule := NewRule(NewAtom(PanicPred),
+		Pos(NewAtom("l", V("X"))),
+		Pos(NewAtom("r", V("Z"))),
+		Cmp(NewComparison(V("X"), Le, V("Z"))))
+	cqc, err := NewCQC(rule, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cqc.Clone()
+	if cl.String() != cqc.String() || cl.LocalPred != "l" {
+		t.Error("CQC clone differs")
+	}
+	cl.Rule.Body[0].Atom.Pred = "m"
+	if cqc.Rule.Body[0].Atom.Pred != "l" {
+		t.Error("CQC clone shares rule")
+	}
+}
+
+func TestZeroAryAtomString(t *testing.T) {
+	if got := NewAtom(PanicPred).String(); got != "panic" {
+		t.Errorf("0-ary atom prints %q", got)
+	}
+}

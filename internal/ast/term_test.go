@@ -1,0 +1,308 @@
+package ast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Rat(1, 2), Float(0.5), 0},
+		{Rat(1, 3), Rat(1, 2), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Int(100), Str("a"), -1}, // numbers precede strings
+		{Str(""), Int(-5), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestValueKeyDistinct(t *testing.T) {
+	vals := []Value{Int(1), Int(2), Float(1.5), Str("1"), Str("a"), Str("#1"), Rat(3, 2)}
+	keys := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, ok := keys[k]; ok && !prev.Equal(v) {
+			t.Errorf("key collision: %v and %v both map to %q", prev, v, k)
+		}
+		keys[k] = v
+	}
+	if Int(1).Key() == Str("1").Key() {
+		t.Error("number 1 and string \"1\" must have distinct keys")
+	}
+	if Float(1.5).Key() != Rat(3, 2).Key() {
+		t.Error("equal rationals must share a key")
+	}
+}
+
+func TestValueCompareTotalOrderProperty(t *testing.T) {
+	// Compare must be antisymmetric and transitive on a sampled domain.
+	f := func(a, b, c int16) bool {
+		x, y, z := Int(int64(a)), Int(int64(b)), Int(int64(c))
+		if x.Compare(y) != -y.Compare(x) {
+			return false
+		}
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 && x.Compare(z) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		tm   Term
+		want string
+	}{
+		{V("X"), "X"},
+		{CInt(42), "42"},
+		{CStr("toy"), "toy"},
+		{CStr("New York"), `"New York"`},
+		{CStr("Toy"), `"Toy"`}, // capitalized symbols must be quoted
+		{C(Rat(1, 2)), "0.5"},
+	}
+	for _, c := range cases {
+		if got := c.tm.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.tm, got, c.want)
+		}
+	}
+}
+
+func TestUnify(t *testing.T) {
+	// l(X,Y,Y) against (a,b,b) unifies; against (a,b,c) fails.
+	pat := []Term{V("X"), V("Y"), V("Y")}
+	s, ok := Unify(pat, []Term{CStr("a"), CStr("b"), CStr("b")}, nil)
+	if !ok {
+		t.Fatal("expected unification to succeed")
+	}
+	if got := s.Resolve(V("X")); !got.Equal(CStr("a")) {
+		t.Errorf("X resolved to %v, want a", got)
+	}
+	if got := s.Resolve(V("Y")); !got.Equal(CStr("b")) {
+		t.Errorf("Y resolved to %v, want b", got)
+	}
+	if _, ok := Unify(pat, []Term{CStr("a"), CStr("b"), CStr("c")}, nil); ok {
+		t.Error("expected unification of l(X,Y,Y) with (a,b,c) to fail")
+	}
+}
+
+func TestUnifyVarVar(t *testing.T) {
+	s, ok := Unify([]Term{V("X"), V("X")}, []Term{V("A"), CInt(7)}, nil)
+	if !ok {
+		t.Fatal("expected success")
+	}
+	if got := s.Resolve(V("A")); !got.Equal(CInt(7)) {
+		t.Errorf("A resolved to %v, want 7", got)
+	}
+	if got := s.Resolve(V("X")); !got.Equal(CInt(7)) {
+		t.Errorf("X resolved to %v, want 7", got)
+	}
+}
+
+func TestUnifyLengthMismatch(t *testing.T) {
+	if _, ok := Unify([]Term{V("X")}, []Term{V("X"), V("Y")}, nil); ok {
+		t.Error("expected length mismatch to fail")
+	}
+}
+
+func TestSubstCompose(t *testing.T) {
+	s := Subst{"X": V("Y")}
+	u := Subst{"Y": CInt(3), "Z": CInt(4)}
+	c := s.Compose(u)
+	if got := c.Apply(V("X")); !got.Equal(CInt(3)) {
+		t.Errorf("compose: X -> %v, want 3", got)
+	}
+	if got := c.Apply(V("Z")); !got.Equal(CInt(4)) {
+		t.Errorf("compose: Z -> %v, want 4", got)
+	}
+}
+
+func TestCompOp(t *testing.T) {
+	ops := []CompOp{Lt, Le, Eq, Ne, Ge, Gt}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negation of %v changed it", op)
+		}
+		if op.Flip().Flip() != op {
+			t.Errorf("double flip of %v changed it", op)
+		}
+		// x op y must equal y flip(op) x on samples.
+		for _, xy := range [][2]int64{{1, 2}, {2, 2}, {3, 2}} {
+			x, y := Int(xy[0]), Int(xy[1])
+			if op.Eval(x, y) != op.Flip().Eval(y, x) {
+				t.Errorf("%v: Eval(%v,%v) disagrees with flipped", op, x, y)
+			}
+			if op.Eval(x, y) == op.Negate().Eval(x, y) {
+				t.Errorf("%v: negation not complementary on (%v,%v)", op, x, y)
+			}
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := NewRule(NewAtom(PanicPred),
+		Pos(NewAtom("emp", V("E"), V("D"), V("S"))),
+		Neg(NewAtom("dept", V("D"))),
+		Cmp(NewComparison(V("S"), Lt, CInt(100))),
+	)
+	want := "panic :- emp(E,D,S) & not dept(D) & S < 100."
+	if got := r.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRuleCheckSafe(t *testing.T) {
+	ok := NewRule(NewAtom("p", V("X")), Pos(NewAtom("q", V("X"))))
+	if err := ok.CheckSafe(); err != nil {
+		t.Errorf("safe rule rejected: %v", err)
+	}
+	badHead := NewRule(NewAtom("p", V("Y")), Pos(NewAtom("q", V("X"))))
+	if err := badHead.CheckSafe(); err == nil {
+		t.Error("unbound head variable accepted")
+	}
+	badNeg := NewRule(NewAtom(PanicPred), Pos(NewAtom("q", V("X"))), Neg(NewAtom("r", V("Z"))))
+	if err := badNeg.CheckSafe(); err == nil {
+		t.Error("unbound negated variable accepted")
+	}
+	badCmp := NewRule(NewAtom(PanicPred), Pos(NewAtom("q", V("X"))), Cmp(NewComparison(V("W"), Lt, CInt(1))))
+	if err := badCmp.CheckSafe(); err == nil {
+		t.Error("unbound comparison variable accepted")
+	}
+}
+
+func TestProgramPreds(t *testing.T) {
+	p := NewProgram(
+		NewRule(NewAtom(PanicPred), Pos(NewAtom("boss", V("E"), V("E")))),
+		NewRule(NewAtom("boss", V("E"), V("M")),
+			Pos(NewAtom("emp", V("E"), V("D"), V("S"))),
+			Pos(NewAtom("manager", V("D"), V("M")))),
+		NewRule(NewAtom("boss", V("E"), V("F")),
+			Pos(NewAtom("boss", V("E"), V("G"))),
+			Pos(NewAtom("boss", V("G"), V("F")))),
+	)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	idb := p.IDBPreds()
+	if !idb["boss"] || !idb[PanicPred] || idb["emp"] {
+		t.Errorf("IDBPreds wrong: %v", idb)
+	}
+	edb := p.EDBPreds()
+	if len(edb) != 2 || edb[0] != "emp" || edb[1] != "manager" {
+		t.Errorf("EDBPreds = %v, want [emp manager]", edb)
+	}
+	if n := len(p.RulesFor("boss")); n != 2 {
+		t.Errorf("RulesFor(boss) = %d rules, want 2", n)
+	}
+}
+
+func TestProgramValidateArity(t *testing.T) {
+	p := NewProgram(
+		NewRule(NewAtom(PanicPred), Pos(NewAtom("q", V("X")))),
+		NewRule(NewAtom(PanicPred), Pos(NewAtom("q", V("X"), V("Y")))),
+	)
+	if err := p.Validate(); err == nil {
+		t.Error("inconsistent arity accepted")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	r := NewRule(NewAtom(PanicPred), Pos(NewAtom("r", V("U"), V("V"))))
+	r2 := r.RenameApart("'")
+	want := "panic :- r(U',V')."
+	if got := r2.String(); got != want {
+		t.Errorf("RenameApart = %q, want %q", got, want)
+	}
+	if r.String() != "panic :- r(U,V)." {
+		t.Error("RenameApart mutated the original")
+	}
+}
+
+func TestNormalizeCQC(t *testing.T) {
+	// panic :- l(X,Y,Y) & r(Y,Z,X) with local l: the repeated Y becomes a
+	// fresh equated variable (Example 5.4's constraint).
+	rule := NewRule(NewAtom(PanicPred),
+		Pos(NewAtom("l", V("X"), V("Y"), V("Y"))),
+		Pos(NewAtom("r", V("Y"), V("Z"), V("X"))),
+	)
+	cqc, err := NormalizeCQC(rule, "l")
+	if err != nil {
+		t.Fatalf("NormalizeCQC: %v", err)
+	}
+	if err := cqc.Check(); err != nil {
+		t.Fatalf("normalized CQC fails Check: %v", err)
+	}
+	if got := len(cqc.Rule.Comparisons()); got != 3 {
+		t.Errorf("expected 3 equality comparisons (Y dup, Y dup, X dup), got %d: %s", got, cqc)
+	}
+	// Constants must also be lifted.
+	rule2 := NewRule(NewAtom(PanicPred),
+		Pos(NewAtom("l", V("X"), CInt(5))),
+		Pos(NewAtom("r", V("Z"))),
+	)
+	cqc2, err := NormalizeCQC(rule2, "l")
+	if err != nil {
+		t.Fatalf("NormalizeCQC with constant: %v", err)
+	}
+	if err := cqc2.Check(); err != nil {
+		t.Fatalf("normalized CQC fails Check: %v", err)
+	}
+}
+
+func TestCQCRemoteVars(t *testing.T) {
+	// Forbidden intervals (Example 5.3): only Z is remote.
+	rule := NewRule(NewAtom(PanicPred),
+		Pos(NewAtom("l", V("X"), V("Y"))),
+		Pos(NewAtom("r", V("Z"))),
+		Cmp(NewComparison(V("X"), Le, V("Z"))),
+		Cmp(NewComparison(V("Z"), Le, V("Y"))),
+	)
+	cqc, err := NewCQC(rule, "l")
+	if err != nil {
+		t.Fatalf("NewCQC: %v", err)
+	}
+	rv := cqc.RemoteVars()
+	if len(rv) != 1 || rv[0] != "Z" {
+		t.Errorf("RemoteVars = %v, want [Z]", rv)
+	}
+	if got := cqc.LocalAtom().String(); got != "l(X,Y)" {
+		t.Errorf("LocalAtom = %s", got)
+	}
+	if got := len(cqc.RemoteAtoms()); got != 1 {
+		t.Errorf("RemoteAtoms count = %d", got)
+	}
+}
+
+func TestCQCCheckRejects(t *testing.T) {
+	cases := []*Rule{
+		// repeated variable
+		NewRule(NewAtom(PanicPred), Pos(NewAtom("l", V("X"), V("X"))), Pos(NewAtom("r", V("Z")))),
+		// constant in ordinary subgoal
+		NewRule(NewAtom(PanicPred), Pos(NewAtom("l", V("X"), CInt(1))), Pos(NewAtom("r", V("Z")))),
+		// negation
+		NewRule(NewAtom(PanicPred), Pos(NewAtom("l", V("X"))), Neg(NewAtom("r", V("X")))),
+		// two local subgoals
+		NewRule(NewAtom(PanicPred), Pos(NewAtom("l", V("X"))), Pos(NewAtom("l", V("Y")))),
+	}
+	for i, r := range cases {
+		if _, err := NewCQC(r, "l"); err == nil {
+			t.Errorf("case %d: invalid CQC accepted: %s", i, r)
+		}
+	}
+}

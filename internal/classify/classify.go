@@ -1,0 +1,209 @@
+// Package classify implements the twelve-class lattice of constraint
+// languages from Fig 2.1 of the paper. The classes are products of three
+// features:
+//
+//   - Shape: a single conjunctive query, a union of CQs (equivalently,
+//     nonrecursive datalog), or recursive datalog;
+//   - Negation: whether negated subgoals are permitted;
+//   - Arithmetic: whether arithmetic comparison subgoals are permitted.
+//
+// Classify assigns a Program the least class that can express it, and
+// LessEq gives the lattice order used by the closure results of
+// Theorems 4.2 and 4.3 (Figs 4.1 and 4.2).
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Shape is the recursion/union axis of Fig 2.1.
+type Shape int
+
+const (
+	// SingleCQ is one conjunctive query: a single rule whose body uses
+	// only database predicates.
+	SingleCQ Shape = iota
+	// UnionCQ is a finite union of CQs, equivalently a nonrecursive
+	// datalog program (possibly with intermediate predicates).
+	UnionCQ
+	// Recursive is recursive datalog.
+	Recursive
+)
+
+// String names the shape as in Fig 2.1.
+func (s Shape) String() string {
+	switch s {
+	case SingleCQ:
+		return "One CQ"
+	case UnionCQ:
+		return "Union of CQ's"
+	case Recursive:
+		return "Recursive Datalog"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// Class is one of the twelve classes of Fig 2.1.
+type Class struct {
+	Shape      Shape
+	Negation   bool // negated subgoals permitted
+	Arithmetic bool // arithmetic comparisons permitted
+}
+
+// All enumerates the twelve classes in a fixed order: shapes innermost,
+// then arithmetic, then negation, matching the figure's layout.
+func All() []Class {
+	var out []Class
+	for _, neg := range []bool{false, true} {
+		for _, arith := range []bool{false, true} {
+			for _, sh := range []Shape{SingleCQ, UnionCQ, Recursive} {
+				out = append(out, Class{Shape: sh, Negation: neg, Arithmetic: arith})
+			}
+		}
+	}
+	return out
+}
+
+// String renders the class, e.g. "Union of CQ's + negation".
+func (c Class) String() string {
+	s := c.Shape.String()
+	if c.Negation {
+		s += " + negation"
+	}
+	if c.Arithmetic {
+		s += " + arithmetic"
+	}
+	return s
+}
+
+// LessEq reports whether c is a subclass of d in the Fig 2.1 lattice:
+// every program expressible in c is expressible in d.
+func (c Class) LessEq(d Class) bool {
+	if c.Shape > d.Shape {
+		return false
+	}
+	if c.Negation && !d.Negation {
+		return false
+	}
+	if c.Arithmetic && !d.Arithmetic {
+		return false
+	}
+	return true
+}
+
+// Join returns the least upper bound of c and d.
+func (c Class) Join(d Class) Class {
+	out := c
+	if d.Shape > out.Shape {
+		out.Shape = d.Shape
+	}
+	out.Negation = out.Negation || d.Negation
+	out.Arithmetic = out.Arithmetic || d.Arithmetic
+	return out
+}
+
+// Classify assigns prog the least class of Fig 2.1 that can express it
+// syntactically:
+//
+//   - Recursive if the predicate dependency graph has a cycle through an
+//     IDB predicate;
+//   - SingleCQ if the program is one rule over database predicates
+//     (after ignoring the goal head);
+//   - UnionCQ otherwise (nonrecursive, possibly with intermediate
+//     predicates);
+//
+// with the negation/arithmetic features set from the program text.
+func Classify(prog *ast.Program) Class {
+	c := Class{
+		Negation:   prog.HasNegation(),
+		Arithmetic: prog.HasComparison(),
+	}
+	switch {
+	case isRecursive(prog):
+		c.Shape = Recursive
+	case isSingleCQ(prog):
+		c.Shape = SingleCQ
+	default:
+		c.Shape = UnionCQ
+	}
+	return c
+}
+
+// isSingleCQ reports whether prog is one rule whose body mentions only
+// EDB predicates.
+func isSingleCQ(prog *ast.Program) bool {
+	if len(prog.Rules) != 1 {
+		return false
+	}
+	r := prog.Rules[0]
+	for _, l := range r.Body {
+		if l.IsComp() {
+			continue
+		}
+		if l.Atom.Pred == r.Head.Pred {
+			return false
+		}
+	}
+	return true
+}
+
+// isRecursive reports whether the predicate dependency graph of prog has
+// a cycle among IDB predicates.
+func isRecursive(prog *ast.Program) bool {
+	idb := prog.IDBPreds()
+	adj := map[string][]string{}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.IsComp() {
+				continue
+			}
+			if idb[l.Atom.Pred] {
+				adj[r.Head.Pred] = append(adj[r.Head.Pred], l.Atom.Pred)
+			}
+		}
+	}
+	// DFS with colors to detect a cycle.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(p string) bool
+	visit = func(p string) bool {
+		color[p] = gray
+		for _, q := range adj[p] {
+			switch color[q] {
+			case gray:
+				return true
+			case white:
+				if visit(q) {
+					return true
+				}
+			}
+		}
+		color[p] = black
+		return false
+	}
+	for p := range idb {
+		if color[p] == white && visit(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// InsertionClosed reports whether the class is preserved by the Section 4
+// insertion rewriting (Theorem 4.2, Fig 4.1): the eight classes that
+// permit multiple rules (union or recursive shape) are closed.
+func InsertionClosed(c Class) bool { return c.Shape != SingleCQ }
+
+// DeletionClosed reports whether the class is preserved by the Section 4
+// deletion rewriting (Theorem 4.3, Fig 4.2): the six classes that permit
+// multiple rules and at least one of negation or arithmetic are closed
+// (deleting a tuple requires expressing "differs from the deleted tuple").
+func DeletionClosed(c Class) bool {
+	return c.Shape != SingleCQ && (c.Negation || c.Arithmetic)
+}

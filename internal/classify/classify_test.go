@@ -1,0 +1,180 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// representatives maps each of the twelve Fig 2.1 classes to a program
+// whose least class is exactly that class. These drive the F2.1
+// experiment and the closure matrices of F4.1/F4.2.
+func representatives() map[Class]string {
+	return map[Class]string{
+		{SingleCQ, false, false}: "panic :- emp(E,sales) & emp(E,accounting).",
+		{SingleCQ, false, true}:  "panic :- emp(E,D,S) & S > 100.",
+		{SingleCQ, true, false}:  "panic :- emp(E,D,S) & not dept(D).",
+		{SingleCQ, true, true}:   "panic :- emp(E,D,S) & not dept(D) & S < 100.",
+		{UnionCQ, false, false}: `panic :- emp(E,sales) & emp(E,accounting).
+			panic :- emp(E,toy) & emp(E,accounting).`,
+		{UnionCQ, false, true}: `panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.
+			panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.`,
+		{UnionCQ, true, false}: `bad(E) :- emp(E,D,S) & not dept(D).
+			panic :- bad(E) & vip(E).`,
+		{UnionCQ, true, true}: `dept1(D) :- dept(D).
+			panic :- emp(E,D,S) & not dept1(D) & S < 100.`,
+		{Recursive, false, false}: `panic :- boss(E,E).
+			boss(E,M) :- emp(E,D) & manager(D,M).
+			boss(E,F) :- boss(E,G) & boss(G,F).`,
+		{Recursive, false, true}: `interval(X,Y) :- l(X,Y).
+			interval(X,Y) :- interval(X,W) & interval(Z,Y) & Z <= W.
+			panic :- interval(X,Y) & r(Z) & X <= Z & Z <= Y.`,
+		{Recursive, true, false}: `reach(X,Y) :- edge(X,Y).
+			reach(X,Y) :- reach(X,Z) & edge(Z,Y).
+			panic :- node(X) & node(Y) & not reach(X,Y).`,
+		{Recursive, true, true}: `reach(X,Y) :- edge(X,Y).
+			reach(X,Y) :- reach(X,Z) & edge(Z,Y).
+			panic :- node(X) & node(Y) & not reach(X,Y) & X < Y.`,
+	}
+}
+
+func TestClassifyRepresentatives(t *testing.T) {
+	for want, src := range representatives() {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Errorf("parse representative for %v: %v", want, err)
+			continue
+		}
+		if got := Classify(prog); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestAllTwelveClasses(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("All() returned %d classes, want 12", len(all))
+	}
+	seen := map[Class]bool{}
+	for _, c := range all {
+		if seen[c] {
+			t.Errorf("duplicate class %v", c)
+		}
+		seen[c] = true
+	}
+	reps := representatives()
+	for _, c := range all {
+		if _, ok := reps[c]; !ok {
+			t.Errorf("no representative program for class %v", c)
+		}
+	}
+}
+
+func TestLatticeOrder(t *testing.T) {
+	bottom := Class{SingleCQ, false, false}
+	top := Class{Recursive, true, true}
+	for _, c := range All() {
+		if !bottom.LessEq(c) {
+			t.Errorf("bottom not <= %v", c)
+		}
+		if !c.LessEq(top) {
+			t.Errorf("%v not <= top", c)
+		}
+		if !c.LessEq(c) {
+			t.Errorf("%v not reflexive", c)
+		}
+	}
+	// Incomparable pair: negation-only vs arithmetic-only.
+	a := Class{SingleCQ, true, false}
+	b := Class{SingleCQ, false, true}
+	if a.LessEq(b) || b.LessEq(a) {
+		t.Error("negation-only and arithmetic-only CQ classes must be incomparable")
+	}
+	if j := a.Join(b); j != (Class{SingleCQ, true, true}) {
+		t.Errorf("Join = %v", j)
+	}
+}
+
+func TestLatticeTransitivity(t *testing.T) {
+	all := All()
+	for _, a := range all {
+		for _, b := range all {
+			for _, c := range all {
+				if a.LessEq(b) && b.LessEq(c) && !a.LessEq(c) {
+					t.Fatalf("transitivity fails: %v <= %v <= %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestClosurePredicates(t *testing.T) {
+	// Fig 4.1 circles exactly the 8 non-single-CQ classes; Fig 4.2
+	// circles the 6 with union/recursive shape and neg or arith.
+	nIns, nDel := 0, 0
+	for _, c := range All() {
+		if InsertionClosed(c) {
+			nIns++
+			if c.Shape == SingleCQ {
+				t.Errorf("single-CQ class %v marked insertion-closed", c)
+			}
+		}
+		if DeletionClosed(c) {
+			nDel++
+			if !InsertionClosed(c) {
+				t.Errorf("%v deletion-closed but not insertion-closed", c)
+			}
+			if !c.Negation && !c.Arithmetic {
+				t.Errorf("featureless class %v marked deletion-closed", c)
+			}
+		}
+	}
+	if nIns != 8 {
+		t.Errorf("insertion-closed classes = %d, want 8 (Fig 4.1)", nIns)
+	}
+	if nDel != 6 {
+		t.Errorf("deletion-closed classes = %d, want 6 (Fig 4.2)", nDel)
+	}
+}
+
+func TestClassifyMutualRecursion(t *testing.T) {
+	prog := parser.MustParseProgram(`
+		even(X) :- zero(X).
+		even(X) :- succ(Y,X) & odd(Y).
+		odd(X) :- succ(Y,X) & even(X).
+		panic :- odd(X) & even(X).`)
+	if got := Classify(prog); got.Shape != Recursive {
+		t.Errorf("mutual recursion classified as %v", got)
+	}
+}
+
+func TestClassifyIntermediatePredicateIsUnion(t *testing.T) {
+	// One panic rule over an IDB predicate is not a single CQ even though
+	// there is only one panic rule.
+	prog := parser.MustParseProgram(`
+		b(X) :- e(X) & f(X).
+		panic :- b(X) & g(X).`)
+	if got := Classify(prog); got.Shape != UnionCQ {
+		t.Errorf("got %v, want union shape", got)
+	}
+}
+
+func TestClassifySelfRecursiveSingleRule(t *testing.T) {
+	prog := ast.NewProgram(ast.NewRule(
+		ast.NewAtom("p", ast.V("X")),
+		ast.Pos(ast.NewAtom("p", ast.V("X"))),
+	))
+	if got := Classify(prog); got.Shape != Recursive {
+		t.Errorf("self-recursive rule classified as %v", got)
+	}
+}
+
+func TestClassifyFactsOnly(t *testing.T) {
+	prog := parser.MustParseProgram("dept(toy). dept(shoe).")
+	c := Classify(prog)
+	if c.Shape == Recursive || c.Negation || c.Arithmetic {
+		t.Errorf("facts classified as %v", c)
+	}
+}

@@ -1,0 +1,99 @@
+package classify
+
+import "repro/internal/ast"
+
+// Polarity describes how a database relation can influence the panic
+// predicate of a constraint program: positively (more tuples can only
+// add panic derivations), negatively (more tuples can only remove them),
+// both, or not at all.
+type Polarity struct {
+	Pos bool
+	Neg bool
+}
+
+// String renders the polarity.
+func (p Polarity) String() string {
+	switch {
+	case p.Pos && p.Neg:
+		return "mixed"
+	case p.Pos:
+		return "positive"
+	case p.Neg:
+		return "negative"
+	}
+	return "none"
+}
+
+// Polarities computes, for every EDB relation of the constraint program,
+// its polarity with respect to the goal predicate, by propagating
+// through the rule graph: a body literal inherits its rule head's
+// polarity, flipped under negation. Recursive programs converge because
+// both flags grow monotonically.
+//
+// This is the classical monotonicity analysis behind Nicolas' [1982]
+// simplification (which the paper builds on for Theorem 5.2): deleting
+// from a purely positive relation, or inserting into a purely negative
+// one, can never newly violate the constraint.
+func Polarities(prog *ast.Program, goal string) map[string]Polarity {
+	idb := prog.IDBPreds()
+	// Polarity of IDB predicates w.r.t. the goal.
+	ip := map[string]Polarity{goal: {Pos: true}}
+	changed := true
+	for changed {
+		changed = false
+		for _, r := range prog.Rules {
+			hp, ok := ip[r.Head.Pred]
+			if !ok {
+				continue
+			}
+			for _, l := range r.Body {
+				if l.IsComp() || !idb[l.Atom.Pred] {
+					continue
+				}
+				bp := hp
+				if l.IsNeg() {
+					bp = Polarity{Pos: hp.Neg, Neg: hp.Pos}
+				}
+				old := ip[l.Atom.Pred]
+				merged := Polarity{Pos: old.Pos || bp.Pos, Neg: old.Neg || bp.Neg}
+				if merged != old {
+					ip[l.Atom.Pred] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	// Project onto EDB relations.
+	out := map[string]Polarity{}
+	for _, r := range prog.Rules {
+		hp, ok := ip[r.Head.Pred]
+		if !ok {
+			continue
+		}
+		for _, l := range r.Body {
+			if l.IsComp() || idb[l.Atom.Pred] {
+				continue
+			}
+			bp := hp
+			if l.IsNeg() {
+				bp = Polarity{Pos: hp.Neg, Neg: hp.Pos}
+			}
+			old := out[l.Atom.Pred]
+			out[l.Atom.Pred] = Polarity{Pos: old.Pos || bp.Pos, Neg: old.Neg || bp.Neg}
+		}
+	}
+	return out
+}
+
+// UpdateMonotoneSafe reports whether an update of the given kind to rel
+// provably cannot newly derive the goal, from polarity alone: an
+// insertion into a purely negative relation or a deletion from a purely
+// positive one. (A relation the program never mentions is trivially
+// safe, with polarity "none".)
+func UpdateMonotoneSafe(prog *ast.Program, goal, rel string, insert bool) bool {
+	p := Polarities(prog, goal)[rel]
+	if insert {
+		return !p.Pos
+	}
+	return !p.Neg
+}

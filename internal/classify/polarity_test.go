@@ -1,0 +1,160 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func TestPolaritiesReferential(t *testing.T) {
+	// C1: panic :- emp(E,D,S) & not dept(D): emp is positive, dept
+	// negative.
+	prog := parser.MustParseProgram("panic :- emp(E,D,S) & not dept(D).")
+	p := Polarities(prog, ast.PanicPred)
+	if got := p["emp"]; !got.Pos || got.Neg {
+		t.Errorf("emp polarity = %v", got)
+	}
+	if got := p["dept"]; got.Pos || !got.Neg {
+		t.Errorf("dept polarity = %v", got)
+	}
+	// Inserting into dept is safe; deleting from dept is not; deleting
+	// from emp is safe; inserting into emp is not.
+	if !UpdateMonotoneSafe(prog, ast.PanicPred, "dept", true) {
+		t.Error("+dept not monotone-safe")
+	}
+	if UpdateMonotoneSafe(prog, ast.PanicPred, "dept", false) {
+		t.Error("-dept wrongly safe")
+	}
+	if !UpdateMonotoneSafe(prog, ast.PanicPred, "emp", false) {
+		t.Error("-emp not monotone-safe")
+	}
+	if UpdateMonotoneSafe(prog, ast.PanicPred, "emp", true) {
+		t.Error("+emp wrongly safe")
+	}
+}
+
+func TestPolaritiesThroughIntermediate(t *testing.T) {
+	// Negation of an intermediate flips the polarity of its body.
+	prog := parser.MustParseProgram(`
+		covered(E) :- ins(E,P) & policy(P).
+		panic :- emp(E) & not covered(E).`)
+	p := Polarities(prog, ast.PanicPred)
+	if got := p["emp"]; !got.Pos || got.Neg {
+		t.Errorf("emp = %v", got)
+	}
+	for _, rel := range []string{"ins", "policy"} {
+		if got := p[rel]; got.Pos || !got.Neg {
+			t.Errorf("%s = %v, want negative", rel, got)
+		}
+	}
+}
+
+func TestPolaritiesDoubleNegation(t *testing.T) {
+	prog := parser.MustParseProgram(`
+		bad(E) :- emp(E) & not dept(E).
+		panic :- node(E) & not bad(E).`)
+	p := Polarities(prog, ast.PanicPred)
+	// dept sits under two negations: positive again.
+	if got := p["dept"]; !got.Pos || got.Neg {
+		t.Errorf("dept = %v, want positive", got)
+	}
+	if got := p["emp"]; got.Pos || !got.Neg {
+		t.Errorf("emp = %v, want negative", got)
+	}
+}
+
+func TestPolaritiesMixed(t *testing.T) {
+	prog := parser.MustParseProgram(`
+		panic :- r(X) & s(X).
+		panic :- t(X) & not r(X).`)
+	p := Polarities(prog, ast.PanicPred)
+	if got := p["r"]; !got.Pos || !got.Neg {
+		t.Errorf("r = %v, want mixed", got)
+	}
+	if UpdateMonotoneSafe(prog, ast.PanicPred, "r", true) ||
+		UpdateMonotoneSafe(prog, ast.PanicPred, "r", false) {
+		t.Error("mixed-polarity relation claimed safe")
+	}
+}
+
+func TestPolaritiesRecursive(t *testing.T) {
+	prog := parser.MustParseProgram(`
+		reach(X,Y) :- edge(X,Y).
+		reach(X,Y) :- reach(X,Z) & edge(Z,Y).
+		panic :- node(X) & node(Y) & not reach(X,Y).`)
+	p := Polarities(prog, ast.PanicPred)
+	if got := p["edge"]; got.Pos || !got.Neg {
+		t.Errorf("edge = %v, want negative", got)
+	}
+	if !UpdateMonotoneSafe(prog, ast.PanicPred, "edge", true) {
+		t.Error("+edge should be monotone-safe for a reachability demand")
+	}
+}
+
+// TestMonotoneSafeSoundness: whenever UpdateMonotoneSafe says yes, the
+// update must never turn a satisfied constraint into a violated one, on
+// randomized databases and updates.
+func TestMonotoneSafeSoundness(t *testing.T) {
+	progs := []*ast.Program{
+		parser.MustParseProgram("panic :- emp(E,D) & not dept(D)."),
+		parser.MustParseProgram("panic :- r(X) & s(X).\npanic :- t(X) & not r(X)."),
+		parser.MustParseProgram(`
+			covered(E) :- ins(E,P) & policy(P).
+			panic :- emp(E,D) & not covered(E).`),
+	}
+	rels := map[string]int{"emp": 2, "dept": 1, "r": 1, "s": 1, "t": 1, "ins": 2, "policy": 1}
+	rng := rand.New(rand.NewSource(8))
+	for _, prog := range progs {
+		for trial := 0; trial < 150; trial++ {
+			db := store.New()
+			for rel, ar := range rels {
+				for i := 0; i < rng.Intn(3); i++ {
+					tu := make(relation.Tuple, ar)
+					for j := range tu {
+						tu[j] = ast.Int(int64(rng.Intn(3)))
+					}
+					if _, err := db.Insert(rel, tu); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			before, err := eval.PanicHolds(prog, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if before {
+				continue
+			}
+			// Random update.
+			var names []string
+			for rel := range rels {
+				names = append(names, rel)
+			}
+			rel := names[rng.Intn(len(names))]
+			tu := make(relation.Tuple, rels[rel])
+			for j := range tu {
+				tu[j] = ast.Int(int64(rng.Intn(3)))
+			}
+			insert := rng.Intn(2) == 0
+			if !UpdateMonotoneSafe(prog, ast.PanicPred, rel, insert) {
+				continue
+			}
+			u := store.Update{Insert: insert, Relation: rel, Tuple: tu}
+			if err := u.Apply(db); err != nil {
+				t.Fatal(err)
+			}
+			after, err := eval.PanicHolds(prog, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after {
+				t.Fatalf("monotone-safe update %v violated %s", u, prog)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package containment
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Expand unfolds a nonrecursive program into the equivalent union of
+// single rules for the goal predicate (the UCQ expansion of Sagiv and
+// Yannakakis [1981]), by SLD-style resolution of intermediate subgoals.
+// Positive intermediate subgoals branch over their alternative rules,
+// with unifier bindings propagated to the remaining goals. Negated
+// intermediate subgoals are supported in the two shapes the Section 4
+// update rewritings produce:
+//
+//   - not p(t̄) where p has a copy rule p(X̄) :- q(Ȳ) (body variables
+//     all bound by the head) contributes not q applied to the unifier;
+//   - a fact p(c̄) among p's rules contributes the negation of t̄ = c̄,
+//     i.e. the disjunction ∨ᵢ tᵢ <> cᵢ, splitting the expansion into one
+//     branch per component (this is how Example 4.1's constraint C3
+//     becomes "panic :- emp(E,D,S) & not dept(D) & D <> toy").
+//
+// Any other negated intermediate shape is rejected: its expansion would
+// need universal quantification, which leaves the UCQ language.
+func Expand(prog *ast.Program, goal string) ([]*ast.Rule, error) {
+	if cls := recursiveCheck(prog); cls != "" {
+		return nil, fmt.Errorf("containment: cannot expand recursive program (cycle through %s)", cls)
+	}
+	idb := prog.IDBPreds()
+	fresh := 0
+	const maxUnfoldings = 100000
+	unfoldings := 0
+
+	// expandGoals resolves the goal list into fully expanded bodies over
+	// EDB predicates and comparisons.
+	var expandGoals func(goals []ast.Literal) ([][]ast.Literal, error)
+	expandGoals = func(goals []ast.Literal) ([][]ast.Literal, error) {
+		if unfoldings++; unfoldings > maxUnfoldings {
+			return nil, fmt.Errorf("containment: expansion exceeds %d unfoldings", maxUnfoldings)
+		}
+		if len(goals) == 0 {
+			return [][]ast.Literal{{}}, nil
+		}
+		g, rest := goals[0], goals[1:]
+		prepend := func(front []ast.Literal, tails [][]ast.Literal) [][]ast.Literal {
+			out := make([][]ast.Literal, len(tails))
+			for i, t := range tails {
+				out[i] = append(append([]ast.Literal{}, front...), t...)
+			}
+			return out
+		}
+		switch {
+		case g.IsComp(), !idb[g.Atom.Pred]:
+			tails, err := expandGoals(rest)
+			if err != nil {
+				return nil, err
+			}
+			return prepend([]ast.Literal{g}, tails), nil
+		case g.IsPos():
+			var out [][]ast.Literal
+			for _, def := range prog.RulesFor(g.Atom.Pred) {
+				fresh++
+				d := def.RenameApart(fmt.Sprintf("@%d", fresh))
+				s, ok := ast.Unify(d.Head.Args, g.Atom.Args, nil)
+				if !ok {
+					continue
+				}
+				newGoals := make([]ast.Literal, 0, len(d.Body)+len(rest))
+				for _, l := range d.Body {
+					newGoals = append(newGoals, l.Apply(s))
+				}
+				for _, l := range rest {
+					newGoals = append(newGoals, l.Apply(s))
+				}
+				sub, err := expandGoals(newGoals)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+			if out == nil {
+				out = [][]ast.Literal{} // no matching rule: empty union
+			}
+			return out, nil
+		default: // negated intermediate subgoal
+			alts, err := negAlternatives(prog, g.Atom)
+			if err != nil {
+				return nil, err
+			}
+			var out [][]ast.Literal
+			for _, alt := range alts {
+				sub, err := expandGoals(append(append([]ast.Literal{}, alt...), rest...))
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, sub...)
+			}
+			if out == nil {
+				out = [][]ast.Literal{}
+			}
+			return out, nil
+		}
+	}
+
+	var out []*ast.Rule
+	goalRules := prog.RulesFor(goal)
+	if len(goalRules) == 0 {
+		return nil, fmt.Errorf("containment: no rules for goal predicate %s", goal)
+	}
+	for _, r := range goalRules {
+		bodies, err := expandGoals(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bodies {
+			out = append(out, &ast.Rule{Head: r.Head, Body: b})
+		}
+	}
+	return out, nil
+}
+
+// negAlternatives expands not p(t̄) for an intermediate predicate p into
+// a disjunction of conjunctions (each inner slice is one conjunction):
+// the negation of p's definition, i.e. the conjunction over p's rules of
+// the negation of each rule's applicability, distributed into DNF.
+func negAlternatives(prog *ast.Program, atom ast.Atom) ([][]ast.Literal, error) {
+	// Each part is the DNF of the negation of one rule; the result is the
+	// cartesian product (conjunction) of the parts.
+	var parts [][][]ast.Literal
+	for _, def := range prog.RulesFor(atom.Pred) {
+		switch {
+		case def.IsFact():
+			if len(def.Head.Args) == 0 {
+				// not p where p is unconditionally true: the whole
+				// conjunction is false — no alternatives at all.
+				return [][]ast.Literal{}, nil
+			}
+			var split [][]ast.Literal
+			for i, c := range def.Head.Args {
+				if c.IsVar() {
+					return nil, fmt.Errorf("containment: cannot expand negation of non-ground fact %s", def)
+				}
+				split = append(split, []ast.Literal{
+					ast.Cmp(ast.NewComparison(atom.Args[i], ast.Ne, c)),
+				})
+			}
+			parts = append(parts, split)
+		case len(def.Body) == 1 && def.Body[0].IsPos() && sameVarCopy(def):
+			s, ok := ast.Unify(def.Head.Args, atom.Args, nil)
+			if !ok {
+				// The head cannot match t̄ at all (constant clash): this
+				// rule never derives p(t̄); its negation is vacuous.
+				parts = append(parts, [][]ast.Literal{{}})
+				continue
+			}
+			q := def.Body[0].Atom.Apply(s)
+			parts = append(parts, [][]ast.Literal{{ast.Neg(q)}})
+		default:
+			return nil, fmt.Errorf("containment: cannot expand negated intermediate subgoal not %s defined by %s", atom, def)
+		}
+	}
+	alts := [][]ast.Literal{{}}
+	for _, p := range parts {
+		var next [][]ast.Literal
+		for _, acc := range alts {
+			for _, choice := range p {
+				next = append(next, append(append([]ast.Literal{}, acc...), choice...))
+			}
+		}
+		alts = next
+	}
+	return alts, nil
+}
+
+// sameVarCopy reports whether def is a copy rule p(X̄) :- q(Ȳ) in which
+// every body variable appears in the head (so the unifier fully
+// determines the body atom).
+func sameVarCopy(def *ast.Rule) bool {
+	headVars := map[string]bool{}
+	for _, t := range def.Head.Args {
+		if t.IsVar() {
+			headVars[t.Var] = true
+		}
+	}
+	for _, t := range def.Body[0].Atom.Args {
+		if t.IsVar() && !headVars[t.Var] {
+			return false
+		}
+	}
+	return true
+}
+
+// recursiveCheck returns the name of a predicate on a dependency cycle,
+// or "" when the program is nonrecursive.
+func recursiveCheck(prog *ast.Program) string {
+	idb := prog.IDBPreds()
+	adj := map[string][]string{}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if !l.IsComp() && idb[l.Atom.Pred] {
+				adj[r.Head.Pred] = append(adj[r.Head.Pred], l.Atom.Pred)
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var bad string
+	var visit func(p string) bool
+	visit = func(p string) bool {
+		color[p] = gray
+		for _, q := range adj[p] {
+			if color[q] == gray || color[q] == white && visit(q) {
+				if bad == "" {
+					bad = q
+				}
+				return true
+			}
+		}
+		color[p] = black
+		return false
+	}
+	for p := range idb {
+		if color[p] == white && visit(p) {
+			return bad
+		}
+	}
+	return ""
+}

@@ -1,0 +1,295 @@
+package containment
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ineq"
+	"repro/internal/relation"
+)
+
+// Klug decides C1 ⊑ C2 for conjunctive queries with arithmetic
+// comparisons by Klug's [1988] method, the comparator of the paper's
+// Section 5 discussion: enumerate every total order (with ties) of C1's
+// variables and the constants of both queries that is consistent with
+// A(C1) and the fixed order on constants; for each, build the canonical
+// database and require C2 to produce C1's head on it. Unlike Theorem 5.1
+// it tolerates constants and repeated variables in ordinary subgoals, at
+// the cost of enumerating orders: the worst case is an exponential number
+// of canonical databases, each tested with an exponential-time CQ match
+// (the trade-off the paper discusses).
+func Klug(c1, c2 *ast.Rule) (bool, error) {
+	return KlugUnion(c1, []*ast.Rule{c2})
+}
+
+// KlugUnion decides C1 ⊑ C2_1 ∪ … ∪ C2_n by Klug's method: every
+// consistent canonical database of C1 must make some member fire.
+func KlugUnion(c1 *ast.Rule, union []*ast.Rule) (bool, error) {
+	for _, r := range append([]*ast.Rule{c1}, union...) {
+		if r.HasNegation() {
+			return false, fmt.Errorf("containment: Klug's test does not apply to negated subgoals in %s", r)
+		}
+	}
+	// Elements to order: C1's variables plus every constant of C1 or the
+	// union members (comparisons included).
+	elems, consts := klugElements(c1, union)
+	a1 := c1.Comparisons()
+	contained := true
+	enumerateOrderedPartitions(elems, consts, func(blocks [][]ast.Term) bool {
+		// Build the linearization constraint set: equalities within each
+		// block, strict order between consecutive blocks.
+		lin := linearizationAtoms(blocks)
+		// The canonical database exists only when A(C1) is consistent
+		// with the linearization. Because the linearization totally
+		// orders every term of A(C1), consistency is just evaluation.
+		if !ineq.Satisfiable(append(append([]ast.Comparison{}, lin...), a1...)) {
+			return true // skip inconsistent order
+		}
+		assign, err := assignBlocks(blocks)
+		if err != nil {
+			// Only the documented string-density corner can land here;
+			// fail closed (report non-containment).
+			contained = false
+			return false
+		}
+		db := canonicalDB(c1, assign)
+		head1 := groundAtom(c1.Head, assign)
+		fired := false
+		for _, c2 := range union {
+			if cqFires(c2, db, head1) {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			contained = false
+			return false // counterexample found; stop enumerating
+		}
+		return true
+	})
+	return contained, nil
+}
+
+// klugElements collects the terms to linearize: variables of c1 and
+// constants of every rule.
+func klugElements(c1 *ast.Rule, union []*ast.Rule) (elems []ast.Term, consts int) {
+	seen := map[string]bool{}
+	var vars, cs []ast.Term
+	addConst := func(t ast.Term) {
+		if t.IsConst() && !seen[t.Key()] {
+			seen[t.Key()] = true
+			cs = append(cs, t)
+		}
+	}
+	for _, v := range c1.Vars() {
+		vars = append(vars, ast.V(v))
+	}
+	for _, r := range append([]*ast.Rule{c1}, union...) {
+		for _, t := range r.Head.Args {
+			addConst(t)
+		}
+		for _, l := range r.Body {
+			if l.IsComp() {
+				addConst(l.Comp.Left)
+				addConst(l.Comp.Right)
+				continue
+			}
+			for _, t := range l.Atom.Args {
+				addConst(t)
+			}
+		}
+	}
+	// Constants first (their relative order is fixed, which prunes the
+	// enumeration early), then variables.
+	sortTermsByConst(cs)
+	return append(cs, vars...), len(cs)
+}
+
+func sortTermsByConst(ts []ast.Term) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Const.Compare(ts[j-1].Const) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// enumerateOrderedPartitions generates every ordered partition (total
+// preorder) of elems. The first nconsts elements are constants in
+// ascending order: they must occupy distinct blocks in that order, which
+// the generator enforces by never merging two constants and never
+// placing a later constant's block before an earlier one. The callback
+// returns false to stop enumeration.
+func enumerateOrderedPartitions(elems []ast.Term, nconsts int, yield func([][]ast.Term) bool) {
+	// blocks is the current ordered partition; constBlock[i] = index of
+	// the block holding constant i (they are inserted first, in order).
+	var blocks [][]ast.Term
+	for i := 0; i < nconsts; i++ {
+		blocks = append(blocks, []ast.Term{elems[i]})
+	}
+	stopped := false
+	var rec func(i int)
+	rec = func(i int) {
+		if stopped {
+			return
+		}
+		if i == len(elems) {
+			if !yield(blocks) {
+				stopped = true
+			}
+			return
+		}
+		e := elems[i]
+		// Join an existing block.
+		for b := range blocks {
+			blocks[b] = append(blocks[b], e)
+			rec(i + 1)
+			blocks[b] = blocks[b][:len(blocks[b])-1]
+			if stopped {
+				return
+			}
+		}
+		// Or open a new block at any gap.
+		for pos := 0; pos <= len(blocks); pos++ {
+			blocks = append(blocks, nil)
+			copy(blocks[pos+1:], blocks[pos:])
+			blocks[pos] = []ast.Term{e}
+			rec(i + 1)
+			copy(blocks[pos:], blocks[pos+1:])
+			blocks = blocks[:len(blocks)-1]
+			if stopped {
+				return
+			}
+		}
+	}
+	rec(nconsts)
+}
+
+// assignBlocks picks one constant per block, ascending across blocks:
+// blocks containing a constant are fixed to it (the enumeration keeps
+// constants in ascending order across blocks), and variable-only blocks
+// receive a fresh value strictly between their neighbours' values via
+// ineq.Between.
+func assignBlocks(blocks [][]ast.Term) (map[string]ast.Value, error) {
+	vals := make([]*ast.Value, len(blocks))
+	for i, b := range blocks {
+		for _, t := range b {
+			if t.IsConst() {
+				v := t.Const
+				vals[i] = &v
+				break
+			}
+		}
+	}
+	var prev *ast.Value
+	for i := range blocks {
+		if vals[i] == nil {
+			var hi *ast.Value
+			for j := i + 1; j < len(blocks); j++ {
+				if vals[j] != nil {
+					hi = vals[j]
+					break
+				}
+			}
+			v, err := ineq.Between(prev, hi)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = &v
+		}
+		prev = vals[i]
+	}
+	m := map[string]ast.Value{}
+	for i, b := range blocks {
+		for _, t := range b {
+			if t.IsVar() {
+				m[t.Var] = *vals[i]
+			}
+		}
+	}
+	return m, nil
+}
+
+// linearizationAtoms encodes an ordered partition as comparisons:
+// equality within blocks, strictly-less between consecutive blocks.
+func linearizationAtoms(blocks [][]ast.Term) []ast.Comparison {
+	var out []ast.Comparison
+	for _, b := range blocks {
+		for i := 1; i < len(b); i++ {
+			out = append(out, ast.NewComparison(b[0], ast.Eq, b[i]))
+		}
+	}
+	for i := 1; i < len(blocks); i++ {
+		out = append(out, ast.NewComparison(blocks[i-1][0], ast.Lt, blocks[i][0]))
+	}
+	return out
+}
+
+// canonicalDB builds the canonical database of c1 under the assignment:
+// the ground images of its ordinary subgoals, grouped by predicate.
+func canonicalDB(c1 *ast.Rule, assign map[string]ast.Value) map[string][]relation.Tuple {
+	db := map[string][]relation.Tuple{}
+	seen := map[string]bool{}
+	for _, a := range c1.PositiveAtoms() {
+		t := make(relation.Tuple, len(a.Args))
+		for i, arg := range a.Args {
+			if arg.IsVar() {
+				t[i] = assign[arg.Var]
+			} else {
+				t[i] = arg.Const
+			}
+		}
+		key := a.Pred + "/" + t.Key()
+		if !seen[key] {
+			seen[key] = true
+			db[a.Pred] = append(db[a.Pred], t)
+		}
+	}
+	return db
+}
+
+func groundAtom(a ast.Atom, assign map[string]ast.Value) relation.Tuple {
+	t := make(relation.Tuple, len(a.Args))
+	for i, arg := range a.Args {
+		if arg.IsVar() {
+			t[i] = assign[arg.Var]
+		} else {
+			t[i] = arg.Const
+		}
+	}
+	return t
+}
+
+// cqFires reports whether the CQ (with comparisons) produces wantHead on
+// the given database, by backtracking match of its ordinary subgoals with
+// eager comparison checking.
+func cqFires(c *ast.Rule, db map[string][]relation.Tuple, wantHead relation.Tuple) bool {
+	atoms := c.PositiveAtoms()
+	comps := c.Comparisons()
+	var rec func(i int, s ast.Subst) bool
+	rec = func(i int, s ast.Subst) bool {
+		if i == len(atoms) {
+			for _, cmp := range comps {
+				g := cmp.Apply(s)
+				v, ground := g.Ground()
+				if !ground || !v {
+					return false
+				}
+			}
+			head := c.Head.Apply(s)
+			ht, err := relation.TermsToTuple(head.Args)
+			if err != nil {
+				return false
+			}
+			return ht.Equal(wantHead)
+		}
+		for _, t := range db[atoms[i].Pred] {
+			if s2, ok := ast.Unify(atoms[i].Args, t.Terms(), s); ok {
+				if rec(i+1, s2) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0, ast.Subst{})
+}

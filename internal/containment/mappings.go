@@ -1,0 +1,177 @@
+// Package containment implements query containment for the constraint
+// classes of the paper:
+//
+//   - ContainsCQ / ContainsCQUnion: Chandra–Merlin homomorphism tests for
+//     conjunctive queries and unions of CQs (complete without negation or
+//     arithmetic; constants and repeated variables allowed).
+//   - Theorem51 / Theorem51Union: the paper's Theorem 5.1 test for CQs
+//     with arithmetic comparisons under the Section 5 normal form — all
+//     containment mappings are collected and a single implication over
+//     the comparisons is checked (internal/ineq).
+//   - Klug / KlugUnion: Klug's [1988] linearization test, the comparator
+//     the paper argues against: enumerate every total order of C1's terms
+//     consistent with A(C1), build the canonical database, and require C2
+//     to fire on each (complete for CQs with arithmetic, constants and
+//     repeated variables allowed).
+//   - ContainsWithNegation: complete containment for CQs with negated
+//     subgoals (no arithmetic) via countermodel search over canonical
+//     domains, encoded into SAT (internal/sat), following the
+//     small-countermodel property behind Levy and Sagiv [1993].
+//   - SoundContains: a sound but incomplete mapping-based test for the
+//     full language mix (negation and arithmetic together), used as a
+//     fast first phase.
+//   - Expand: unfolding of nonrecursive programs into unions of single
+//     rules, including the negated-intermediate shapes produced by the
+//     Section 4 update rewritings.
+package containment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Mapping is a containment mapping: a substitution on the source rule's
+// variables whose application sends the source head to the target head
+// and every source subgoal to some target subgoal.
+type Mapping = ast.Subst
+
+// Mappings returns every containment mapping from the ordinary (positive)
+// subgoals of src into the ordinary subgoals of dst, consistent with
+// mapping src's head to dst's head. Target terms are treated as frozen:
+// src variables bind to dst terms, constants must match exactly. Mappings
+// that differ only in subgoal choice but agree on all variables are
+// deduplicated.
+//
+// Negated subgoals and comparisons of both rules are ignored here; the
+// callers (Theorem 5.1, sound tests) handle them.
+func Mappings(src, dst *ast.Rule) []Mapping {
+	// Index dst subgoals by predicate.
+	byPred := map[string][]ast.Atom{}
+	for _, a := range dst.PositiveAtoms() {
+		byPred[a.Pred] = append(byPred[a.Pred], a)
+	}
+	seed := Mapping{}
+	if !matchAtomFrozen(src.Head, dst.Head, seed) {
+		return nil
+	}
+	srcAtoms := src.PositiveAtoms()
+	var out []Mapping
+	seen := map[string]bool{}
+	var rec func(i int, h Mapping)
+	rec = func(i int, h Mapping) {
+		if i == len(srcAtoms) {
+			key := mappingKey(h)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, h.Clone())
+			}
+			return
+		}
+		for _, target := range byPred[srcAtoms[i].Pred] {
+			h2 := h.Clone()
+			if matchAtomFrozen(srcAtoms[i], target, h2) {
+				rec(i+1, h2)
+			}
+		}
+	}
+	rec(0, seed)
+	return out
+}
+
+// HasMapping reports whether at least one containment mapping exists; it
+// short-circuits rather than enumerating.
+func HasMapping(src, dst *ast.Rule) bool {
+	byPred := map[string][]ast.Atom{}
+	for _, a := range dst.PositiveAtoms() {
+		byPred[a.Pred] = append(byPred[a.Pred], a)
+	}
+	seed := Mapping{}
+	if !matchAtomFrozen(src.Head, dst.Head, seed) {
+		return false
+	}
+	srcAtoms := src.PositiveAtoms()
+	var rec func(i int, h Mapping) bool
+	rec = func(i int, h Mapping) bool {
+		if i == len(srcAtoms) {
+			return true
+		}
+		for _, target := range byPred[srcAtoms[i].Pred] {
+			h2 := h.Clone()
+			if matchAtomFrozen(srcAtoms[i], target, h2) && rec(i+1, h2) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, seed)
+}
+
+// matchAtomFrozen extends h so that h(src) == dst, treating dst's terms
+// as frozen constants. It mutates h and reports success.
+func matchAtomFrozen(src, dst ast.Atom, h Mapping) bool {
+	if src.Pred != dst.Pred || len(src.Args) != len(dst.Args) {
+		return false
+	}
+	for i, s := range src.Args {
+		d := dst.Args[i]
+		if s.IsConst() {
+			if !d.IsConst() || !s.Const.Equal(d.Const) {
+				return false
+			}
+			continue
+		}
+		if b, ok := h[s.Var]; ok {
+			if !b.Equal(d) {
+				return false
+			}
+			continue
+		}
+		h[s.Var] = d
+	}
+	return true
+}
+
+// mappingKey canonicalizes a mapping for deduplication.
+func mappingKey(h Mapping) string {
+	keys := make([]string, 0, len(h))
+	for v := range h {
+		keys = append(keys, v)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, v := range keys {
+		fmt.Fprintf(&sb, "%s=%s;", v, h[v].Key())
+	}
+	return sb.String()
+}
+
+// ContainsCQ reports C1 ⊑ C2 for pure conjunctive queries (no negation,
+// no arithmetic; constants and repeated variables allowed): by
+// Chandra–Merlin, C1 ⊑ C2 iff a containment mapping sends C2 into C1.
+func ContainsCQ(c1, c2 *ast.Rule) (bool, error) {
+	for _, r := range []*ast.Rule{c1, c2} {
+		if r.HasNegation() || r.HasComparison() {
+			return false, fmt.Errorf("containment: ContainsCQ requires pure CQs, got %s", r)
+		}
+	}
+	return HasMapping(c2, c1), nil
+}
+
+// ContainsCQUnion reports C ⊑ C1 ∪ … ∪ Cn for pure CQs. By Sagiv and
+// Yannakakis [1981], without arithmetic this holds iff C is contained in
+// some single member.
+func ContainsCQUnion(c *ast.Rule, union []*ast.Rule) (bool, error) {
+	for _, m := range union {
+		ok, err := ContainsCQ(c, m)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

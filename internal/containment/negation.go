@@ -1,0 +1,279 @@
+package containment
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// ContainsWithNegation decides C1 ⊑ C2 for conjunctive queries with
+// negated subgoals and no arithmetic comparisons (constants and repeated
+// variables allowed; rules must be safe).
+//
+// The procedure searches for a countermodel. By the small-countermodel
+// property underlying Levy and Sagiv [1993], if some database D has
+// C1 firing and C2 silent, then so does the database D* obtained by
+// restricting D to the values used by C1's firing instantiation together
+// with the constants of both queries: C1 still fires (its positive
+// subgoals survive, its negated subgoals were absent from the superset),
+// and C2 stays silent (a C2 instantiation over D* would use only
+// retained values, and its negated subgoals, being absent from D*, are
+// absent from D — D* keeps every D-tuple over the retained values).
+//
+// So it suffices to enumerate the canonical assignments g of C1's
+// variables — every partition of the variables, each block either a
+// fresh value or one of the constants — and, for each, ask whether some
+// set of extra tuples over the finite active domain yields a
+// countermodel. That last question is an exact SAT instance: one boolean
+// per possible tuple, forced true for g's positive image, forced false
+// for g's negated image, and one blocking clause per potential C2
+// instantiation.
+func ContainsWithNegation(c1, c2 *ast.Rule) (bool, error) {
+	return ContainsWithNegationUnion(c1, []*ast.Rule{c2})
+}
+
+// ContainsWithNegationUnion decides C1 ⊑ C2_1 ∪ … ∪ C2_n for CQs with
+// negation: the countermodel must keep every member silent, adding each
+// member's blocking clauses to the same SAT instance.
+func ContainsWithNegationUnion(c1 *ast.Rule, union []*ast.Rule) (bool, error) {
+	all := append([]*ast.Rule{c1}, union...)
+	for _, r := range all {
+		if r.HasComparison() {
+			return false, fmt.Errorf("containment: ContainsWithNegation does not apply to arithmetic in %s", r)
+		}
+		if err := r.CheckSafe(); err != nil {
+			return false, err
+		}
+	}
+	// Collect the constants of all rules.
+	constSet := map[string]ast.Value{}
+	for _, r := range all {
+		collectRuleConsts(r, constSet)
+	}
+	var consts []ast.Value
+	for _, v := range constSet {
+		consts = append(consts, v)
+	}
+	sortValues(consts)
+
+	vars := c1.Vars()
+	found := false
+	enumerateAssignments(vars, consts, func(g map[string]ast.Value, domain []ast.Value) bool {
+		if counterModelExists(c1, union, g, domain) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return !found, nil
+}
+
+func collectRuleConsts(r *ast.Rule, consts map[string]ast.Value) {
+	note := func(a ast.Atom) {
+		for _, t := range a.Args {
+			if t.IsConst() {
+				consts[t.Const.Key()] = t.Const
+			}
+		}
+	}
+	note(r.Head)
+	for _, l := range r.Body {
+		if !l.IsComp() {
+			note(l.Atom)
+		}
+	}
+}
+
+func sortValues(vs []ast.Value) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j].Compare(vs[j-1]) < 0; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// enumerateAssignments yields every canonical assignment of vars: a set
+// partition where each block maps to a distinct fresh symbol or to one of
+// the constants. domain is the active domain (assigned values plus all
+// constants). The callback returns false to stop.
+func enumerateAssignments(vars []string, consts []ast.Value, yield func(map[string]ast.Value, []ast.Value) bool) {
+	// Fresh values: symbolic constants outside any user vocabulary.
+	fresh := make([]ast.Value, len(vars))
+	for i := range fresh {
+		fresh[i] = ast.Str(fmt.Sprintf("\x00fresh%d", i))
+	}
+	// blocks[i] = value index: 0..len(consts)-1 for constants,
+	// len(consts)+k for fresh symbol k.
+	stopped := false
+	assign := map[string]ast.Value{}
+	var blocks [][]int // indices into vars
+	var rec func(i int)
+	emit := func() {
+		domain := append([]ast.Value{}, consts...)
+		usedFresh := 0
+		// Assign: each block either joins a constant or gets the next
+		// fresh symbol. We enumerate that choice here.
+		var choose func(bi int, usedConst map[int]bool)
+		choose = func(bi int, usedConst map[int]bool) {
+			if stopped {
+				return
+			}
+			if bi == len(blocks) {
+				dom := append([]ast.Value{}, domain...)
+				for k := 0; k < usedFresh; k++ {
+					dom = append(dom, fresh[k])
+				}
+				g := map[string]ast.Value{}
+				for v, val := range assign {
+					g[v] = val
+				}
+				if !yield(g, dom) {
+					stopped = true
+				}
+				return
+			}
+			// Fresh choice.
+			for _, vi := range blocks[bi] {
+				assign[vars[vi]] = fresh[usedFresh]
+			}
+			usedFresh++
+			choose(bi+1, usedConst)
+			usedFresh--
+			if stopped {
+				return
+			}
+			// Constant choices.
+			for ci := range consts {
+				if usedConst[ci] {
+					continue
+				}
+				usedConst[ci] = true
+				for _, vi := range blocks[bi] {
+					assign[vars[vi]] = consts[ci]
+				}
+				choose(bi+1, usedConst)
+				usedConst[ci] = false
+				if stopped {
+					return
+				}
+			}
+		}
+		choose(0, map[int]bool{})
+	}
+	rec = func(i int) {
+		if stopped {
+			return
+		}
+		if i == len(vars) {
+			emit()
+			return
+		}
+		for b := range blocks {
+			blocks[b] = append(blocks[b], i)
+			rec(i + 1)
+			blocks[b] = blocks[b][:len(blocks[b])-1]
+			if stopped {
+				return
+			}
+		}
+		blocks = append(blocks, []int{i})
+		rec(i + 1)
+		blocks = blocks[:len(blocks)-1]
+	}
+	rec(0)
+}
+
+// counterModelExists builds and solves the SAT instance for one canonical
+// assignment g: is there a database over domain in which C1 fires via g
+// and no union member fires at all?
+func counterModelExists(c1 *ast.Rule, union []*ast.Rule, g map[string]ast.Value, domain []ast.Value) bool {
+	f := sat.NewFormula()
+	tupleVar := map[string]sat.Lit{}
+	varOf := func(pred string, t relation.Tuple) sat.Lit {
+		k := pred + "/" + t.Key()
+		if l, ok := tupleVar[k]; ok {
+			return l
+		}
+		l := f.NewVar()
+		tupleVar[k] = l
+		return l
+	}
+	groundT := func(a ast.Atom, env map[string]ast.Value) (relation.Tuple, bool) {
+		t := make(relation.Tuple, len(a.Args))
+		for i, arg := range a.Args {
+			if arg.IsVar() {
+				v, ok := env[arg.Var]
+				if !ok {
+					return nil, false
+				}
+				t[i] = v
+			} else {
+				t[i] = arg.Const
+			}
+		}
+		return t, true
+	}
+	// C1 fires via g: positives true, negatives false.
+	for _, a := range c1.PositiveAtoms() {
+		t, ok := groundT(a, g)
+		if !ok {
+			return false
+		}
+		f.AddUnit(varOf(a.Pred, t))
+	}
+	for _, a := range c1.NegatedAtoms() {
+		t, ok := groundT(a, g)
+		if !ok {
+			return false
+		}
+		f.AddUnit(varOf(a.Pred, t).Neg())
+	}
+	// Head image of C1 under g (for non-0-ary goal predicates the
+	// containment target must produce the same head tuple).
+	head1, _ := groundT(c1.Head, g)
+	// Blocking clauses: for every member and every instantiation of its
+	// variables over the domain whose head matches head1, forbid firing.
+	for _, c2 := range union {
+		vars2 := c2.Vars()
+		env := map[string]ast.Value{}
+		var rec func(i int) bool // returns false when formula is already unsat-bound
+		rec = func(i int) bool {
+			if i == len(vars2) {
+				h2, ok := groundT(c2.Head, env)
+				if !ok || !h2.Equal(head1) {
+					return true
+				}
+				var clause []sat.Lit
+				for _, a := range c2.PositiveAtoms() {
+					t, ok := groundT(a, env)
+					if !ok {
+						return true
+					}
+					clause = append(clause, varOf(a.Pred, t).Neg())
+				}
+				for _, a := range c2.NegatedAtoms() {
+					t, ok := groundT(a, env)
+					if !ok {
+						return true
+					}
+					clause = append(clause, varOf(a.Pred, t))
+				}
+				f.AddClause(clause...)
+				return true
+			}
+			for _, v := range domain {
+				env[vars2[i]] = v
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			delete(env, vars2[i])
+			return true
+		}
+		rec(0)
+	}
+	_, satisfiable := f.Solve()
+	return satisfiable
+}

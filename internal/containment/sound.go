@@ -1,0 +1,87 @@
+package containment
+
+import (
+	"repro/internal/ast"
+	"repro/internal/ineq"
+)
+
+// SoundContains is a sound but incomplete containment test for the full
+// constraint language mix — negated subgoals and arithmetic comparisons
+// together, where no complete procedure is implemented (the paper's
+// complete results cover the pure fragments). It reports true only when
+// C1 ⊑ C2 provably holds:
+//
+// there exist containment mappings h from the positive subgoals of C2
+// into the positive subgoals of C1, sending the head to the head, such
+// that every mapped negated subgoal of C2 occurs verbatim among C1's
+// negated subgoals, and A(C1) implies the disjunction of the mapped
+// A(C2) over all such h.
+//
+// A false answer means "unknown": the caller must escalate to a more
+// expensive phase (the staged-checking discipline of Section 1).
+func SoundContains(c1, c2 *ast.Rule) bool {
+	return SoundContainsUnion(c1, []*ast.Rule{c2})
+}
+
+// SoundContainsUnion is SoundContains with a union of targets; mappings
+// are collected from every member (the union extension of Theorem 5.1,
+// restricted here to its sound direction).
+func SoundContainsUnion(c1 *ast.Rule, union []*ast.Rule) bool {
+	neg1 := c1.NegatedAtoms()
+	var disjuncts [][]ast.Comparison
+	for _, c2 := range union {
+		c2r := c2.RenameApart("~")
+		for _, h := range Mappings(c2r, c1) {
+			if !negatedCovered(c2r, h, neg1) {
+				continue
+			}
+			a2 := c2r.Comparisons()
+			mapped := make([]ast.Comparison, len(a2))
+			ok := true
+			for i, cmp := range a2 {
+				m := cmp.Apply(h)
+				// Unmapped comparison variables (not occurring in any
+				// positive subgoal) make the implication unsound to
+				// state; skip such mappings.
+				if m.Left.IsVar() && hasSuffix(m.Left.Var) || m.Right.IsVar() && hasSuffix(m.Right.Var) {
+					ok = false
+					break
+				}
+				mapped[i] = m
+			}
+			if ok {
+				disjuncts = append(disjuncts, mapped)
+			}
+		}
+	}
+	return ineq.Implies(c1.Comparisons(), disjuncts)
+}
+
+func hasSuffix(v string) bool {
+	return len(v) > 0 && v[len(v)-1] == '~'
+}
+
+// negatedCovered reports whether every negated subgoal of src, under h,
+// occurs verbatim among dstNeg. If a negated subgoal has unmapped
+// variables the mapping is rejected (conservative).
+func negatedCovered(src *ast.Rule, h Mapping, dstNeg []ast.Atom) bool {
+	for _, n := range src.NegatedAtoms() {
+		mapped := n.Apply(h)
+		for _, t := range mapped.Args {
+			if t.IsVar() && hasSuffix(t.Var) {
+				return false
+			}
+		}
+		found := false
+		for _, d := range dstNeg {
+			if mapped.Equal(d) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package containment
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// TestSoundContainsNeverLies drives the incomplete mixed-language test
+// over random rule pairs with negation AND arithmetic: whenever it claims
+// C1 ⊑ C2, no random database may have C1 firing and C2 silent. This is
+// the safety property the staged pipeline's update-only phase rests on.
+func TestSoundContainsNeverLies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	vars := []ast.Term{ast.V("X"), ast.V("Y"), ast.V("Z")}
+	randRule := func() *ast.Rule {
+		r := &ast.Rule{Head: ast.NewAtom(ast.PanicPred)}
+		bound := map[string]bool{}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			a, b := vars[rng.Intn(3)], vars[rng.Intn(3)]
+			bound[a.Var], bound[b.Var] = true, true
+			r.Body = append(r.Body, ast.Pos(ast.NewAtom("e", a, b)))
+		}
+		var bv []ast.Term
+		for v := range bound {
+			bv = append(bv, ast.V(v))
+		}
+		pick := func() ast.Term { return bv[rng.Intn(len(bv))] }
+		if rng.Intn(2) == 0 {
+			r.Body = append(r.Body, ast.Neg(ast.NewAtom("f", pick())))
+		}
+		if rng.Intn(2) == 0 {
+			ops := []ast.CompOp{ast.Lt, ast.Le, ast.Ne, ast.Gt, ast.Ge}
+			rhs := pick()
+			if rng.Intn(2) == 0 {
+				rhs = ast.CInt(int64(rng.Intn(3)))
+			}
+			r.Body = append(r.Body, ast.Cmp(ast.NewComparison(pick(), ops[rng.Intn(len(ops))], rhs)))
+		}
+		return r
+	}
+	claims := 0
+	for trial := 0; trial < 400; trial++ {
+		c1, c2 := randRule(), randRule()
+		if !SoundContains(c1, c2) {
+			continue
+		}
+		claims++
+		p1, p2 := ast.NewProgram(c1), ast.NewProgram(c2)
+		for probe := 0; probe < 30; probe++ {
+			db := store.New()
+			db.MustEnsure("e", 2)
+			db.MustEnsure("f", 1)
+			for i := 0; i < rng.Intn(5); i++ {
+				if _, err := db.Insert("e", relation.Ints(int64(rng.Intn(3)), int64(rng.Intn(3)))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < rng.Intn(3); i++ {
+				if _, err := db.Insert("f", relation.Ints(int64(rng.Intn(3)))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fires1, err := eval.PanicHolds(p1, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fires1 {
+				continue
+			}
+			fires2, err := eval.PanicHolds(p2, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fires2 {
+				t.Fatalf("SoundContains lied:\nC1 = %s\nC2 = %s\ndb = %s", c1, c2, db)
+			}
+		}
+	}
+	if claims < 10 {
+		t.Fatalf("only %d containment claims exercised; generator too restrictive", claims)
+	}
+}

@@ -1,0 +1,148 @@
+package containment
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ineq"
+)
+
+// checkTheorem51Form verifies the Section 5 normal-form restrictions that
+// Theorem 5.1 requires of both queries: no negated subgoals, no constants
+// among ordinary subgoals, no variable occurring twice among ordinary
+// subgoals (Example 5.2 shows the theorem fails without them; use
+// ast.NormalizeCQC to rewrite first).
+func checkTheorem51Form(r *ast.Rule) error {
+	if r.HasNegation() {
+		return fmt.Errorf("containment: Theorem 5.1 does not apply to negated subgoals in %s", r)
+	}
+	seen := map[string]bool{}
+	for _, a := range r.PositiveAtoms() {
+		for _, t := range a.Args {
+			if t.IsConst() {
+				return fmt.Errorf("containment: Theorem 5.1 requires no constants in ordinary subgoals (found %s in %s); normalize first", t, a)
+			}
+			if seen[t.Var] {
+				return fmt.Errorf("containment: Theorem 5.1 requires no repeated variables in ordinary subgoals (found %s); normalize first", t.Var)
+			}
+			seen[t.Var] = true
+		}
+	}
+	for _, c := range r.Comparisons() {
+		for _, v := range c.Vars(nil) {
+			if !seen[v] {
+				return fmt.Errorf("containment: Theorem 5.1 requires comparison variables to occur in ordinary subgoals (found %s in %s)", v, c)
+			}
+		}
+	}
+	return nil
+}
+
+// NormalizeRule rewrites an arbitrary conjunctive rule (positive atoms
+// plus comparisons, no negation) into the Theorem 5.1 normal form:
+// constants and repeated variables in ordinary subgoals are replaced by
+// fresh variables constrained with equality comparisons. Head arguments
+// are left untouched (the theorem permits head variables to re-occur).
+// The result is equivalent to the input, so Theorem51/Theorem51Union can
+// decide containment for the full CQ-with-arithmetic class after
+// normalization.
+func NormalizeRule(r *ast.Rule) (*ast.Rule, error) {
+	if r.HasNegation() {
+		return nil, fmt.Errorf("containment: cannot normalize rule with negation: %s", r)
+	}
+	fresh := 0
+	seen := map[string]bool{}
+	// Head variables count as "seen in the head" but their first body
+	// occurrence must remain intact so the containment mapping can bind
+	// them; treat the first body occurrence as the canonical one.
+	var body []ast.Literal
+	var eqs []ast.Literal
+	for _, l := range r.Body {
+		if l.IsComp() {
+			body = append(body, l)
+			continue
+		}
+		args := make([]ast.Term, len(l.Atom.Args))
+		for i, t := range l.Atom.Args {
+			switch {
+			case t.IsConst():
+				v := ast.V(fmt.Sprintf("N%d#", fresh))
+				fresh++
+				args[i] = v
+				eqs = append(eqs, ast.Cmp(ast.NewComparison(v, ast.Eq, t)))
+			case seen[t.Var]:
+				v := ast.V(fmt.Sprintf("N%d#", fresh))
+				fresh++
+				args[i] = v
+				eqs = append(eqs, ast.Cmp(ast.NewComparison(v, ast.Eq, t)))
+			default:
+				seen[t.Var] = true
+				args[i] = t
+			}
+		}
+		body = append(body, ast.Pos(ast.Atom{Pred: l.Atom.Pred, Args: args}))
+	}
+	body = append(body, eqs...)
+	out := &ast.Rule{Head: r.Head, Body: body}
+	// Head variables must still occur in some ordinary subgoal (they do:
+	// their first occurrence was kept); verify to fail loudly otherwise.
+	if err := out.CheckSafe(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Theorem51 decides C1 ⊑ C2 for conjunctive queries with arithmetic
+// comparisons in the Section 5 normal form, by the paper's Theorem 5.1:
+// let H be the set of containment mappings from O(C2) to O(C1); then
+// C1 ⊑ C2 iff H is nonempty and A(C1) logically implies
+// ∨_{h∈H} h(A(C2)) — except that an unsatisfiable A(C1) makes C1 empty
+// and hence contained in anything (the H-empty case in the paper's
+// proof).
+func Theorem51(c1, c2 *ast.Rule) (bool, error) {
+	return Theorem51Union(c1, []*ast.Rule{c2})
+}
+
+// Theorem51Union decides C1 ⊑ C2_1 ∪ … ∪ C2_n by the union extension of
+// Theorem 5.1: containment mappings are collected from every member of
+// the union, and the implication's disjuncts range over all of them.
+// This is what Example 5.3 (forbidden intervals) requires: a CQC can be
+// contained in a union without being contained in any single member.
+func Theorem51Union(c1 *ast.Rule, union []*ast.Rule) (bool, error) {
+	if err := checkTheorem51Form(c1); err != nil {
+		return false, err
+	}
+	a1 := c1.Comparisons()
+	var disjuncts [][]ast.Comparison
+	for _, c2 := range union {
+		if err := checkTheorem51Form(c2); err != nil {
+			return false, err
+		}
+		// Rename C2 apart so its variables cannot collide with C1's.
+		c2r := c2.RenameApart("~")
+		for _, h := range Mappings(c2r, c1) {
+			a2 := c2r.Comparisons()
+			mapped := make([]ast.Comparison, len(a2))
+			for i, cmp := range a2 {
+				mapped[i] = cmp.Apply(h)
+			}
+			disjuncts = append(disjuncts, mapped)
+		}
+	}
+	// With no mappings at all, containment holds only when C1 can never
+	// fire, i.e. A(C1) is unsatisfiable; ineq.Implies with an empty
+	// disjunction returns exactly that.
+	return ineq.Implies(a1, disjuncts), nil
+}
+
+// CountMappings returns the total number of containment mappings from
+// the union members into c1 — |H| in the paper's complexity discussion.
+// It is exported for the Theorem 5.1 vs Klug experiment, which sweeps the
+// number of duplicate predicates (and hence |H|).
+func CountMappings(c1 *ast.Rule, union []*ast.Rule) int {
+	n := 0
+	for _, c2 := range union {
+		n += len(Mappings(c2.RenameApart("~"), c1))
+	}
+	return n
+}

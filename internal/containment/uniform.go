@@ -1,0 +1,96 @@
+package containment
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// UniformContains decides uniform containment P ⊑u Q for recursive
+// datalog programs without negation or arithmetic: on every database —
+// over the EDB *and* IDB predicates — the consequences of Q include the
+// consequences of P. The paper points to this notion (Levy and Sagiv
+// [1993] generalize Theorem 5.1 to it); the decision procedure is
+// Sagiv's [1988] chase:
+//
+//	P ⊑u Q  iff  for every rule h :- B of P, freezing B's atoms into
+//	facts (variables become fresh constants) and running Q to fixpoint
+//	over those facts derives the frozen h.
+//
+// Uniform containment implies ordinary containment of the programs'
+// goal-predicate semantics, so a positive answer is a sound certificate
+// for constraint subsumption of recursive constraints; the converse
+// fails in general (uniform containment is strictly stronger).
+func UniformContains(p, q *ast.Program) (bool, error) {
+	for _, prog := range []*ast.Program{p, q} {
+		if prog.HasNegation() || prog.HasComparison() {
+			return false, fmt.Errorf("containment: uniform containment requires pure datalog, got negation/arithmetic")
+		}
+		if err := prog.Validate(); err != nil {
+			return false, err
+		}
+	}
+	for _, r := range p.Rules {
+		ok, err := uniformRuleCovered(r, q)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// uniformRuleCovered freezes one rule of P and asks whether Q rederives
+// its head.
+func uniformRuleCovered(r *ast.Rule, q *ast.Program) (bool, error) {
+	frozen := ast.Subst{}
+	for _, v := range r.Vars() {
+		frozen[v] = ast.CStr("\x00frz$" + v)
+	}
+	db := store.New()
+	for _, a := range r.PositiveAtoms() {
+		ga := a.Apply(frozen)
+		t, err := relation.TermsToTuple(ga.Args)
+		if err != nil {
+			return false, err
+		}
+		if _, err := db.Insert(ga.Pred, t); err != nil {
+			return false, err
+		}
+	}
+	head := r.Head.Apply(frozen)
+	headT, err := relation.TermsToTuple(head.Args)
+	if err != nil {
+		return false, err
+	}
+	// Run Q over the frozen database. Q's IDB predicates may coincide
+	// with frozen facts (that is the point of uniform containment): seed
+	// the evaluation by treating the facts as extra rules of Q.
+	qx := q.Clone()
+	idb := q.IDBPreds()
+	for _, name := range db.Names() {
+		if !idb[name] {
+			continue
+		}
+		// Facts for predicates Q also derives must become program facts,
+		// or the evaluator would shadow them with the derived relation.
+		for _, t := range db.Tuples(name) {
+			qx.Rules = append(qx.Rules, ast.Fact(ast.Atom{Pred: name, Args: t.Terms()}))
+		}
+	}
+	res, err := eval.Eval(qx, db)
+	if err != nil {
+		return false, err
+	}
+	if rel := res.Relation(head.Pred); rel != nil {
+		return rel.Contains(headT), nil
+	}
+	// The head predicate is not derived by Q at all; the frozen head
+	// could still be present as a frozen fact (h :- ... & h patterns).
+	return db.Contains(head.Pred, headT), nil
+}

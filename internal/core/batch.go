@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// BatchReport is the outcome of one ApplyBatch.
+type BatchReport struct {
+	Reports []Report
+	// Applied is false when some update violated a constraint; the whole
+	// batch was then rolled back.
+	Applied bool
+	// FailedAt is the index of the violating update when Applied is
+	// false (-1 otherwise).
+	FailedAt int
+}
+
+// ApplyBatch applies the updates as one atomic transaction: each update
+// runs through the staged pipeline in order, and if any is rejected the
+// whole batch is undone and FailedAt reports the offender. The staged
+// tests remain valid within the batch because each successful Apply
+// leaves every constraint satisfied (the inductive invariant the paper's
+// tests assume).
+func (c *Checker) ApplyBatch(updates []store.Update) (BatchReport, error) {
+	br := BatchReport{Applied: true, FailedAt: -1}
+	// Record inverse operations of the updates that actually changed the
+	// store, for rollback in reverse order.
+	type undo struct {
+		u       store.Update
+		changed bool
+	}
+	var undos []undo
+	rollback := func() error {
+		for i := len(undos) - 1; i >= 0; i-- {
+			if !undos[i].changed {
+				continue
+			}
+			inv := undos[i].u
+			if inv.Insert {
+				c.db.Delete(inv.Relation, inv.Tuple)
+			} else if _, err := c.db.Insert(inv.Relation, inv.Tuple); err != nil {
+				return fmt.Errorf("core: batch rollback failed: %w", err)
+			}
+		}
+		return nil
+	}
+	for i, u := range updates {
+		// Determine whether this update will change the store (before
+		// Apply mutates it), so rollback is exact even with duplicate
+		// updates inside one batch.
+		changes := c.db.Contains(u.Relation, u.Tuple) != u.Insert
+		rep, err := c.Apply(u)
+		if err != nil {
+			if rbErr := rollback(); rbErr != nil {
+				return br, rbErr
+			}
+			return br, err
+		}
+		br.Reports = append(br.Reports, rep)
+		if !rep.Applied {
+			br.Applied = false
+			br.FailedAt = i
+			if err := rollback(); err != nil {
+				return br, err
+			}
+			return br, nil
+		}
+		undos = append(undos, undo{u: u, changed: changes})
+	}
+	return br, nil
+}

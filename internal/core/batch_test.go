@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func TestApplyBatchCommit(t *testing.T) {
+	c := newChecker(t, "dept(toy).", Options{})
+	if err := c.AddConstraintSource("ri", "panic :- emp(E,D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	br, err := c.ApplyBatch([]store.Update{
+		store.Ins("dept", relation.Strs("shoe")),
+		store.Ins("emp", relation.Strs("ann", "shoe")),
+		store.Ins("emp", relation.Strs("bob", "toy")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Applied || br.FailedAt != -1 || len(br.Reports) != 3 {
+		t.Fatalf("batch report = %+v", br)
+	}
+	if !c.DB().Contains("emp", relation.Strs("ann", "shoe")) {
+		t.Error("batch not applied")
+	}
+}
+
+func TestApplyBatchAtomicRollback(t *testing.T) {
+	c := newChecker(t, "dept(toy).", Options{})
+	if err := c.AddConstraintSource("ri", "panic :- emp(E,D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	br, err := c.ApplyBatch([]store.Update{
+		store.Ins("dept", relation.Strs("shoe")),        // fine
+		store.Ins("emp", relation.Strs("ann", "shoe")),  // fine
+		store.Ins("emp", relation.Strs("eve", "ghost")), // violates
+		store.Ins("dept", relation.Strs("never")),       // must not run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied || br.FailedAt != 2 {
+		t.Fatalf("batch report = %+v", br)
+	}
+	// Everything rolled back, including the earlier successful updates.
+	for _, gone := range []struct {
+		rel string
+		tu  relation.Tuple
+	}{
+		{"dept", relation.Strs("shoe")},
+		{"emp", relation.Strs("ann", "shoe")},
+		{"emp", relation.Strs("eve", "ghost")},
+		{"dept", relation.Strs("never")},
+	} {
+		if c.DB().Contains(gone.rel, gone.tu) {
+			t.Errorf("%s%v survived the rollback", gone.rel, gone.tu)
+		}
+	}
+	if !c.DB().Contains("dept", relation.Strs("toy")) {
+		t.Error("pre-batch state damaged")
+	}
+	if bad, _ := c.CheckAll(); len(bad) != 0 {
+		t.Errorf("constraints violated after rollback: %v", bad)
+	}
+}
+
+func TestApplyBatchDuplicateInside(t *testing.T) {
+	// A tuple inserted twice within one batch must survive rollback
+	// decisions correctly: rolling back deletes it once, and a
+	// pre-existing tuple re-inserted in the batch must NOT be deleted.
+	c := newChecker(t, "dept(toy).", Options{})
+	if err := c.AddConstraintSource("ri", "panic :- emp(E,D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	br, err := c.ApplyBatch([]store.Update{
+		store.Ins("dept", relation.Strs("toy")),         // duplicate of pre-existing
+		store.Ins("emp", relation.Strs("eve", "ghost")), // violates
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied {
+		t.Fatal("violating batch applied")
+	}
+	if !c.DB().Contains("dept", relation.Strs("toy")) {
+		t.Error("pre-existing tuple deleted by rollback of duplicate insert")
+	}
+}
+
+func TestApplyBatchDeleteRollback(t *testing.T) {
+	c := newChecker(t, "dept(toy). dept(shoe). emp(ann,toy).", Options{})
+	if err := c.AddConstraintSource("ri", "panic :- emp(E,D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	br, err := c.ApplyBatch([]store.Update{
+		store.Del("dept", relation.Strs("shoe")), // fine (no shoe employees)
+		store.Del("dept", relation.Strs("toy")),  // violates (ann)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied || br.FailedAt != 1 {
+		t.Fatalf("batch report = %+v", br)
+	}
+	if !c.DB().Contains("dept", relation.Strs("shoe")) {
+		t.Error("first deletion not rolled back")
+	}
+	if !c.DB().Contains("dept", relation.Strs("toy")) {
+		t.Error("violating deletion not rolled back")
+	}
+}
+
+func TestApplyBatchEmpty(t *testing.T) {
+	c := newChecker(t, "", Options{})
+	br, err := c.ApplyBatch(nil)
+	if err != nil || !br.Applied || len(br.Reports) != 0 {
+		t.Errorf("empty batch: %+v %v", br, err)
+	}
+}
+
+func TestApplyBatchPolarityPhaseUsed(t *testing.T) {
+	c := newChecker(t, "dept(toy).", Options{})
+	if err := c.AddConstraintSource("ri", "panic :- emp(E,D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	br, err := c.ApplyBatch([]store.Update{
+		store.Ins("dept", relation.Strs("a")),
+		store.Ins("dept", relation.Strs("b")),
+	})
+	if err != nil || !br.Applied {
+		t.Fatalf("%+v %v", br, err)
+	}
+	for _, rep := range br.Reports {
+		for _, d := range rep.Decisions {
+			if d.Phase != PhasePolarity {
+				t.Errorf("dept insert decided by %v, want polarity", d.Phase)
+			}
+		}
+	}
+}

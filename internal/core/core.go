@@ -1,0 +1,477 @@
+// Package core is the public facade of the library: a Checker manages a
+// set of constraints over a database and applies updates through the
+// paper's staged partial-information discipline, consulting as little
+// information as each update requires:
+//
+//  1. Unaffected — the constraint does not mention the updated relation.
+//  2. Update-only (Section 4) — rewrite the constraint for the update and
+//     test subsumption by the constraints known to hold; no data touched.
+//  3. Local data (Sections 5–6) — for conjunctive constraints over a
+//     designated local relation, run the complete local test (interval
+//     coverage for ICQs, Theorem 5.2 reductions otherwise); only local
+//     data touched.
+//  4. Global — fall back to full evaluation over all relations.
+//
+// Each Apply reports, per constraint, which phase decided and with what
+// verdict; violating updates are rolled back.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/eval"
+	"repro/internal/icq"
+	"repro/internal/incremental"
+	"repro/internal/parser"
+	"repro/internal/reduction"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/store"
+	"repro/internal/subsume"
+)
+
+// Phase identifies which level of information decided a constraint.
+type Phase int
+
+const (
+	// PhaseUnaffected: the update cannot touch the constraint.
+	PhaseUnaffected Phase = iota
+	// PhasePolarity: monotonicity (Nicolas [1982]) certified it — the
+	// update touches the constraint only with the harmless polarity
+	// (deleting from a purely positive relation, inserting into a purely
+	// negative one).
+	PhasePolarity
+	// PhaseUpdateOnly: Section 4 rewriting + subsumption certified it.
+	PhaseUpdateOnly
+	// PhaseLocalData: a Section 5/6 complete local test certified it.
+	PhaseLocalData
+	// PhaseGlobal: full evaluation was required.
+	PhaseGlobal
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseUnaffected:
+		return "unaffected"
+	case PhasePolarity:
+		return "polarity"
+	case PhaseUpdateOnly:
+		return "update-only"
+	case PhaseLocalData:
+		return "local-data"
+	case PhaseGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Verdict is the per-constraint outcome of an update.
+type Verdict int
+
+const (
+	// Holds: the constraint provably still holds.
+	Holds Verdict = iota
+	// Violated: the update would violate the constraint (it was rolled
+	// back).
+	Violated
+)
+
+func (v Verdict) String() string {
+	if v == Violated {
+		return "VIOLATED"
+	}
+	return "holds"
+}
+
+// Constraint is a managed constraint with its prepared artifacts.
+type Constraint struct {
+	Name string
+	Prog *ast.Program
+
+	// cqc is non-nil when the constraint is a single conjunctive rule
+	// with exactly one subgoal over a local relation (normalized to the
+	// Section 5 form); analysis additionally when it is a canonical ICQ.
+	cqc      *ast.CQC
+	analysis *icq.Analysis
+	// mat maintains the constraint's evaluation when Options.Incremental
+	// is set.
+	mat *incremental.Materialized
+}
+
+// Decision records how one constraint was dispatched for one update.
+type Decision struct {
+	Constraint string
+	Phase      Phase
+	Verdict    Verdict
+}
+
+// Report is the outcome of one Apply.
+type Report struct {
+	Update    store.Update
+	Decisions []Decision
+	// Applied is false when some constraint was violated and the update
+	// was rolled back.
+	Applied bool
+}
+
+// Violations lists the violated constraints' names.
+func (r Report) Violations() []string {
+	var out []string
+	for _, d := range r.Decisions {
+		if d.Verdict == Violated {
+			out = append(out, d.Constraint)
+		}
+	}
+	return out
+}
+
+// Stats aggregates phase usage across updates.
+type Stats struct {
+	Updates   int
+	ByPhase   map[Phase]int
+	Rejected  int
+	Decisions int
+}
+
+// Options configure a Checker.
+type Options struct {
+	// LocalRelations are the relations resident at the checking site;
+	// complete local tests may read them freely. Nil means every
+	// relation is local (a centralized database).
+	LocalRelations []string
+	// DisableUpdateOnly skips phase 2 (for ablation experiments).
+	DisableUpdateOnly bool
+	// DisableLocalData skips phase 3 (for ablation experiments).
+	DisableLocalData bool
+	// Incremental maintains a materialized evaluation of every
+	// constraint (DRed, internal/incremental), so the global phase
+	// answers from the materialization instead of re-evaluating.
+	Incremental bool
+}
+
+// Checker manages constraints over a store.
+type Checker struct {
+	db          *store.Store
+	opts        Options
+	local       map[string]bool // nil: everything local
+	constraints []*Constraint
+	stats       Stats
+}
+
+// New creates a Checker over db.
+func New(db *store.Store, opts Options) *Checker {
+	c := &Checker{db: db, opts: opts, stats: Stats{ByPhase: map[Phase]int{}}}
+	if opts.LocalRelations != nil {
+		c.local = map[string]bool{}
+		for _, n := range opts.LocalRelations {
+			c.local[n] = true
+		}
+	}
+	return c
+}
+
+// DB returns the underlying store.
+func (c *Checker) DB() *store.Store { return c.db }
+
+// Stats returns aggregate phase statistics.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// Constraints returns the managed constraints' names in order.
+func (c *Checker) Constraints() []string {
+	var out []string
+	for _, k := range c.constraints {
+		out = append(out, k.Name)
+	}
+	return out
+}
+
+// AddConstraintSource parses and adds a constraint program.
+func (c *Checker) AddConstraintSource(name, src string) error {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	return c.AddConstraint(name, prog)
+}
+
+// AddConstraint adds a constraint program (goal predicate panic). The
+// database must currently satisfy it: the staged tests all assume
+// constraints held before each update.
+func (c *Checker) AddConstraint(name string, prog *ast.Program) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	goal := prog.RulesFor(ast.PanicPred)
+	if len(goal) == 0 {
+		return fmt.Errorf("core: constraint %s has no %s rule", name, ast.PanicPred)
+	}
+	for _, k := range c.constraints {
+		if k.Name == name {
+			return fmt.Errorf("core: duplicate constraint name %q", name)
+		}
+	}
+	bad, err := eval.GoalHolds(prog, c.db, ast.PanicPred)
+	if err != nil {
+		return err
+	}
+	if bad {
+		return fmt.Errorf("core: constraint %s is already violated by the current database", name)
+	}
+	k := &Constraint{Name: name, Prog: prog}
+	c.prepare(k)
+	if c.opts.Incremental {
+		m, err := incremental.Materialize(prog, c.db)
+		if err != nil {
+			return err
+		}
+		k.mat = m
+	}
+	c.constraints = append(c.constraints, k)
+	return nil
+}
+
+// prepare derives the CQC/ICQ artifacts when the constraint has the
+// right shape: a single positive conjunctive rule with exactly one
+// subgoal over a local relation and every other ordinary subgoal over
+// non-local relations.
+func (c *Checker) prepare(k *Constraint) {
+	if len(k.Prog.Rules) != 1 {
+		return
+	}
+	r := k.Prog.Rules[0]
+	if r.HasNegation() {
+		return
+	}
+	localPred := ""
+	remoteOK := true
+	for _, a := range r.PositiveAtoms() {
+		if c.isLocal(a.Pred) {
+			if localPred != "" {
+				remoteOK = false // two local subgoals: not the CQC shape
+				break
+			}
+			localPred = a.Pred
+		}
+	}
+	if !remoteOK || localPred == "" {
+		return
+	}
+	cqc, err := ast.NormalizeCQC(r, localPred)
+	if err != nil {
+		return
+	}
+	k.cqc = cqc
+	if a, err := icq.Analyze(cqc); err == nil {
+		k.analysis = a
+	}
+}
+
+// isLocal reports whether the relation is resident at the checking site.
+func (c *Checker) isLocal(rel string) bool {
+	if c.local == nil {
+		return true
+	}
+	return c.local[rel]
+}
+
+// mentions reports whether the constraint references the relation.
+func mentions(prog *ast.Program, rel string) bool {
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if !l.IsComp() && l.Atom.Pred == rel {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Apply pushes one update through the staged pipeline. On any violation
+// the update is rolled back and the report's Applied is false.
+func (c *Checker) Apply(u store.Update) (Report, error) {
+	rep := Report{Update: u, Applied: true}
+	c.stats.Updates++
+	needGlobal := make([]*Constraint, 0, len(c.constraints))
+	others := make([]*ast.Program, 0, len(c.constraints))
+	for _, k := range c.constraints {
+		others = append(others, k.Prog)
+	}
+	for i, k := range c.constraints {
+		c.stats.Decisions++
+		// Phase 1: unaffected.
+		if !mentions(k.Prog, u.Relation) {
+			rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseUnaffected, Holds})
+			c.stats.ByPhase[PhaseUnaffected]++
+			continue
+		}
+		// Phase 1.5: polarity (monotonicity). Free: uses only the
+		// constraint text and the update's direction.
+		if !c.opts.DisableUpdateOnly &&
+			classify.UpdateMonotoneSafe(k.Prog, ast.PanicPred, u.Relation, u.Insert) {
+			rep.Decisions = append(rep.Decisions, Decision{k.Name, PhasePolarity, Holds})
+			c.stats.ByPhase[PhasePolarity]++
+			continue
+		}
+		// Phase 2: constraints + update only.
+		if !c.opts.DisableUpdateOnly {
+			rest := append(append([]*ast.Program{}, others[:i]...), others[i+1:]...)
+			res, err := rewrite.UpdateSafe(k.Prog, rest, u)
+			if err == nil && res.Verdict == subsume.Yes {
+				rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseUpdateOnly, Holds})
+				c.stats.ByPhase[PhaseUpdateOnly]++
+				continue
+			}
+		}
+		// Phase 3: local data.
+		if !c.opts.DisableLocalData && u.Insert && k.cqc != nil && k.cqc.LocalPred == u.Relation {
+			ok, err := c.localTest(k, u.Tuple)
+			if err == nil && ok {
+				rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseLocalData, Holds})
+				c.stats.ByPhase[PhaseLocalData]++
+				continue
+			}
+		}
+		needGlobal = append(needGlobal, k)
+	}
+	// Apply the update (recording whether it actually changed the store,
+	// so a rollback never corrupts pre-existing tuples).
+	var changed bool
+	if u.Insert {
+		ch, err := c.db.Insert(u.Relation, u.Tuple)
+		if err != nil {
+			return rep, err
+		}
+		changed = ch
+	} else {
+		changed = c.db.Delete(u.Relation, u.Tuple)
+	}
+	// Incremental mode: every materialization tracks the store, decided
+	// constraints included (their panic stays underivable, but their
+	// intermediate relations must not go stale).
+	notifyAll := func(nu store.Update, ch bool) error {
+		if !c.opts.Incremental {
+			return nil
+		}
+		for _, k := range c.constraints {
+			if k.mat != nil {
+				if err := k.mat.NotifyApplied(nu, ch); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := notifyAll(u, changed); err != nil {
+		return rep, err
+	}
+	rollback := func() {
+		if !changed {
+			return
+		}
+		var inv store.Update
+		if u.Insert {
+			c.db.Delete(u.Relation, u.Tuple)
+			inv = store.Del(u.Relation, u.Tuple)
+		} else {
+			if _, err := c.db.Insert(u.Relation, u.Tuple); err != nil {
+				panic(fmt.Sprintf("core: rollback failed: %v", err))
+			}
+			inv = store.Ins(u.Relation, u.Tuple)
+		}
+		if err := notifyAll(inv, true); err != nil {
+			panic(fmt.Sprintf("core: rollback notification failed: %v", err))
+		}
+	}
+	// Phase 4: evaluate the undecided constraints on the updated store.
+	violated := false
+	for _, k := range needGlobal {
+		var bad bool
+		var err error
+		if k.mat != nil {
+			bad = k.mat.Holds(ast.PanicPred)
+		} else {
+			bad, err = eval.GoalHolds(k.Prog, c.db, ast.PanicPred)
+		}
+		if err != nil {
+			rollback()
+			return rep, err
+		}
+		v := Holds
+		if bad {
+			v = Violated
+			violated = true
+		}
+		rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseGlobal, v})
+		c.stats.ByPhase[PhaseGlobal]++
+	}
+	if violated {
+		rollback()
+		rep.Applied = false
+		c.stats.Rejected++
+	}
+	sort.SliceStable(rep.Decisions, func(i, j int) bool { return rep.Decisions[i].Constraint < rep.Decisions[j].Constraint })
+	return rep, nil
+}
+
+// localTest runs the complete local test for an insertion into the
+// constraint's local relation: interval coverage for canonical ICQs, the
+// Theorem 5.2 reduction containment otherwise. It reads only the local
+// relation.
+func (c *Checker) localTest(k *Constraint, t relation.Tuple) (bool, error) {
+	L := c.db.Tuples(k.cqc.LocalPred)
+	if k.analysis != nil {
+		return k.analysis.CertifyInsert(t, L)
+	}
+	return reduction.LocalTest(k.cqc, t, L)
+}
+
+// CheckAll fully evaluates every constraint and returns the names of the
+// violated ones (normally empty: Apply never admits a violating update).
+func (c *Checker) CheckAll() ([]string, error) {
+	var out []string
+	for _, k := range c.constraints {
+		bad, err := eval.GoalHolds(k.Prog, c.db, ast.PanicPred)
+		if err != nil {
+			return nil, err
+		}
+		if bad {
+			out = append(out, k.Name)
+		}
+	}
+	return out, nil
+}
+
+// RedundantConstraints returns the names of managed constraints that are
+// subsumed by the rest of the set (Section 3): they can never be violated
+// while the others hold, so checking them is wasted work. The checker
+// keeps them registered — dropping them is the caller's decision.
+func (c *Checker) RedundantConstraints() ([]string, error) {
+	progs := make([]*ast.Program, len(c.constraints))
+	for i, k := range c.constraints {
+		progs[i] = k.Prog
+	}
+	idx, err := subsume.Redundant(progs)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, i := range idx {
+		out = append(out, c.constraints[i].Name)
+	}
+	return out, nil
+}
+
+// RemoveConstraint unregisters a constraint by name.
+func (c *Checker) RemoveConstraint(name string) bool {
+	for i, k := range c.constraints {
+		if k.Name == name {
+			c.constraints = append(c.constraints[:i], c.constraints[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,442 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Result holds the derived (IDB) relations of one evaluation.
+type Result struct {
+	idb map[string]*relation.Relation
+}
+
+// Relation returns the derived relation for pred (nil when the predicate
+// derived nothing and is unknown).
+func (r *Result) Relation(pred string) *relation.Relation { return r.idb[pred] }
+
+// Tuples returns the derived tuples for pred.
+func (r *Result) Tuples(pred string) []relation.Tuple {
+	rel := r.idb[pred]
+	if rel == nil {
+		return nil
+	}
+	return rel.Tuples()
+}
+
+// Holds reports whether the 0-ary predicate pred was derived.
+func (r *Result) Holds(pred string) bool {
+	rel := r.idb[pred]
+	return rel != nil && rel.Len() > 0
+}
+
+// Eval computes the stratified fixpoint of prog over the extensional
+// database db. The store is read (charging its access counters) but never
+// written. Rules must be safe and the program stratifiable.
+func Eval(prog *ast.Program, db *store.Store) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := Stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	ev, res, err := newEvaluator(prog, db)
+	if err != nil {
+		return nil, err
+	}
+	for _, layer := range strata {
+		if err := ev.evalStratum(layer); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// newEvaluator allocates evaluation state (empty IDB relations) for prog.
+func newEvaluator(prog *ast.Program, db *store.Store) (*evaluator, *Result, error) {
+	arity := prog.Preds()
+	res := &Result{idb: map[string]*relation.Relation{}}
+	for pred := range prog.IDBPreds() {
+		res.idb[pred] = relation.New(pred, arity[pred])
+	}
+	return &evaluator{prog: prog, db: db, res: res}, res, nil
+}
+
+// PanicHolds evaluates the constraint program and reports whether panic
+// is derived, i.e. whether the database VIOLATES the constraint.
+func PanicHolds(prog *ast.Program, db *store.Store) (bool, error) {
+	res, err := Eval(prog, db)
+	if err != nil {
+		return false, err
+	}
+	return res.Holds(ast.PanicPred), nil
+}
+
+// evaluator carries evaluation state for one Eval call.
+type evaluator struct {
+	prog  *ast.Program
+	db    *store.Store
+	res   *Result
+	plans map[*ast.Rule]*rulePlan
+	// stopWhenNonEmpty, when set, aborts evaluation with errGoalDerived
+	// as soon as the named predicate derives a tuple (GoalHolds).
+	stopWhenNonEmpty string
+}
+
+func (ev *evaluator) planFor(r *ast.Rule) (*rulePlan, error) {
+	if ev.plans == nil {
+		ev.plans = map[*ast.Rule]*rulePlan{}
+	}
+	if p, ok := ev.plans[r]; ok {
+		return p, nil
+	}
+	p, err := planRule(r)
+	if err != nil {
+		return nil, err
+	}
+	ev.plans[r] = p
+	return p, nil
+}
+
+// evalStratum computes the fixpoint of the (possibly mutually recursive)
+// predicates in layer. Lower strata are complete; negation may refer only
+// to them or to EDB relations.
+func (ev *evaluator) evalStratum(layer []string) error {
+	inLayer := map[string]bool{}
+	for _, p := range layer {
+		inLayer[p] = true
+	}
+	var rules []*ast.Rule
+	for _, p := range layer {
+		rules = append(rules, ev.prog.RulesFor(p)...)
+	}
+	recursive := false
+	for _, r := range rules {
+		for _, l := range r.Body {
+			if !l.IsComp() && inLayer[l.Atom.Pred] {
+				recursive = true
+			}
+		}
+	}
+	if !recursive {
+		for _, r := range rules {
+			if err := ev.applyRule(r, nil, -1, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Semi-naive iteration. delta holds the tuples new in the previous
+	// round, per layer predicate.
+	delta := map[string]*relation.Relation{}
+	for _, p := range layer {
+		delta[p] = relation.New(p, ev.res.idb[p].Arity())
+	}
+	// Round 0: evaluate every rule with no delta restriction; everything
+	// derived seeds the delta.
+	for _, r := range rules {
+		if err := ev.applyRule(r, delta, -1, nil); err != nil {
+			return err
+		}
+	}
+	for {
+		next := map[string]*relation.Relation{}
+		for _, p := range layer {
+			next[p] = relation.New(p, ev.res.idb[p].Arity())
+		}
+		any := false
+		for _, r := range rules {
+			// One pass per occurrence of a layer predicate: occurrence i
+			// reads the previous delta, occurrences before i read the
+			// full current relation, and so do occurrences after i (the
+			// standard semi-naive rewriting over-approximates slightly
+			// by using full relations on both sides; it remains correct
+			// and terminates because results are deduplicated).
+			occ := 0
+			for bi, l := range r.Body {
+				if l.IsComp() || l.IsNeg() || !inLayer[l.Atom.Pred] {
+					continue
+				}
+				if err := ev.applyRule(r, next, bi, delta); err != nil {
+					return err
+				}
+				occ++
+			}
+			if occ == 0 {
+				continue // non-recursive rule: already applied in round 0
+			}
+		}
+		for _, p := range layer {
+			if next[p].Len() > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return nil
+		}
+		delta = next
+	}
+}
+
+// applyRule evaluates rule r and inserts derived head tuples into the
+// result. When deltaPos >= 0, the positive body literal at that index
+// ranges over delta[pred] instead of the full relation. Newly derived
+// tuples (not already present) are also added to newOut when non-nil.
+func (ev *evaluator) applyRule(r *ast.Rule, newOut map[string]*relation.Relation, deltaPos int, delta map[string]*relation.Relation) error {
+	plan, err := ev.planFor(r)
+	if err != nil {
+		return err
+	}
+	emit := func(s ast.Subst) error {
+		head := r.Head.Apply(s)
+		t, err := relation.TermsToTuple(head.Args)
+		if err != nil {
+			return fmt.Errorf("eval: derived non-ground head %s (unsafe rule?)", head)
+		}
+		if ev.res.idb[r.Head.Pred].Insert(t) {
+			if newOut != nil {
+				if d, ok := newOut[r.Head.Pred]; ok {
+					d.Insert(t)
+				}
+			}
+			if r.Head.Pred == ev.stopWhenNonEmpty {
+				return errGoalDerived
+			}
+		}
+		return nil
+	}
+	return ev.joinLoop(plan, 0, ast.Subst{}, deltaPos, delta, emit)
+}
+
+// rulePlan is an evaluation order for the body: positive atoms in
+// original order, with each comparison and negated atom scheduled at the
+// earliest point where its variables are bound. steps[i].bodyIndex
+// remembers the literal's original position for delta bookkeeping.
+type rulePlan struct {
+	steps []planStep
+}
+
+type planStep struct {
+	lit       ast.Literal
+	bodyIndex int
+}
+
+func planRule(r *ast.Rule) (*rulePlan, error) {
+	bound := map[string]bool{}
+	var steps []planStep
+	pending := make([]int, 0, len(r.Body))
+	for i, l := range r.Body {
+		if l.IsPos() {
+			continue
+		}
+		pending = append(pending, i)
+	}
+	ready := func() []int {
+		var out []int
+		rest := pending[:0]
+		for _, i := range pending {
+			ok := true
+			for _, v := range r.Body[i].Vars(nil) {
+				if !bound[v] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		pending = rest
+		return out
+	}
+	for i, l := range r.Body {
+		if !l.IsPos() {
+			continue
+		}
+		steps = append(steps, planStep{lit: l, bodyIndex: i})
+		for _, v := range l.Vars(nil) {
+			bound[v] = true
+		}
+		for _, j := range ready() {
+			steps = append(steps, planStep{lit: r.Body[j], bodyIndex: j})
+		}
+	}
+	// Ground comparisons/negations (no variables) schedule up front.
+	if len(pending) > 0 {
+		for _, j := range pending {
+			for _, v := range r.Body[j].Vars(nil) {
+				if !bound[v] {
+					return nil, fmt.Errorf("eval: unsafe rule %s: variable %s never bound", r, v)
+				}
+			}
+			steps = append(steps, planStep{lit: r.Body[j], bodyIndex: j})
+		}
+	}
+	return &rulePlan{steps: steps}, nil
+}
+
+// joinLoop performs the nested-loop join over the plan. Variable
+// bindings are written into s in place and undone on backtracking (the
+// tuple side is always ground bottom-up, so bindings are constants and
+// no chains arise).
+func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int, delta map[string]*relation.Relation, emit func(ast.Subst) error) error {
+	if si == len(plan.steps) {
+		return emit(s)
+	}
+	step := plan.steps[si]
+	switch {
+	case step.lit.IsComp():
+		l := step.lit.Apply(s)
+		v, ground := l.Comp.Ground()
+		if !ground {
+			return fmt.Errorf("eval: comparison %s not ground at evaluation time", l.Comp)
+		}
+		if !v {
+			return nil
+		}
+		return ev.joinLoop(plan, si+1, s, deltaPos, delta, emit)
+	case step.lit.IsNeg():
+		l := step.lit.Apply(s)
+		t, err := relation.TermsToTuple(l.Atom.Args)
+		if err != nil {
+			return fmt.Errorf("eval: negated subgoal %s not ground at evaluation time", l.Atom)
+		}
+		if ev.contains(l.Atom.Pred, t) {
+			return nil
+		}
+		return ev.joinLoop(plan, si+1, s, deltaPos, delta, emit)
+	default:
+		// Resolve the atom's arguments against the bindings made by
+		// earlier steps, once.
+		atom := step.lit.Atom.Apply(s)
+		var trail []string
+		for _, t := range ev.scan(atom, step.bodyIndex == deltaPos, delta) {
+			if len(t) != len(atom.Args) {
+				continue
+			}
+			ok := true
+			n0 := len(trail)
+			for i, arg := range atom.Args {
+				if arg.IsConst() {
+					if !arg.Const.Equal(t[i]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				// A repeated variable within this atom may have been
+				// bound by an earlier column of the same tuple.
+				if b, bound := s[arg.Var]; bound {
+					if !b.Const.Equal(t[i]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				s[arg.Var] = ast.C(t[i])
+				trail = append(trail, arg.Var)
+			}
+			if ok {
+				if err := ev.joinLoop(plan, si+1, s, deltaPos, delta, emit); err != nil {
+					return err
+				}
+			}
+			for len(trail) > n0 {
+				delete(s, trail[len(trail)-1])
+				trail = trail[:len(trail)-1]
+			}
+		}
+		return nil
+	}
+}
+
+// contains checks membership in an IDB result or the EDB store; EDB
+// probes are charged to the store's counters.
+func (ev *evaluator) contains(pred string, t relation.Tuple) bool {
+	if rel, ok := ev.res.idb[pred]; ok {
+		return rel.Contains(t)
+	}
+	return ev.db.Probe(pred, t)
+}
+
+// scan returns candidate tuples for atom, preferring an indexed lookup on
+// the first constant argument. useDelta restricts an IDB predicate of the
+// current stratum to the previous round's delta.
+func (ev *evaluator) scan(atom ast.Atom, useDelta bool, delta map[string]*relation.Relation) []relation.Tuple {
+	if useDelta {
+		if d, ok := delta[atom.Pred]; ok {
+			return filterByConstants(d.Tuples(), atom)
+		}
+	}
+	if rel, ok := ev.res.idb[atom.Pred]; ok {
+		// IDB relations are not charged: they are derived scratch space.
+		for i, a := range atom.Args {
+			if a.IsConst() {
+				return filterByConstants(rel.Lookup(i, a.Const), atom)
+			}
+		}
+		return filterByConstants(rel.Tuples(), atom)
+	}
+	for i, a := range atom.Args {
+		if a.IsConst() {
+			return filterByConstants(ev.db.Lookup(atom.Pred, i, a.Const), atom)
+		}
+	}
+	return filterByConstants(ev.db.Tuples(atom.Pred), atom)
+}
+
+// filterByConstants drops tuples that disagree with the atom's constant
+// arguments (the unifier would reject them anyway; filtering early keeps
+// the join loop tighter).
+func filterByConstants(ts []relation.Tuple, atom ast.Atom) []relation.Tuple {
+	hasConst := false
+	for _, a := range atom.Args {
+		if a.IsConst() {
+			hasConst = true
+			break
+		}
+	}
+	if !hasConst {
+		return ts
+	}
+	out := ts[:0:0]
+	for _, t := range ts {
+		if len(t) != len(atom.Args) {
+			continue
+		}
+		ok := true
+		for i, a := range atom.Args {
+			if a.IsConst() && !a.Const.Equal(t[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Violations evaluates several constraint programs and returns the names
+// (indexes) of those whose panic predicate is derived.
+func Violations(constraints []*ast.Program, db *store.Store) ([]int, error) {
+	var out []int
+	for i, c := range constraints {
+		bad, err := PanicHolds(c, db)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %d: %w", i, err)
+		}
+		if bad {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

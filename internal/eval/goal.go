@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"errors"
+
+	"repro/internal/ast"
+	"repro/internal/store"
+)
+
+// errGoalDerived unwinds the evaluation as soon as the goal is derived.
+var errGoalDerived = errors.New("eval: goal derived")
+
+// GoalHolds reports whether the goal predicate derives at least one
+// tuple, evaluating only the predicates the goal transitively depends on
+// and stopping at the first derivation. For constraint checking this is
+// the global phase's question — "is panic derivable?" — and both
+// optimizations are sound: unreachable predicates cannot contribute, and
+// within the goal's stratum derivations only grow (negation refers to
+// completed lower strata).
+func GoalHolds(prog *ast.Program, db *store.Store, goal string) (bool, error) {
+	pruned := pruneToGoal(prog, goal)
+	if len(pruned.RulesFor(goal)) == 0 {
+		return false, nil // goal underivable: no rules at all
+	}
+	if err := pruned.Validate(); err != nil {
+		return false, err
+	}
+	strata, err := Stratify(pruned)
+	if err != nil {
+		return false, err
+	}
+	ev, result, err := newEvaluator(pruned, db)
+	if err != nil {
+		return false, err
+	}
+	goalLevel := -1
+	for i, layer := range strata {
+		for _, p := range layer {
+			if p == goal {
+				goalLevel = i
+			}
+		}
+	}
+	for i, layer := range strata {
+		if i != goalLevel {
+			if err := ev.evalStratum(layer); err != nil {
+				return false, err
+			}
+			continue
+		}
+		ev.stopWhenNonEmpty = goal
+		err := ev.evalStratum(layer)
+		ev.stopWhenNonEmpty = ""
+		if errors.Is(err, errGoalDerived) {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		return result.Holds(goal), nil
+	}
+	return result.Holds(goal), nil
+}
+
+// pruneToGoal returns the subprogram of rules for predicates the goal
+// transitively depends on.
+func pruneToGoal(prog *ast.Program, goal string) *ast.Program {
+	idb := prog.IDBPreds()
+	keep := map[string]bool{}
+	var visit func(p string)
+	visit = func(p string) {
+		if keep[p] {
+			return
+		}
+		keep[p] = true
+		for _, r := range prog.RulesFor(p) {
+			for _, l := range r.Body {
+				if !l.IsComp() && idb[l.Atom.Pred] {
+					visit(l.Atom.Pred)
+				}
+			}
+		}
+	}
+	visit(goal)
+	out := &ast.Program{}
+	for _, r := range prog.Rules {
+		if keep[r.Head.Pred] {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// naiveEval is a brute-force oracle: ground every rule over the active
+// domain and iterate to fixpoint, stratum by stratum. Exponential in the
+// number of variables — usable only on tiny instances, which is exactly
+// what an oracle is for.
+func naiveEval(t *testing.T, prog *ast.Program, db *store.Store) map[string]map[string]relation.Tuple {
+	t.Helper()
+	strata, err := Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Active domain: constants in the database and the program.
+	var adom []ast.Value
+	seen := map[string]bool{}
+	addV := func(v ast.Value) {
+		if !seen[v.Key()] {
+			seen[v.Key()] = true
+			adom = append(adom, v)
+		}
+	}
+	for _, name := range db.Names() {
+		for _, tu := range db.Tuples(name) {
+			for _, v := range tu {
+				addV(v)
+			}
+		}
+	}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.IsComp() {
+				for _, tm := range []ast.Term{l.Comp.Left, l.Comp.Right} {
+					if tm.IsConst() {
+						addV(tm.Const)
+					}
+				}
+				continue
+			}
+			for _, tm := range l.Atom.Args {
+				if tm.IsConst() {
+					addV(tm.Const)
+				}
+			}
+		}
+		for _, tm := range r.Head.Args {
+			if tm.IsConst() {
+				addV(tm.Const)
+			}
+		}
+	}
+	facts := map[string]map[string]relation.Tuple{}
+	holds := func(pred string, tu relation.Tuple) bool {
+		if m, ok := facts[pred]; ok {
+			if _, ok := m[tu.Key()]; ok {
+				return true
+			}
+		}
+		return db.Contains(pred, tu)
+	}
+	add := func(pred string, tu relation.Tuple) bool {
+		if holds(pred, tu) {
+			return false
+		}
+		if facts[pred] == nil {
+			facts[pred] = map[string]relation.Tuple{}
+		}
+		facts[pred][tu.Key()] = tu
+		return true
+	}
+	ground := func(a ast.Atom, env map[string]ast.Value) relation.Tuple {
+		tu := make(relation.Tuple, len(a.Args))
+		for i, tm := range a.Args {
+			if tm.IsVar() {
+				tu[i] = env[tm.Var]
+			} else {
+				tu[i] = tm.Const
+			}
+		}
+		return tu
+	}
+	for _, layer := range strata {
+		inLayer := map[string]bool{}
+		for _, p := range layer {
+			inLayer[p] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, r := range prog.Rules {
+				if !inLayer[r.Head.Pred] {
+					continue
+				}
+				vars := r.Vars()
+				env := map[string]ast.Value{}
+				var rec func(i int)
+				rec = func(i int) {
+					if i == len(vars) {
+						for _, l := range r.Body {
+							switch {
+							case l.IsComp():
+								g := l.Comp.Apply(substOf(env))
+								v, ok := g.Ground()
+								if !ok || !v {
+									return
+								}
+							case l.IsNeg():
+								if holds(l.Atom.Pred, ground(l.Atom, env)) {
+									return
+								}
+							default:
+								if !holds(l.Atom.Pred, ground(l.Atom, env)) {
+									return
+								}
+							}
+						}
+						if add(r.Head.Pred, ground(r.Head, env)) {
+							changed = true
+						}
+						return
+					}
+					for _, v := range adom {
+						env[vars[i]] = v
+						rec(i + 1)
+					}
+				}
+				rec(0)
+			}
+		}
+	}
+	return facts
+}
+
+func substOf(env map[string]ast.Value) ast.Subst {
+	s := ast.Subst{}
+	for v, val := range env {
+		s[v] = ast.C(val)
+	}
+	return s
+}
+
+// TestEvalAgainstNaiveOracle cross-checks the semi-naive evaluator
+// against brute-force grounding on randomized tiny databases across a
+// spread of program shapes.
+func TestEvalAgainstNaiveOracle(t *testing.T) {
+	programs := []string{
+		"p(X) :- e(X) & f(X).",
+		"p(X) :- e(X).\np(X) :- f(X).",
+		"p(X,Y) :- e(X,Y) & X < Y.",
+		"p(X) :- e(X) & not f(X).",
+		"reach(X,Y) :- edge(X,Y).\nreach(X,Y) :- reach(X,Z) & edge(Z,Y).",
+		"odd(Y) :- even(X) & succ(X,Y).\neven(Y) :- odd(X) & succ(X,Y).\neven(X) :- zero(X).",
+		"q(X) :- e(X) & not p(X).\np(X) :- f(X) & g(X).",
+	}
+	arity := map[string]int{"e": 1, "f": 1, "g": 1, "edge": 2, "succ": 2, "zero": 1}
+	rng := rand.New(rand.NewSource(4))
+	for pi, src := range programs {
+		prog := parser.MustParseProgram(src)
+		// Binary e for the comparison program.
+		local := map[string]int{}
+		for _, rel := range prog.EDBPreds() {
+			a := arity[rel]
+			if rel == "e" && pi == 2 {
+				a = 2
+			}
+			local[rel] = a
+		}
+		for trial := 0; trial < 40; trial++ {
+			db := store.New()
+			for rel, ar := range local {
+				for i := 0; i < rng.Intn(4); i++ {
+					tu := make(relation.Tuple, ar)
+					for j := range tu {
+						tu[j] = ast.Int(int64(rng.Intn(3)))
+					}
+					if _, err := db.Insert(rel, tu); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			res, err := Eval(prog, db)
+			if err != nil {
+				t.Fatalf("program %d trial %d: %v", pi, trial, err)
+			}
+			want := naiveEval(t, prog, db)
+			for pred := range prog.IDBPreds() {
+				got := res.Tuples(pred)
+				wantSet := want[pred]
+				if len(got) != len(wantSet) {
+					t.Fatalf("program %d trial %d: %s has %d tuples, oracle %d\nprog:\n%s\ndb:\n%s",
+						pi, trial, pred, len(got), len(wantSet), prog, db)
+				}
+				for _, tu := range got {
+					if _, ok := wantSet[tu.Key()]; !ok {
+						t.Fatalf("program %d trial %d: %s derived %v not in oracle", pi, trial, pred, tu)
+					}
+				}
+			}
+		}
+	}
+}

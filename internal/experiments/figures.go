@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/eval"
+	"repro/internal/icq"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/store"
+)
+
+// ClassRepresentatives maps each of the twelve Fig 2.1 classes to a
+// constraint program whose least class is exactly that class. The same
+// fixtures drive the F2.1 table and the F4.1/F4.2 closure matrices.
+func ClassRepresentatives() map[classify.Class]string {
+	return map[classify.Class]string{
+		{Shape: classify.SingleCQ}:                                    "panic :- dept(D) & boom(D).",
+		{Shape: classify.SingleCQ, Arithmetic: true}:                  "panic :- dept(D) & boom(D) & D > 0.",
+		{Shape: classify.SingleCQ, Negation: true}:                    "panic :- boom(D) & not dept(D).",
+		{Shape: classify.SingleCQ, Negation: true, Arithmetic: true}:  "panic :- boom(D) & not dept(D) & D > 0.",
+		{Shape: classify.UnionCQ}:                                     "panic :- dept(D) & boom(D).\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Arithmetic: true}:                   "panic :- dept(D) & boom(D) & D > 0.\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Negation: true}:                     "panic :- boom(D) & not dept(D).\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Negation: true, Arithmetic: true}:   "panic :- boom(D) & not dept(D) & D > 0.\npanic :- dept(D) & bang(D).",
+		{Shape: classify.Recursive}:                                   "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D).",
+		{Shape: classify.Recursive, Arithmetic: true}:                 "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & D > 0.",
+		{Shape: classify.Recursive, Negation: true}:                   "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & not bang(D).",
+		{Shape: classify.Recursive, Negation: true, Arithmetic: true}: "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & not bang(D) & D > 0.",
+	}
+}
+
+// Fig21 regenerates Fig 2.1: the twelve classes, a representative
+// constraint for each, and the classifier's verdict.
+func Fig21() Table {
+	t := Table{
+		Title:   "Fig 2.1 — Classes of logical languages (12 classes)",
+		Columns: []string{"class", "representative", "classified-as", "ok"},
+	}
+	reps := ClassRepresentatives()
+	for _, cls := range classify.All() {
+		src := reps[cls]
+		prog := parser.MustParseProgram(src)
+		got := classify.Classify(prog)
+		ok := "yes"
+		if got != cls {
+			ok = "NO"
+		}
+		t.Rows = append(t.Rows, []string{cls.String(), firstLine(src), got.String(), ok})
+	}
+	t.Notes = append(t.Notes, "lattice order: One CQ < Union of CQ's < Recursive Datalog; features add independently")
+	return t
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i] + " …"
+		}
+	}
+	return s
+}
+
+// Fig41 regenerates Fig 4.1: which classes are preserved by the
+// insertion rewriting of Theorem 4.2, verified constructively (rewrite a
+// representative and classify the result) and semantically (C' on the
+// old database agrees with C on the updated database over randomized
+// databases).
+func Fig41() Table {
+	t := Table{
+		Title:   "Fig 4.1 — Classes preserved under insertion (Theorem 4.2)",
+		Columns: []string{"class", "rewritten-class", "preserved", "paper-circled", "agree", "semantics"},
+	}
+	reps := ClassRepresentatives()
+	for _, cls := range classify.All() {
+		prog := parser.MustParseProgram(reps[cls])
+		cp, err := rewrite.Insert(prog, "dept", relation.Ints(7))
+		if err != nil {
+			t.Rows = append(t.Rows, []string{cls.String(), "error: " + err.Error(), "", "", "", ""})
+			continue
+		}
+		after := classify.Classify(cp)
+		preserved := after.LessEq(cls)
+		want := classify.InsertionClosed(cls)
+		sem := verifyRewrite(prog, cp, store.Ins("dept", relation.Ints(7)))
+		t.Rows = append(t.Rows, []string{
+			cls.String(), after.String(), yn(preserved), yn(want), yn(preserved == want), sem,
+		})
+	}
+	t.Notes = append(t.Notes, "the 8 classes permitting multiple rules (union/recursive shapes) are closed")
+	return t
+}
+
+// Fig42 regenerates Fig 4.2 for deletions (Theorem 4.3), choosing the
+// encoding matching the class features as the paper's proof does.
+func Fig42() Table {
+	t := Table{
+		Title:   "Fig 4.2 — Classes preserved under deletion (Theorem 4.3)",
+		Columns: []string{"class", "encoding", "rewritten-class", "preserved", "paper-circled", "agree", "semantics"},
+	}
+	reps := ClassRepresentatives()
+	for _, cls := range classify.All() {
+		prog := parser.MustParseProgram(reps[cls])
+		var cp *ast.Program
+		var err error
+		enc := "<>-split"
+		if cls.Negation && !cls.Arithmetic {
+			enc = "negated-subgoal"
+			cp, err = rewrite.DeleteNeg(prog, "dept", relation.Ints(7))
+		} else {
+			cp, err = rewrite.DeleteArith(prog, "dept", relation.Ints(7))
+		}
+		if err != nil {
+			t.Rows = append(t.Rows, []string{cls.String(), enc, "error: " + err.Error(), "", "", "", ""})
+			continue
+		}
+		after := classify.Classify(cp)
+		preserved := after.LessEq(cls)
+		want := classify.DeletionClosed(cls)
+		sem := verifyRewrite(prog, cp, store.Del("dept", relation.Ints(7)))
+		t.Rows = append(t.Rows, []string{
+			cls.String(), enc, after.String(), yn(preserved), yn(want), yn(preserved == want), sem,
+		})
+	}
+	t.Notes = append(t.Notes, "the 6 classes with multiple rules AND a way to say \"differs from t\" (negation or arithmetic) are closed")
+	return t
+}
+
+// verifyRewrite checks semantic equivalence of C' (pre-update) and C
+// (post-update) on randomized small databases.
+func verifyRewrite(c, cPrime *ast.Program, u store.Update) string {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		before := store.New()
+		for _, rel := range []string{"dept", "boom", "bang"} {
+			for i := 0; i < rng.Intn(4); i++ {
+				if _, err := before.Insert(rel, relation.Ints(int64(rng.Intn(10)))); err != nil {
+					return "err"
+				}
+			}
+		}
+		after := before.Clone()
+		if err := u.Apply(after); err != nil {
+			return "err"
+		}
+		got, err1 := eval.PanicHolds(cPrime, before)
+		want, err2 := eval.PanicHolds(c, after)
+		if err1 != nil || err2 != nil {
+			return "err"
+		}
+		if got != want {
+			return "MISMATCH"
+		}
+	}
+	return "verified(40)"
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// Fig61Program returns the generalized Fig 6.1 recursive datalog program
+// for the forbidden-intervals constraint, plus the paper's own three-rule
+// rendering for comparison.
+func Fig61Program() (generated string, paper string, err error) {
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+	cqc, err := ast.NewCQC(rule, "l")
+	if err != nil {
+		return "", "", err
+	}
+	a, err := icq.Analyze(cqc)
+	if err != nil {
+		return "", "", err
+	}
+	prog, err := a.GenerateProgram()
+	if err != nil {
+		return "", "", err
+	}
+	icq.AddCoverageQuery(prog, icq.IntervalCC(ast.Int(4), ast.Int(8)))
+	paper = `interval(X,Y) :- l(X,Y).
+interval(X,Y) :- interval(X,W) & interval(Z,Y) & Z <= W.
+ok(A,B)       :- interval(X,Y) & X <= A & B <= Y.`
+	return prog.String(), paper, nil
+}
+
+// Fig61Demo runs Example 5.3 / Fig 6.1 end to end through both the
+// datalog and the direct implementations.
+func Fig61Demo() (Table, error) {
+	t := Table{
+		Title:   "Fig 6.1 — forbidden intervals, L = {(3,6),(5,10)}",
+		Columns: []string{"inserted", "forbidden-interval", "datalog-test", "direct-test", "agree"},
+	}
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+	cqc, err := ast.NewCQC(rule, "l")
+	if err != nil {
+		return t, err
+	}
+	a, err := icq.Analyze(cqc)
+	if err != nil {
+		return t, err
+	}
+	L := []relation.Tuple{relation.Ints(3, 6), relation.Ints(5, 10)}
+	db := store.New()
+	for _, tu := range L {
+		if _, err := db.Insert("l", tu); err != nil {
+			return t, err
+		}
+	}
+	for _, ins := range []relation.Tuple{
+		relation.Ints(4, 8), relation.Ints(3, 10), relation.Ints(2, 8),
+		relation.Ints(4, 12), relation.Ints(11, 12), relation.Ints(9, 2),
+	} {
+		ivs, err := a.IntervalsFor(ins)
+		if err != nil {
+			return t, err
+		}
+		ivStr := "(empty)"
+		if len(ivs) == 1 {
+			ivStr = ivs[0].String()
+		}
+		dl, err := a.CertifyInsertDatalog(ins, db)
+		if err != nil {
+			return t, err
+		}
+		dr, err := a.CertifyInsert(ins, L)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			ins.String(), ivStr, certStr(dl), certStr(dr), yn(dl == dr),
+		})
+	}
+	return t, nil
+}
+
+func certStr(ok bool) string {
+	if ok {
+		return "safe"
+	}
+	return "must check remote"
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,61 @@
+// Package experiments regenerates every figure and experiment of the
+// paper as printable tables: the Fig 2.1 language lattice, the Fig
+// 4.1/4.2 closure matrices, the Fig 6.1 interval program, the Theorem
+// 5.1 vs Klug comparison, the Theorem 5.2/5.3 complete local tests, and
+// the distributed remote-access experiment motivating the whole paper.
+// cmd/ccrepro prints them; the repository benchmarks measure the same
+// code paths.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render draws the table with aligned columns.
+func (t Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title + "\n")
+	sb.WriteString(strings.Repeat("=", len(t.Title)) + "\n")
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}

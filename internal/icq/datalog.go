@@ -1,0 +1,389 @@
+package icq
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Datalog predicate names for the covered-interval relations. Following
+// the proof of Theorem 6.1 there are up to eight interval predicates: one
+// per combination of endpoint kinds (closed/open/infinite at each end,
+// minus the double-infinite split). '$' keeps them outside the parseable
+// user namespace.
+const (
+	predCC = "iv$cc" // [X,Y]
+	predCO = "iv$co" // [X,Y)
+	predOC = "iv$oc" // (X,Y]
+	predOO = "iv$oo" // (X,Y)
+	predNC = "iv$nc" // (-inf,Y]
+	predNO = "iv$no" // (-inf,Y)
+	predCN = "iv$cn" // [X,+inf)
+	predON = "iv$on" // (X,+inf)
+	predNN = "iv$nn" // (-inf,+inf)
+	predOK = "ok$"   // the complete local test's goal
+)
+
+func finitePred(leftOpen, rightOpen bool) string {
+	switch {
+	case !leftOpen && !rightOpen:
+		return predCC
+	case !leftOpen:
+		return predCO
+	case !rightOpen:
+		return predOC
+	default:
+		return predOO
+	}
+}
+
+func leftInfPred(rightOpen bool) string {
+	if rightOpen {
+		return predNO
+	}
+	return predNC
+}
+
+func rightInfPred(leftOpen bool) string {
+	if leftOpen {
+		return predON
+	}
+	return predCN
+}
+
+// predNames selects the predicate vocabulary a rule generator writes
+// into: the derived iv$* family or the basis-only ivb$* family used by
+// the linear program variant.
+type predNames struct {
+	finite   func(leftOpen, rightOpen bool) string
+	leftInf  func(rightOpen bool) string
+	rightInf func(leftOpen bool) string
+	nn       string
+}
+
+var derivedNames = predNames{finitePred, leftInfPred, rightInfPred, predNN}
+
+var basisNames = predNames{
+	finite:   func(l, r bool) string { return "ivb$" + finitePred(l, r)[3:] },
+	leftInf:  func(r bool) string { return "ivb$" + leftInfPred(r)[3:] },
+	rightInf: func(l bool) string { return "ivb$" + rightInfPred(l)[3:] },
+	nn:       "ivb$nn",
+}
+
+// GenerateProgram builds the recursive datalog program of Fig 6.1,
+// generalized to open/closed/infinite endpoints and to several competing
+// bounds (one basis rule per choice of dominating lower and upper bound,
+// with subgoals checking the presumed order, exactly as the Theorem 6.1
+// proof prescribes). The program derives the covered-interval predicates
+// from the local relation; AddCoverageQuery attaches the ok$ rule for a
+// concrete inserted tuple.
+//
+// Constraints whose remote variable carries <> comparisons are rejected
+// here (their forbidden regions are unions of intervals; the proof
+// eliminates <> by splitting the ICQ — use the direct CertifyInsert,
+// which performs that split).
+func (a *Analysis) GenerateProgram() (*ast.Program, error) {
+	prog, err := a.generateBasis(derivedNames)
+	if err != nil {
+		return nil, err
+	}
+	prog.Rules = append(prog.Rules, mergeRules(derivedNames)...)
+	return prog, nil
+}
+
+// GenerateProgramLinear is the engineered variant of Fig 6.1 used for
+// the ablation benchmark: basis intervals land in separate ivb$*
+// predicates, and the merge rules extend a derived interval by a basis
+// interval only (linear recursion) instead of merging two derived
+// intervals (the paper's nonlinear rule (2)). Coverage answers are
+// identical — a chain of basis intervals covering the target is absorbed
+// left to right, so every prefix hull is derivable — but the recursive
+// join shrinks from derived×derived to derived×basis.
+func (a *Analysis) GenerateProgramLinear() (*ast.Program, error) {
+	prog, err := a.generateBasis(basisNames)
+	if err != nil {
+		return nil, err
+	}
+	// Copy rules: every basis interval is a covered interval.
+	x, y := ast.V("X"), ast.V("Y")
+	bools := []bool{false, true}
+	for _, b1 := range bools {
+		for _, b2 := range bools {
+			prog.Rules = append(prog.Rules, ast.NewRule(
+				ast.NewAtom(finitePred(b1, b2), x, y),
+				ast.Pos(ast.NewAtom(basisNames.finite(b1, b2), x, y))))
+		}
+		prog.Rules = append(prog.Rules,
+			ast.NewRule(ast.NewAtom(leftInfPred(b1), y), ast.Pos(ast.NewAtom(basisNames.leftInf(b1), y))),
+			ast.NewRule(ast.NewAtom(rightInfPred(b1), x), ast.Pos(ast.NewAtom(basisNames.rightInf(b1), x))))
+	}
+	prog.Rules = append(prog.Rules, ast.NewRule(ast.NewAtom(predNN), ast.Pos(ast.NewAtom(basisNames.nn))))
+	prog.Rules = append(prog.Rules, mergeRules(basisNames)...)
+	return prog, nil
+}
+
+// generateBasis emits the basis rules (rule (1) of Fig 6.1, generalized):
+// one rule per choice of dominating lower and upper bound, writing heads
+// into the given predicate vocabulary.
+func (a *Analysis) generateBasis(names predNames) (*ast.Program, error) {
+	if a.unsat {
+		return nil, fmt.Errorf("icq: constraint can never fire; no program needed")
+	}
+	if len(a.nes) > 0 {
+		return nil, fmt.Errorf("icq: datalog generation does not support <> on the remote variable; use CertifyInsert")
+	}
+	prog := &ast.Program{}
+	local := a.CQC.LocalAtom()
+
+	type choice struct {
+		term   ast.Term
+		strict bool
+		used   bool
+	}
+	lowerChoices := []choice{{used: false}}
+	if len(a.lowers) > 0 {
+		lowerChoices = nil
+		for i := range a.lowers {
+			lowerChoices = append(lowerChoices, choice{term: a.lowers[i].term, strict: a.lowers[i].strict, used: true})
+		}
+	}
+	upperChoices := []choice{{used: false}}
+	if len(a.uppers) > 0 {
+		upperChoices = nil
+		for i := range a.uppers {
+			upperChoices = append(upperChoices, choice{term: a.uppers[i].term, strict: a.uppers[i].strict, used: true})
+		}
+	}
+	// dominance returns the subgoals asserting that the chosen bound is
+	// the effective one among all candidates.
+	dominance := func(chosen choice, all []boundTerm, lower bool) []ast.Literal {
+		var out []ast.Literal
+		for _, other := range all {
+			if other.term.Equal(chosen.term) && other.strict == chosen.strict {
+				continue
+			}
+			// For lower bounds the effective bound is the max; ties go to
+			// the strict (open) one. For upper bounds, the min.
+			var op ast.CompOp
+			if chosen.strict || !other.strict {
+				op = ast.Ge // chosen >= other suffices on ties
+			} else {
+				op = ast.Gt
+			}
+			if !lower {
+				op = op.Flip()
+			}
+			out = append(out, ast.Cmp(ast.NewComparison(chosen.term, op, other.term)))
+		}
+		return out
+	}
+	for _, lc := range lowerChoices {
+		for _, uc := range upperChoices {
+			body := []ast.Literal{ast.Pos(local)}
+			for _, f := range a.filters {
+				body = append(body, ast.Cmp(f))
+			}
+			body = append(body, dominance(lc, a.lowers, true)...)
+			body = append(body, dominance(uc, a.uppers, false)...)
+			var head ast.Atom
+			switch {
+			case lc.used && uc.used:
+				head = ast.Atom{Pred: names.finite(lc.strict, uc.strict), Args: []ast.Term{lc.term, uc.term}}
+			case uc.used:
+				head = ast.Atom{Pred: names.leftInf(uc.strict), Args: []ast.Term{uc.term}}
+			case lc.used:
+				head = ast.Atom{Pred: names.rightInf(lc.strict), Args: []ast.Term{lc.term}}
+			default:
+				head = ast.Atom{Pred: names.nn}
+			}
+			prog.Rules = append(prog.Rules, &ast.Rule{Head: head, Body: body})
+		}
+	}
+	return prog, nil
+}
+
+// mergeRules is the generalized rule (2) of Fig 6.1: overlapping or
+// compatibly touching covered intervals merge into their hull. Two
+// intervals I1 (ending at W, openness b2) and I2 (starting at Z, openness
+// b3) merge when Z < W, or Z = W and at least one of the meeting
+// endpoints is closed. The first operand and the head use the derived
+// vocabulary; the second operand uses the given one (derived for the
+// paper's nonlinear program, basis for the linear variant).
+func mergeRules(second predNames) []*ast.Rule {
+	x, y, z, w := ast.V("X"), ast.V("Y"), ast.V("Z"), ast.V("W")
+	var rules []*ast.Rule
+	bools := []bool{false, true}
+	overlapVariants := func(b2, b3 bool) [][]ast.Literal {
+		variants := [][]ast.Literal{
+			{ast.Cmp(ast.NewComparison(z, ast.Lt, w))},
+		}
+		if !b2 || !b3 {
+			variants = append(variants, []ast.Literal{ast.Cmp(ast.NewComparison(z, ast.Eq, w))})
+		}
+		return variants
+	}
+	// finite + finite -> finite
+	for _, b1 := range bools {
+		for _, b2 := range bools {
+			for _, b3 := range bools {
+				for _, b4 := range bools {
+					for _, ov := range overlapVariants(b2, b3) {
+						body := []ast.Literal{
+							ast.Pos(ast.NewAtom(finitePred(b1, b2), x, w)),
+							ast.Pos(ast.NewAtom(second.finite(b3, b4), z, y)),
+						}
+						body = append(body, ov...)
+						rules = append(rules, &ast.Rule{
+							Head: ast.NewAtom(finitePred(b1, b4), x, y),
+							Body: body,
+						})
+					}
+				}
+			}
+		}
+	}
+	// left-infinite + finite -> left-infinite
+	for _, b2 := range bools {
+		for _, b3 := range bools {
+			for _, b4 := range bools {
+				for _, ov := range overlapVariants(b2, b3) {
+					body := []ast.Literal{
+						ast.Pos(ast.NewAtom(leftInfPred(b2), w)),
+						ast.Pos(ast.NewAtom(second.finite(b3, b4), z, y)),
+					}
+					body = append(body, ov...)
+					rules = append(rules, &ast.Rule{Head: ast.NewAtom(leftInfPred(b4), y), Body: body})
+				}
+			}
+		}
+	}
+	// finite + right-infinite -> right-infinite
+	for _, b1 := range bools {
+		for _, b2 := range bools {
+			for _, b3 := range bools {
+				for _, ov := range overlapVariants(b2, b3) {
+					body := []ast.Literal{
+						ast.Pos(ast.NewAtom(finitePred(b1, b2), x, w)),
+						ast.Pos(ast.NewAtom(second.rightInf(b3), z)),
+					}
+					body = append(body, ov...)
+					rules = append(rules, &ast.Rule{Head: ast.NewAtom(rightInfPred(b1), x), Body: body})
+				}
+			}
+		}
+	}
+	// left-infinite + right-infinite -> everything
+	for _, b2 := range bools {
+		for _, b3 := range bools {
+			for _, ov := range overlapVariants(b2, b3) {
+				body := []ast.Literal{
+					ast.Pos(ast.NewAtom(leftInfPred(b2), w)),
+					ast.Pos(ast.NewAtom(second.rightInf(b3), z)),
+				}
+				body = append(body, ov...)
+				rules = append(rules, &ast.Rule{Head: ast.NewAtom(predNN), Body: body})
+			}
+		}
+	}
+	return rules
+}
+
+// AddCoverageQuery appends the rule (3) of Fig 6.1 for a concrete target
+// interval: ok$ holds iff some derived covered interval includes the
+// target. The comparisons are chosen from the endpoint opennesses so
+// that open/closed boundaries match exactly.
+func AddCoverageQuery(prog *ast.Program, target Interval) {
+	x, y := ast.V("X"), ast.V("Y")
+	leftCond := func(b1 bool) ast.Literal {
+		op := ast.Lt
+		if !b1 || target.Lo.Open {
+			op = ast.Le
+		}
+		return ast.Cmp(ast.NewComparison(x, op, ast.C(target.Lo.Value)))
+	}
+	rightCond := func(b2 bool) ast.Literal {
+		op := ast.Lt
+		if !b2 || target.Hi.Open {
+			op = ast.Le
+		}
+		return ast.Cmp(ast.NewComparison(ast.C(target.Hi.Value), op, y))
+	}
+	ok := ast.NewAtom(predOK)
+	bools := []bool{false, true}
+	switch {
+	case target.Lo.Inf && target.Hi.Inf:
+		// only iv$nn covers
+	case target.Lo.Inf:
+		for _, b2 := range bools {
+			prog.Rules = append(prog.Rules, &ast.Rule{Head: ok, Body: []ast.Literal{
+				ast.Pos(ast.NewAtom(leftInfPred(b2), y)), rightCond(b2),
+			}})
+		}
+	case target.Hi.Inf:
+		for _, b1 := range bools {
+			prog.Rules = append(prog.Rules, &ast.Rule{Head: ok, Body: []ast.Literal{
+				ast.Pos(ast.NewAtom(rightInfPred(b1), x)), leftCond(b1),
+			}})
+		}
+	default:
+		for _, b1 := range bools {
+			for _, b2 := range bools {
+				prog.Rules = append(prog.Rules, &ast.Rule{Head: ok, Body: []ast.Literal{
+					ast.Pos(ast.NewAtom(finitePred(b1, b2), x, y)), leftCond(b1), rightCond(b2),
+				}})
+			}
+			prog.Rules = append(prog.Rules, &ast.Rule{Head: ok, Body: []ast.Literal{
+				ast.Pos(ast.NewAtom(leftInfPred(b1), y)), rightCond(b1),
+			}})
+			prog.Rules = append(prog.Rules, &ast.Rule{Head: ok, Body: []ast.Literal{
+				ast.Pos(ast.NewAtom(rightInfPred(b1), x)), leftCond(b1),
+			}})
+		}
+	}
+	prog.Rules = append(prog.Rules, &ast.Rule{Head: ok, Body: []ast.Literal{
+		ast.Pos(ast.NewAtom(predNN)),
+	}})
+}
+
+// CertifyInsertDatalog runs the Theorem 6.1 complete local test through
+// the generated recursive datalog program (the paper's nonlinear Fig 6.1
+// form), evaluated bottom-up over the store holding the (pre-insertion)
+// local relation. It must agree with CertifyInsert everywhere it applies.
+func (a *Analysis) CertifyInsertDatalog(t relation.Tuple, db *store.Store) (bool, error) {
+	return a.certifyDatalog(t, db, (*Analysis).GenerateProgram)
+}
+
+// CertifyInsertDatalogLinear is CertifyInsertDatalog over the linear
+// program variant (the ablation of the nonlinear merge rule).
+func (a *Analysis) CertifyInsertDatalogLinear(t relation.Tuple, db *store.Store) (bool, error) {
+	return a.certifyDatalog(t, db, (*Analysis).GenerateProgramLinear)
+}
+
+func (a *Analysis) certifyDatalog(t relation.Tuple, db *store.Store, gen func(*Analysis) (*ast.Program, error)) (bool, error) {
+	targets, err := a.IntervalsFor(t)
+	if err != nil {
+		return false, err
+	}
+	if len(targets) == 0 {
+		return true, nil
+	}
+	base, err := gen(a)
+	if err != nil {
+		return false, err
+	}
+	for _, target := range targets {
+		prog := base.Clone()
+		AddCoverageQuery(prog, target)
+		res, err := eval.Eval(prog, db)
+		if err != nil {
+			return false, err
+		}
+		if !res.Holds(predOK) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,486 @@
+package icq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func iv(lo, hi int64) Interval { return IntervalCC(ast.Int(lo), ast.Int(hi)) }
+
+func TestIntervalBasics(t *testing.T) {
+	if iv(3, 6).Empty() {
+		t.Error("[3,6] empty")
+	}
+	if !iv(6, 3).Empty() {
+		t.Error("[6,3] not empty")
+	}
+	half := Interval{Lo: Closed(ast.Int(3)), Hi: Open(ast.Int(3))}
+	if !half.Empty() {
+		t.Error("[3,3) not empty")
+	}
+	point := iv(3, 3)
+	if point.Empty() || !point.Contains(ast.Int(3)) {
+		t.Error("[3,3] wrong")
+	}
+	open := Interval{Lo: Open(ast.Int(3)), Hi: Open(ast.Int(6))}
+	if open.Contains(ast.Int(3)) || open.Contains(ast.Int(6)) || !open.Contains(ast.Int(4)) {
+		t.Error("(3,6) membership wrong")
+	}
+	inf := Interval{Lo: Unbounded(), Hi: Closed(ast.Int(0))}
+	if !inf.Contains(ast.Int(-1000)) || inf.Contains(ast.Int(1)) {
+		t.Error("(-inf,0] membership wrong")
+	}
+}
+
+func TestIntervalIntersectSubtract(t *testing.T) {
+	got := iv(3, 10).Intersect(iv(5, 20))
+	if got.Lo.Value.Compare(ast.Int(5)) != 0 || got.Hi.Value.Compare(ast.Int(10)) != 0 {
+		t.Errorf("intersection = %v", got)
+	}
+	// Mixed openness at equal values: open wins.
+	a := Interval{Lo: Closed(ast.Int(3)), Hi: Closed(ast.Int(6))}
+	b := Interval{Lo: Open(ast.Int(3)), Hi: Unbounded()}
+	if x := a.Intersect(b); !x.Lo.Open {
+		t.Errorf("intersection low end should be open: %v", x)
+	}
+	pieces := iv(3, 6).SubtractPoint(ast.Int(4))
+	if len(pieces) != 2 || !pieces[0].Hi.Open || !pieces[1].Lo.Open {
+		t.Errorf("SubtractPoint = %v", pieces)
+	}
+	if got := iv(3, 3).SubtractPoint(ast.Int(3)); len(got) != 0 {
+		t.Errorf("subtracting the only point: %v", got)
+	}
+	if got := iv(3, 6).SubtractPoint(ast.Int(9)); len(got) != 1 {
+		t.Errorf("subtracting outside point: %v", got)
+	}
+}
+
+func TestCoversExample53(t *testing.T) {
+	set := []Interval{iv(3, 6), iv(5, 10)}
+	if !Covers(set, iv(4, 8)) {
+		t.Error("[3,6] ∪ [5,10] must cover [4,8]")
+	}
+	if Covers([]Interval{iv(3, 6), iv(7, 10)}, iv(4, 8)) {
+		t.Error("coverage across gap (6,7)")
+	}
+}
+
+func TestCoversTouchingEndpoints(t *testing.T) {
+	// [1,2) ∪ [2,3] covers [1,3]; (1,2) ∪ (2,3) leaves 2 uncovered.
+	a := Interval{Lo: Closed(ast.Int(1)), Hi: Open(ast.Int(2))}
+	b := Interval{Lo: Closed(ast.Int(2)), Hi: Closed(ast.Int(3))}
+	if !Covers([]Interval{a, b}, iv(1, 3)) {
+		t.Error("half-open chain must cover")
+	}
+	c := Interval{Lo: Open(ast.Int(1)), Hi: Open(ast.Int(2))}
+	d := Interval{Lo: Open(ast.Int(2)), Hi: Open(ast.Int(3))}
+	target := Interval{Lo: Open(ast.Int(1)), Hi: Open(ast.Int(3))}
+	if Covers([]Interval{c, d}, target) {
+		t.Error("open intervals leave the touching point uncovered")
+	}
+	// Adding the point interval [2,2] fixes it.
+	if !Covers([]Interval{c, d, iv(2, 2)}, target) {
+		t.Error("point interval must close the gap")
+	}
+}
+
+func TestCoversInfinite(t *testing.T) {
+	all := Interval{Lo: Unbounded(), Hi: Unbounded()}
+	if !Covers([]Interval{all}, iv(-100, 100)) {
+		t.Error("full line covers everything")
+	}
+	left := Interval{Lo: Unbounded(), Hi: Closed(ast.Int(0))}
+	right := Interval{Lo: Closed(ast.Int(0)), Hi: Unbounded()}
+	if !Covers([]Interval{left, right}, all) {
+		t.Error("two half-lines cover the line")
+	}
+	rightOpen := Interval{Lo: Open(ast.Int(0)), Hi: Unbounded()}
+	leftOpen := Interval{Lo: Unbounded(), Hi: Open(ast.Int(0))}
+	if Covers([]Interval{leftOpen, rightOpen}, all) {
+		t.Error("open half-lines leave 0 uncovered")
+	}
+}
+
+func TestCoversOpenTarget(t *testing.T) {
+	// (3,6) is covered by [4,6] ∪ (3,4]; and by (3,6) itself.
+	target := Interval{Lo: Open(ast.Int(3)), Hi: Open(ast.Int(6))}
+	if !Covers([]Interval{{Lo: Open(ast.Int(3)), Hi: Closed(ast.Int(4))}, iv(4, 6)}, target) {
+		t.Error("open target not covered by matching pieces")
+	}
+	if Covers([]Interval{iv(4, 6)}, target) {
+		t.Error("(3,4) region uncovered but claimed")
+	}
+}
+
+func TestUnionNormalization(t *testing.T) {
+	set := []Interval{iv(5, 10), iv(3, 6), iv(12, 14), iv(20, 20)}
+	u := Union(set)
+	if len(u) != 3 {
+		t.Fatalf("Union = %v", u)
+	}
+	if u[0].Lo.Value.Compare(ast.Int(3)) != 0 || u[0].Hi.Value.Compare(ast.Int(10)) != 0 {
+		t.Errorf("first merged = %v", u[0])
+	}
+}
+
+func mustCQC(t *testing.T, src, local string) *ast.CQC {
+	t.Helper()
+	rule := parser.MustParseConstraint(src)
+	c, err := ast.NewCQC(rule, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestIsICQ(t *testing.T) {
+	good := mustCQC(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.", "l")
+	if !IsICQ(good) {
+		t.Error("forbidden intervals constraint not recognized as ICQ")
+	}
+	// Two remote variables compared with each other: not an ICQ.
+	bad := mustCQC(t, "panic :- l(X) & r(Z,W) & Z < W & X <= Z.", "l")
+	if IsICQ(bad) {
+		t.Error("Z < W across remote variables accepted as ICQ")
+	}
+	// Equality between remote variables is allowed by the definition.
+	eq := mustCQC(t, "panic :- l(X) & r(Z,W) & Z = W & X <= Z.", "l")
+	if !IsICQ(eq) {
+		t.Error("remote equality rejected")
+	}
+}
+
+func TestAnalyzeIntervalsFor(t *testing.T) {
+	a, err := Analyze(mustCQC(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := a.IntervalsFor(relation.Ints(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0].String() != "[3,6]" {
+		t.Errorf("IntervalsFor(3,6) = %v", ivs)
+	}
+	// Inverted tuple: empty region.
+	ivs, err = a.IntervalsFor(relation.Ints(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 0 {
+		t.Errorf("IntervalsFor(6,3) = %v", ivs)
+	}
+}
+
+func TestAnalyzeOpenAndHalfInfinite(t *testing.T) {
+	a, err := Analyze(mustCQC(t, "panic :- l(X) & r(Z) & X < Z.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := a.IntervalsFor(relation.Ints(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0].String() != "(5,+inf)" {
+		t.Errorf("IntervalsFor = %v", ivs)
+	}
+}
+
+func TestAnalyzeEqualityAndNe(t *testing.T) {
+	a, err := Analyze(mustCQC(t, "panic :- l(X) & r(Z) & Z = X.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := a.IntervalsFor(relation.Ints(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0].String() != "[7,7]" {
+		t.Errorf("point region = %v", ivs)
+	}
+	b, err := Analyze(mustCQC(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y & Z <> X.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err = b.IntervalsFor(relation.Ints(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0].String() != "(3,6]" {
+		t.Errorf("ne-split region = %v", ivs)
+	}
+}
+
+func TestAnalyzeFilters(t *testing.T) {
+	// The X < Y filter must gate the tuple's contribution.
+	a, err := Analyze(mustCQC(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y & X < Y.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := a.IntervalsFor(relation.Ints(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 0 {
+		t.Errorf("filtered tuple contributed %v", ivs)
+	}
+}
+
+func TestCertifyInsertExample53(t *testing.T) {
+	a, err := Analyze(mustCQC(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := []relation.Tuple{relation.Ints(3, 6), relation.Ints(5, 10)}
+	ok, err := a.CertifyInsert(relation.Ints(4, 8), L)
+	if err != nil || !ok {
+		t.Errorf("covered insertion: %v %v", ok, err)
+	}
+	ok, err = a.CertifyInsert(relation.Ints(2, 8), L)
+	if err != nil || ok {
+		t.Errorf("uncovered insertion certified: %v %v", ok, err)
+	}
+}
+
+func TestDatalogAgainstDirect(t *testing.T) {
+	// The Fig 6.1 datalog route and the direct sweep must agree across
+	// randomized interval workloads, including open bounds.
+	consts := []string{
+		"panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.",
+		"panic :- l(X,Y) & r(Z) & X < Z & Z <= Y.",
+		"panic :- l(X,Y) & r(Z) & X <= Z & Z < Y.",
+		"panic :- l(X,Y) & r(Z) & X < Z & Z < Y.",
+		"panic :- l(X) & r(Z) & X <= Z.",
+		"panic :- l(X) & r(Z) & Z < X.",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, src := range consts {
+		a, err := Analyze(mustCQC(t, src, "l"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		arity := a.CQC.LocalAtom().Arity()
+		for trial := 0; trial < 30; trial++ {
+			db := store.New()
+			var L []relation.Tuple
+			for i := 0; i < rng.Intn(5); i++ {
+				var tu relation.Tuple
+				if arity == 2 {
+					lo := int64(rng.Intn(10))
+					tu = relation.Ints(lo, lo+int64(rng.Intn(6)))
+				} else {
+					tu = relation.Ints(int64(rng.Intn(10)))
+				}
+				L = append(L, tu)
+				if _, err := db.Insert("l", tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var ins relation.Tuple
+			if arity == 2 {
+				ins = relation.Ints(int64(rng.Intn(10)), int64(rng.Intn(14)))
+			} else {
+				ins = relation.Ints(int64(rng.Intn(10)))
+			}
+			want, err := a.CertifyInsert(ins, L)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.CertifyInsertDatalog(ins, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s: datalog=%v direct=%v (L=%v ins=%v)", src, got, want, L, ins)
+			}
+		}
+	}
+}
+
+func TestDatalogMultipleBounds(t *testing.T) {
+	// Two lower bounds: the effective interval is [max(X1,X2), Y]. The
+	// generated program must carry one basis rule per dominating choice.
+	a, err := Analyze(mustCQC(t, "panic :- l(X1,X2,Y) & r(Z) & X1 <= Z & X2 <= Z & Z <= Y.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := a.IntervalsFor(relation.Ints(2, 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0].String() != "[5,9]" {
+		t.Errorf("max of lower bounds wrong: %v", ivs)
+	}
+	db := store.New()
+	for _, tu := range []relation.Tuple{relation.Ints(2, 5, 9), relation.Ints(8, 1, 12)} {
+		if _, err := db.Insert("l", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Effective intervals: [5,9] and [8,12]: their union covers [6,11].
+	ok, err := a.CertifyInsertDatalog(relation.Ints(6, 6, 11), db)
+	if err != nil || !ok {
+		t.Errorf("multi-bound datalog certification: %v %v", ok, err)
+	}
+	// [6,13] escapes past 12.
+	ok, err = a.CertifyInsertDatalog(relation.Ints(6, 6, 13), db)
+	if err != nil || ok {
+		t.Errorf("escaping interval certified: %v %v", ok, err)
+	}
+}
+
+func TestDatalogRejectsNe(t *testing.T) {
+	a, err := Analyze(mustCQC(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y & Z <> X.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.GenerateProgram(); err == nil {
+		t.Error("<> on remote variable accepted by datalog generator")
+	}
+	// But the direct route handles it.
+	ok, err := a.CertifyInsert(relation.Ints(4, 8),
+		[]relation.Tuple{relation.Ints(3, 6), relation.Ints(5, 10)})
+	if err != nil || !ok {
+		t.Errorf("direct route with <>: %v %v", ok, err)
+	}
+}
+
+func TestGeneratedProgramShape(t *testing.T) {
+	a, err := Analyze(mustCQC(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.GenerateProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One basis rule (both endpoints closed) plus the merge rules.
+	basis := 0
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.IsPos() && l.Atom.Pred == "l" {
+				basis++
+			}
+		}
+	}
+	if basis != 1 {
+		t.Errorf("basis rules = %d, want 1", basis)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Errorf("generated program invalid: %v", err)
+	}
+}
+
+func TestCoversRandomizedAgainstPointSampling(t *testing.T) {
+	// Property test: Covers agrees with dense point sampling on a
+	// half-integer grid (sufficient for integer-endpoint intervals).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		var set []Interval
+		for i := 0; i < rng.Intn(5); i++ {
+			lo := int64(rng.Intn(12))
+			hi := lo + int64(rng.Intn(8))
+			in := Interval{
+				Lo: Endpoint{Value: ast.Int(lo), Open: rng.Intn(2) == 0},
+				Hi: Endpoint{Value: ast.Int(hi), Open: rng.Intn(2) == 0},
+			}
+			set = append(set, in)
+		}
+		tlo := int64(rng.Intn(12))
+		thi := tlo + int64(rng.Intn(8))
+		target := Interval{
+			Lo: Endpoint{Value: ast.Int(tlo), Open: rng.Intn(2) == 0},
+			Hi: Endpoint{Value: ast.Int(thi), Open: rng.Intn(2) == 0},
+		}
+		got := Covers(set, target)
+		want := true
+		for zz := int64(-2); zz <= 44; zz++ {
+			z := ast.Rat(zz, 2)
+			if !target.Contains(z) {
+				continue
+			}
+			inSet := false
+			for _, in := range set {
+				if in.Contains(z) {
+					inSet = true
+					break
+				}
+			}
+			if !inSet {
+				want = false
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: Covers=%v sampling=%v (set=%v target=%v)", trial, got, want, set, target)
+		}
+	}
+}
+
+func TestDatalogLinearAgainstNonlinear(t *testing.T) {
+	// The linear ablation variant must agree with the paper's nonlinear
+	// program (and hence with the direct sweep) everywhere.
+	a, err := Analyze(mustCQC(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		db := store.New()
+		var L []relation.Tuple
+		for i := 0; i < rng.Intn(6); i++ {
+			lo := int64(rng.Intn(12))
+			tu := relation.Ints(lo, lo+int64(rng.Intn(6)))
+			L = append(L, tu)
+			if _, err := db.Insert("l", tu); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ins := relation.Ints(int64(rng.Intn(12)), int64(rng.Intn(16)))
+		nonlinear, err := a.CertifyInsertDatalog(ins, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linear, err := a.CertifyInsertDatalogLinear(ins, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := a.CertifyInsert(ins, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nonlinear != linear || linear != direct {
+			t.Fatalf("trial %d: nonlinear=%v linear=%v direct=%v (L=%v ins=%v)",
+				trial, nonlinear, linear, direct, L, ins)
+		}
+	}
+}
+
+func TestDatalogLinearOpenBounds(t *testing.T) {
+	a, err := Analyze(mustCQC(t, "panic :- l(X,Y) & r(Z) & X < Z & Z < Y.", "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := store.New()
+	L := []relation.Tuple{relation.Ints(0, 5), relation.Ints(4, 9)}
+	for _, tu := range L {
+		if _, err := db.Insert("l", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Forbidden: (0,5) ∪ (4,9) = (0,9); inserting (1,8) → (1,8) covered.
+	ok, err := a.CertifyInsertDatalogLinear(relation.Ints(1, 8), db)
+	if err != nil || !ok {
+		t.Errorf("linear open-bounds coverage: %v %v", ok, err)
+	}
+	// (0,10) escapes past 9.
+	ok, err = a.CertifyInsertDatalogLinear(relation.Ints(0, 10), db)
+	if err != nil || ok {
+		t.Errorf("linear open-bounds escape: %v %v", ok, err)
+	}
+}

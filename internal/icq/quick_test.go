@@ -1,0 +1,112 @@
+package icq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// genInterval draws a random small-integer interval, possibly open or
+// half-infinite.
+type genInterval Interval
+
+func (genInterval) Generate(rng *rand.Rand, _ int) reflect.Value {
+	mk := func() Endpoint {
+		if rng.Intn(8) == 0 {
+			return Unbounded()
+		}
+		return Endpoint{Value: ast.Int(int64(rng.Intn(12))), Open: rng.Intn(2) == 0}
+	}
+	return reflect.ValueOf(genInterval{Lo: mk(), Hi: mk()})
+}
+
+func TestQuickCoversMonotoneInSet(t *testing.T) {
+	// Adding intervals to the covering set never loses coverage.
+	f := func(a, b, c genInterval, tgt genInterval) bool {
+		set := []Interval{Interval(a), Interval(b)}
+		target := Interval(tgt)
+		if Covers(set, target) {
+			return Covers(append(set, Interval(c)), target)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoversSelf(t *testing.T) {
+	// Every interval covers itself.
+	f := func(a genInterval) bool {
+		return Covers([]Interval{Interval(a)}, Interval(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoversIntersectionInside(t *testing.T) {
+	// a ∩ b is covered by {a} (and by {b}).
+	f := func(a, b genInterval) bool {
+		x := Interval(a).Intersect(Interval(b))
+		return Covers([]Interval{Interval(a)}, x) && Covers([]Interval{Interval(b)}, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionPreservesCoverage(t *testing.T) {
+	// The normalized union covers exactly what the raw set covers, for
+	// sampled targets.
+	f := func(a, b, c genInterval, tgt genInterval) bool {
+		set := []Interval{Interval(a), Interval(b), Interval(c)}
+		u := Union(set)
+		target := Interval(tgt)
+		return Covers(set, target) == Covers(u, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainsConsistentWithEmpty(t *testing.T) {
+	// An interval is empty iff it contains no grid point (half-integer
+	// grid is dense enough for integer endpoints within range).
+	f := func(a genInterval) bool {
+		iv := Interval(a)
+		any := false
+		for z := int64(-4); z <= 28; z++ {
+			if iv.Contains(ast.Rat(z, 2)) {
+				any = true
+				break
+			}
+		}
+		if iv.Lo.Inf || iv.Hi.Inf {
+			// Half-infinite intervals always contain far-out points.
+			return !iv.Empty()
+		}
+		return any == !iv.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtractPointNeverContainsPoint(t *testing.T) {
+	f := func(a genInterval, p uint8) bool {
+		v := ast.Int(int64(p % 12))
+		for _, piece := range Interval(a).SubtractPoint(v) {
+			if piece.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

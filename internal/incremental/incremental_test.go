@@ -1,0 +1,248 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// checkAgainstOracle compares every IDB relation of the materialization
+// against a fresh full evaluation.
+func checkAgainstOracle(t *testing.T, m *Materialized, prog *ast.Program, db *store.Store, ctx string) {
+	t.Helper()
+	res, err := eval.Eval(prog, db)
+	if err != nil {
+		t.Fatalf("%s: oracle eval: %v", ctx, err)
+	}
+	for pred := range prog.IDBPreds() {
+		want := tupleSet(res.Tuples(pred))
+		got := tupleSet(m.Tuples(pred))
+		if len(want) != len(got) {
+			t.Fatalf("%s: %s has %d tuples, oracle %d\n got:  %v\n want: %v",
+				ctx, pred, len(got), len(want), got, want)
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Fatalf("%s: %s missing %s", ctx, pred, k)
+			}
+		}
+	}
+}
+
+func tupleSet(ts []relation.Tuple) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range ts {
+		out[t.Key()] = true
+	}
+	return out
+}
+
+func TestIncrementalTransitiveClosure(t *testing.T) {
+	prog := parser.MustParseProgram(`
+		reach(X,Y) :- edge(X,Y).
+		reach(X,Y) :- reach(X,Z) & edge(Z,Y).`)
+	db := store.New()
+	for i := int64(0); i < 5; i++ {
+		if _, err := db.Insert("edge", relation.Ints(i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := Materialize(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, m, prog, db, "initial")
+	// Deleting a middle edge splits the chain.
+	if err := m.Apply(store.Del("edge", relation.Ints(2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, m, prog, db, "after split")
+	if m.idb["reach"].Contains(relation.Ints(0, 5)) {
+		t.Error("stale path across deleted edge")
+	}
+	// Reconnect with a shortcut.
+	if err := m.Apply(store.Ins("edge", relation.Ints(1, 4))); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, m, prog, db, "after shortcut")
+	if !m.idb["reach"].Contains(relation.Ints(0, 5)) {
+		t.Error("shortcut path not derived")
+	}
+}
+
+func TestIncrementalRederivation(t *testing.T) {
+	// Two parallel edges: deleting one must rederive paths through the
+	// other (the classic DRed over-delete/rederive case).
+	prog := parser.MustParseProgram(`
+		reach(X,Y) :- edge(X,Y).
+		reach(X,Y) :- reach(X,Z) & edge(Z,Y).`)
+	db := store.New()
+	for _, e := range [][2]int64{{0, 1}, {1, 2}, {0, 2}} {
+		if _, err := db.Insert("edge", relation.Ints(e[0], e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := Materialize(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(store.Del("edge", relation.Ints(0, 2))); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, m, prog, db, "after delete of shortcut")
+	if !m.idb["reach"].Contains(relation.Ints(0, 2)) {
+		t.Error("reach(0,2) lost although derivable via (0,1),(1,2)")
+	}
+}
+
+func TestIncrementalStratifiedNegation(t *testing.T) {
+	prog := parser.MustParseProgram(`
+		covered(E) :- ins(E,P) & policy(P).
+		panic :- emp(E) & not covered(E).`)
+	db := store.New()
+	if err := db.LoadFacts(parser.MustParseProgram("emp(ann). ins(ann,p1). policy(p1).")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Materialize(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds(ast.PanicPred) {
+		t.Fatal("covered employee flagged")
+	}
+	// Deleting the policy uncovers ann: panic must appear through the
+	// negation (a deletion causing an insertion).
+	if err := m.Apply(store.Del("policy", relation.Strs("p1"))); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, m, prog, db, "after policy delete")
+	if !m.Holds(ast.PanicPred) {
+		t.Error("panic not derived after policy deletion")
+	}
+	// Re-adding the policy covers ann again: panic must retract (an
+	// insertion causing a deletion).
+	if err := m.Apply(store.Ins("policy", relation.Strs("p1"))); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, m, prog, db, "after policy reinsert")
+	if m.Holds(ast.PanicPred) {
+		t.Error("panic not retracted after policy reinsertion")
+	}
+}
+
+func TestIncrementalComparisons(t *testing.T) {
+	prog := parser.MustParseProgram("panic :- emp(E,S) & S > 100.")
+	db := store.New()
+	m, err := Materialize(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(store.Ins("emp", relation.TupleOf(ast.Str("a"), ast.Int(50)))); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds(ast.PanicPred) {
+		t.Error("low salary fired")
+	}
+	if err := m.Apply(store.Ins("emp", relation.TupleOf(ast.Str("b"), ast.Int(500)))); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(ast.PanicPred) {
+		t.Error("high salary missed")
+	}
+	if err := m.Apply(store.Del("emp", relation.TupleOf(ast.Str("b"), ast.Int(500)))); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds(ast.PanicPred) {
+		t.Error("panic not retracted")
+	}
+}
+
+func TestIncrementalNoOpUpdates(t *testing.T) {
+	prog := parser.MustParseProgram("p(X) :- e(X).")
+	db := store.New()
+	if _, err := db.Insert("e", relation.Ints(1)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Materialize(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate insert and absent delete are no-ops.
+	if err := m.Apply(store.Ins("e", relation.Ints(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(store.Del("e", relation.Ints(9))); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, m, prog, db, "after no-ops")
+}
+
+func TestIncrementalRejectsIDBUpdate(t *testing.T) {
+	prog := parser.MustParseProgram("p(X) :- e(X).")
+	db := store.New()
+	m, err := Materialize(prog, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(store.Ins("p", relation.Ints(1))); err == nil {
+		t.Error("update to derived predicate accepted")
+	}
+}
+
+// TestIncrementalRandomizedOracle drives random update streams through
+// several programs, checking every state against full re-evaluation.
+func TestIncrementalRandomizedOracle(t *testing.T) {
+	programs := []string{
+		// Nonrecursive with join.
+		"panic :- emp(E,D) & not dept(D).",
+		// Union.
+		"p(X) :- e(X) & f(X).\np(X) :- g(X).",
+		// Recursion.
+		"reach(X,Y) :- edge(X,Y).\nreach(X,Y) :- reach(X,Z) & edge(Z,Y).",
+		// Recursion below negation.
+		"reach(X,Y) :- edge(X,Y).\nreach(X,Y) :- reach(X,Z) & edge(Z,Y).\npanic :- node(X) & node(Y) & not reach(X,Y) & X <> Y.",
+		// Comparisons and a diamond of intermediates.
+		"lo(E) :- emp(E,S) & S < 50.\nhi(E) :- emp(E,S) & S > 100.\npanic :- lo(E) & hi(E).",
+	}
+	rels := map[string]int{
+		"emp": 2, "dept": 1, "e": 1, "f": 1, "g": 1,
+		"edge": 2, "node": 1,
+	}
+	rng := rand.New(rand.NewSource(99))
+	for pi, src := range programs {
+		prog := parser.MustParseProgram(src)
+		used := map[string]int{}
+		for _, rel := range prog.EDBPreds() {
+			used[rel] = rels[rel]
+		}
+		db := store.New()
+		m, err := Materialize(prog, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for rel := range used {
+			names = append(names, rel)
+		}
+		sort.Strings(names)
+		for step := 0; step < 120; step++ {
+			rel := names[rng.Intn(len(names))]
+			tu := make(relation.Tuple, used[rel])
+			for j := range tu {
+				tu[j] = ast.Int(int64(rng.Intn(4)))
+			}
+			u := store.Update{Insert: rng.Intn(3) > 0, Relation: rel, Tuple: tu}
+			if err := m.Apply(u); err != nil {
+				t.Fatalf("program %d step %d: %v", pi, step, err)
+			}
+			checkAgainstOracle(t, m, prog, db, fmt.Sprintf("program %d step %d (%v)", pi, step, u))
+		}
+	}
+}

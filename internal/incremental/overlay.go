@@ -1,0 +1,102 @@
+package incremental
+
+import (
+	"repro/internal/ast"
+	"repro/internal/relation"
+)
+
+// overlayRel represents a stratum relation mid-update without copying
+// it: the committed base plus a deletion set and an insertion set. A
+// tuple is present when it is in ins, or in base and not in del;
+// (re-)inserting a deleted tuple adds it to ins, which dominates del.
+// All operations cost O(|delta|), never O(|base|).
+type overlayRel struct {
+	base *relation.Relation
+	del  *relation.Relation
+	ins  *relation.Relation
+}
+
+func newOverlay(base *relation.Relation) *overlayRel {
+	return &overlayRel{
+		base: base,
+		del:  relation.New(base.Name()+"-", base.Arity()),
+		ins:  relation.New(base.Name()+"+", base.Arity()),
+	}
+}
+
+func (o *overlayRel) contains(t relation.Tuple) bool {
+	if o.ins.Contains(t) {
+		return true
+	}
+	return o.base.Contains(t) && !o.del.Contains(t)
+}
+
+// remove marks t deleted; it reports whether the visible contents
+// changed.
+func (o *overlayRel) remove(t relation.Tuple) bool {
+	if !o.contains(t) {
+		return false
+	}
+	o.ins.Delete(t)
+	if o.base.Contains(t) {
+		o.del.Insert(t)
+	}
+	return true
+}
+
+// add makes t present; it reports whether the visible contents changed.
+func (o *overlayRel) add(t relation.Tuple) bool {
+	if o.contains(t) {
+		return false
+	}
+	o.ins.Insert(t)
+	return true
+}
+
+func (o *overlayRel) tuples() []relation.Tuple {
+	out := make([]relation.Tuple, 0, o.base.Len()+o.ins.Len())
+	o.base.Each(func(t relation.Tuple) bool {
+		if !o.del.Contains(t) {
+			out = append(out, t)
+		}
+		return true
+	})
+	o.ins.Each(func(t relation.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+func (o *overlayRel) lookup(col int, val ast.Value) []relation.Tuple {
+	var out []relation.Tuple
+	for _, t := range o.base.Lookup(col, val) {
+		if !o.del.Contains(t) {
+			out = append(out, t)
+		}
+	}
+	out = append(out, o.ins.Lookup(col, val)...)
+	return out
+}
+
+// commit applies the overlay to the base in place and returns the net
+// deltas (tuples actually removed and added).
+func (o *overlayRel) commit() (removed, added []relation.Tuple) {
+	o.del.Each(func(t relation.Tuple) bool {
+		// ins dominates del; a tuple in both stayed present.
+		if !o.ins.Contains(t) {
+			removed = append(removed, t)
+		}
+		return true
+	})
+	for _, t := range removed {
+		o.base.Delete(t)
+	}
+	o.ins.Each(func(t relation.Tuple) bool {
+		if o.base.Insert(t) {
+			added = append(added, t)
+		}
+		return true
+	})
+	return removed, added
+}

@@ -1,0 +1,134 @@
+package incremental
+
+import (
+	"repro/internal/ast"
+	"repro/internal/relation"
+)
+
+// stateView resolves predicate contents in either the pre-update (old)
+// or post-update (new) state. The store and committed IDB relations
+// always hold the NEW values; the old view un-applies the recorded
+// deltas. The new view additionally consults the overlay, which carries
+// the current stratum's tentative relations during DRed.
+type stateView struct {
+	m       *Materialized
+	d       *delta
+	old     bool
+	overlay map[string]*overlayRel
+}
+
+// curOverlay returns the current-stratum overlay for pred in the new
+// view, if any.
+func (v *stateView) curOverlay(pred string) *overlayRel {
+	if v.old || v.overlay == nil {
+		return nil
+	}
+	return v.overlay[pred]
+}
+
+func (v *stateView) baseRelation(pred string) *relation.Relation {
+	if r, ok := v.m.idb[pred]; ok {
+		return r
+	}
+	return v.m.db.Relation(pred)
+}
+
+// tuples returns the predicate's contents in the selected state.
+func (v *stateView) tuples(pred string) []relation.Tuple {
+	if o := v.curOverlay(pred); o != nil {
+		return o.tuples()
+	}
+	base := v.baseRelation(pred)
+	var cur []relation.Tuple
+	if base != nil {
+		cur = base.Tuples()
+	}
+	if !v.old {
+		return cur
+	}
+	// Old view: remove what the update inserted, restore what it deleted.
+	ins := map[string]bool{}
+	for _, t := range v.d.ins[pred] {
+		ins[t.Key()] = true
+	}
+	out := make([]relation.Tuple, 0, len(cur))
+	for _, t := range cur {
+		if !ins[t.Key()] {
+			out = append(out, t)
+		}
+	}
+	seen := map[string]bool{}
+	for _, t := range out {
+		seen[t.Key()] = true
+	}
+	for _, t := range v.d.del[pred] {
+		if !seen[t.Key()] {
+			seen[t.Key()] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// contains reports membership in the selected state.
+func (v *stateView) contains(pred string, t relation.Tuple) bool {
+	if o := v.curOverlay(pred); o != nil {
+		return o.contains(t)
+	}
+	base := v.baseRelation(pred)
+	in := base != nil && base.Contains(t)
+	if !v.old {
+		return in
+	}
+	if in {
+		// Present now: it was present before unless the update inserted it.
+		for _, x := range v.d.ins[pred] {
+			if x.Equal(t) {
+				return false
+			}
+		}
+		return true
+	}
+	// Absent now: it was present before iff the update deleted it.
+	for _, x := range v.d.del[pred] {
+		if x.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// lookup returns the predicate's tuples whose column col equals val in
+// the selected state, using the base relation's hash index.
+func (v *stateView) lookup(pred string, col int, val ast.Value) []relation.Tuple {
+	if o := v.curOverlay(pred); o != nil {
+		return o.lookup(col, val)
+	}
+	base := v.baseRelation(pred)
+	var cur []relation.Tuple
+	if base != nil && col < base.Arity() {
+		cur = base.Lookup(col, val)
+	}
+	if !v.old {
+		return cur
+	}
+	ins := map[string]bool{}
+	for _, t := range v.d.ins[pred] {
+		ins[t.Key()] = true
+	}
+	out := make([]relation.Tuple, 0, len(cur))
+	seen := map[string]bool{}
+	for _, t := range cur {
+		if !ins[t.Key()] {
+			out = append(out, t)
+			seen[t.Key()] = true
+		}
+	}
+	for _, t := range v.d.del[pred] {
+		if col < len(t) && t[col].Equal(val) && !seen[t.Key()] {
+			seen[t.Key()] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package ineq
+
+import "repro/internal/ast"
+
+// ImpliesDNF decides the same implication as Implies by the textbook
+// route: distribute ¬B1 ∧ … ∧ ¬Bm into full disjunctive normal form and
+// test each conjunct for satisfiability. It exists as the ablation
+// baseline for the DPLL-style Implies — the DNF has ∏|Bi| conjuncts, so
+// this blows up exactly where the lazy splitter prunes (see the
+// BenchmarkImplies* pair). Semantics are identical.
+func ImpliesDNF(premise []ast.Comparison, disjuncts [][]ast.Comparison) bool {
+	// A => ∨Bi iff A ∧ ∧¬Bi unsat. ¬Bi = ∨ negated atoms; the product of
+	// choices enumerates the DNF.
+	choice := make([]int, len(disjuncts))
+	for {
+		conj := make([]ast.Comparison, 0, len(premise)+len(disjuncts))
+		conj = append(conj, premise...)
+		for i, b := range disjuncts {
+			if len(b) == 0 {
+				// ¬(empty conjunction) is false: the whole branch (and
+				// every branch, since this clause is in every product)
+				// is unsatisfiable — the implication holds trivially.
+				return true
+			}
+			conj = append(conj, b[choice[i]].Negate())
+		}
+		if Satisfiable(conj) {
+			return false
+		}
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(disjuncts[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package ineq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// genConj draws a random conjunction of comparisons over X,Y,Z and small
+// integers.
+type genConj []ast.Comparison
+
+func (genConj) Generate(rng *rand.Rand, _ int) reflect.Value {
+	vars := []ast.Term{ast.V("X"), ast.V("Y"), ast.V("Z")}
+	term := func() ast.Term {
+		if rng.Intn(3) == 0 {
+			return ast.CInt(int64(rng.Intn(4)))
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	ops := []ast.CompOp{ast.Lt, ast.Le, ast.Eq, ast.Ne, ast.Ge, ast.Gt}
+	conj := make(genConj, 1+rng.Intn(4))
+	for i := range conj {
+		conj[i] = ast.NewComparison(term(), ops[rng.Intn(len(ops))], term())
+	}
+	return reflect.ValueOf(conj)
+}
+
+func TestQuickSatisfiableAntiMonotone(t *testing.T) {
+	// Adding atoms never makes an unsatisfiable conjunction satisfiable.
+	f := func(a genConj, b genConj) bool {
+		if Satisfiable([]ast.Comparison(a)) {
+			return true
+		}
+		return !Satisfiable(append(append([]ast.Comparison{}, a...), b...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickImpliesReflexive(t *testing.T) {
+	// A ⇒ A always.
+	f := func(a genConj) bool {
+		return Implies([]ast.Comparison(a), [][]ast.Comparison{a})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickImpliesWeakening(t *testing.T) {
+	// (A ∧ B) ⇒ A.
+	f := func(a genConj, b genConj) bool {
+		strong := append(append([]ast.Comparison{}, a...), b...)
+		return Implies(strong, [][]ast.Comparison{a})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickImpliesDisjunctMonotone(t *testing.T) {
+	// Adding a disjunct never breaks an implication.
+	f := func(a genConj, b genConj, c genConj) bool {
+		if Implies(a, [][]ast.Comparison{b}) {
+			return Implies(a, [][]ast.Comparison{b, c})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickModelMatchesSatisfiable(t *testing.T) {
+	// Model succeeds exactly when Satisfiable says so (over the integer
+	// constants used by the generator; the string-density corner cannot
+	// arise), and its witness verifies.
+	f := func(a genConj) bool {
+		sat := Satisfiable([]ast.Comparison(a))
+		m, ok, err := Model([]ast.Comparison(a))
+		if err != nil || ok != sat {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return evalConj([]ast.Comparison(a), m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEquivalentReflexiveSymmetric(t *testing.T) {
+	f := func(a genConj, b genConj) bool {
+		if !Equivalent(a, a) {
+			return false
+		}
+		return Equivalent(a, b) == Equivalent(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimplifyEquivalent(t *testing.T) {
+	// Simplify never changes the models, and never grows the input.
+	f := func(a genConj) bool {
+		s := Simplify([]ast.Comparison(a))
+		if len(s) > len(a) && Satisfiable(a) {
+			return false
+		}
+		return Equivalent(a, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyExamples(t *testing.T) {
+	X, Y := ast.V("X"), ast.V("Y")
+	// X<Y ∧ X<=Y simplifies to just X<Y.
+	got := Simplify([]ast.Comparison{
+		ast.NewComparison(X, ast.Lt, Y),
+		ast.NewComparison(X, ast.Le, Y),
+	})
+	if len(got) != 1 || got[0].Op != ast.Lt {
+		t.Errorf("Simplify = %v", got)
+	}
+	// Unsatisfiable input collapses to the canonical contradiction.
+	got = Simplify([]ast.Comparison{
+		ast.NewComparison(X, ast.Lt, Y),
+		ast.NewComparison(Y, ast.Lt, X),
+	})
+	if len(got) != 1 || Satisfiable(got) {
+		t.Errorf("contradiction form = %v", got)
+	}
+	// Chains: X<Y ∧ Y<3 ∧ X<3 drops the implied X<3.
+	got = Simplify([]ast.Comparison{
+		ast.NewComparison(X, ast.Lt, Y),
+		ast.NewComparison(Y, ast.Lt, ast.CInt(3)),
+		ast.NewComparison(X, ast.Lt, ast.CInt(3)),
+	})
+	if len(got) != 2 {
+		t.Errorf("chain simplify = %v", got)
+	}
+}

@@ -1,0 +1,28 @@
+package ineq
+
+import "repro/internal/ast"
+
+// Simplify returns an equivalent conjunction with redundant comparisons
+// removed: an atom is dropped when the remaining atoms already imply it.
+// For unsatisfiable input it returns the canonical contradiction 0 < 0.
+// The greedy single-pass scan is quadratic in the number of atoms times
+// the cost of an implication check; reductions and generated tests use
+// it to keep printed constraints readable.
+func Simplify(conj []ast.Comparison) []ast.Comparison {
+	if !Satisfiable(conj) {
+		zero := ast.CInt(0)
+		return []ast.Comparison{ast.NewComparison(zero, ast.Lt, zero)}
+	}
+	out := append([]ast.Comparison{}, conj...)
+	for i := 0; i < len(out); {
+		rest := make([]ast.Comparison, 0, len(out)-1)
+		rest = append(rest, out[:i]...)
+		rest = append(rest, out[i+1:]...)
+		if Implies(rest, [][]ast.Comparison{{out[i]}}) {
+			out = rest
+			continue // re-examine index i (now a different atom)
+		}
+		i++
+	}
+	return out
+}

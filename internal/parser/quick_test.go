@@ -1,0 +1,80 @@
+package parser
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+// genRule draws a random safe rule over a small vocabulary.
+type genRule struct{ r *ast.Rule }
+
+func (genRule) Generate(rng *rand.Rand, _ int) reflect.Value {
+	vars := []ast.Term{ast.V("X"), ast.V("Y"), ast.V("Z")}
+	consts := []ast.Term{ast.CInt(0), ast.CInt(7), ast.CStr("toy"), ast.CStr("New York")}
+	preds := []string{"p", "q", "r"}
+	term := func() ast.Term {
+		if rng.Intn(3) == 0 {
+			return consts[rng.Intn(len(consts))]
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	// Positive atoms first (bind variables), then optional negation and
+	// comparisons over bound variables only (safety).
+	bound := map[string]bool{}
+	var body []ast.Literal
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		args := []ast.Term{term(), term()}
+		for _, a := range args {
+			if a.IsVar() {
+				bound[a.Var] = true
+			}
+		}
+		body = append(body, ast.Pos(ast.Atom{Pred: preds[rng.Intn(len(preds))], Args: args}))
+	}
+	var boundVars []ast.Term
+	for v := range bound {
+		boundVars = append(boundVars, ast.V(v))
+	}
+	boundTerm := func() ast.Term {
+		if len(boundVars) == 0 || rng.Intn(3) == 0 {
+			return consts[rng.Intn(len(consts))]
+		}
+		return boundVars[rng.Intn(len(boundVars))]
+	}
+	if rng.Intn(2) == 0 {
+		body = append(body, ast.Neg(ast.NewAtom("s", boundTerm())))
+	}
+	if rng.Intn(2) == 0 {
+		ops := []ast.CompOp{ast.Lt, ast.Le, ast.Eq, ast.Ne, ast.Ge, ast.Gt}
+		body = append(body, ast.Cmp(ast.NewComparison(boundTerm(), ops[rng.Intn(len(ops))], boundTerm())))
+	}
+	// Head over bound variables/constants.
+	head := ast.NewAtom("h", boundTerm())
+	return reflect.ValueOf(genRule{&ast.Rule{Head: head, Body: body}})
+}
+
+// TestQuickRoundTrip: printing a random rule and reparsing it yields a
+// syntactically identical rule.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(g genRule) bool {
+		printed := g.r.String()
+		back, err := ParseRule(printed)
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", printed, err)
+			return false
+		}
+		if !back.Equal(g.r) {
+			t.Logf("round trip changed rule:\n in:  %s\n out: %s", g.r, back)
+			return false
+		}
+		// Printing must be a fixed point.
+		return back.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package ra
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// genDB draws a small store with two binary relations a and b.
+type genDB struct{ db *store.Store }
+
+func (genDB) Generate(rng *rand.Rand, _ int) reflect.Value {
+	db := store.New()
+	for _, rel := range []string{"a", "b"} {
+		db.MustEnsure(rel, 2)
+		for i := 0; i < rng.Intn(6); i++ {
+			if _, err := db.Insert(rel, relation.Ints(int64(rng.Intn(4)), int64(rng.Intn(4)))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return reflect.ValueOf(genDB{db})
+}
+
+// genCond draws a selection condition over two columns and small constants.
+type genCond struct{ c Cond }
+
+func (genCond) Generate(rng *rand.Rand, _ int) reflect.Value {
+	ops := []ast.CompOp{ast.Lt, ast.Le, ast.Eq, ast.Ne, ast.Ge, ast.Gt}
+	operand := func() Operand {
+		if rng.Intn(2) == 0 {
+			return ColRef(rng.Intn(2))
+		}
+		return ConstOp(ast.Int(int64(rng.Intn(4))))
+	}
+	return reflect.ValueOf(genCond{Cond{Left: operand(), Op: ops[rng.Intn(len(ops))], Right: operand()}})
+}
+
+func eq(t *testing.T, x, y Expr, db *store.Store) bool {
+	t.Helper()
+	rx, err := x.Eval(db)
+	if err != nil {
+		t.Fatalf("eval %s: %v", x, err)
+	}
+	ry, err := y.Eval(db)
+	if err != nil {
+		t.Fatalf("eval %s: %v", y, err)
+	}
+	return rx.Equal(ry)
+}
+
+// TestQuickSelectDistributesOverUnion: σ(A ∪ B) = σ(A) ∪ σ(B).
+func TestQuickSelectDistributesOverUnion(t *testing.T) {
+	f := func(g genDB, c genCond) bool {
+		a, b := NewRel("a", 2), NewRel("b", 2)
+		lhs := NewSelect(NewUnion(a, b), c.c)
+		rhs := NewUnion(NewSelect(a, c.c), NewSelect(b, c.c))
+		return eq(t, lhs, rhs, g.db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSelectCommutes: σc1(σc2(A)) = σc2(σc1(A)) = σ[c1∧c2](A).
+func TestQuickSelectCommutes(t *testing.T) {
+	f := func(g genDB, c1, c2 genCond) bool {
+		a := NewRel("a", 2)
+		x := NewSelect(NewSelect(a, c1.c), c2.c)
+		y := NewSelect(NewSelect(a, c2.c), c1.c)
+		z := NewSelect(a, c1.c, c2.c)
+		return eq(t, x, y, g.db) && eq(t, x, z, g.db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDiffLaws: A − A = ∅ and (A − B) ⊆ A.
+func TestQuickDiffLaws(t *testing.T) {
+	f := func(g genDB) bool {
+		a, b := NewRel("a", 2), NewRel("b", 2)
+		empty, err := NewDiff(a, a).Eval(g.db)
+		if err != nil || empty.Len() != 0 {
+			return false
+		}
+		diff, err := NewDiff(a, b).Eval(g.db)
+		if err != nil {
+			return false
+		}
+		full, err := a.Eval(g.db)
+		if err != nil {
+			return false
+		}
+		ok := true
+		diff.Each(func(tu relation.Tuple) bool {
+			if !full.Contains(tu) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProjectIdempotent: π[cols](π[cols](A)) = π[cols](A) for a
+// permutation-free projection.
+func TestQuickProjectIdempotent(t *testing.T) {
+	f := func(g genDB) bool {
+		a := NewRel("a", 2)
+		p1 := NewProject(a, 0)
+		p2 := NewProject(p1, 0)
+		return eq(t, p1, p2, g.db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUnionCommutativeAssociative.
+func TestQuickUnionLaws(t *testing.T) {
+	f := func(g genDB) bool {
+		a, b := NewRel("a", 2), NewRel("b", 2)
+		return eq(t, NewUnion(a, b), NewUnion(b, a), g.db) &&
+			eq(t, NewUnion(NewUnion(a, b), a), NewUnion(a, b), g.db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package ra provides relational algebra expression trees and their
+// evaluator. Theorem 5.3 of the paper compiles an arithmetic-free CQC
+// and an inserted tuple into an expression of this algebra whose
+// nonemptiness is the complete local test; expressing tests in the
+// algebra is what makes them runnable inside any database system's query
+// language (Section 1, "Tests Using the Query Language").
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Expr is a relational algebra expression.
+type Expr interface {
+	// Arity is the width of the result.
+	Arity() int
+	// Eval computes the expression over the store.
+	Eval(db *store.Store) (*relation.Relation, error)
+	// String renders the expression in a compact algebra syntax.
+	String() string
+}
+
+// Operand is one side of a selection condition: a column reference
+// (Const == nil) or a constant.
+type Operand struct {
+	Col   int
+	Const *ast.Value
+}
+
+// ColRef returns a column operand (0-based, written #n).
+func ColRef(i int) Operand { return Operand{Col: i} }
+
+// ConstOp returns a constant operand.
+func ConstOp(v ast.Value) Operand { return Operand{Col: -1, Const: &v} }
+
+func (o Operand) value(t relation.Tuple) ast.Value {
+	if o.Const != nil {
+		return *o.Const
+	}
+	return t[o.Col]
+}
+
+func (o Operand) String() string {
+	if o.Const != nil {
+		return o.Const.String()
+	}
+	return fmt.Sprintf("#%d", o.Col+1)
+}
+
+// Cond is one selection condition.
+type Cond struct {
+	Left  Operand
+	Op    ast.CompOp
+	Right Operand
+}
+
+func (c Cond) eval(t relation.Tuple) bool { return c.Op.Eval(c.Left.value(t), c.Right.value(t)) }
+
+func (c Cond) String() string { return c.Left.String() + c.Op.String() + c.Right.String() }
+
+// Rel is a base-relation reference.
+type Rel struct {
+	Name  string
+	Width int
+}
+
+// NewRel references the named base relation with the given arity.
+func NewRel(name string, arity int) *Rel { return &Rel{Name: name, Width: arity} }
+
+func (r *Rel) Arity() int { return r.Width }
+
+func (r *Rel) Eval(db *store.Store) (*relation.Relation, error) {
+	out := relation.New(r.Name, r.Width)
+	for _, t := range db.Tuples(r.Name) {
+		if len(t) != r.Width {
+			return nil, fmt.Errorf("ra: relation %s has arity %d, expression expects %d", r.Name, len(t), r.Width)
+		}
+		out.Insert(t)
+	}
+	return out, nil
+}
+
+func (r *Rel) String() string { return r.Name }
+
+// Select filters the input by a conjunction of conditions.
+type Select struct {
+	Conds []Cond
+	Input Expr
+}
+
+// NewSelect builds a selection.
+func NewSelect(input Expr, conds ...Cond) *Select { return &Select{Conds: conds, Input: input} }
+
+func (s *Select) Arity() int { return s.Input.Arity() }
+
+func (s *Select) Eval(db *store.Store) (*relation.Relation, error) {
+	in, err := s.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range s.Conds {
+		for _, o := range []Operand{c.Left, c.Right} {
+			if o.Const == nil && (o.Col < 0 || o.Col >= s.Input.Arity()) {
+				return nil, fmt.Errorf("ra: selection column #%d out of range (arity %d)", o.Col+1, s.Input.Arity())
+			}
+		}
+	}
+	out := relation.New("σ", in.Arity())
+	in.Each(func(t relation.Tuple) bool {
+		for _, c := range s.Conds {
+			if !c.eval(t) {
+				return true
+			}
+		}
+		out.Insert(t)
+		return true
+	})
+	return out, nil
+}
+
+func (s *Select) String() string {
+	parts := make([]string, len(s.Conds))
+	for i, c := range s.Conds {
+		parts[i] = c.String()
+	}
+	return "σ[" + strings.Join(parts, " ∧ ") + "](" + s.Input.String() + ")"
+}
+
+// Project keeps the listed columns in order (duplicates allowed).
+type Project struct {
+	Cols  []int
+	Input Expr
+}
+
+// NewProject builds a projection.
+func NewProject(input Expr, cols ...int) *Project { return &Project{Cols: cols, Input: input} }
+
+func (p *Project) Arity() int { return len(p.Cols) }
+
+func (p *Project) Eval(db *store.Store) (*relation.Relation, error) {
+	in, err := p.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range p.Cols {
+		if c < 0 || c >= in.Arity() {
+			return nil, fmt.Errorf("ra: projection column #%d out of range (arity %d)", c+1, in.Arity())
+		}
+	}
+	out := relation.New("π", len(p.Cols))
+	in.Each(func(t relation.Tuple) bool {
+		nt := make(relation.Tuple, len(p.Cols))
+		for i, c := range p.Cols {
+			nt[i] = t[c]
+		}
+		out.Insert(nt)
+		return true
+	})
+	return out, nil
+}
+
+func (p *Project) String() string {
+	parts := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		parts[i] = fmt.Sprintf("#%d", c+1)
+	}
+	return "π[" + strings.Join(parts, ",") + "](" + p.Input.String() + ")"
+}
+
+// Product is the cartesian product of two expressions.
+type Product struct {
+	Left, Right Expr
+}
+
+// NewProduct builds a product.
+func NewProduct(l, r Expr) *Product { return &Product{Left: l, Right: r} }
+
+func (x *Product) Arity() int { return x.Left.Arity() + x.Right.Arity() }
+
+func (x *Product) Eval(db *store.Store) (*relation.Relation, error) {
+	l, err := x.Left.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := x.Right.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New("×", x.Arity())
+	l.Each(func(lt relation.Tuple) bool {
+		r.Each(func(rt relation.Tuple) bool {
+			nt := make(relation.Tuple, 0, len(lt)+len(rt))
+			nt = append(nt, lt...)
+			nt = append(nt, rt...)
+			out.Insert(nt)
+			return true
+		})
+		return true
+	})
+	return out, nil
+}
+
+func (x *Product) String() string { return "(" + x.Left.String() + " × " + x.Right.String() + ")" }
+
+// Union is set union of same-arity expressions.
+type Union struct {
+	Inputs []Expr
+}
+
+// NewUnion builds an n-ary union; it panics on arity mismatch.
+func NewUnion(inputs ...Expr) *Union {
+	if len(inputs) == 0 {
+		panic("ra: empty union (use Empty)")
+	}
+	for _, in := range inputs[1:] {
+		if in.Arity() != inputs[0].Arity() {
+			panic("ra: union arity mismatch")
+		}
+	}
+	return &Union{Inputs: inputs}
+}
+
+func (u *Union) Arity() int { return u.Inputs[0].Arity() }
+
+func (u *Union) Eval(db *store.Store) (*relation.Relation, error) {
+	out := relation.New("∪", u.Arity())
+	for _, in := range u.Inputs {
+		r, err := in.Eval(db)
+		if err != nil {
+			return nil, err
+		}
+		r.Each(func(t relation.Tuple) bool { out.Insert(t); return true })
+	}
+	return out, nil
+}
+
+func (u *Union) String() string {
+	parts := make([]string, len(u.Inputs))
+	for i, in := range u.Inputs {
+		parts[i] = in.String()
+	}
+	return "(" + strings.Join(parts, " ∪ ") + ")"
+}
+
+// Diff is set difference Left − Right.
+type Diff struct {
+	Left, Right Expr
+}
+
+// NewDiff builds a difference; it panics on arity mismatch.
+func NewDiff(l, r Expr) *Diff {
+	if l.Arity() != r.Arity() {
+		panic("ra: difference arity mismatch")
+	}
+	return &Diff{Left: l, Right: r}
+}
+
+func (d *Diff) Arity() int { return d.Left.Arity() }
+
+func (d *Diff) Eval(db *store.Store) (*relation.Relation, error) {
+	l, err := d.Left.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := d.Right.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New("−", d.Arity())
+	l.Each(func(t relation.Tuple) bool {
+		if !r.Contains(t) {
+			out.Insert(t)
+		}
+		return true
+	})
+	return out, nil
+}
+
+func (d *Diff) String() string { return "(" + d.Left.String() + " − " + d.Right.String() + ")" }
+
+// Literal is a constant relation.
+type Literal struct {
+	Width  int
+	Tuples []relation.Tuple
+}
+
+// NewLiteral builds a constant relation of the given arity.
+func NewLiteral(arity int, tuples ...relation.Tuple) *Literal {
+	return &Literal{Width: arity, Tuples: tuples}
+}
+
+// Empty returns an empty constant relation. A Theorem 5.3 test compiles
+// to Empty's complement semantics: an always-false test is Empty, an
+// always-true test is a one-tuple 0-ary literal.
+func Empty(arity int) *Literal { return &Literal{Width: arity} }
+
+// TrueExpr is the 0-ary relation holding the empty tuple: nonempty, so a
+// nonemptiness test on it is always true.
+func TrueExpr() *Literal { return NewLiteral(0, relation.Tuple{}) }
+
+func (l *Literal) Arity() int { return l.Width }
+
+func (l *Literal) Eval(*store.Store) (*relation.Relation, error) {
+	out := relation.New("lit", l.Width)
+	for _, t := range l.Tuples {
+		if len(t) != l.Width {
+			return nil, fmt.Errorf("ra: literal tuple arity %d, expression expects %d", len(t), l.Width)
+		}
+		out.Insert(t)
+	}
+	return out, nil
+}
+
+func (l *Literal) String() string {
+	if len(l.Tuples) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(l.Tuples))
+	for i, t := range l.Tuples {
+		parts[i] = t.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// NonEmpty evaluates e and reports whether its result holds any tuple —
+// the verdict form of the Theorem 5.3 complete local test.
+func NonEmpty(e Expr, db *store.Store) (bool, error) {
+	r, err := e.Eval(db)
+	if err != nil {
+		return false, err
+	}
+	return r.Len() > 0, nil
+}

@@ -1,0 +1,227 @@
+package ra
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func db3(t *testing.T) *store.Store {
+	t.Helper()
+	db := store.New()
+	for _, tu := range []relation.Tuple{
+		relation.Ints(1, 10),
+		relation.Ints(2, 20),
+		relation.Ints(3, 30),
+	} {
+		if _, err := db.Insert("r", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tu := range []relation.Tuple{relation.Ints(2), relation.Ints(4)} {
+		if _, err := db.Insert("s", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestRelEval(t *testing.T) {
+	db := db3(t)
+	r, err := NewRel("r", 2).Eval(db)
+	if err != nil || r.Len() != 3 {
+		t.Fatalf("Rel eval: len=%d err=%v", r.Len(), err)
+	}
+	if _, err := NewRel("r", 3).Eval(db); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Absent relation evaluates empty.
+	e, err := NewRel("absent", 1).Eval(db)
+	if err != nil || e.Len() != 0 {
+		t.Errorf("absent relation: len=%d err=%v", e.Len(), err)
+	}
+}
+
+func TestSelectColConst(t *testing.T) {
+	db := db3(t)
+	sel := NewSelect(NewRel("r", 2), Cond{ColRef(1), ast.Gt, ConstOp(ast.Int(15))})
+	r, err := sel.Eval(db)
+	if err != nil || r.Len() != 2 {
+		t.Fatalf("select: len=%d err=%v", r.Len(), err)
+	}
+}
+
+func TestSelectColCol(t *testing.T) {
+	db := store.New()
+	if _, err := db.Insert("p", relation.Ints(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("p", relation.Ints(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	sel := NewSelect(NewRel("p", 2), Cond{ColRef(0), ast.Eq, ColRef(1)})
+	r, err := sel.Eval(db)
+	if err != nil || r.Len() != 1 {
+		t.Fatalf("select #1=#2: len=%d err=%v", r.Len(), err)
+	}
+	if !r.Contains(relation.Ints(5, 5)) {
+		t.Error("wrong tuple selected")
+	}
+}
+
+func TestSelectColumnRangeError(t *testing.T) {
+	db := db3(t)
+	sel := NewSelect(NewRel("r", 2), Cond{ColRef(7), ast.Eq, ConstOp(ast.Int(1))})
+	if _, err := sel.Eval(db); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	db := db3(t)
+	p := NewProject(NewRel("r", 2), 1)
+	r, err := p.Eval(db)
+	if err != nil || r.Len() != 3 || r.Arity() != 1 {
+		t.Fatalf("project: len=%d arity=%d err=%v", r.Len(), r.Arity(), err)
+	}
+	// Projection deduplicates.
+	db2 := store.New()
+	for i := int64(0); i < 5; i++ {
+		if _, err := db2.Insert("q", relation.Ints(i, 99)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r2, err := NewProject(NewRel("q", 2), 1).Eval(db2)
+	if err != nil || r2.Len() != 1 {
+		t.Fatalf("dedup project: len=%d err=%v", r2.Len(), err)
+	}
+}
+
+func TestProductJoinViaSelect(t *testing.T) {
+	db := db3(t)
+	// r ⋈ s on r.#1 = s.#1 expressed as σ[#1=#3](r × s).
+	join := NewSelect(NewProduct(NewRel("r", 2), NewRel("s", 1)), Cond{ColRef(0), ast.Eq, ColRef(2)})
+	r, err := join.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || !r.Contains(relation.Ints(2, 20, 2)) {
+		t.Errorf("join result: %v", r)
+	}
+}
+
+func TestUnionDiff(t *testing.T) {
+	db := db3(t)
+	u := NewUnion(NewRel("s", 1), NewProject(NewRel("r", 2), 0))
+	r, err := u.Eval(db)
+	if err != nil || r.Len() != 4 { // {2,4} ∪ {1,2,3}
+		t.Fatalf("union: len=%d err=%v", r.Len(), err)
+	}
+	d := NewDiff(NewProject(NewRel("r", 2), 0), NewRel("s", 1))
+	r2, err := d.Eval(db)
+	if err != nil || r2.Len() != 2 { // {1,3}
+		t.Fatalf("diff: len=%d err=%v", r2.Len(), err)
+	}
+	if r2.Contains(relation.Ints(2)) {
+		t.Error("diff kept removed tuple")
+	}
+}
+
+func TestLiteralTrueEmpty(t *testing.T) {
+	db := store.New()
+	ok, err := NonEmpty(TrueExpr(), db)
+	if err != nil || !ok {
+		t.Errorf("TrueExpr: %v %v", ok, err)
+	}
+	ok, err = NonEmpty(Empty(2), db)
+	if err != nil || ok {
+		t.Errorf("Empty: %v %v", ok, err)
+	}
+}
+
+func TestExample54Expression(t *testing.T) {
+	// Example 5.4: inserting (a,b,b) into L, the complete local test is
+	// σ[#1=a ∧ #2=b ∧ #2=#3](L) nonempty.
+	db := store.New()
+	if _, err := db.Insert("l", relation.Strs("a", "b", "b")); err != nil {
+		t.Fatal(err)
+	}
+	test := NewSelect(NewRel("l", 3),
+		Cond{ColRef(0), ast.Eq, ConstOp(ast.Str("a"))},
+		Cond{ColRef(1), ast.Eq, ConstOp(ast.Str("b"))},
+		Cond{ColRef(1), ast.Eq, ColRef(2)},
+	)
+	ok, err := NonEmpty(test, db)
+	if err != nil || !ok {
+		t.Errorf("Example 5.4 test should pass when the tuple exists: %v %v", ok, err)
+	}
+	db2 := store.New()
+	if _, err := db2.Insert("l", relation.Strs("a", "c", "c")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = NonEmpty(test, db2)
+	if err != nil || ok {
+		t.Errorf("Example 5.4 test should fail without the tuple: %v %v", ok, err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := NewSelect(NewRel("l", 2), Cond{ColRef(0), ast.Eq, ConstOp(ast.Int(3))})
+	if got := e.String(); got != "σ[#1=3](l)" {
+		t.Errorf("String = %q", got)
+	}
+	u := NewUnion(NewRel("a", 1), NewRel("b", 1))
+	if got := u.String(); got != "(a ∪ b)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestUnionArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch union did not panic")
+		}
+	}()
+	NewUnion(NewRel("a", 1), NewRel("b", 2))
+}
+
+func TestMoreStringRendering(t *testing.T) {
+	p := NewProject(NewRel("r", 2), 1)
+	if got := p.String(); got != "π[#2](r)" {
+		t.Errorf("project String = %q", got)
+	}
+	x := NewProduct(NewRel("a", 1), NewRel("b", 1))
+	if got := x.String(); got != "(a × b)" {
+		t.Errorf("product String = %q", got)
+	}
+	d := NewDiff(NewRel("a", 1), NewRel("b", 1))
+	if got := d.String(); got != "(a − b)" {
+		t.Errorf("diff String = %q", got)
+	}
+	if got := Empty(2).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	lit := NewLiteral(1, relation.Ints(3))
+	if got := lit.String(); got != "{(3)}" {
+		t.Errorf("literal String = %q", got)
+	}
+	if lit.Arity() != 1 || TrueExpr().Arity() != 0 {
+		t.Error("literal arity wrong")
+	}
+	// Literal with mismatched tuple arity errors at eval.
+	bad := NewLiteral(2, relation.Ints(1))
+	if _, err := bad.Eval(store.New()); err == nil {
+		t.Error("arity-mismatched literal accepted")
+	}
+}
+
+func TestDiffArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("diff arity mismatch did not panic")
+		}
+	}()
+	NewDiff(NewRel("a", 1), NewRel("b", 2))
+}

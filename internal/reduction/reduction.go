@@ -1,0 +1,247 @@
+// Package reduction implements the Section 5 machinery for complete
+// local tests: the reduction RED(t, l, C) of a conjunctive-query
+// constraint by a tuple of its local relation, the Theorem 5.2 complete
+// local test (containment of the inserted tuple's reduction in the union
+// of reductions over the local relation), and the Theorem 5.3 compiler
+// from an arithmetic-free CQC to a relational-algebra expression whose
+// nonemptiness is the complete local test.
+package reduction
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/containment"
+	"repro/internal/ra"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Reduce computes RED(t, l, C) for a normal-form CQC: the components of
+// t are substituted for the variables of the local subgoal, which is then
+// eliminated (Example 5.3). In normal form the local variables occur only
+// in the comparisons, so the remote subgoals are untouched and the result
+// is again in Theorem 5.1 normal form.
+func Reduce(c *ast.CQC, t relation.Tuple) (*ast.Rule, error) {
+	local := c.LocalAtom()
+	if len(t) != local.Arity() {
+		return nil, fmt.Errorf("reduction: tuple arity %d does not match %s", len(t), local)
+	}
+	s := ast.Subst{}
+	for i, arg := range local.Args {
+		s[arg.Var] = ast.C(t[i])
+	}
+	var body []ast.Literal
+	for _, l := range c.Rule.Body {
+		if l.IsPos() && l.Atom.Pred == c.LocalPred {
+			continue
+		}
+		body = append(body, l.Apply(s))
+	}
+	return &ast.Rule{Head: c.Rule.Head, Body: body}, nil
+}
+
+// LocalTest runs the Theorem 5.2 complete local test for the insertion
+// of t into the local relation holding the tuples L: the constraint c
+// (assumed to hold before the update) still holds afterwards iff
+// RED(t,l,C) ⊑ ∪_{s∈L} RED(s,l,C), decided by the union extension of
+// Theorem 5.1. A true result is a guarantee; a false result means some
+// state of the remote relations would violate the constraint
+// (completeness), so the caller must consult remote data.
+func LocalTest(c *ast.CQC, t relation.Tuple, L []relation.Tuple) (bool, error) {
+	return LocalTestMulti(c, nil, t, L)
+}
+
+// LocalTestMulti extends LocalTest with other constraints known to hold
+// before the update (each a CQC over the same local predicate): their
+// reductions by every tuple of L join the union on the right, as the
+// remark after Theorem 5.2 prescribes.
+func LocalTestMulti(c *ast.CQC, others []*ast.CQC, t relation.Tuple, L []relation.Tuple) (bool, error) {
+	redT, err := Reduce(c, t)
+	if err != nil {
+		return false, err
+	}
+	var union []*ast.Rule
+	for _, s := range L {
+		r, err := Reduce(c, s)
+		if err != nil {
+			return false, err
+		}
+		union = append(union, r)
+	}
+	for _, o := range others {
+		if o.LocalPred != c.LocalPred {
+			return false, fmt.Errorf("reduction: constraint %s has local predicate %s, want %s", o, o.LocalPred, c.LocalPred)
+		}
+		for _, s := range L {
+			r, err := Reduce(o, s)
+			if err != nil {
+				return false, err
+			}
+			union = append(union, r)
+		}
+	}
+	return containment.Theorem51Union(redT, union)
+}
+
+// CompileRA implements Theorem 5.3: for an arithmetic-free CQC (given as
+// a raw conjunctive panic rule over the local predicate; constants and
+// repeated variables ARE allowed here) and an inserted tuple t, it
+// produces a relational algebra expression over the local relation whose
+// nonemptiness is the complete local test. The expression is built once
+// per (constraint, tuple) pair in time independent of the data.
+//
+// Construction (following the proof sketch and Example 5.4): let τ be a
+// tuple of fresh column variables for L. RED(τ,l,C) carries the pattern
+// constraints of the local subgoal (column=constant for constants,
+// column=column for repeated variables). Each containment mapping from
+// RED(τ,l,C) into the frozen RED(t,l,C) contributes one selection over
+// L: the pattern constraints plus column=value for every τ column the
+// mapping sends to a constant; mappings that send a τ column to a
+// remote variable of RED(t) are rejected (a stored tuple's component is
+// a constant and can never map onto a variable). The final test is the
+// union of these selections; with no valid mapping the test is the empty
+// expression (never satisfied), and when RED(t,l,C) does not exist —
+// the insertion cannot unify with the local subgoal, as with t=(a,b,c)
+// against l(X,Y,Y) — the test is constantly true.
+func CompileRA(rule *ast.Rule, localPred string, t relation.Tuple) (ra.Expr, error) {
+	if rule.HasComparison() || rule.HasNegation() {
+		return nil, fmt.Errorf("reduction: Theorem 5.3 applies to arithmetic-free CQCs only")
+	}
+	if rule.Head.Pred != ast.PanicPred || rule.Head.Arity() != 0 {
+		return nil, fmt.Errorf("reduction: constraint head must be 0-ary %s", ast.PanicPred)
+	}
+	var local *ast.Atom
+	var remotes []ast.Atom
+	for _, a := range rule.PositiveAtoms() {
+		if a.Pred == localPred {
+			if local != nil {
+				return nil, fmt.Errorf("reduction: more than one local subgoal in %s", rule)
+			}
+			la := a
+			local = &la
+			continue
+		}
+		remotes = append(remotes, a)
+	}
+	if local == nil {
+		return nil, fmt.Errorf("reduction: no subgoal over local predicate %s in %s", localPred, rule)
+	}
+	if len(t) != local.Arity() {
+		return nil, fmt.Errorf("reduction: tuple arity %d does not match %s", len(t), local)
+	}
+
+	// RED(t,l,C): unify the local pattern with t. Failure means the
+	// insertion is irrelevant — the complete local test is "true".
+	sT, ok := ast.Unify(local.Args, t.Terms(), nil)
+	if !ok {
+		return ra.TrueExpr(), nil
+	}
+	redT := make([]ast.Atom, len(remotes))
+	for i, a := range remotes {
+		redT[i] = a.Apply(sT)
+	}
+
+	// RED(τ,l,C): fresh column variables; pattern constraints.
+	tau := make([]ast.Term, local.Arity())
+	for i := range tau {
+		tau[i] = ast.V(fmt.Sprintf("A$%d", i))
+	}
+	var pattern []ra.Cond
+	sTau := ast.Subst{}
+	firstCol := map[string]int{}
+	for i, arg := range local.Args {
+		switch {
+		case arg.IsConst():
+			pattern = append(pattern, ra.Cond{Left: ra.ColRef(i), Op: ast.Eq, Right: ra.ConstOp(arg.Const)})
+		default:
+			if j, seen := firstCol[arg.Var]; seen {
+				pattern = append(pattern, ra.Cond{Left: ra.ColRef(j), Op: ast.Eq, Right: ra.ColRef(i)})
+			} else {
+				firstCol[arg.Var] = i
+				sTau[arg.Var] = tau[i]
+			}
+		}
+	}
+	// The s-side copy of the remote subgoals, renamed apart on the purely
+	// remote variables.
+	redTau := make([]ast.Atom, len(remotes))
+	for i, a := range remotes {
+		args := make([]ast.Term, len(a.Args))
+		for j, arg := range a.Args {
+			if arg.IsConst() {
+				args[j] = arg
+				continue
+			}
+			if _, isLocal := firstCol[arg.Var]; isLocal {
+				args[j] = sTau.Resolve(arg)
+			} else {
+				args[j] = ast.V(arg.Var + "~s")
+			}
+		}
+		redTau[i] = ast.Atom{Pred: a.Pred, Args: args}
+	}
+
+	// Enumerate containment mappings from redTau into the frozen redT.
+	src := &ast.Rule{Head: rule.Head}
+	for _, a := range redTau {
+		src.Body = append(src.Body, ast.Pos(a))
+	}
+	dst := &ast.Rule{Head: rule.Head}
+	for _, a := range redT {
+		dst.Body = append(dst.Body, ast.Pos(a))
+	}
+	mappings := containment.Mappings(src, dst)
+
+	L := ra.NewRel(localPred, local.Arity())
+	var branches []ra.Expr
+	colOfTau := map[string]int{}
+	for i, v := range tau {
+		colOfTau[v.Var] = i
+	}
+	for _, h := range mappings {
+		conds := append([]ra.Cond{}, pattern...)
+		valid := true
+		vars := make([]string, 0, len(h))
+		for v := range h {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			target := h[v]
+			col, isTau := colOfTau[v]
+			if !isTau {
+				continue // purely remote variable of the s-side copy
+			}
+			if target.IsVar() {
+				// A stored component is a constant; it can never map
+				// onto a remote variable of RED(t).
+				valid = false
+				break
+			}
+			conds = append(conds, ra.Cond{Left: ra.ColRef(col), Op: ast.Eq, Right: ra.ConstOp(target.Const)})
+		}
+		if valid {
+			branches = append(branches, ra.NewSelect(L, conds...))
+		}
+	}
+	if len(branches) == 0 {
+		return ra.Empty(local.Arity()), nil
+	}
+	if len(branches) == 1 {
+		return branches[0], nil
+	}
+	return ra.NewUnion(branches...), nil
+}
+
+// RALocalTest compiles and evaluates the Theorem 5.3 test against the
+// store holding the local relation (pre-insertion state): true certifies
+// that inserting t cannot violate the constraint.
+func RALocalTest(rule *ast.Rule, localPred string, t relation.Tuple, db *store.Store) (bool, error) {
+	expr, err := CompileRA(rule, localPred, t)
+	if err != nil {
+		return false, err
+	}
+	return ra.NonEmpty(expr, db)
+}

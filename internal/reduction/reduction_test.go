@@ -1,0 +1,363 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// intervalCQC returns the forbidden-intervals constraint of Example 5.3:
+// panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y.
+func intervalCQC(t *testing.T) *ast.CQC {
+	t.Helper()
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.")
+	c, err := ast.NewCQC(rule, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestReduceExample53(t *testing.T) {
+	c := intervalCQC(t)
+	red, err := Reduce(c, relation.Ints(3, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "panic :- r(Z) & 3 <= Z & Z <= 6."
+	if got := red.String(); got != want {
+		t.Errorf("RED((3,6)) = %q, want %q", got, want)
+	}
+}
+
+func TestLocalTestExample53(t *testing.T) {
+	// With L = {(3,6),(5,10)}, inserting (4,8) is safe; inserting (2,8)
+	// or (4,12) is not.
+	c := intervalCQC(t)
+	L := []relation.Tuple{relation.Ints(3, 6), relation.Ints(5, 10)}
+	ok, err := LocalTest(c, relation.Ints(4, 8), L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("insertion of covered interval (4,8) not certified")
+	}
+	for _, bad := range []relation.Tuple{relation.Ints(2, 8), relation.Ints(4, 12), relation.Ints(11, 12)} {
+		ok, err := LocalTest(c, bad, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("uncovered interval %v wrongly certified", bad)
+		}
+	}
+}
+
+func TestLocalTestEmptyInterval(t *testing.T) {
+	// An empty interval (low > high) can never trap a remote value: safe
+	// even with empty L (the reduction's comparisons are unsatisfiable).
+	c := intervalCQC(t)
+	ok, err := LocalTest(c, relation.Ints(9, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("empty interval not certified")
+	}
+}
+
+// TestLocalTestSoundAndComplete cross-validates Theorem 5.2 against
+// ground truth: the test certifies an insertion iff NO remote relation
+// state violates the constraint after the update (given it held before).
+// For the interval constraint the dangerous remote states are single
+// points, so completeness is checkable by sweeping a grid of points.
+func TestLocalTestSoundAndComplete(t *testing.T) {
+	c := intervalCQC(t)
+	rule := c.Rule
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		// Random local state.
+		var L []relation.Tuple
+		for i := 0; i < rng.Intn(4); i++ {
+			lo := int64(rng.Intn(20))
+			L = append(L, relation.Ints(lo, lo+int64(rng.Intn(10))))
+		}
+		ins := relation.Ints(int64(rng.Intn(20)), int64(rng.Intn(20)))
+		got, err := LocalTest(c, ins, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ground truth: is there a remote point z (integers and
+		// midpoints over the range) violating after insert but not
+		// before? The constraint held before for those z not in any L
+		// interval; after insert, z in ins-interval violates.
+		danger := false
+		for zz := int64(-2); zz <= 70 && !danger; zz++ {
+			z := ast.Rat(zz, 2) // half-integer grid catches open gaps
+			inOld := false
+			for _, s := range L {
+				if s[0].Compare(z) <= 0 && z.Compare(s[1]) <= 0 {
+					inOld = true
+					break
+				}
+			}
+			if inOld {
+				continue // constraint did not hold before for this z
+			}
+			if ins[0].Compare(z) <= 0 && z.Compare(ins[1]) <= 0 {
+				danger = true
+			}
+		}
+		if got == danger {
+			t.Fatalf("trial %d: LocalTest=%v but danger=%v (L=%v, ins=%v)", trial, got, danger, L, ins)
+		}
+		// Double-check soundness against the evaluator for a sampled
+		// remote state.
+		if got {
+			db := store.New()
+			for _, s := range L {
+				mustIns(t, db, "l", s)
+			}
+			mustIns(t, db, "l", ins)
+			// Any remote point inside some old interval keeps the
+			// constraint violated before AND after — skip those; pick a
+			// point inside the inserted interval if the grid has one not
+			// in old intervals: soundness says there is none.
+			for zz := int64(-2); zz <= 70; zz++ {
+				z := ast.Rat(zz, 2)
+				inOld := false
+				for _, s := range L {
+					if s[0].Compare(z) <= 0 && z.Compare(s[1]) <= 0 {
+						inOld = true
+						break
+					}
+				}
+				if inOld {
+					continue
+				}
+				db2 := db.Clone()
+				mustIns(t, db2, "r", relation.TupleOf(z))
+				bad, err := eval.PanicHolds(ast.NewProgram(rule), db2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bad {
+					t.Fatalf("trial %d: certified insertion violated by remote z=%v", trial, z)
+				}
+			}
+		}
+	}
+}
+
+func mustIns(t *testing.T, db *store.Store, rel string, tu relation.Tuple) {
+	t.Helper()
+	if _, err := db.Insert(rel, tu); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalTestMulti(t *testing.T) {
+	// A second constraint with a wider reach can certify an insertion
+	// that the first alone cannot: C traps Z in [X,Y]; C2 traps Z in
+	// [X-1, Y+1]... expressed as another interval constraint with shifted
+	// bounds via comparisons.
+	c := intervalCQC(t)
+	// C2: panic :- l(X,Y) & r(Z) & X <= Z & Z <= W ... needs same local
+	// pred; use a wider constraint: panic :- l(X,Y) & r(Z) & X-?: the
+	// language has no arithmetic terms, so use a second constraint that
+	// traps points NEAR the interval using strict bounds instead.
+	rule2 := parser.MustParseConstraint("panic :- l(X,Y) & r(Z) & X <= Z & Z < Y.")
+	c2, err := ast.NewCQC(rule2, "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L covers [0,10); inserting (0,10) is NOT certified by c alone
+	// (point 10 escapes), and IS certified once c2's reductions join —
+	// wait, c2's reductions are weaker. Instead verify the API: adding
+	// others never flips a certified test to uncertified.
+	L := []relation.Tuple{relation.Ints(0, 10)}
+	ins := relation.Ints(2, 8)
+	alone, err := LocalTest(c, ins, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := LocalTestMulti(c, []*ast.CQC{c2}, ins, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alone && !multi {
+		t.Error("adding constraints lost a certification")
+	}
+	// Mismatched local predicates must be rejected.
+	rule3 := parser.MustParseConstraint("panic :- m(X) & r(Z) & X <= Z.")
+	c3, err := ast.NewCQC(rule3, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LocalTestMulti(c, []*ast.CQC{c3}, ins, L); err == nil {
+		t.Error("mismatched local predicate accepted")
+	}
+}
+
+func TestCompileRAExample54(t *testing.T) {
+	// Example 5.4: C1: panic :- l(X,Y,Y) & r(Y,Z,X).
+	rule := parser.MustParseConstraint("panic :- l(X,Y,Y) & r(Y,Z,X).")
+	// Inserting (a,b,c): no unification with l(X,Y,Y) — trivially true.
+	expr, err := CompileRA(rule, "l", relation.Strs("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := expr.Eval(store.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Len() == 0 {
+		t.Error("non-unifiable insertion must compile to a constantly true test")
+	}
+	// Inserting (a,b,b): the test is σ[#1=a ∧ #2=b ∧ #2=#3](L).
+	expr, err = CompileRA(rule, "l", relation.Strs("a", "b", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := store.New()
+	mustIns(t, db, "l", relation.Strs("a", "b", "b"))
+	got, err := expr.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 {
+		t.Errorf("test %s must pass when the tuple already exists", expr)
+	}
+	db2 := store.New()
+	mustIns(t, db2, "l", relation.Strs("a", "c", "c"))
+	got, err = expr.Eval(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("test %s must fail without the tuple", expr)
+	}
+}
+
+// TestCompileRAAgainstGroundTruth cross-validates the compiled RA test
+// against direct evaluation over randomized local and remote states: a
+// certified insertion must never create a violation, and an uncertified
+// one must have a violating remote state (completeness), which for
+// arithmetic-free constraints we can verify by checking that the
+// uncovered reduction's canonical remote state violates.
+func TestCompileRAAgainstGroundTruth(t *testing.T) {
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Y,W) & s(W,X).")
+	prog := ast.NewProgram(rule)
+	rng := rand.New(rand.NewSource(21))
+	vals := []string{"a", "b", "c"}
+	rv := func() ast.Value { return ast.Str(vals[rng.Intn(len(vals))]) }
+	for trial := 0; trial < 300; trial++ {
+		db := store.New()
+		nL := rng.Intn(4)
+		var L []relation.Tuple
+		for i := 0; i < nL; i++ {
+			tu := relation.TupleOf(rv(), rv())
+			L = append(L, tu)
+			mustIns(t, db, "l", tu)
+		}
+		ins := relation.TupleOf(rv(), rv())
+		certified, err := RALocalTest(rule, "l", ins, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Soundness: for every remote state over the value pool where the
+		// constraint held before the insert, it must hold after.
+		if certified {
+			for i := 0; i < 20; i++ {
+				rdb := db.Clone()
+				for j := 0; j < rng.Intn(4); j++ {
+					mustIns(t, rdb, "r", relation.TupleOf(rv(), rv()))
+					mustIns(t, rdb, "s", relation.TupleOf(rv(), rv()))
+				}
+				before, err := eval.PanicHolds(prog, rdb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if before {
+					continue
+				}
+				mustIns(t, rdb, "l", ins)
+				after, err := eval.PanicHolds(prog, rdb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if after {
+					t.Fatalf("trial %d: certified insert %v violated (L=%v, db=%s)", trial, ins, L, rdb)
+				}
+			}
+			continue
+		}
+		// Completeness: build the canonical dangerous remote state for
+		// the inserted tuple — r(y,w0) and s(w0,x) with a fresh w0 — and
+		// check it violates after the insert but not before.
+		rdb := db.Clone()
+		w0 := ast.Str("w$fresh")
+		mustIns(t, rdb, "r", relation.TupleOf(ins[1], w0))
+		mustIns(t, rdb, "s", relation.TupleOf(w0, ins[0]))
+		before, err := eval.PanicHolds(prog, rdb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before {
+			continue // the dangerous state already violates pre-insert; not a countercase
+		}
+		mustIns(t, rdb, "l", ins)
+		after, err := eval.PanicHolds(prog, rdb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !after {
+			t.Fatalf("trial %d: uncertified insert %v has no violating canonical remote state (L=%v)", trial, ins, L)
+		}
+	}
+}
+
+func TestCompileRARejectsArithmetic(t *testing.T) {
+	rule := parser.MustParseConstraint("panic :- l(X,Y) & r(Z) & X <= Z.")
+	if _, err := CompileRA(rule, "l", relation.Ints(1, 2)); err == nil {
+		t.Error("arithmetic constraint accepted by Theorem 5.3 compiler")
+	}
+}
+
+func TestCompileRANoRemote(t *testing.T) {
+	// A purely local constraint: inserting t violates iff the reduction
+	// is nonempty… with no remote subgoals, RED(t) has an empty body, so
+	// it is contained in RED(s) for any s matching the pattern — the test
+	// is just the pattern selection (any matching tuple). With no
+	// L tuples matching, the test fails (insertion may violate — indeed
+	// panic fires as soon as l holds any tuple).
+	rule := parser.MustParseConstraint("panic :- l(X,X).")
+	db := store.New()
+	ok, err := RALocalTest(rule, "l", relation.Ints(3, 3), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("diagonal insertion into empty l certified; it violates immediately")
+	}
+	// Non-diagonal tuples never match l(X,X): trivially safe.
+	ok, err = RALocalTest(rule, "l", relation.Ints(3, 4), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("non-matching insertion not certified")
+	}
+}
+
+func TestReduceArityMismatch(t *testing.T) {
+	c := intervalCQC(t)
+	if _, err := Reduce(c, relation.Ints(1, 2, 3)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}

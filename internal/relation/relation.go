@@ -1,0 +1,262 @@
+// Package relation provides the relational data substrate: tuples of
+// constants and named relations with hash indexes. It is deliberately
+// small — an in-memory column-agnostic heap of tuples with exact-match
+// indexes — because the paper's algorithms only need insert, delete,
+// scan, and indexed lookup.
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Tuple is an ordered list of constants.
+type Tuple []ast.Value
+
+// TupleOf builds a tuple from values.
+func TupleOf(vals ...ast.Value) Tuple { return Tuple(vals) }
+
+// Ints builds a numeric tuple from integers.
+func Ints(ns ...int64) Tuple {
+	t := make(Tuple, len(ns))
+	for i, n := range ns {
+		t[i] = ast.Int(n)
+	}
+	return t
+}
+
+// Strs builds a symbolic tuple from strings.
+func Strs(ss ...string) Tuple {
+	t := make(Tuple, len(ss))
+	for i, s := range ss {
+		t[i] = ast.Str(s)
+	}
+	return t
+}
+
+// Key returns a canonical encoding of the tuple, unique per tuple value.
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	for _, v := range t {
+		k := v.Key()
+		fmt.Fprintf(&sb, "%d:%s|", len(k), k)
+	}
+	return sb.String()
+}
+
+// Equal reports whether two tuples hold the same constants.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Terms converts the tuple to a list of constant terms.
+func (t Tuple) Terms() []ast.Term {
+	out := make([]ast.Term, len(t))
+	for i, v := range t {
+		out[i] = ast.C(v)
+	}
+	return out
+}
+
+// String renders the tuple as (v1,…,vn).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// TermsToTuple converts a list of ground terms into a tuple; it fails if
+// any term is a variable.
+func TermsToTuple(terms []ast.Term) (Tuple, error) {
+	t := make(Tuple, len(terms))
+	for i, tm := range terms {
+		if tm.IsVar() {
+			return nil, fmt.Errorf("relation: term %s is not ground", tm)
+		}
+		t[i] = tm.Const
+	}
+	return t, nil
+}
+
+// Relation is a named set of same-arity tuples. Insertion order is
+// preserved for deterministic iteration. The zero value is not usable;
+// call New.
+type Relation struct {
+	name   string
+	arity  int
+	tuples []Tuple          // live tuples in insertion order, nil holes after delete
+	index  map[string]int   // tuple key -> position in tuples
+	holes  int              // number of nil holes in tuples
+	cols   map[int]colIndex // lazily built per-column indexes
+}
+
+// colIndex maps a column value key to the positions of tuples holding it.
+type colIndex map[string][]int
+
+// New creates an empty relation with the given name and arity.
+func New(name string, arity int) *Relation {
+	return &Relation{name: name, arity: arity, index: map[string]int{}, cols: map[int]colIndex{}}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the relation arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.index) }
+
+// Contains reports whether the relation holds t.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Insert adds t; it reports whether the relation changed (false if the
+// tuple was already present). It panics on arity mismatch, which is a
+// programming error.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation: inserting arity-%d tuple into %s/%d", len(t), r.name, r.arity))
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	r.index[k] = pos
+	for c, ci := range r.cols {
+		ci[t[c].Key()] = append(ci[t[c].Key()], pos)
+	}
+	return true
+}
+
+// Delete removes t; it reports whether the tuple was present.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	pos, ok := r.index[k]
+	if !ok {
+		return false
+	}
+	delete(r.index, k)
+	r.tuples[pos] = nil
+	r.holes++
+	if r.holes > len(r.index) && r.holes > 64 {
+		r.compact()
+	}
+	return true
+}
+
+// compact removes holes and rebuilds indexes.
+func (r *Relation) compact() {
+	live := r.tuples[:0]
+	for _, t := range r.tuples {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	r.tuples = live
+	r.holes = 0
+	r.index = make(map[string]int, len(live))
+	for i, t := range live {
+		r.index[t.Key()] = i
+	}
+	r.cols = map[int]colIndex{}
+}
+
+// Each calls f for every tuple in insertion order; f must not mutate the
+// relation. Iteration stops early if f returns false.
+func (r *Relation) Each(f func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if t == nil {
+			continue
+		}
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns a snapshot slice of all tuples in insertion order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, r.Len())
+	r.Each(func(t Tuple) bool { out = append(out, t); return true })
+	return out
+}
+
+// Lookup returns the tuples whose column col equals v, using (and lazily
+// building) a hash index on that column.
+func (r *Relation) Lookup(col int, v ast.Value) []Tuple {
+	if col < 0 || col >= r.arity {
+		panic(fmt.Sprintf("relation: column %d out of range for %s/%d", col, r.name, r.arity))
+	}
+	ci, ok := r.cols[col]
+	if !ok {
+		ci = colIndex{}
+		for pos, t := range r.tuples {
+			if t != nil {
+				ci[t[col].Key()] = append(ci[t[col].Key()], pos)
+			}
+		}
+		r.cols[col] = ci
+	}
+	var out []Tuple
+	for _, pos := range ci[v.Key()] {
+		if t := r.tuples[pos]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation (indexes are rebuilt lazily).
+func (r *Relation) Clone() *Relation {
+	out := New(r.name, r.arity)
+	r.Each(func(t Tuple) bool { out.Insert(t); return true })
+	return out
+}
+
+// Equal reports whether two relations hold the same set of tuples.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	eq := true
+	r.Each(func(t Tuple) bool {
+		if !o.Contains(t) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}
+
+// String renders the relation as name{(..),(..)} with tuples in insertion
+// order.
+func (r *Relation) String() string {
+	var parts []string
+	r.Each(func(t Tuple) bool { parts = append(parts, t.String()); return true })
+	return r.name + "{" + strings.Join(parts, ",") + "}"
+}

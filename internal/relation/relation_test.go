@@ -1,0 +1,179 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestTupleKeyUnambiguous(t *testing.T) {
+	// Length-prefixed encoding must keep ("ab","c") and ("a","bc") apart.
+	a := Strs("ab", "c")
+	b := Strs("a", "bc")
+	if a.Key() == b.Key() {
+		t.Error("tuple keys collide across component boundaries")
+	}
+	if !a.Equal(Strs("ab", "c")) {
+		t.Error("Equal failed on identical tuples")
+	}
+	if a.Equal(b) {
+		t.Error("Equal succeeded on distinct tuples")
+	}
+}
+
+func TestInsertDeleteContains(t *testing.T) {
+	r := New("emp", 3)
+	jones := TupleOf(ast.Str("jones"), ast.Str("shoe"), ast.Int(50))
+	if !r.Insert(jones) {
+		t.Error("first insert reported no change")
+	}
+	if r.Insert(jones) {
+		t.Error("duplicate insert reported change")
+	}
+	if r.Len() != 1 || !r.Contains(jones) {
+		t.Error("relation state wrong after insert")
+	}
+	if !r.Delete(jones) {
+		t.Error("delete of present tuple reported no change")
+	}
+	if r.Delete(jones) {
+		t.Error("delete of absent tuple reported change")
+	}
+	if r.Len() != 0 || r.Contains(jones) {
+		t.Error("relation state wrong after delete")
+	}
+}
+
+func TestEachOrderAndSnapshot(t *testing.T) {
+	r := New("r", 1)
+	for i := int64(0); i < 10; i++ {
+		r.Insert(Ints(i))
+	}
+	r.Delete(Ints(3))
+	ts := r.Tuples()
+	if len(ts) != 9 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1][0].Compare(ts[i][0]) >= 0 {
+			t.Error("insertion order not preserved")
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	r := New("emp", 2)
+	r.Insert(Strs("a", "sales"))
+	r.Insert(Strs("b", "sales"))
+	r.Insert(Strs("c", "toy"))
+	got := r.Lookup(1, ast.Str("sales"))
+	if len(got) != 2 {
+		t.Fatalf("Lookup(sales) = %d tuples, want 2", len(got))
+	}
+	// The index must stay correct across subsequent inserts and deletes.
+	r.Insert(Strs("d", "sales"))
+	r.Delete(Strs("a", "sales"))
+	got = r.Lookup(1, ast.Str("sales"))
+	if len(got) != 2 {
+		t.Fatalf("Lookup(sales) after mutation = %d tuples, want 2", len(got))
+	}
+	for _, tu := range got {
+		if tu[0].Equal(ast.Str("a")) {
+			t.Error("deleted tuple returned by Lookup")
+		}
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	r := New("r", 1)
+	for i := int64(0); i < 1000; i++ {
+		r.Insert(Ints(i))
+	}
+	for i := int64(0); i < 900; i++ {
+		r.Delete(Ints(i))
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	for i := int64(900); i < 1000; i++ {
+		if !r.Contains(Ints(i)) {
+			t.Fatalf("tuple %d missing after compaction", i)
+		}
+	}
+	if got := r.Lookup(0, ast.Int(950)); len(got) != 1 {
+		t.Errorf("Lookup after compaction = %d tuples", len(got))
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	r := New("r", 2)
+	r.Insert(Ints(1, 2))
+	r.Insert(Ints(3, 4))
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Insert(Ints(5, 6))
+	if r.Equal(c) {
+		t.Error("mutating clone affected equality")
+	}
+	if r.Len() != 2 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestRandomizedSetSemantics(t *testing.T) {
+	// The relation must behave exactly like a map-based set under a
+	// random workload.
+	rng := rand.New(rand.NewSource(1))
+	r := New("r", 2)
+	ref := map[string]Tuple{}
+	for i := 0; i < 5000; i++ {
+		tu := Ints(int64(rng.Intn(30)), int64(rng.Intn(30)))
+		if rng.Intn(2) == 0 {
+			r.Insert(tu)
+			ref[tu.Key()] = tu
+		} else {
+			r.Delete(tu)
+			delete(ref, tu.Key())
+		}
+	}
+	if r.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", r.Len(), len(ref))
+	}
+	for _, tu := range ref {
+		if !r.Contains(tu) {
+			t.Fatalf("missing tuple %v", tu)
+		}
+	}
+}
+
+func TestTermsToTuple(t *testing.T) {
+	tu, err := TermsToTuple([]ast.Term{ast.CInt(1), ast.CStr("a")})
+	if err != nil || len(tu) != 2 {
+		t.Fatalf("TermsToTuple: %v %v", tu, err)
+	}
+	if _, err := TermsToTuple([]ast.Term{ast.V("X")}); err == nil {
+		t.Error("variable accepted as tuple component")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := New("emp", 2)
+	if r.Name() != "emp" || r.Arity() != 2 {
+		t.Error("accessors wrong")
+	}
+	tu := TupleOf(ast.Str("a"), ast.Int(1))
+	terms := tu.Terms()
+	if len(terms) != 2 || !terms[0].IsConst() {
+		t.Errorf("Terms = %v", terms)
+	}
+	if got := tu.String(); got != "(a,1)" {
+		t.Errorf("Tuple String = %q", got)
+	}
+	r.Insert(tu)
+	if got := r.String(); got != "emp{(a,1)}" {
+		t.Errorf("Relation String = %q", got)
+	}
+}

@@ -1,0 +1,458 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/subsume"
+)
+
+func prog(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+// checkRewriteEquivalence verifies the defining property of a rewriting:
+// C' on the pre-update database has the same verdict as C on the
+// post-update database, across randomized databases.
+func checkRewriteEquivalence(t *testing.T, c *ast.Program, u store.Update, cPrime *ast.Program, trials int, gen func(rng *rand.Rand) *store.Store) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(12345))
+	for i := 0; i < trials; i++ {
+		before := gen(rng)
+		after := before.Clone()
+		if err := u.Apply(after); err != nil {
+			t.Fatal(err)
+		}
+		got, err := eval.PanicHolds(cPrime, before)
+		if err != nil {
+			t.Fatalf("eval C' on before: %v", err)
+		}
+		want, err := eval.PanicHolds(c, after)
+		if err != nil {
+			t.Fatalf("eval C on after: %v", err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: C'(before)=%v but C(after)=%v\nC' = %s\nbefore = %s", i, got, want, cPrime, before)
+		}
+	}
+}
+
+// randomEmpDB draws a small employee database.
+func randomEmpDB(rng *rand.Rand) *store.Store {
+	db := store.New()
+	names := []string{"ann", "bob", "carl", "dina"}
+	depts := []string{"toy", "shoe", "sales"}
+	for i := 0; i < rng.Intn(6); i++ {
+		mustIns(db, "emp", relation.TupleOf(
+			ast.Str(names[rng.Intn(len(names))]),
+			ast.Str(depts[rng.Intn(len(depts))]),
+			ast.Int(int64(rng.Intn(200)))))
+	}
+	for _, d := range depts {
+		if rng.Intn(2) == 0 {
+			mustIns(db, "dept", relation.Strs(d))
+		}
+	}
+	return db
+}
+
+func mustIns(db *store.Store, rel string, t relation.Tuple) {
+	if _, err := db.Insert(rel, t); err != nil {
+		panic(err)
+	}
+}
+
+func TestInsertRewriteExample41(t *testing.T) {
+	// C1 with insertion of toy into dept must become the paper's C3.
+	c1 := prog(t, "panic :- emp(E,D,S) & not dept(D).")
+	u := store.Ins("dept", relation.Strs("toy"))
+	c3, err := Insert(c1, "dept", relation.Strs("toy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c3.Rules) != 3 {
+		t.Fatalf("C3 has %d rules, want 3:\n%s", len(c3.Rules), c3)
+	}
+	checkRewriteEquivalence(t, c1, u, c3, 60, randomEmpDB)
+}
+
+func TestInsertRewriteUntouchedRelation(t *testing.T) {
+	c2 := prog(t, "panic :- emp(E,D,S) & S > 100.")
+	c2p, err := Insert(c2, "dept", relation.Strs("toy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2p.Rules) != 1 {
+		t.Errorf("constraint not mentioning dept must be unchanged:\n%s", c2p)
+	}
+}
+
+func TestDeleteRewriteExample42(t *testing.T) {
+	// Deleting (jones,shoe,50) from emp: the arithmetic encoding yields
+	// three emp$del rules (one per component), as in Example 4.2.
+	c1 := prog(t, "panic :- emp(E,D,S) & not dept(D).")
+	tup := relation.TupleOf(ast.Str("jones"), ast.Str("shoe"), ast.Int(50))
+	c4, err := DeleteArith(c1, "emp", tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c4.Rules); got != 4 { // original rule + 3 split rules
+		t.Fatalf("C4 has %d rules, want 4:\n%s", got, c4)
+	}
+	u := store.Del("emp", tup)
+	gen := func(rng *rand.Rand) *store.Store {
+		db := randomEmpDB(rng)
+		if rng.Intn(2) == 0 {
+			mustIns(db, "emp", tup) // make the deletion meaningful half the time
+		}
+		return db
+	}
+	checkRewriteEquivalence(t, c1, u, c4, 60, gen)
+}
+
+func TestDeleteNegEquivalent(t *testing.T) {
+	c1 := prog(t, "panic :- emp(E,D,S) & not dept(D).")
+	tup := relation.TupleOf(ast.Str("jones"), ast.Str("shoe"), ast.Int(50))
+	c5, err := DeleteNeg(c1, "emp", tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := store.Del("emp", tup)
+	gen := func(rng *rand.Rand) *store.Store {
+		db := randomEmpDB(rng)
+		if rng.Intn(2) == 0 {
+			mustIns(db, "emp", tup)
+		}
+		return db
+	}
+	checkRewriteEquivalence(t, c1, u, c5, 60, gen)
+	// Both encodings must agree with each other on class features.
+	if !c5.HasNegation() {
+		t.Error("negated encoding has no negation")
+	}
+	c4, err := DeleteArith(c1, "emp", tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c4.HasComparison() {
+		t.Error("arithmetic encoding has no comparison")
+	}
+}
+
+func TestInsertRewriteRecursive(t *testing.T) {
+	// Example 2.4's recursive constraint under insertion into manager.
+	c := prog(t, `
+		panic :- boss(E,E).
+		boss(E,M) :- emp(E,D) & manager(D,M).
+		boss(E,F) :- boss(E,G) & boss(G,F).`)
+	tup := relation.Strs("ops", "ann")
+	cp, err := Insert(c, "manager", tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := store.Ins("manager", tup)
+	gen := func(rng *rand.Rand) *store.Store {
+		db := store.New()
+		names := []string{"ann", "bob", "carl"}
+		depts := []string{"toy", "shoe", "ops"}
+		for i := 0; i < 3; i++ {
+			if rng.Intn(2) == 0 {
+				mustIns(db, "emp", relation.Strs(names[i], depts[rng.Intn(3)]))
+			}
+			if rng.Intn(2) == 0 {
+				mustIns(db, "manager", relation.Strs(depts[i], names[rng.Intn(3)]))
+			}
+		}
+		return db
+	}
+	checkRewriteEquivalence(t, c, u, cp, 60, gen)
+	if got := classify.Classify(cp); got.Shape != classify.Recursive {
+		t.Errorf("recursive constraint left its class: %v", got)
+	}
+}
+
+func TestFig41InsertionClosure(t *testing.T) {
+	// For each representative constraint, the insertion rewriting must
+	// stay within the class exactly when Fig 4.1 circles it. Single-CQ
+	// classes escape to union shape; all others are preserved.
+	reps := map[classify.Class]string{
+		{Shape: classify.SingleCQ}:                                    "panic :- dept(D) & boom(D).",
+		{Shape: classify.SingleCQ, Arithmetic: true}:                  "panic :- dept(D) & boom(D) & D > 0.",
+		{Shape: classify.SingleCQ, Negation: true}:                    "panic :- boom(D) & not dept(D).",
+		{Shape: classify.SingleCQ, Negation: true, Arithmetic: true}:  "panic :- boom(D) & not dept(D) & D > 0.",
+		{Shape: classify.UnionCQ}:                                     "panic :- dept(D) & boom(D).\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Arithmetic: true}:                   "panic :- dept(D) & boom(D) & D > 0.\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Negation: true}:                     "panic :- boom(D) & not dept(D).\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Negation: true, Arithmetic: true}:   "panic :- boom(D) & not dept(D) & D > 0.\npanic :- dept(D) & bang(D).",
+		{Shape: classify.Recursive}:                                   "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D).",
+		{Shape: classify.Recursive, Arithmetic: true}:                 "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & D > 0.",
+		{Shape: classify.Recursive, Negation: true}:                   "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & not bang(D).",
+		{Shape: classify.Recursive, Negation: true, Arithmetic: true}: "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & not bang(D) & D > 0.",
+	}
+	for cls, src := range reps {
+		c := prog(t, src)
+		if got := classify.Classify(c); got != cls {
+			t.Errorf("representative for %v classifies as %v", cls, got)
+			continue
+		}
+		cp, err := Insert(c, "dept", relation.Ints(7))
+		if err != nil {
+			t.Errorf("%v: %v", cls, err)
+			continue
+		}
+		after := classify.Classify(cp)
+		preserved := after.LessEq(cls)
+		if preserved != classify.InsertionClosed(cls) {
+			t.Errorf("%v: preserved=%v, Fig 4.1 says %v (rewritten class %v)", cls, preserved, classify.InsertionClosed(cls), after)
+		}
+	}
+}
+
+func TestFig42DeletionClosure(t *testing.T) {
+	// Deletion: the <>-encoding adds arithmetic, the negated encoding
+	// adds negation; a class is preserved iff it has union/recursive
+	// shape and at least one of the features (using the matching
+	// encoding), which is exactly Fig 4.2's six circles.
+	reps := map[classify.Class]string{
+		{Shape: classify.SingleCQ}:                                    "panic :- dept(D) & boom(D).",
+		{Shape: classify.SingleCQ, Arithmetic: true}:                  "panic :- dept(D) & boom(D) & D > 0.",
+		{Shape: classify.SingleCQ, Negation: true}:                    "panic :- boom(D) & not dept(D).",
+		{Shape: classify.SingleCQ, Negation: true, Arithmetic: true}:  "panic :- boom(D) & not dept(D) & D > 0.",
+		{Shape: classify.UnionCQ}:                                     "panic :- dept(D) & boom(D).\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Arithmetic: true}:                   "panic :- dept(D) & boom(D) & D > 0.\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Negation: true}:                     "panic :- boom(D) & not dept(D).\npanic :- dept(D) & bang(D).",
+		{Shape: classify.UnionCQ, Negation: true, Arithmetic: true}:   "panic :- boom(D) & not dept(D) & D > 0.\npanic :- dept(D) & bang(D).",
+		{Shape: classify.Recursive, Arithmetic: true}:                 "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & D > 0.",
+		{Shape: classify.Recursive, Negation: true}:                   "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & not bang(D).",
+		{Shape: classify.Recursive, Negation: true, Arithmetic: true}: "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D) & not bang(D) & D > 0.",
+		{Shape: classify.Recursive}:                                   "r(X) :- dept(X).\nr(X) :- r(X) & r(X).\npanic :- r(D) & boom(D).",
+	}
+	for cls, src := range reps {
+		c := prog(t, src)
+		if got := classify.Classify(c); got != cls {
+			t.Errorf("representative for %v classifies as %v", cls, got)
+			continue
+		}
+		// Pick the encoding matching the class features: arithmetic
+		// encoding for arithmetic classes, negated for negation classes;
+		// either for classes with both; arithmetic for neither.
+		var cp *ast.Program
+		var err error
+		if cls.Arithmetic || !cls.Negation {
+			cp, err = DeleteArith(c, "dept", relation.Ints(7))
+		} else {
+			cp, err = DeleteNeg(c, "dept", relation.Ints(7))
+		}
+		if err != nil {
+			t.Errorf("%v: %v", cls, err)
+			continue
+		}
+		after := classify.Classify(cp)
+		preserved := after.LessEq(cls)
+		if preserved != classify.DeletionClosed(cls) {
+			t.Errorf("%v: preserved=%v, Fig 4.2 says %v (rewritten class %v)", cls, preserved, classify.DeletionClosed(cls), after)
+		}
+	}
+}
+
+func TestUpdateSafeExample41(t *testing.T) {
+	// Inserting a department cannot violate referential integrity: the
+	// Section 4 test must certify it (C3 ⊑ C1, as the paper notes).
+	c1 := prog(t, "panic :- emp(E,D,S) & not dept(D).")
+	c2 := prog(t, "panic :- emp(E,D,S) & S > 100.")
+	r, err := UpdateSafe(c1, []*ast.Program{c2}, store.Ins("dept", relation.Strs("toy")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != subsume.Yes {
+		t.Errorf("insertion into dept not certified: %+v", r)
+	}
+	// Inserting an employee CAN violate it: the test must not certify.
+	r, err = UpdateSafe(c1, []*ast.Program{c2},
+		store.Ins("emp", relation.TupleOf(ast.Str("x"), ast.Str("ghost"), ast.Int(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict == subsume.Yes {
+		t.Errorf("employee insertion wrongly certified: %+v", r)
+	}
+}
+
+func TestUpdateSafeSalaryCap(t *testing.T) {
+	// Deleting an employee cannot violate the salary cap.
+	c2 := prog(t, "panic :- emp(E,D,S) & S > 100.")
+	r, err := UpdateSafe(c2, nil, store.Del("emp", relation.TupleOf(ast.Str("jones"), ast.Str("shoe"), ast.Int(50))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != subsume.Yes {
+		t.Errorf("deletion not certified against salary cap: %+v", r)
+	}
+	// Inserting a low-paid employee cannot violate it either.
+	r, err = UpdateSafe(c2, nil, store.Ins("emp", relation.TupleOf(ast.Str("x"), ast.Str("toy"), ast.Int(50))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != subsume.Yes {
+		t.Errorf("low-salary insertion not certified: %+v", r)
+	}
+	// A high-paid insertion must not be certified.
+	r, err = UpdateSafe(c2, nil, store.Ins("emp", relation.TupleOf(ast.Str("x"), ast.Str("toy"), ast.Int(500))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict == subsume.Yes {
+		t.Errorf("violating insertion certified: %+v", r)
+	}
+}
+
+func TestRewriteArityMismatch(t *testing.T) {
+	c := prog(t, "panic :- dept(D) & boom(D).")
+	if _, err := Insert(c, "dept", relation.Ints(1, 2)); err == nil {
+		t.Error("arity mismatch accepted on insert")
+	}
+	if _, err := DeleteArith(c, "dept", relation.Ints(1, 2)); err == nil {
+		t.Error("arity mismatch accepted on delete")
+	}
+}
+
+func TestInsertIntoConstraintWithComparisonOnInserted(t *testing.T) {
+	// The inserted tuple's own values flow through the rewriting: after
+	// inserting a high salary the constraint must be violated on the
+	// pre-update database.
+	c := prog(t, "panic :- emp(E,D,S) & S > 100.")
+	cp, err := Insert(c, "emp", relation.TupleOf(ast.Str("x"), ast.Str("toy"), ast.Int(500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := eval.PanicHolds(cp, store.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad {
+		t.Error("C' must fire on the empty database when the inserted tuple itself violates")
+	}
+}
+
+// TestTheorem41ProofConstruction replays the database construction from
+// the paper's Theorem 4.1 proof: on {emp(e,shoe,s), emp(e,toy,s)} with
+// dept empty, C3 (C1 rewritten for +dept(toy)) produces panic; adding
+// dept(shoe) must not change that (only toy is exempted); whereas the
+// post-update constraint on the post-update database agrees with C1.
+func TestTheorem41ProofConstruction(t *testing.T) {
+	c1 := prog(t, "panic :- emp(E,D,S) & not dept(D).")
+	c3, err := Insert(c1, "dept", relation.Strs("toy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := store.New()
+	mustIns(db, "emp", relation.TupleOf(ast.Str("e"), ast.Str("shoe"), ast.Int(1)))
+	mustIns(db, "emp", relation.TupleOf(ast.Str("e"), ast.Str("toy"), ast.Int(1)))
+	bad, err := eval.PanicHolds(c3, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad {
+		t.Error("C3 must panic: the shoe employee's department is missing even after +dept(toy)")
+	}
+	// The proof's second database: add dept(shoe). Now the only missing
+	// department is toy, which the insertion supplies — C3 is quiet.
+	mustIns(db, "dept", relation.Strs("shoe"))
+	bad, err = eval.PanicHolds(c3, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("C3 must be quiet once shoe exists and toy is exempted")
+	}
+	// And a hypothetical single-CQ candidate that ignores the exemption —
+	// C1 itself — wrongly panics on this database, which is the
+	// inexpressibility gap the proof exploits.
+	bad, err = eval.PanicHolds(c1, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad {
+		t.Error("C1 should panic here (toy not yet in dept): the gap the proof exploits")
+	}
+}
+
+// TestUpdateSafeNeverLies fuzzes the Section 4 certification: whenever
+// UpdateSafe answers Yes for a random (constraint, update) pair, applying
+// the update to any random database satisfying the constraint must leave
+// it satisfied. This covers the whole rewrite→expand→subsume stack,
+// including the incomplete sound-mapping branch.
+func TestUpdateSafeNeverLies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	constraints := []*ast.Program{
+		prog(t, "panic :- emp(E,D) & not dept(D)."),
+		prog(t, "panic :- emp(E,D) & bad(D)."),
+		prog(t, "panic :- emp(E,D) & pay(E,S) & S > 1."),
+		prog(t, `panic :- emp(E,D) & pay(E,S) & rangeOf(D,H) & S > H.`),
+	}
+	rels := map[string]int{"emp": 2, "dept": 1, "bad": 1, "pay": 2, "rangeOf": 2}
+	randTuple := func(ar int) relation.Tuple {
+		tu := make(relation.Tuple, ar)
+		for i := range tu {
+			tu[i] = ast.Int(int64(rng.Intn(3)))
+		}
+		return tu
+	}
+	var names []string
+	for rel := range rels {
+		names = append(names, rel)
+	}
+	certified := 0
+	for trial := 0; trial < 300; trial++ {
+		c := constraints[rng.Intn(len(constraints))]
+		rel := names[rng.Intn(len(names))]
+		u := store.Update{Insert: rng.Intn(2) == 0, Relation: rel, Tuple: randTuple(rels[rel])}
+		res, err := UpdateSafe(c, nil, u)
+		if err != nil || res.Verdict != subsume.Yes {
+			continue
+		}
+		certified++
+		for probe := 0; probe < 25; probe++ {
+			db := store.New()
+			for r, ar := range rels {
+				db.MustEnsure(r, ar)
+				for i := 0; i < rng.Intn(3); i++ {
+					if _, err := db.Insert(r, randTuple(ar)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			before, err := eval.PanicHolds(c, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if before {
+				continue // certification assumes the constraint held
+			}
+			if err := u.Apply(db); err != nil {
+				t.Fatal(err)
+			}
+			after, err := eval.PanicHolds(c, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after {
+				t.Fatalf("UpdateSafe lied: %v certified against %s but violates on %s", u, c, db)
+			}
+		}
+	}
+	if certified < 20 {
+		t.Fatalf("only %d certifications exercised", certified)
+	}
+}

@@ -1,0 +1,200 @@
+// Package sat is a small CNF satisfiability solver (DPLL with unit
+// propagation and pure-literal elimination). It is the search backend for
+// containment of conjunctive queries with negated subgoals
+// (internal/containment): a countermodel for Q1 ⊑ Q2 is a truth
+// assignment to "tuple ∈ database" variables satisfying clauses that say
+// Q1 fires and Q2 does not.
+package sat
+
+import "fmt"
+
+// Lit is a literal: a 1-based variable index, negative for negation.
+type Lit int
+
+// Var returns the variable index of l.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a CNF formula under construction.
+type Formula struct {
+	nvars   int
+	clauses []Clause
+	unsat   bool // an empty clause was added
+}
+
+// NewFormula creates an empty formula.
+func NewFormula() *Formula { return &Formula{} }
+
+// NewVar allocates a fresh variable and returns its positive literal.
+func (f *Formula) NewVar() Lit {
+	f.nvars++
+	return Lit(f.nvars)
+}
+
+// NumVars returns the number of allocated variables.
+func (f *Formula) NumVars() int { return f.nvars }
+
+// NumClauses returns the number of clauses added.
+func (f *Formula) NumClauses() int { return len(f.clauses) }
+
+// AddClause appends a clause; an empty clause makes the formula
+// unsatisfiable. Literals must reference allocated variables.
+func (f *Formula) AddClause(lits ...Lit) {
+	if len(lits) == 0 {
+		f.unsat = true
+		return
+	}
+	for _, l := range lits {
+		if l == 0 || l.Var() > f.nvars {
+			panic(fmt.Sprintf("sat: literal %d references unallocated variable", l))
+		}
+	}
+	c := make(Clause, len(lits))
+	copy(c, lits)
+	f.clauses = append(f.clauses, c)
+}
+
+// AddUnit fixes a literal true.
+func (f *Formula) AddUnit(l Lit) { f.AddClause(l) }
+
+// Solve searches for a satisfying assignment. It returns the assignment
+// indexed by variable (entry 0 unused) when satisfiable.
+func (f *Formula) Solve() (assignment []bool, ok bool) {
+	if f.unsat {
+		return nil, false
+	}
+	s := &solver{
+		assign:  make([]int8, f.nvars+1),
+		clauses: f.clauses,
+	}
+	if !s.dpll() {
+		return nil, false
+	}
+	out := make([]bool, f.nvars+1)
+	for i := 1; i <= f.nvars; i++ {
+		out[i] = s.assign[i] == 1
+	}
+	return out, true
+}
+
+type solver struct {
+	assign  []int8 // 0 unassigned, 1 true, -1 false
+	clauses []Clause
+	trail   []int // variables assigned, for backtracking
+}
+
+func (s *solver) value(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+func (s *solver) set(l Lit) {
+	v := l.Var()
+	if l > 0 {
+		s.assign[v] = 1
+	} else {
+		s.assign[v] = -1
+	}
+	s.trail = append(s.trail, v)
+}
+
+// propagate runs unit propagation; it reports false on conflict.
+func (s *solver) propagate() bool {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range s.clauses {
+			var unassigned Lit
+			nUnassigned := 0
+			satisfied := false
+			for _, l := range c {
+				switch s.value(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					nUnassigned++
+					unassigned = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch nUnassigned {
+			case 0:
+				return false // conflict
+			case 1:
+				s.set(unassigned)
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+func (s *solver) dpll() bool {
+	mark := len(s.trail)
+	if !s.propagate() {
+		s.undo(mark)
+		return false
+	}
+	// Pick the first unassigned variable of the first unsatisfied clause
+	// (a cheap but effective activity heuristic).
+	var branch Lit
+	for _, c := range s.clauses {
+		satisfied := false
+		for _, l := range c {
+			if s.value(l) == 1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, l := range c {
+			if s.value(l) == 0 {
+				branch = l
+				break
+			}
+		}
+		if branch != 0 {
+			break
+		}
+	}
+	if branch == 0 {
+		return true // every clause satisfied
+	}
+	for _, l := range []Lit{branch, branch.Neg()} {
+		sub := len(s.trail)
+		s.set(l)
+		if s.dpll() {
+			return true
+		}
+		s.undo(sub)
+	}
+	s.undo(mark)
+	return false
+}
+
+func (s *solver) undo(mark int) {
+	for len(s.trail) > mark {
+		v := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[v] = 0
+	}
+}

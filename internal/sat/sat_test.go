@@ -1,0 +1,192 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	f := NewFormula()
+	a := f.NewVar()
+	f.AddUnit(a)
+	m, ok := f.Solve()
+	if !ok || !m[a.Var()] {
+		t.Fatalf("unit clause: ok=%v m=%v", ok, m)
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	f := NewFormula()
+	a := f.NewVar()
+	f.AddUnit(a)
+	f.AddUnit(a.Neg())
+	if _, ok := f.Solve(); ok {
+		t.Error("a ∧ ¬a satisfiable")
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	f := NewFormula()
+	f.NewVar()
+	f.AddClause()
+	if _, ok := f.Solve(); ok {
+		t.Error("empty clause satisfiable")
+	}
+}
+
+func TestEmptyFormula(t *testing.T) {
+	f := NewFormula()
+	if _, ok := f.Solve(); !ok {
+		t.Error("empty formula unsatisfiable")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// a, a->b, b->c, c->d forces all true.
+	f := NewFormula()
+	vs := []Lit{f.NewVar(), f.NewVar(), f.NewVar(), f.NewVar()}
+	f.AddUnit(vs[0])
+	for i := 0; i+1 < len(vs); i++ {
+		f.AddClause(vs[i].Neg(), vs[i+1])
+	}
+	m, ok := f.Solve()
+	if !ok {
+		t.Fatal("chain unsatisfiable")
+	}
+	for _, v := range vs {
+		if !m[v.Var()] {
+			t.Errorf("var %d not forced true", v)
+		}
+	}
+}
+
+func TestPigeonhole32(t *testing.T) {
+	// 3 pigeons, 2 holes: unsatisfiable.
+	f := NewFormula()
+	x := make([][]Lit, 3)
+	for p := range x {
+		x[p] = []Lit{f.NewVar(), f.NewVar()}
+		f.AddClause(x[p][0], x[p][1]) // each pigeon somewhere
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				f.AddClause(x[p1][h].Neg(), x[p2][h].Neg())
+			}
+		}
+	}
+	if _, ok := f.Solve(); ok {
+		t.Error("PHP(3,2) satisfiable")
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 4-cycle is 2-colorable; verify the model is a proper coloring.
+	f := NewFormula()
+	n := 4
+	color := make([]Lit, n) // true = color A, false = color B
+	for i := range color {
+		color[i] = f.NewVar()
+	}
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	for _, e := range edges {
+		f.AddClause(color[e[0]], color[e[1]])
+		f.AddClause(color[e[0]].Neg(), color[e[1]].Neg())
+	}
+	m, ok := f.Solve()
+	if !ok {
+		t.Fatal("4-cycle not 2-colored")
+	}
+	for _, e := range edges {
+		if m[color[e[0]].Var()] == m[color[e[1]].Var()] {
+			t.Errorf("edge %v monochromatic", e)
+		}
+	}
+	// Odd cycle is not 2-colorable.
+	f2 := NewFormula()
+	c2 := []Lit{f2.NewVar(), f2.NewVar(), f2.NewVar()}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		f2.AddClause(c2[e[0]], c2[e[1]])
+		f2.AddClause(c2[e[0]].Neg(), c2[e[1]].Neg())
+	}
+	if _, ok := f2.Solve(); ok {
+		t.Error("triangle 2-colored")
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver on random small
+// formulas against exhaustive enumeration.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8) // up to 9 variables
+		m := 1 + rng.Intn(4*n)
+		f := NewFormula()
+		vars := make([]Lit, n)
+		for i := range vars {
+			vars[i] = f.NewVar()
+		}
+		clauses := make([][]Lit, m)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			c := make([]Lit, k)
+			for j := range c {
+				l := vars[rng.Intn(n)]
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				c[j] = l
+			}
+			clauses[i] = c
+			f.AddClause(c...)
+		}
+		model, got := f.Solve()
+		// Brute force.
+		want := false
+		for mask := 0; mask < 1<<n && !want; mask++ {
+			sat := true
+			for _, c := range clauses {
+				cs := false
+				for _, l := range c {
+					val := mask>>(l.Var()-1)&1 == 1
+					if l < 0 {
+						val = !val
+					}
+					if val {
+						cs = true
+						break
+					}
+				}
+				if !cs {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				want = true
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: Solve=%v brute=%v (n=%d, clauses=%v)", trial, got, want, n, clauses)
+		}
+		if got {
+			// Verify the returned model.
+			for _, c := range clauses {
+				cs := false
+				for _, l := range c {
+					val := model[l.Var()]
+					if l < 0 {
+						val = !val
+					}
+					if val {
+						cs = true
+						break
+					}
+				}
+				if !cs {
+					t.Fatalf("trial %d: model does not satisfy clause %v", trial, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package store provides a named-relation database with update
+// application, snapshots, and per-relation access accounting. The access
+// counters are what the distributed simulator (internal/dist) uses to
+// measure how much remote data a checking strategy touches.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+)
+
+// Store is a mutable database: a set of named relations. The zero value
+// is not usable; call New.
+type Store struct {
+	rels  map[string]*relation.Relation
+	reads map[string]int64 // tuples handed out per relation
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{rels: map[string]*relation.Relation{}, reads: map[string]int64{}}
+}
+
+// Ensure returns the relation named name, creating it with the given
+// arity if absent. It fails if the relation exists with another arity.
+func (s *Store) Ensure(name string, arity int) (*relation.Relation, error) {
+	if r, ok := s.rels[name]; ok {
+		if r.Arity() != arity {
+			return nil, fmt.Errorf("store: relation %s has arity %d, requested %d", name, r.Arity(), arity)
+		}
+		return r, nil
+	}
+	r := relation.New(name, arity)
+	s.rels[name] = r
+	return r, nil
+}
+
+// MustEnsure is Ensure that panics on arity conflicts.
+func (s *Store) MustEnsure(name string, arity int) *relation.Relation {
+	r, err := s.Ensure(name, arity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation returns the named relation, or nil if absent.
+func (s *Store) Relation(name string) *relation.Relation { return s.rels[name] }
+
+// Names returns the sorted relation names.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds a tuple, creating the relation on first use.
+func (s *Store) Insert(name string, t relation.Tuple) (bool, error) {
+	r, err := s.Ensure(name, len(t))
+	if err != nil {
+		return false, err
+	}
+	return r.Insert(t), nil
+}
+
+// Delete removes a tuple; deleting from an absent relation is a no-op.
+func (s *Store) Delete(name string, t relation.Tuple) bool {
+	r := s.rels[name]
+	if r == nil {
+		return false
+	}
+	return r.Delete(t)
+}
+
+// Contains reports whether the named relation holds t.
+func (s *Store) Contains(name string, t relation.Tuple) bool {
+	r := s.rels[name]
+	return r != nil && r.Contains(t)
+}
+
+// Tuples returns a snapshot of the named relation's tuples and charges
+// the read counter. Absent relations are empty.
+func (s *Store) Tuples(name string) []relation.Tuple {
+	r := s.rels[name]
+	if r == nil {
+		return nil
+	}
+	ts := r.Tuples()
+	s.reads[name] += int64(len(ts))
+	return ts
+}
+
+// Lookup returns the tuples of the named relation whose column col equals
+// v, charging the read counter for the tuples returned.
+func (s *Store) Lookup(name string, col int, v ast.Value) []relation.Tuple {
+	r := s.rels[name]
+	if r == nil {
+		return nil
+	}
+	ts := r.Lookup(col, v)
+	s.reads[name] += int64(len(ts))
+	return ts
+}
+
+// Probe reports membership of t in the named relation, charging one read
+// (unlike Contains, which is a free structural check). Evaluators use
+// Probe so that negated-subgoal checks are accounted.
+func (s *Store) Probe(name string, t relation.Tuple) bool {
+	s.reads[name]++
+	r := s.rels[name]
+	return r != nil && r.Contains(t)
+}
+
+// Reads returns the cumulative number of tuples read from the named
+// relation via Tuples/Lookup/Probe.
+func (s *Store) Reads(name string) int64 { return s.reads[name] }
+
+// TotalReads sums the read counters over the given relation names (all
+// relations when none are given).
+func (s *Store) TotalReads(names ...string) int64 {
+	if len(names) == 0 {
+		names = s.Names()
+	}
+	var sum int64
+	for _, n := range names {
+		sum += s.reads[n]
+	}
+	return sum
+}
+
+// ResetReads zeroes all read counters.
+func (s *Store) ResetReads() { s.reads = map[string]int64{} }
+
+// Clone returns a deep copy of the store with zeroed counters.
+func (s *Store) Clone() *Store {
+	out := New()
+	for n, r := range s.rels {
+		out.rels[n] = r.Clone()
+	}
+	return out
+}
+
+// LoadFacts inserts every fact (bodiless ground rule) of prog into the
+// store and rejects non-fact rules.
+func (s *Store) LoadFacts(prog *ast.Program) error {
+	for _, r := range prog.Rules {
+		if !r.IsFact() {
+			return fmt.Errorf("store: rule %s is not a fact", r)
+		}
+		t, err := relation.TermsToTuple(r.Head.Args)
+		if err != nil {
+			return fmt.Errorf("store: fact %s: %v", r, err)
+		}
+		if _, err := s.Insert(r.Head.Pred, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the store contents sorted by relation name.
+func (s *Store) String() string {
+	var parts []string
+	for _, n := range s.Names() {
+		parts = append(parts, s.rels[n].String())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Update is an insertion or deletion of one tuple, the update granularity
+// of Section 4 and 5 of the paper.
+type Update struct {
+	Insert   bool
+	Relation string
+	Tuple    relation.Tuple
+}
+
+// Ins builds an insertion update.
+func Ins(rel string, t relation.Tuple) Update { return Update{Insert: true, Relation: rel, Tuple: t} }
+
+// Del builds a deletion update.
+func Del(rel string, t relation.Tuple) Update { return Update{Relation: rel, Tuple: t} }
+
+// Apply performs the update on the store.
+func (u Update) Apply(s *Store) error {
+	if u.Insert {
+		_, err := s.Insert(u.Relation, u.Tuple)
+		return err
+	}
+	s.Delete(u.Relation, u.Tuple)
+	return nil
+}
+
+// String renders the update as +rel(t) or -rel(t).
+func (u Update) String() string {
+	sign := "-"
+	if u.Insert {
+		sign = "+"
+	}
+	return sign + u.Relation + u.Tuple.String()
+}
+
+// Dump renders the store as a facts program — one fact per tuple, sorted
+// by relation name, in the parser's syntax — so a store round-trips
+// through Dump → parser.ParseProgram → LoadFacts. Tuples appear in
+// insertion order within each relation.
+func (s *Store) Dump() string {
+	var sb strings.Builder
+	for _, name := range s.Names() {
+		r := s.rels[name]
+		for _, t := range r.Tuples() {
+			sb.WriteString(ast.Fact(ast.Atom{Pred: name, Args: t.Terms()}).String())
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+func TestEnsureArityConflict(t *testing.T) {
+	s := New()
+	if _, err := s.Ensure("emp", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ensure("emp", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ensure("emp", 2); err == nil {
+		t.Error("arity conflict accepted")
+	}
+}
+
+func TestInsertDeleteContains(t *testing.T) {
+	s := New()
+	tu := relation.Strs("jones", "shoe")
+	if ok, err := s.Insert("emp", tu); err != nil || !ok {
+		t.Fatalf("Insert: %v %v", ok, err)
+	}
+	if !s.Contains("emp", tu) {
+		t.Error("tuple missing")
+	}
+	if !s.Delete("emp", tu) {
+		t.Error("delete failed")
+	}
+	if s.Delete("absent", tu) {
+		t.Error("delete from absent relation reported change")
+	}
+}
+
+func TestReadAccounting(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 10; i++ {
+		if _, err := s.Insert("r", relation.Ints(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Tuples("r")
+	if got := s.Reads("r"); got != 10 {
+		t.Errorf("Reads = %d, want 10", got)
+	}
+	s.Lookup("r", 0, ast.Int(3))
+	if got := s.Reads("r"); got != 11 {
+		t.Errorf("Reads = %d, want 11", got)
+	}
+	if got := s.TotalReads(); got != 11 {
+		t.Errorf("TotalReads = %d, want 11", got)
+	}
+	s.ResetReads()
+	if got := s.TotalReads(); got != 0 {
+		t.Errorf("TotalReads after reset = %d", got)
+	}
+	// Contains must not charge reads: membership probes are free index
+	// hits, which matters for the simulator's accounting.
+	s.Contains("r", relation.Ints(1))
+	if got := s.TotalReads(); got != 0 {
+		t.Errorf("Contains charged reads: %d", got)
+	}
+}
+
+func TestLoadFacts(t *testing.T) {
+	s := New()
+	prog := parser.MustParseProgram(`dept(toy). dept(shoe). emp(jones, shoe, 50).`)
+	if err := s.LoadFacts(prog); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains("dept", relation.Strs("toy")) {
+		t.Error("dept(toy) missing")
+	}
+	if !s.Contains("emp", relation.TupleOf(ast.Str("jones"), ast.Str("shoe"), ast.Int(50))) {
+		t.Error("emp fact missing")
+	}
+	bad := parser.MustParseProgram("p(X) :- q(X).")
+	if err := s.LoadFacts(bad); err == nil {
+		t.Error("non-fact accepted by LoadFacts")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New()
+	if _, err := s.Insert("r", relation.Ints(1)); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if _, err := c.Insert("r", relation.Ints(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("r", relation.Ints(2)) {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestUpdateApply(t *testing.T) {
+	s := New()
+	ins := Ins("dept", relation.Strs("toy"))
+	if err := ins.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains("dept", relation.Strs("toy")) {
+		t.Error("insert update not applied")
+	}
+	del := Del("dept", relation.Strs("toy"))
+	if err := del.Apply(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("dept", relation.Strs("toy")) {
+		t.Error("delete update not applied")
+	}
+	if got := ins.String(); got != "+dept(toy)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := del.String(); got != "-dept(toy)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.LoadFacts(parser.MustParseProgram(`
+		dept(toy). dept("New York").
+		emp(jones, shoe, 50). emp(ann, toy, 4.5).`)); err != nil {
+		t.Fatal(err)
+	}
+	dump := s.Dump()
+	s2 := New()
+	if err := s2.LoadFacts(parser.MustParseProgram(dump)); err != nil {
+		t.Fatalf("reload of dump failed: %v\n%s", err, dump)
+	}
+	for _, name := range s.Names() {
+		a, b := s.Relation(name), s2.Relation(name)
+		if b == nil || !a.Equal(b) {
+			t.Errorf("relation %s did not round-trip", name)
+		}
+	}
+	// Symbols needing quotes must be quoted in the dump.
+	if !strings.Contains(dump, `"New York"`) {
+		t.Errorf("dump lacks quoted symbol:\n%s", dump)
+	}
+}
+
+func TestProbeAndMustEnsureAndString(t *testing.T) {
+	s := New()
+	s.MustEnsure("r", 1)
+	if _, err := s.Insert("r", relation.Ints(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Probe("r", relation.Ints(1)) || s.Probe("r", relation.Ints(2)) {
+		t.Error("Probe membership wrong")
+	}
+	if got := s.Reads("r"); got != 2 {
+		t.Errorf("Probe charged %d reads, want 2", got)
+	}
+	if s.Probe("absent", relation.Ints(1)) {
+		t.Error("Probe on absent relation")
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEnsure arity conflict did not panic")
+		}
+	}()
+	s.MustEnsure("r", 3)
+}

@@ -1,0 +1,58 @@
+package subsume
+
+import "repro/internal/ast"
+
+// Redundant returns the indexes of constraints that are subsumed by the
+// rest of the set — the paper's Section 3 payoff: a subsumed constraint
+// never needs checking while the others are maintained. The scan is
+// greedy left-to-right against the currently retained set, so the result
+// depends on order but is always sound (every removed constraint is
+// subsumed by the survivors).
+func Redundant(set []*ast.Program) ([]int, error) {
+	retained := append([]*ast.Program{}, set...)
+	alive := make([]bool, len(set))
+	for i := range alive {
+		alive[i] = true
+	}
+	var out []int
+	for i := range set {
+		others := make([]*ast.Program, 0, len(set)-1)
+		for j, p := range retained {
+			if j != i && alive[j] {
+				others = append(others, p)
+			}
+		}
+		if len(others) == 0 {
+			continue
+		}
+		res, err := Subsumes(set[i], others)
+		if err != nil {
+			return nil, err
+		}
+		if res.Verdict == Yes {
+			alive[i] = false
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// Minimize returns the subset of constraints that must actually be
+// checked: the input with the Redundant ones removed.
+func Minimize(set []*ast.Program) ([]*ast.Program, error) {
+	red, err := Redundant(set)
+	if err != nil {
+		return nil, err
+	}
+	drop := map[int]bool{}
+	for _, i := range red {
+		drop[i] = true
+	}
+	var out []*ast.Program
+	for i, p := range set {
+		if !drop[i] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

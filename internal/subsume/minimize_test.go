@@ -1,0 +1,121 @@
+package subsume
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func TestRedundantSpecificVsGeneral(t *testing.T) {
+	// The vip-specific constraint is subsumed by the general one.
+	set := []*ast.Program{
+		prog(t, "panic :- emp(E,sales) & emp(E,accounting) & vip(E)."),
+		prog(t, "panic :- emp(E,sales) & emp(E,accounting)."),
+	}
+	red, err := Redundant(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != 1 || red[0] != 0 {
+		t.Errorf("Redundant = %v, want [0]", red)
+	}
+	min, err := Minimize(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) != 1 || min[0] != set[1] {
+		t.Errorf("Minimize kept %d constraints", len(min))
+	}
+}
+
+func TestRedundantIntervalUnion(t *testing.T) {
+	// The middle interval constraint is jointly subsumed by its two
+	// overlapping neighbours — a removal no pairwise check would find.
+	set := []*ast.Program{
+		prog(t, "panic :- r(Z) & 4 <= Z & Z <= 8."),
+		prog(t, "panic :- r(Z) & 3 <= Z & Z <= 6."),
+		prog(t, "panic :- r(Z) & 5 <= Z & Z <= 10."),
+	}
+	red, err := Redundant(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != 1 || red[0] != 0 {
+		t.Errorf("Redundant = %v, want [0]", red)
+	}
+}
+
+func TestRedundantNothingToDrop(t *testing.T) {
+	set := []*ast.Program{
+		prog(t, "panic :- r(Z) & Z > 10."),
+		prog(t, "panic :- s(W) & W < 0."),
+	}
+	red, err := Redundant(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != 0 {
+		t.Errorf("Redundant = %v, want none", red)
+	}
+}
+
+// TestMinimizeSemanticsPreserved: on randomized databases, the minimized
+// set is violated exactly when the full set is.
+func TestMinimizeSemanticsPreserved(t *testing.T) {
+	set := []*ast.Program{
+		prog(t, "panic :- r(Z) & 4 <= Z & Z <= 8."),
+		prog(t, "panic :- r(Z) & 3 <= Z & Z <= 6."),
+		prog(t, "panic :- r(Z) & 5 <= Z & Z <= 10."),
+		prog(t, "panic :- s(W) & W > 100."),
+	}
+	min, err := Minimize(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) >= len(set) {
+		t.Fatalf("nothing minimized")
+	}
+	anyViolated := func(ps []*ast.Program, db *store.Store) bool {
+		for _, p := range ps {
+			bad, err := eval.PanicHolds(p, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad {
+				return true
+			}
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		db := store.New()
+		for i := 0; i < rng.Intn(4); i++ {
+			if _, err := db.Insert("r", relation.Ints(int64(rng.Intn(14)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < rng.Intn(2); i++ {
+			if _, err := db.Insert("s", relation.Ints(int64(rng.Intn(200)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if anyViolated(set, db) != anyViolated(min, db) {
+			t.Fatalf("trial %d: minimized set disagrees on %s", trial, db)
+		}
+	}
+}
+
+func TestRedundantUsesParser(t *testing.T) {
+	// Regression: facts-only helpers must keep working through the parse
+	// path used by tests.
+	p := parser.MustParseProgram("panic :- q(X).")
+	if _, err := Redundant([]*ast.Program{p}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package subsume implements constraint subsumption, the Section 3 level
+// of partial-information checking that uses only the constraints
+// themselves: a set C = {C1,…,Cn} subsumes a constraint C when any
+// violation of C implies a violation of some Ci, so C need never be
+// checked while the Ci are maintained.
+//
+// By Theorem 3.1 subsumption is exactly program containment
+// C ⊑ C1 ∪ … ∪ Cn of the constraint queries, so this package is a
+// dispatcher over internal/containment choosing the right (complete when
+// available, sound otherwise) procedure for the language class of the
+// inputs, and also provides the Theorem 3.2 reduction from containment to
+// subsumption used in tests and experiments.
+package subsume
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/containment"
+)
+
+// Verdict is the outcome of a subsumption (or any partial-information)
+// test: Yes is definite, Unknown means the test was inconclusive and more
+// information must be consulted (Section 2, "Correct and Complete
+// Tests").
+type Verdict int
+
+const (
+	// Unknown means the test could not certify subsumption.
+	Unknown Verdict = iota
+	// Yes means subsumption definitely holds.
+	Yes
+)
+
+func (v Verdict) String() string {
+	if v == Yes {
+		return "yes"
+	}
+	return "don't know"
+}
+
+// Result carries a verdict with the procedure that produced it and
+// whether that procedure is complete for the inputs (a complete
+// procedure's Unknown is a definite "no").
+type Result struct {
+	Verdict  Verdict
+	Complete bool
+	Method   string
+}
+
+// Subsumes decides whether the constraint set subsumes c. Every program
+// must be a constraint query (goal panic). The method is chosen by
+// language class:
+//
+//   - pure CQs / unions of CQs: Chandra–Merlin per-disjunct test
+//     (complete);
+//   - CQs with arithmetic in Section 5 normal form, or normalizable:
+//     Theorem 5.1 union test (complete);
+//   - CQs with negation, no arithmetic: SAT countermodel search
+//     (complete);
+//   - anything else (recursion, negation+arithmetic): the sound mapping
+//     test (incomplete; Unknown is inconclusive).
+//
+// Nonrecursive programs are first expanded into unions of single rules.
+func Subsumes(c *ast.Program, set []*ast.Program) (Result, error) {
+	for _, p := range append([]*ast.Program{c}, set...) {
+		if err := checkConstraint(p); err != nil {
+			return Result{}, err
+		}
+	}
+	left, err := expandConstraint(c)
+	if err != nil {
+		return soundFallback(c, set, err)
+	}
+	var union []*ast.Rule
+	for _, s := range set {
+		rs, err := expandConstraint(s)
+		if err != nil {
+			return soundFallback(c, set, err)
+		}
+		union = append(union, rs...)
+	}
+	// Every disjunct of the left side must be contained in the union.
+	agg := Result{Verdict: Yes, Complete: true, Method: ""}
+	for _, d := range left {
+		r, err := ContainsRuleInUnion(d, union)
+		if err != nil {
+			return Result{}, err
+		}
+		if agg.Method == "" {
+			agg.Method = r.Method
+		} else if agg.Method != r.Method {
+			agg.Method = "mixed"
+		}
+		agg.Complete = agg.Complete && r.Complete
+		if r.Verdict != Yes {
+			agg.Verdict = Unknown
+			return agg, nil
+		}
+	}
+	return agg, nil
+}
+
+// ContainsRuleInUnion dispatches the containment of one rule in a union
+// of rules to the strongest available procedure for their language
+// class. The rules need not be constraints: nontrivial heads are
+// supported by every underlying test (the paper notes Theorem 5.1 holds
+// for general CQs), which is what the view-maintenance application
+// (internal/view) relies on.
+func ContainsRuleInUnion(d *ast.Rule, union []*ast.Rule) (Result, error) {
+	neg := d.HasNegation()
+	arith := d.HasComparison()
+	for _, u := range union {
+		neg = neg || u.HasNegation()
+		arith = arith || u.HasComparison()
+	}
+	switch {
+	case !neg && !arith:
+		ok, err := containment.ContainsCQUnion(d, union)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Verdict: verdict(ok), Complete: true, Method: "chandra-merlin"}, nil
+	case !neg:
+		// Normalize into the Theorem 5.1 form (constants and repeated
+		// variables become equality comparisons) and run the union test.
+		nd, err := containment.NormalizeRule(d)
+		if err == nil {
+			nu := make([]*ast.Rule, 0, len(union))
+			for _, u := range union {
+				r, err2 := containment.NormalizeRule(u)
+				if err2 != nil {
+					err = err2
+					break
+				}
+				nu = append(nu, r)
+			}
+			if err == nil {
+				ok, err2 := containment.Theorem51Union(nd, nu)
+				if err2 == nil {
+					return Result{Verdict: verdict(ok), Complete: true, Method: "theorem-5.1"}, nil
+				}
+			}
+		}
+		// Unexpected shapes fall back to Klug's test, which tolerates
+		// anything conjunctive.
+		ok, err := containment.KlugUnion(d, union)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Verdict: verdict(ok), Complete: true, Method: "klug"}, nil
+	case !arith:
+		ok, err := containment.ContainsWithNegationUnion(d, union)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Verdict: verdict(ok), Complete: true, Method: "negation-sat"}, nil
+	default:
+		ok := containment.SoundContainsUnion(d, union)
+		return Result{Verdict: verdict(ok), Complete: false, Method: "sound-mapping"}, nil
+	}
+}
+
+func verdict(ok bool) Verdict {
+	if ok {
+		return Yes
+	}
+	return Unknown
+}
+
+// soundFallback is used when expansion fails (recursion or inexpressible
+// negation): apply the sound mapping test directly on the panic rules.
+//
+// Treating an intermediate predicate like an ordinary database predicate
+// in that test is sound only when both programs define it identically —
+// otherwise "boss" on the left and "boss" on the right denote different
+// relations. The fallback therefore demands that every intermediate
+// predicate reachable from any panic rule has syntactically identical
+// rule sets across all programs involved, and answers Unknown otherwise.
+func soundFallback(c *ast.Program, set []*ast.Program, cause error) (Result, error) {
+	// For pure recursive datalog, try uniform containment first (Sagiv
+	// [1988]); it implies containment, so Yes is sound. It needs a single
+	// subsuming program.
+	if len(set) == 1 && !c.HasNegation() && !c.HasComparison() &&
+		!set[0].HasNegation() && !set[0].HasComparison() {
+		if ok, err := containment.UniformContains(c, set[0]); err == nil && ok {
+			return Result{Verdict: Yes, Complete: false, Method: "uniform-containment"}, nil
+		}
+	}
+	method := fmt.Sprintf("sound-mapping (fallback: %v)", cause)
+	progs := append([]*ast.Program{c}, set...)
+	if !sharedIntermediates(progs) {
+		return Result{Verdict: Unknown, Complete: false, Method: method}, nil
+	}
+	var union []*ast.Rule
+	for _, s := range set {
+		union = append(union, s.RulesFor(ast.PanicPred)...)
+	}
+	for _, d := range c.RulesFor(ast.PanicPred) {
+		if !containment.SoundContainsUnion(d, union) {
+			return Result{Verdict: Unknown, Complete: false, Method: method}, nil
+		}
+	}
+	return Result{Verdict: Yes, Complete: false, Method: method}, nil
+}
+
+// sharedIntermediates reports whether every non-panic intermediate
+// predicate referenced (transitively) by some program's panic rules is
+// defined by syntactically identical rule sets in every program that
+// mentions or defines it.
+func sharedIntermediates(progs []*ast.Program) bool {
+	defs := map[string]string{} // pred -> canonical rule-set rendering
+	for _, p := range progs {
+		idb := p.IDBPreds()
+		// Collect intermediate predicates reachable from panic.
+		reach := map[string]bool{}
+		var visit func(pred string)
+		visit = func(pred string) {
+			if reach[pred] {
+				return
+			}
+			reach[pred] = true
+			for _, r := range p.RulesFor(pred) {
+				for _, l := range r.Body {
+					if !l.IsComp() && idb[l.Atom.Pred] {
+						visit(l.Atom.Pred)
+					}
+				}
+			}
+		}
+		visit(ast.PanicPred)
+		for pred := range reach {
+			if pred == ast.PanicPred {
+				continue
+			}
+			rendering := ""
+			for _, r := range p.RulesFor(pred) {
+				rendering += r.String() + "\n"
+			}
+			if prev, ok := defs[pred]; ok {
+				if prev != rendering {
+					return false
+				}
+			} else {
+				defs[pred] = rendering
+			}
+		}
+	}
+	return true
+}
+
+// checkConstraint verifies the program is a constraint query: it has a
+// 0-ary panic rule.
+func checkConstraint(c *ast.Program) error {
+	hasPanic := false
+	for _, r := range c.Rules {
+		if r.Head.Pred == ast.PanicPred {
+			if r.Head.Arity() != 0 {
+				return fmt.Errorf("subsume: %s must be 0-ary", ast.PanicPred)
+			}
+			hasPanic = true
+		}
+	}
+	if !hasPanic {
+		return fmt.Errorf("subsume: program has no %s rule", ast.PanicPred)
+	}
+	return nil
+}
+
+// expandConstraint expands a nonrecursive constraint program into its
+// union of panic rules.
+func expandConstraint(c *ast.Program) ([]*ast.Rule, error) {
+	if cls := classify.Classify(c); cls.Shape == classify.SingleCQ {
+		return []*ast.Rule{c.Rules[0]}, nil
+	}
+	return containment.Expand(c, ast.PanicPred)
+}
+
+// ReduceContainmentToSubsumption implements Theorem 3.2: given CQs
+// Q: h :- B and R: h :- B', rename the head predicate when it occurs in
+// the bodies and move the head into the body, producing the constraints
+// Q': panic :- h & B and R': panic :- h & B'. Then Q ⊑ R iff Q' ⊑ R', so
+// any containment question becomes a subsumption question.
+func ReduceContainmentToSubsumption(q *ast.Rule) (*ast.Rule, error) {
+	head := q.Head
+	if head.Pred == ast.PanicPred {
+		return nil, fmt.Errorf("subsume: query already a constraint")
+	}
+	renamed := head.Pred
+	for _, l := range q.Body {
+		if !l.IsComp() && l.Atom.Pred == head.Pred {
+			renamed = head.Pred + "$h"
+			break
+		}
+	}
+	body := append([]ast.Literal{ast.Pos(ast.Atom{Pred: renamed, Args: head.Args})}, q.Body...)
+	return &ast.Rule{Head: ast.NewAtom(ast.PanicPred), Body: body}, nil
+}

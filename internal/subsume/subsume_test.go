@@ -1,0 +1,280 @@
+package subsume
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/containment"
+	"repro/internal/parser"
+)
+
+func prog(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+func TestSubsumesPureCQ(t *testing.T) {
+	// "Nobody in both sales and accounting" subsumes the more specific
+	// "no vip in both sales and accounting"… in the violation order:
+	// a violation of the specific one is a violation of the general one.
+	specific := prog(t, "panic :- emp(E,sales) & emp(E,accounting) & vip(E).")
+	general := prog(t, "panic :- emp(E,sales) & emp(E,accounting).")
+	r, err := Subsumes(specific, []*ast.Program{general})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes || !r.Complete {
+		t.Errorf("specific ⊑ general: %+v", r)
+	}
+	r, err = Subsumes(general, []*ast.Program{specific})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict == Yes {
+		t.Errorf("general wrongly subsumed: %+v", r)
+	}
+	if !r.Complete {
+		t.Errorf("pure CQ test should be complete: %+v", r)
+	}
+}
+
+func TestSubsumesUnionSet(t *testing.T) {
+	c := prog(t, "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low & S < 10.")
+	set := []*ast.Program{prog(t, `
+		panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.
+		panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.`)}
+	r, err := Subsumes(c, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes {
+		t.Errorf("union subsumption missed: %+v", r)
+	}
+}
+
+func TestSubsumesArithmeticUnionOnly(t *testing.T) {
+	// Forbidden intervals as subsumption: a middle interval is subsumed
+	// by two overlapping ones only jointly.
+	c := prog(t, "panic :- r(Z) & 4 <= Z & Z <= 8.")
+	left := prog(t, "panic :- r(Z) & 3 <= Z & Z <= 6.")
+	right := prog(t, "panic :- r(Z) & 5 <= Z & Z <= 10.")
+	r, err := Subsumes(c, []*ast.Program{left, right})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes || !r.Complete {
+		t.Errorf("joint subsumption missed: %+v", r)
+	}
+	r, err = Subsumes(c, []*ast.Program{left})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict == Yes {
+		t.Errorf("single-member subsumption wrongly claimed: %+v", r)
+	}
+}
+
+func TestSubsumesNegation(t *testing.T) {
+	c := prog(t, "panic :- emp(E,D) & vip(E) & not dept(D).")
+	general := prog(t, "panic :- emp(E,D) & not dept(D).")
+	r, err := Subsumes(c, []*ast.Program{general})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes || !r.Complete {
+		t.Errorf("negation subsumption: %+v", r)
+	}
+	if r.Method != "negation-sat" {
+		t.Errorf("unexpected method %q", r.Method)
+	}
+}
+
+func TestSubsumesMixedSound(t *testing.T) {
+	c := prog(t, "panic :- emp(E,D,S) & not dept(D) & S < 50.")
+	general := prog(t, "panic :- emp(E,D,S) & not dept(D) & S < 100.")
+	r, err := Subsumes(c, []*ast.Program{general})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes {
+		t.Errorf("mixed-language subsumption missed: %+v", r)
+	}
+	if r.Complete {
+		t.Error("mixed-language test wrongly claims completeness")
+	}
+}
+
+func TestSubsumesRecursiveFallback(t *testing.T) {
+	c := prog(t, `
+		panic :- boss(E,E) & vip(E).
+		boss(E,M) :- emp(E,D) & manager(D,M).
+		boss(E,F) :- boss(E,G) & boss(G,F).`)
+	general := prog(t, `
+		panic :- boss(E,E).
+		boss(E,M) :- emp(E,D) & manager(D,M).
+		boss(E,F) :- boss(E,G) & boss(G,F).`)
+	r, err := Subsumes(c, []*ast.Program{general})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes {
+		t.Errorf("recursive sound subsumption missed: %+v", r)
+	}
+	if r.Complete {
+		t.Error("recursive fallback must not claim completeness")
+	}
+}
+
+func TestSubsumesExpandsIntermediates(t *testing.T) {
+	c := prog(t, `
+		bad(E) :- emp(E,sales) & emp(E,accounting).
+		panic :- bad(E) & vip(E).`)
+	general := prog(t, "panic :- emp(E,sales) & emp(E,accounting).")
+	r, err := Subsumes(c, []*ast.Program{general})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes || !r.Complete {
+		t.Errorf("intermediate-predicate subsumption: %+v", r)
+	}
+}
+
+func TestSubsumesRejectsNonConstraint(t *testing.T) {
+	notC := prog(t, "q(X) :- p(X).")
+	if _, err := Subsumes(notC, nil); err == nil {
+		t.Error("non-constraint program accepted")
+	}
+}
+
+func TestReduceContainmentToSubsumption(t *testing.T) {
+	// Theorem 3.2: Q ⊑ R iff Q' ⊑ R' — verify on a positive and a
+	// negative instance.
+	q := parser.MustParseRule("h(X) :- e(X,Y) & e(Y,X).")
+	r := parser.MustParseRule("h(A) :- e(A,B).")
+	qp, err := ReduceContainmentToSubsumption(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ReduceContainmentToSubsumption(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct containment.
+	direct, err := containment.ContainsCQ(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := containment.ContainsCQ(qp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != reduced || !direct {
+		t.Errorf("reduction disagrees: direct=%v reduced=%v", direct, reduced)
+	}
+	// Negative direction.
+	direct2, err := containment.ContainsCQ(r, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced2, err := containment.ContainsCQ(rp, qp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct2 != reduced2 || direct2 {
+		t.Errorf("negative reduction disagrees: direct=%v reduced=%v", direct2, reduced2)
+	}
+}
+
+func TestReduceRenamesHeadPredicate(t *testing.T) {
+	q := parser.MustParseRule("e(X,Z) :- e(X,Y) & e(Y,Z).")
+	qp, err := ReduceContainmentToSubsumption(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp.Body[0].Atom.Pred != "e$h" {
+		t.Errorf("head predicate not renamed: %s", qp)
+	}
+}
+
+// TestSubsumesRecursiveRewrittenNotClaimed is the regression test for a
+// real bug: after the insertion rewriting, C' defines boss over emp$ins
+// while C defines it over emp — the same predicate NAME denotes different
+// relations, so the fallback mapping test must NOT treat them as equal
+// and must answer Unknown (an insertion into manager CAN create a cycle).
+func TestSubsumesRecursiveRewrittenNotClaimed(t *testing.T) {
+	c := prog(t, `
+		panic :- boss(E,E).
+		boss(E,M) :- emp(E,D) & manager(D,M).
+		boss(E,F) :- boss(E,G) & boss(G,F).`)
+	cPrime := prog(t, `
+		panic :- boss(E,E).
+		boss(E,M) :- emp(E,D) & manager1(D,M).
+		boss(E,F) :- boss(E,G) & boss(G,F).
+		manager1(U,V) :- manager(U,V).
+		manager1(ops,ann).`)
+	r, err := Subsumes(cPrime, []*ast.Program{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict == Yes {
+		t.Fatalf("rewritten recursive constraint wrongly subsumed: %+v", r)
+	}
+}
+
+// TestSubsumesRecursiveSharedIntermediates: identical aux definitions let
+// the mapping fallback certify a panic-rule strengthening that uniform
+// containment alone cannot (the extra vip subgoal blocks the chase).
+func TestSubsumesRecursiveSharedIntermediates(t *testing.T) {
+	boss := `
+		boss(E,M) :- emp(E,D) & manager(D,M).
+		boss(E,F) :- boss(E,G) & boss(G,F).`
+	specific := prog(t, "panic :- boss(E,E) & vip(E)."+boss)
+	general := prog(t, "panic :- boss(E,E)."+boss)
+	r, err := Subsumes(specific, []*ast.Program{general})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes {
+		t.Fatalf("shared-intermediate subsumption missed: %+v", r)
+	}
+	if r.Complete {
+		t.Error("fallback must not claim completeness")
+	}
+	// Reverse direction must stay Unknown.
+	r, err = Subsumes(general, []*ast.Program{specific})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict == Yes {
+		t.Fatalf("reverse wrongly subsumed: %+v", r)
+	}
+}
+
+// TestSubsumesRecursiveMultiSet: the uniform-containment shortcut needs a
+// single subsuming program; with two recursive programs the shared-
+// intermediate mapping fallback must still work.
+func TestSubsumesRecursiveMultiSet(t *testing.T) {
+	boss := `
+		boss(E,M) :- emp(E,D) & manager(D,M).
+		boss(E,F) :- boss(E,G) & boss(G,F).`
+	specific := prog(t, "panic :- boss(E,E) & vip(E)."+boss)
+	general := prog(t, "panic :- boss(E,E)."+boss)
+	other := prog(t, "panic :- boss(E,E) & contractor(E)."+boss)
+	r, err := Subsumes(specific, []*ast.Program{other, general})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Yes {
+		t.Fatalf("multi-set recursive subsumption missed: %+v", r)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Yes.String() != "yes" || Unknown.String() != "don't know" {
+		t.Errorf("verdict strings: %q %q", Yes, Unknown)
+	}
+}

@@ -1,0 +1,180 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func mkView(t *testing.T, goal, src string) *View {
+	t.Helper()
+	v, err := New(goal, parser.MustParseProgram(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMaterialize(t *testing.T) {
+	v := mkView(t, "rich", "rich(E) :- emp(E,D,S) & S > 100.")
+	db := store.New()
+	if err := db.LoadFacts(parser.MustParseProgram("emp(ann,toy,50). emp(bob,toy,200).")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Materialize(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Equal(relation.Strs("bob")) {
+		t.Errorf("Materialize = %v", got)
+	}
+}
+
+func TestIrrelevantUnrelatedRelation(t *testing.T) {
+	v := mkView(t, "rich", "rich(E) :- emp(E,D,S) & S > 100.")
+	ok, err := Irrelevant(v, store.Ins("dept", relation.Strs("toy")))
+	if err != nil || !ok {
+		t.Errorf("update to unrelated relation not irrelevant: %v %v", ok, err)
+	}
+}
+
+func TestIrrelevantBySelection(t *testing.T) {
+	// Inserting a low-salary employee cannot change the rich view.
+	v := mkView(t, "rich", "rich(E) :- emp(E,D,S) & S > 100.")
+	ok, err := Irrelevant(v, store.Ins("emp", relation.TupleOf(
+		ast.Str("carl"), ast.Str("toy"), ast.Int(50))))
+	if err != nil || !ok {
+		t.Errorf("low-salary insert not proved irrelevant: %v %v", ok, err)
+	}
+	// A high-salary one can.
+	ok, err = Irrelevant(v, store.Ins("emp", relation.TupleOf(
+		ast.Str("dina"), ast.Str("toy"), ast.Int(500))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("relevant insert claimed irrelevant")
+	}
+}
+
+func TestIrrelevantDeletion(t *testing.T) {
+	v := mkView(t, "rich", "rich(E) :- emp(E,D,S) & S > 100.")
+	// Deleting a low-salary tuple is irrelevant.
+	ok, err := Irrelevant(v, store.Del("emp", relation.TupleOf(
+		ast.Str("ann"), ast.Str("toy"), ast.Int(50))))
+	if err != nil || !ok {
+		t.Errorf("low-salary delete not proved irrelevant: %v %v", ok, err)
+	}
+	// Deleting a high-salary tuple is relevant.
+	ok, err = Irrelevant(v, store.Del("emp", relation.TupleOf(
+		ast.Str("bob"), ast.Str("toy"), ast.Int(200))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("relevant delete claimed irrelevant")
+	}
+}
+
+func TestIrrelevantSoundAgainstDelta(t *testing.T) {
+	// Soundness: whenever Irrelevant says true, Delta must be empty on
+	// randomized databases.
+	v := mkView(t, "pair", "pair(E,F) :- emp(E,D,S) & emp(F,D,T) & S < T.")
+	rng := rand.New(rand.NewSource(3))
+	names := []string{"a", "b", "c"}
+	depts := []string{"x", "y"}
+	randUpdate := func() store.Update {
+		tu := relation.TupleOf(
+			ast.Str(names[rng.Intn(len(names))]),
+			ast.Str(depts[rng.Intn(len(depts))]),
+			ast.Int(int64(rng.Intn(5))))
+		if rng.Intn(2) == 0 {
+			return store.Ins("emp", tu)
+		}
+		return store.Del("emp", tu)
+	}
+	for trial := 0; trial < 60; trial++ {
+		db := store.New()
+		for i := 0; i < rng.Intn(5); i++ {
+			if _, err := db.Insert("emp", relation.TupleOf(
+				ast.Str(names[rng.Intn(len(names))]),
+				ast.Str(depts[rng.Intn(len(depts))]),
+				ast.Int(int64(rng.Intn(5))))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		u := randUpdate()
+		irr, err := Irrelevant(v, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !irr {
+			continue
+		}
+		added, removed, err := Delta(v, db, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(added)+len(removed) != 0 {
+			t.Fatalf("trial %d: update %v claimed irrelevant but delta = +%v -%v", trial, u, added, removed)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	v := mkView(t, "rich", "rich(E) :- emp(E,D,S) & S > 100.")
+	db := store.New()
+	if err := db.LoadFacts(parser.MustParseProgram("emp(bob,toy,200).")); err != nil {
+		t.Fatal(err)
+	}
+	added, removed, err := Delta(v, db, store.Ins("emp", relation.TupleOf(
+		ast.Str("eve"), ast.Str("toy"), ast.Int(300))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 1 || len(removed) != 0 || !added[0].Equal(relation.Strs("eve")) {
+		t.Errorf("delta = +%v -%v", added, removed)
+	}
+	added, removed, err = Delta(v, db, store.Del("emp", relation.TupleOf(
+		ast.Str("bob"), ast.Str("toy"), ast.Int(200))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 0 || len(removed) != 1 {
+		t.Errorf("delta = +%v -%v", added, removed)
+	}
+	// Delta must not mutate the original store.
+	if !db.Contains("emp", relation.TupleOf(ast.Str("bob"), ast.Str("toy"), ast.Int(200))) {
+		t.Error("Delta mutated the store")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("missing", parser.MustParseProgram("v(X) :- e(X).")); err == nil {
+		t.Error("missing goal accepted")
+	}
+}
+
+func TestIrrelevantUnionView(t *testing.T) {
+	v := mkView(t, "listed", `
+		listed(E) :- emp(E,D,S) & S > 100.
+		listed(E) :- vip(E).`)
+	// Low-salary insert irrelevant even through the union.
+	ok, err := Irrelevant(v, store.Ins("emp", relation.TupleOf(
+		ast.Str("carl"), ast.Str("toy"), ast.Int(50))))
+	if err != nil || !ok {
+		t.Errorf("union view: %v %v", ok, err)
+	}
+	// vip insert relevant.
+	ok, err = Irrelevant(v, store.Ins("vip", relation.Strs("zed")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("vip insert claimed irrelevant")
+	}
+}

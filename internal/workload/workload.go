@@ -1,0 +1,157 @@
+// Package workload generates the synthetic databases, constraints and
+// update streams used by the examples and the experiment benchmarks. The
+// generators are deterministic given a seed, so every experiment is
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Intervals generates n local interval tuples (lo, lo+width…) whose low
+// ends are spread over [0, spread). Larger n·width relative to spread
+// yields denser coverage and a higher local-certification rate.
+func Intervals(rng *rand.Rand, n int, width, spread int64) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		lo := rng.Int63n(spread)
+		out[i] = relation.Ints(lo, lo+1+rng.Int63n(width))
+	}
+	return out
+}
+
+// IntervalInserts generates an update stream of new intervals with the
+// same distribution.
+func IntervalInserts(rng *rand.Rand, n int, width, spread int64, rel string) []store.Update {
+	out := make([]store.Update, n)
+	for i, t := range Intervals(rng, n, width, spread) {
+		out[i] = store.Ins(rel, t)
+	}
+	return out
+}
+
+// ChainCQC builds a conjunctive query constraint with k copies of the
+// binary predicate r — the duplicate-predicate multiplicity that drives
+// the number of containment mappings in the Theorem 5.1 vs Klug
+// experiment:
+//
+//	panic :- r(U1,V1) & … & r(Uk,Vk) & V1<=U2 & … & V(k-1)<=Uk & U1 <= Vk
+func ChainCQC(k int) *ast.Rule {
+	r := &ast.Rule{Head: ast.NewAtom(ast.PanicPred)}
+	for i := 1; i <= k; i++ {
+		r.Body = append(r.Body, ast.Pos(ast.NewAtom("r",
+			ast.V(fmt.Sprintf("U%d", i)), ast.V(fmt.Sprintf("V%d", i)))))
+	}
+	for i := 1; i < k; i++ {
+		r.Body = append(r.Body, ast.Cmp(ast.NewComparison(
+			ast.V(fmt.Sprintf("V%d", i)), ast.Le, ast.V(fmt.Sprintf("U%d", i+1)))))
+	}
+	if k >= 1 {
+		r.Body = append(r.Body, ast.Cmp(ast.NewComparison(ast.V("U1"), ast.Le, ast.V(fmt.Sprintf("V%d", k)))))
+	}
+	return r
+}
+
+// RandomCQC draws a random conjunctive query with comparisons in
+// Theorem 5.1 normal form: natoms ordinary subgoals over preds (each
+// variable used once), and ncomps comparisons over the variables and
+// small integer constants.
+func RandomCQC(rng *rand.Rand, preds []string, arity, natoms, ncomps int) *ast.Rule {
+	r := &ast.Rule{Head: ast.NewAtom(ast.PanicPred)}
+	var vars []ast.Term
+	for i := 0; i < natoms; i++ {
+		args := make([]ast.Term, arity)
+		for j := range args {
+			v := ast.V(fmt.Sprintf("X%d_%d", i, j))
+			args[j] = v
+			vars = append(vars, v)
+		}
+		r.Body = append(r.Body, ast.Pos(ast.Atom{Pred: preds[rng.Intn(len(preds))], Args: args}))
+	}
+	ops := []ast.CompOp{ast.Lt, ast.Le, ast.Eq, ast.Ge, ast.Gt}
+	term := func() ast.Term {
+		if len(vars) == 0 || rng.Intn(4) == 0 {
+			return ast.CInt(int64(rng.Intn(6)))
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	for i := 0; i < ncomps; i++ {
+		l := term()
+		rt := term()
+		if l.IsConst() && rt.IsConst() && len(vars) > 0 {
+			rt = vars[rng.Intn(len(vars))]
+		}
+		r.Body = append(r.Body, ast.Cmp(ast.NewComparison(l, ops[rng.Intn(len(ops))], rt)))
+	}
+	return r
+}
+
+// EmployeeDB seeds a store with depts departments, each with a salary
+// range, and n employees placed consistently (so the standard constraints
+// hold initially).
+func EmployeeDB(rng *rand.Rand, db *store.Store, depts, n int) error {
+	for d := 0; d < depts; d++ {
+		name := deptName(d)
+		if _, err := db.Insert("dept", relation.Strs(name)); err != nil {
+			return err
+		}
+		low := int64(10 * (d + 1))
+		if _, err := db.Insert("salRange", relation.TupleOf(ast.Str(name), ast.Int(low), ast.Int(low+50))); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		d := rng.Intn(depts)
+		low := int64(10 * (d + 1))
+		sal := low + rng.Int63n(51)
+		t := relation.TupleOf(ast.Str(fmt.Sprintf("e%d", i)), ast.Str(deptName(d)), ast.Int(sal))
+		if _, err := db.Insert("emp", t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmployeeUpdates draws an update stream: mostly valid hires, a tunable
+// fraction of violating ones (ghost departments or out-of-range
+// salaries), plus department inserts.
+func EmployeeUpdates(rng *rand.Rand, n, depts int, violateFrac float64) []store.Update {
+	out := make([]store.Update, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			out = append(out, store.Ins("dept", relation.Strs(deptName(depts+rng.Intn(3)))))
+			continue
+		}
+		d := rng.Intn(depts)
+		low := int64(10 * (d + 1))
+		sal := low + rng.Int63n(51)
+		dept := deptName(d)
+		if rng.Float64() < violateFrac {
+			if rng.Intn(2) == 0 {
+				dept = "ghost"
+			} else {
+				sal = low + 1000
+			}
+		}
+		out = append(out, store.Ins("emp",
+			relation.TupleOf(ast.Str(fmt.Sprintf("h%d", i)), ast.Str(dept), ast.Int(sal))))
+	}
+	return out
+}
+
+func deptName(d int) string { return fmt.Sprintf("dept%02d", d) }
+
+// StandardEmployeeConstraints returns the paper's running constraints
+// (Examples 2.2 and 2.3) as named sources.
+func StandardEmployeeConstraints() map[string]string {
+	return map[string]string{
+		"referential": "panic :- emp(E,D,S) & not dept(D).",
+		"range-low":   "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low.",
+		"range-high":  "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High.",
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/containment"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/store"
+)
+
+func TestIntervalsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := Intervals(rng, 50, 10, 100)
+	if len(ts) != 50 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	for _, tu := range ts {
+		if tu[0].Compare(tu[1]) >= 0 {
+			t.Errorf("degenerate interval %v", tu)
+		}
+	}
+}
+
+func TestIntervalsDeterministic(t *testing.T) {
+	a := Intervals(rand.New(rand.NewSource(7)), 20, 5, 50)
+	b := Intervals(rand.New(rand.NewSource(7)), 20, 5, 50)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("generator not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestChainCQC(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		r := ChainCQC(k)
+		if err := r.CheckSafe(); err != nil {
+			t.Errorf("ChainCQC(%d) unsafe: %v", k, err)
+		}
+		if got := len(r.PositiveAtoms()); got != k {
+			t.Errorf("ChainCQC(%d) has %d atoms", k, got)
+		}
+		// Normal form for Theorem 5.1: distinct variables throughout.
+		if _, err := containment.Theorem51(r, r.Clone()); err != nil {
+			t.Errorf("ChainCQC(%d) not in Theorem 5.1 form: %v", k, err)
+		}
+	}
+	// Self-containment must hold.
+	ok, err := containment.Theorem51(ChainCQC(3), ChainCQC(3))
+	if err != nil || !ok {
+		t.Errorf("chain not self-contained: %v %v", ok, err)
+	}
+}
+
+func TestRandomCQCWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		r := RandomCQC(rng, []string{"r", "s"}, 2, 1+rng.Intn(3), rng.Intn(4))
+		if err := r.CheckSafe(); err != nil {
+			t.Fatalf("unsafe random CQC: %v", err)
+		}
+		prog := parser.MustParseProgram(r.String())
+		if c := classify.Classify(prog); c.Negation {
+			t.Fatal("random CQC has negation")
+		}
+	}
+}
+
+func TestEmployeeDBConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := store.New()
+	if err := EmployeeDB(rng, db, 5, 40); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range StandardEmployeeConstraints() {
+		bad, err := eval.PanicHolds(parser.MustParseProgram(src), db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad {
+			t.Errorf("seeded database violates %s", name)
+		}
+	}
+}
+
+func TestEmployeeUpdatesViolationFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	us := EmployeeUpdates(rng, 200, 4, 0.5)
+	if len(us) != 200 {
+		t.Fatalf("len = %d", len(us))
+	}
+	ghosts := 0
+	for _, u := range us {
+		if u.Relation == "emp" && u.Tuple[1].Str == "ghost" {
+			ghosts++
+		}
+	}
+	if ghosts == 0 {
+		t.Error("no ghost-department hires in a 50% violating stream")
+	}
+}
