@@ -18,6 +18,8 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/ast"
@@ -323,6 +325,71 @@ func benchDistributed(b *testing.B, naive bool) {
 
 func BenchmarkDistributedStaged(b *testing.B) { benchDistributed(b, false) }
 func BenchmarkDistributedNaive(b *testing.B)  { benchDistributed(b, true) }
+
+// --- pipeline: parallel dispatch + decision cache ----------------------------
+
+// applyParallelConstraints is the ≥8-constraint set for the pipeline
+// benchmark: the paper's running employee constraints plus satisfiable
+// extras over every relation the mixed workload touches.
+func applyParallelConstraints() map[string]string {
+	cons := workload.StandardEmployeeConstraints()
+	cons["cap"] = "panic :- emp(E,D,S) & S > 2000."
+	cons["floor"] = "panic :- emp(E,D,S) & S < 0."
+	cons["range-ref"] = "panic :- salRange(D,Low,High) & not dept(D)."
+	cons["range-order"] = "panic :- salRange(D,Low,High) & Low > High."
+	cons["blocked"] = "panic :- emp(E,D,S) & blocked(E)."
+	cons["closed"] = "panic :- dept(D) & closed(D)."
+	return cons
+}
+
+func benchApplyParallel(b *testing.B, opts core.Options) {
+	b.Helper()
+	cons := applyParallelConstraints()
+	names := make([]string, 0, len(cons))
+	for n := range cons {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(9))
+		db := store.New()
+		if err := workload.EmployeeDB(rng, db, 6, 200); err != nil {
+			b.Fatal(err)
+		}
+		db.MustEnsure("blocked", 1)
+		db.MustEnsure("closed", 1)
+		c := core.New(db, opts)
+		for _, n := range names {
+			if err := c.AddConstraintSource(n, cons[n]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		updates := workload.EmployeeUpdates(rng, 60, 6, 0.1)
+		b.StartTimer()
+		for _, u := range updates {
+			if _, err := c.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkApplyParallel drives a mixed update stream through ≥8
+// constraints: the seed configuration (one worker, no decision cache)
+// against the cached serial and cached parallel pipelines.
+func BenchmarkApplyParallel(b *testing.B) {
+	b.Run("workers=1/seed", func(b *testing.B) {
+		benchApplyParallel(b, core.Options{Workers: 1, DisableCache: true})
+	})
+	b.Run("workers=1/cached", func(b *testing.B) {
+		benchApplyParallel(b, core.Options{Workers: 1})
+	})
+	b.Run(fmt.Sprintf("workers=%d/cached", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		benchApplyParallel(b, core.Options{})
+	})
+}
 
 // --- substrate micro-benchmarks ----------------------------------------------
 

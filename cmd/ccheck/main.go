@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/parser"
 	"repro/internal/relation"
@@ -30,6 +31,7 @@ func main() {
 		dataPath        = flag.String("data", "", "path to initial facts")
 		updatesPath     = flag.String("updates", "", "path to update script (+rel(...) / -rel(...) per line)")
 		localList       = flag.String("local", "", "comma-separated local relations (default: all local)")
+		workers         = flag.Int("workers", 0, "worker goroutines for constraint dispatch (0: one per CPU, 1: serial)")
 		verbose         = flag.Bool("v", false, "print per-update decisions")
 		savePath        = flag.String("save", "", "write the final database to this file as facts")
 	)
@@ -39,13 +41,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*constraintsPath, *dataPath, *updatesPath, *localList, *verbose, *savePath); err != nil {
+	if err := run(*constraintsPath, *dataPath, *updatesPath, *localList, *workers, *verbose, *savePath); err != nil {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(constraintsPath, dataPath, updatesPath, localList string, verbose bool, savePath ...string) error {
+func run(constraintsPath, dataPath, updatesPath, localList string, workers int, verbose bool, savePath ...string) error {
 	db := store.New()
 	if dataPath != "" {
 		src, err := os.ReadFile(dataPath)
@@ -64,7 +66,7 @@ func run(constraintsPath, dataPath, updatesPath, localList string, verbose bool,
 	if localList != "" {
 		locals = strings.Split(localList, ",")
 	}
-	sys := dist.New(db, locals, dist.DefaultCost)
+	sys := dist.NewWithOptions(db, core.Options{LocalRelations: locals, Workers: workers}, dist.DefaultCost)
 
 	csrc, err := os.ReadFile(constraintsPath)
 	if err != nil {

@@ -64,7 +64,7 @@ panic :- emp(E,D,S) & S > 100.`)
 -emp(ann,toy,50)
 `)
 	saved := filepath.Join(dir, "out.dl")
-	if err := run(constraints, data, updates, "emp,dept", true, saved); err != nil {
+	if err := run(constraints, data, updates, "emp,dept", 0, true, saved); err != nil {
 		t.Fatal(err)
 	}
 	dump, err := os.ReadFile(saved)
@@ -82,11 +82,11 @@ panic :- emp(E,D,S) & S > 100.`)
 	}
 	// Violated constraint at load time must error.
 	badData := write("bad.dl", "emp(x,ghost,5).")
-	if err := run(constraints, badData, updates, "", false); err == nil {
+	if err := run(constraints, badData, updates, "", 2, false); err == nil {
 		t.Error("initially-violated database accepted")
 	}
 	// Missing file.
-	if err := run(filepath.Join(dir, "missing.dl"), data, updates, "", false); err == nil {
+	if err := run(filepath.Join(dir, "missing.dl"), data, updates, "", 1, false); err == nil {
 		t.Error("missing constraints file accepted")
 	}
 }

@@ -53,15 +53,19 @@ func Mappings(src, dst *ast.Rule) []Mapping {
 	for _, a := range dst.PositiveAtoms() {
 		byPred[a.Pred] = append(byPred[a.Pred], a)
 	}
-	seed := Mapping{}
-	if !matchAtomFrozen(src.Head, dst.Head, seed) {
+	// One scratch mapping threads the whole search; bindings added by a
+	// candidate are recorded on the trail and unwound on backtrack (the
+	// eval.joinLoop idiom), so only the solutions themselves are cloned.
+	h := Mapping{}
+	var trail []string
+	if !matchAtomTrail(src.Head, dst.Head, h, &trail) {
 		return nil
 	}
 	srcAtoms := src.PositiveAtoms()
 	var out []Mapping
 	seen := map[string]bool{}
-	var rec func(i int, h Mapping)
-	rec = func(i int, h Mapping) {
+	var rec func(i int)
+	rec = func(i int) {
 		if i == len(srcAtoms) {
 			key := mappingKey(h)
 			if !seen[key] {
@@ -71,13 +75,17 @@ func Mappings(src, dst *ast.Rule) []Mapping {
 			return
 		}
 		for _, target := range byPred[srcAtoms[i].Pred] {
-			h2 := h.Clone()
-			if matchAtomFrozen(srcAtoms[i], target, h2) {
-				rec(i+1, h2)
+			mark := len(trail)
+			if matchAtomTrail(srcAtoms[i], target, h, &trail) {
+				rec(i + 1)
+			}
+			for len(trail) > mark {
+				delete(h, trail[len(trail)-1])
+				trail = trail[:len(trail)-1]
 			}
 		}
 	}
-	rec(0, seed)
+	rec(0)
 	return out
 }
 
@@ -88,30 +96,37 @@ func HasMapping(src, dst *ast.Rule) bool {
 	for _, a := range dst.PositiveAtoms() {
 		byPred[a.Pred] = append(byPred[a.Pred], a)
 	}
-	seed := Mapping{}
-	if !matchAtomFrozen(src.Head, dst.Head, seed) {
+	h := Mapping{}
+	var trail []string
+	if !matchAtomTrail(src.Head, dst.Head, h, &trail) {
 		return false
 	}
 	srcAtoms := src.PositiveAtoms()
-	var rec func(i int, h Mapping) bool
-	rec = func(i int, h Mapping) bool {
+	var rec func(i int) bool
+	rec = func(i int) bool {
 		if i == len(srcAtoms) {
 			return true
 		}
 		for _, target := range byPred[srcAtoms[i].Pred] {
-			h2 := h.Clone()
-			if matchAtomFrozen(srcAtoms[i], target, h2) && rec(i+1, h2) {
+			mark := len(trail)
+			if matchAtomTrail(srcAtoms[i], target, h, &trail) && rec(i+1) {
 				return true
+			}
+			for len(trail) > mark {
+				delete(h, trail[len(trail)-1])
+				trail = trail[:len(trail)-1]
 			}
 		}
 		return false
 	}
-	return rec(0, seed)
+	return rec(0)
 }
 
-// matchAtomFrozen extends h so that h(src) == dst, treating dst's terms
-// as frozen constants. It mutates h and reports success.
-func matchAtomFrozen(src, dst ast.Atom, h Mapping) bool {
+// matchAtomTrail extends h so that h(src) == dst, treating dst's terms as
+// frozen constants. It mutates h, appending each variable it binds to
+// trail, and reports success; on failure the partial bindings stay on the
+// trail for the caller to unwind.
+func matchAtomTrail(src, dst ast.Atom, h Mapping, trail *[]string) bool {
 	if src.Pred != dst.Pred || len(src.Args) != len(dst.Args) {
 		return false
 	}
@@ -130,20 +145,29 @@ func matchAtomFrozen(src, dst ast.Atom, h Mapping) bool {
 			continue
 		}
 		h[s.Var] = d
+		*trail = append(*trail, s.Var)
 	}
 	return true
 }
 
 // mappingKey canonicalizes a mapping for deduplication.
 func mappingKey(h Mapping) string {
-	keys := make([]string, 0, len(h))
-	for v := range h {
-		keys = append(keys, v)
+	type pair struct{ v, k string }
+	pairs := make([]pair, 0, len(h))
+	size := 0
+	for v, t := range h {
+		p := pair{v, t.Key()}
+		pairs = append(pairs, p)
+		size += len(p.v) + len(p.k) + 2
 	}
-	sort.Strings(keys)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
 	var sb strings.Builder
-	for _, v := range keys {
-		fmt.Fprintf(&sb, "%s=%s;", v, h[v].Key())
+	sb.Grow(size)
+	for _, p := range pairs {
+		sb.WriteString(p.v)
+		sb.WriteByte('=')
+		sb.WriteString(p.k)
+		sb.WriteByte(';')
 	}
 	return sb.String()
 }

@@ -18,11 +18,12 @@ type BatchReport struct {
 }
 
 // ApplyBatch applies the updates as one atomic transaction: each update
-// runs through the staged pipeline in order, and if any is rejected the
-// whole batch is undone and FailedAt reports the offender. The staged
-// tests remain valid within the batch because each successful Apply
-// leaves every constraint satisfied (the inductive invariant the paper's
-// tests assume).
+// runs through the staged pipeline in order (each Apply fanning its
+// per-constraint work across the Options.Workers pool), and if any is
+// rejected the whole batch is undone and FailedAt reports the offender.
+// The staged tests remain valid within the batch because each successful
+// Apply leaves every constraint satisfied (the inductive invariant the
+// paper's tests assume).
 func (c *Checker) ApplyBatch(updates []store.Update) (BatchReport, error) {
 	br := BatchReport{Applied: true, FailedAt: -1}
 	// Record inverse operations of the updates that actually changed the
@@ -37,11 +38,21 @@ func (c *Checker) ApplyBatch(updates []store.Update) (BatchReport, error) {
 			if !undos[i].changed {
 				continue
 			}
-			inv := undos[i].u
-			if inv.Insert {
-				c.db.Delete(inv.Relation, inv.Tuple)
-			} else if _, err := c.db.Insert(inv.Relation, inv.Tuple); err != nil {
-				return fmt.Errorf("core: batch rollback failed: %w", err)
+			u := undos[i].u
+			var inv store.Update
+			if u.Insert {
+				c.db.Delete(u.Relation, u.Tuple)
+				inv = store.Del(u.Relation, u.Tuple)
+			} else {
+				if _, err := c.db.Insert(u.Relation, u.Tuple); err != nil {
+					return fmt.Errorf("core: batch rollback failed: %w", err)
+				}
+				inv = store.Ins(u.Relation, u.Tuple)
+			}
+			// Incremental materializations must track the rollback too, or
+			// they go stale relative to the restored store.
+			if err := c.notifyMats(inv, true); err != nil {
+				return fmt.Errorf("core: batch rollback notification failed: %w", err)
 			}
 		}
 		return nil

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/relation"
+)
+
+// decisionCache memoizes the update-independent parts of the staged
+// pipeline. The paper's phases 1, 1.5 and (partially) 2 depend only on
+// the constraint text, the constraint set, the updated relation and the
+// update direction — not on the concrete tuple — yet the serial pipeline
+// re-derived them for every update. The cache is keyed by (constraint
+// name, constraint-set fingerprint, relation, direction); entries are
+// dropped whenever the constraint set changes (AddConstraint /
+// RemoveConstraint), and the fingerprint in the key makes any stale entry
+// unreachable even if one survived.
+//
+// Phase-2 verdicts are additionally keyed by the tuple's projection onto
+// its verdict-relevant positions (see relevantInsertPositions), so one
+// cached rewrite+subsumption run covers every tuple that agrees on those
+// positions — the whole relation when none are relevant.
+//
+// The cache is safe for concurrent use by the parallel dispatch workers.
+type decisionCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// cacheKey identifies one memoized dispatch context.
+type cacheKey struct {
+	constraint string
+	fp         uint64 // fingerprint of the whole constraint set
+	relation   string
+	insert     bool
+}
+
+func newDecisionCache() *decisionCache {
+	return &decisionCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// invalidate drops every entry; hit/miss counters describe the checker's
+// lifetime and are kept.
+func (dc *decisionCache) invalidate() {
+	dc.mu.Lock()
+	dc.entries = map[cacheKey]*cacheEntry{}
+	dc.mu.Unlock()
+}
+
+// entry returns the memoized record for key, creating it on first use.
+// Creation computes the phase-1 mention check, the phase-1.5 polarity
+// verdict and the relevant-position mask once; every later update to the
+// same (relation, direction) reuses them.
+func (dc *decisionCache) entry(key cacheKey, prog *ast.Program) *cacheEntry {
+	dc.mu.Lock()
+	e, ok := dc.entries[key]
+	dc.mu.Unlock()
+	if ok {
+		dc.hits.Add(1)
+		return e
+	}
+	dc.misses.Add(1)
+	e = buildCacheEntry(prog, key.relation, key.insert)
+	dc.mu.Lock()
+	if prev, ok := dc.entries[key]; ok {
+		e = prev // a concurrent worker won the build race
+	} else {
+		dc.entries[key] = e
+	}
+	dc.mu.Unlock()
+	return e
+}
+
+// phase2CacheCap bounds the per-entry concrete-verdict memo; streams of
+// never-repeating tuples reset it instead of growing without bound.
+const phase2CacheCap = 4096
+
+// cacheEntry memoizes the dispatch decisions for one (constraint, set,
+// relation, direction) context.
+type cacheEntry struct {
+	mentions    bool   // phase 1: constraint mentions the relation
+	polarity    bool   // phase 1.5: monotone-safe in this direction
+	allRelevant bool   // phase 2 key needs the full tuple
+	relevant    []bool // else: positions that can influence the verdict
+
+	mu     sync.Mutex
+	phase2 map[string]bool // projected-tuple key -> phase-2 certified
+}
+
+func buildCacheEntry(prog *ast.Program, rel string, insert bool) *cacheEntry {
+	e := &cacheEntry{
+		mentions: mentions(prog, rel),
+		polarity: classify.UpdateMonotoneSafe(prog, ast.PanicPred, rel, insert),
+		phase2:   map[string]bool{},
+	}
+	if !insert {
+		// Both deletion rewritings (Theorem 4.3) splice every component
+		// of the deleted tuple into the rewritten constraint (the
+		// per-component <>-split), so every position can influence the
+		// verdict.
+		e.allRelevant = true
+		return e
+	}
+	e.relevant, e.allRelevant = relevantInsertPositions(prog, rel)
+	return e
+}
+
+// relevantInsertPositions computes which components of a tuple inserted
+// into rel can influence the Section 4 rewrite+subsumption verdict for
+// prog. The insertion rewriting (Theorem 4.2) introduces the new tuple
+// only as the auxiliary fact rel$ins(t); expanding the rewritten program
+// unifies that fact with the occurrences of rel, so component t[p] can
+// reach a subsumption question only through an occurrence whose argument
+// at position p is a constant (unification succeeds or fails depending on
+// t[p]) or a variable with another occurrence in its rule (the binding
+// propagates t[p] into the rest of the body). An argument that is always
+// a once-occurring variable absorbs t[p] and vanishes, so the verdict is
+// identical for every value of that component and the position can be
+// projected out of the memo key.
+func relevantInsertPositions(prog *ast.Program, rel string) (relevant []bool, all bool) {
+	for _, r := range prog.Rules {
+		if r.Head.Pred == rel {
+			// The constraint (re)defines the updated relation: the
+			// rewriting renames the head too and the analysis above no
+			// longer applies. Be conservative.
+			return nil, true
+		}
+		counts := map[string]int{}
+		bump := func(t ast.Term) {
+			if t.IsVar() {
+				counts[t.Var]++
+			}
+		}
+		for _, a := range r.Head.Args {
+			bump(a)
+		}
+		for _, l := range r.Body {
+			if l.IsComp() {
+				bump(l.Comp.Left)
+				bump(l.Comp.Right)
+				continue
+			}
+			for _, a := range l.Atom.Args {
+				bump(a)
+			}
+		}
+		for _, l := range r.Body {
+			if l.IsComp() || l.Atom.Pred != rel {
+				continue
+			}
+			for p, a := range l.Atom.Args {
+				for len(relevant) <= p {
+					relevant = append(relevant, false)
+				}
+				if a.IsConst() || counts[a.Var] > 1 {
+					relevant[p] = true
+				}
+			}
+		}
+	}
+	return relevant, false
+}
+
+// projKey projects the tuple onto the entry's verdict-relevant positions.
+// Tuples agreeing on those positions share one phase-2 verdict.
+func (e *cacheEntry) projKey(t relation.Tuple) string {
+	if e.allRelevant {
+		return t.Key()
+	}
+	// The arity prefix keeps tuples of different lengths apart even when
+	// they agree on (or lack) every relevant position: an arity-mismatch
+	// update fails the rewriting rather than being certified, and must not
+	// share a memo slot with a well-formed one.
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(len(t)))
+	sb.WriteByte(';')
+	for p, rel := range e.relevant {
+		if !rel || p >= len(t) {
+			continue
+		}
+		k := t[p].Key()
+		sb.WriteString(strconv.Itoa(p))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// phase2Get returns the memoized phase-2 verdict for the projected key.
+func (e *cacheEntry) phase2Get(key string) (certified, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	certified, ok = e.phase2[key]
+	return certified, ok
+}
+
+// phase2Put memoizes a phase-2 verdict, resetting the memo at capacity.
+func (e *cacheEntry) phase2Put(key string, certified bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.phase2) >= phase2CacheCap {
+		e.phase2 = map[string]bool{}
+	}
+	e.phase2[key] = certified
+}

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"repro/internal/ast"
@@ -135,6 +136,19 @@ type Stats struct {
 	ByPhase   map[Phase]int
 	Rejected  int
 	Decisions int
+	// CacheHits/CacheMisses count decision-cache lookups over the
+	// checker's lifetime (a miss builds the entry; see decisionCache).
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // Options configure a Checker.
@@ -151,20 +165,39 @@ type Options struct {
 	// constraint (DRed, internal/incremental), so the global phase
 	// answers from the materialization instead of re-evaluating.
 	Incremental bool
+	// Workers bounds the goroutines dispatching constraints through the
+	// read-only phases 1–3 and the phase-4 evaluations. 0 (the default)
+	// means runtime.GOMAXPROCS(0); 1 recovers the serial pipeline.
+	Workers int
+	// DisableCache bypasses the phase-decision cache, re-deriving every
+	// phase-1/1.5/2 verdict per update (the pre-cache behavior; used as
+	// the oracle in cross-check tests and for ablation experiments).
+	DisableCache bool
 }
 
-// Checker manages constraints over a store.
+// Checker manages constraints over a store. A Checker's methods are not
+// themselves safe for concurrent use (one Apply at a time), but while an
+// Apply is in flight other goroutines may freely read the store: the
+// read-only stages run before the mutation, the global evaluations after.
 type Checker struct {
 	db          *store.Store
 	opts        Options
 	local       map[string]bool // nil: everything local
 	constraints []*Constraint
 	stats       Stats
+
+	cache *decisionCache
+	// progs is the shared {all constraints} slice handed to the phase-2
+	// subsumption test (set identity: order and the inclusion of the
+	// rewritten constraint itself do not change the verdict), rebuilt by
+	// refreshSet instead of per constraint per update.
+	progs []*ast.Program
+	fp    uint64 // fingerprint of the current constraint set
 }
 
 // New creates a Checker over db.
 func New(db *store.Store, opts Options) *Checker {
-	c := &Checker{db: db, opts: opts, stats: Stats{ByPhase: map[Phase]int{}}}
+	c := &Checker{db: db, opts: opts, stats: Stats{ByPhase: map[Phase]int{}}, cache: newDecisionCache()}
 	if opts.LocalRelations != nil {
 		c.local = map[string]bool{}
 		for _, n := range opts.LocalRelations {
@@ -178,7 +211,30 @@ func New(db *store.Store, opts Options) *Checker {
 func (c *Checker) DB() *store.Store { return c.db }
 
 // Stats returns aggregate phase statistics.
-func (c *Checker) Stats() Stats { return c.stats }
+func (c *Checker) Stats() Stats {
+	s := c.stats
+	s.CacheHits = c.cache.hits.Load()
+	s.CacheMisses = c.cache.misses.Load()
+	return s
+}
+
+// refreshSet rebuilds the shared constraint-program slice and the set
+// fingerprint after the constraint set changed, and drops every cached
+// decision (the fingerprint in the cache key would make stale entries
+// unreachable anyway; invalidating also reclaims their memory).
+func (c *Checker) refreshSet() {
+	c.progs = make([]*ast.Program, len(c.constraints))
+	h := fnv.New64a()
+	for i, k := range c.constraints {
+		c.progs[i] = k.Prog
+		h.Write([]byte(k.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(k.Prog.String()))
+		h.Write([]byte{0})
+	}
+	c.fp = h.Sum64()
+	c.cache.invalidate()
+}
 
 // Constraints returns the managed constraints' names in order.
 func (c *Checker) Constraints() []string {
@@ -231,6 +287,7 @@ func (c *Checker) AddConstraint(name string, prog *ast.Program) error {
 		k.mat = m
 	}
 	c.constraints = append(c.constraints, k)
+	c.refreshSet()
 	return nil
 }
 
@@ -290,50 +347,88 @@ func mentions(prog *ast.Program, rel string) bool {
 	return false
 }
 
+// stageOne runs the read-only phases 1–3 for one constraint: it touches
+// no Checker state besides the (internally synchronized) decision cache
+// and store reads, so the parallel dispatch may run it for every
+// constraint concurrently. It returns the deciding phase, or decided
+// false when the constraint needs a global evaluation.
+func (c *Checker) stageOne(k *Constraint, u store.Update) (Phase, bool) {
+	var e *cacheEntry
+	if !c.opts.DisableCache {
+		e = c.cache.entry(cacheKey{k.Name, c.fp, u.Relation, u.Insert}, k.Prog)
+	}
+	// Phase 1: unaffected.
+	if e != nil {
+		if !e.mentions {
+			return PhaseUnaffected, true
+		}
+	} else if !mentions(k.Prog, u.Relation) {
+		return PhaseUnaffected, true
+	}
+	if !c.opts.DisableUpdateOnly {
+		// Phase 1.5: polarity (monotonicity). Uses only the constraint
+		// text and the update's direction.
+		pol := false
+		if e != nil {
+			pol = e.polarity
+		} else {
+			pol = classify.UpdateMonotoneSafe(k.Prog, ast.PanicPred, u.Relation, u.Insert)
+		}
+		if pol {
+			return PhasePolarity, true
+		}
+		// Phase 2: constraints + update only (Section 4 rewriting +
+		// subsumption). The verdict depends on the tuple only through its
+		// verdict-relevant positions, so the cache memoizes it per
+		// projected tuple key.
+		certified := false
+		if e != nil {
+			key := e.projKey(u.Tuple)
+			var known bool
+			certified, known = e.phase2Get(key)
+			if !known {
+				res, err := rewrite.UpdateSafeAmong(k.Prog, c.progs, u)
+				certified = err == nil && res.Verdict == subsume.Yes
+				e.phase2Put(key, certified)
+			}
+		} else {
+			res, err := rewrite.UpdateSafeAmong(k.Prog, c.progs, u)
+			certified = err == nil && res.Verdict == subsume.Yes
+		}
+		if certified {
+			return PhaseUpdateOnly, true
+		}
+	}
+	// Phase 3: local data.
+	if !c.opts.DisableLocalData && u.Insert && k.cqc != nil && k.cqc.LocalPred == u.Relation {
+		ok, err := c.localTest(k, u.Tuple)
+		if err == nil && ok {
+			return PhaseLocalData, true
+		}
+	}
+	return PhaseGlobal, false
+}
+
 // Apply pushes one update through the staged pipeline. On any violation
 // the update is rolled back and the report's Applied is false.
 func (c *Checker) Apply(u store.Update) (Report, error) {
 	rep := Report{Update: u, Applied: true}
 	c.stats.Updates++
-	needGlobal := make([]*Constraint, 0, len(c.constraints))
-	others := make([]*ast.Program, 0, len(c.constraints))
-	for _, k := range c.constraints {
-		others = append(others, k.Prog)
-	}
+	n := len(c.constraints)
+	phases := make([]Phase, n)
+	decided := make([]bool, n)
+	runParallel(n, c.workers(), func(i int) {
+		phases[i], decided[i] = c.stageOne(c.constraints[i], u)
+	})
+	// Aggregate in constraint order on this goroutine, so reports and
+	// stats are identical whatever the pool width.
+	needGlobal := make([]*Constraint, 0, n)
 	for i, k := range c.constraints {
 		c.stats.Decisions++
-		// Phase 1: unaffected.
-		if !mentions(k.Prog, u.Relation) {
-			rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseUnaffected, Holds})
-			c.stats.ByPhase[PhaseUnaffected]++
+		if decided[i] {
+			rep.Decisions = append(rep.Decisions, Decision{k.Name, phases[i], Holds})
+			c.stats.ByPhase[phases[i]]++
 			continue
-		}
-		// Phase 1.5: polarity (monotonicity). Free: uses only the
-		// constraint text and the update's direction.
-		if !c.opts.DisableUpdateOnly &&
-			classify.UpdateMonotoneSafe(k.Prog, ast.PanicPred, u.Relation, u.Insert) {
-			rep.Decisions = append(rep.Decisions, Decision{k.Name, PhasePolarity, Holds})
-			c.stats.ByPhase[PhasePolarity]++
-			continue
-		}
-		// Phase 2: constraints + update only.
-		if !c.opts.DisableUpdateOnly {
-			rest := append(append([]*ast.Program{}, others[:i]...), others[i+1:]...)
-			res, err := rewrite.UpdateSafe(k.Prog, rest, u)
-			if err == nil && res.Verdict == subsume.Yes {
-				rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseUpdateOnly, Holds})
-				c.stats.ByPhase[PhaseUpdateOnly]++
-				continue
-			}
-		}
-		// Phase 3: local data.
-		if !c.opts.DisableLocalData && u.Insert && k.cqc != nil && k.cqc.LocalPred == u.Relation {
-			ok, err := c.localTest(k, u.Tuple)
-			if err == nil && ok {
-				rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseLocalData, Holds})
-				c.stats.ByPhase[PhaseLocalData]++
-				continue
-			}
 		}
 		needGlobal = append(needGlobal, k)
 	}
@@ -349,23 +444,7 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	} else {
 		changed = c.db.Delete(u.Relation, u.Tuple)
 	}
-	// Incremental mode: every materialization tracks the store, decided
-	// constraints included (their panic stays underivable, but their
-	// intermediate relations must not go stale).
-	notifyAll := func(nu store.Update, ch bool) error {
-		if !c.opts.Incremental {
-			return nil
-		}
-		for _, k := range c.constraints {
-			if k.mat != nil {
-				if err := k.mat.NotifyApplied(nu, ch); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if err := notifyAll(u, changed); err != nil {
+	if err := c.notifyMats(u, changed); err != nil {
 		return rep, err
 	}
 	rollback := func() {
@@ -382,26 +461,36 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 			}
 			inv = store.Ins(u.Relation, u.Tuple)
 		}
-		if err := notifyAll(inv, true); err != nil {
+		if err := c.notifyMats(inv, true); err != nil {
 			panic(fmt.Sprintf("core: rollback notification failed: %v", err))
 		}
 	}
 	// Phase 4: evaluate the undecided constraints on the updated store.
-	violated := false
-	for _, k := range needGlobal {
-		var bad bool
-		var err error
+	// The evaluations only read (per-constraint materializations or the
+	// shared store), so they run concurrently; the verdicts are then
+	// processed in constraint order to keep reports, stats and the
+	// first-error semantics identical to the serial pipeline.
+	type evalOutcome struct {
+		bad bool
+		err error
+	}
+	outcomes := make([]evalOutcome, len(needGlobal))
+	runParallel(len(needGlobal), c.workers(), func(i int) {
+		k := needGlobal[i]
 		if k.mat != nil {
-			bad = k.mat.Holds(ast.PanicPred)
+			outcomes[i].bad = k.mat.Holds(ast.PanicPred)
 		} else {
-			bad, err = eval.GoalHolds(k.Prog, c.db, ast.PanicPred)
+			outcomes[i].bad, outcomes[i].err = eval.GoalHolds(k.Prog, c.db, ast.PanicPred)
 		}
-		if err != nil {
+	})
+	violated := false
+	for i, k := range needGlobal {
+		if err := outcomes[i].err; err != nil {
 			rollback()
 			return rep, err
 		}
 		v := Holds
-		if bad {
+		if outcomes[i].bad {
 			v = Violated
 			violated = true
 		}
@@ -415,6 +504,23 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	}
 	sort.SliceStable(rep.Decisions, func(i, j int) bool { return rep.Decisions[i].Constraint < rep.Decisions[j].Constraint })
 	return rep, nil
+}
+
+// notifyMats propagates an applied update into every materialization in
+// incremental mode: decided constraints included (their panic stays
+// underivable, but their intermediate relations must not go stale).
+func (c *Checker) notifyMats(u store.Update, changed bool) error {
+	if !c.opts.Incremental {
+		return nil
+	}
+	for _, k := range c.constraints {
+		if k.mat != nil {
+			if err := k.mat.NotifyApplied(u, changed); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // localTest runs the complete local test for an insertion into the
@@ -470,6 +576,7 @@ func (c *Checker) RemoveConstraint(name string) bool {
 	for i, k := range c.constraints {
 		if k.Name == name {
 			c.constraints = append(c.constraints[:i], c.constraints[i+1:]...)
+			c.refreshSet()
 			return true
 		}
 	}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the configured pool width: Options.Workers when
+// positive, else one worker per available CPU.
+func (c *Checker) workers() int {
+	if c.opts.Workers > 0 {
+		return c.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runParallel executes fn(i) for i in [0,n) on at most w goroutines.
+// Indexes are handed out by an atomic counter, so fast tasks steal work
+// from slow ones; with w<=1 (or a single task) it degrades to the plain
+// serial loop, keeping the workers=1 configuration byte-for-byte
+// equivalent to the pre-pool pipeline.
+func runParallel(n, w int, fn func(int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

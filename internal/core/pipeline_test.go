@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// employeeChecker builds a checker over a standard employee database with
+// the paper's running constraints, added in sorted name order.
+func employeeChecker(t *testing.T, seed int64, opts Options) *Checker {
+	t.Helper()
+	db := store.New()
+	if err := workload.EmployeeDB(rand.New(rand.NewSource(seed)), db, 5, 60); err != nil {
+		t.Fatal(err)
+	}
+	c := New(db, opts)
+	addEmployeeConstraints(t, c)
+	return c
+}
+
+func addEmployeeConstraints(t *testing.T, c *Checker) {
+	t.Helper()
+	cons := workload.StandardEmployeeConstraints()
+	names := make([]string, 0, len(cons))
+	for n := range cons {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := c.AddConstraintSource(n, cons[n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// matSnapshot renders every materialized relation of every constraint,
+// sorted, so two snapshots compare byte-for-byte.
+func matSnapshot(c *Checker) string {
+	var sb strings.Builder
+	for _, k := range c.constraints {
+		if k.mat == nil {
+			continue
+		}
+		preds := make([]string, 0, len(k.Prog.Preds()))
+		for p := range k.Prog.Preds() {
+			preds = append(preds, p)
+		}
+		sort.Strings(preds)
+		for _, p := range preds {
+			keys := []string{}
+			for _, tu := range k.mat.Tuples(p) {
+				keys = append(keys, tu.Key())
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&sb, "%s/%s: %s\n", k.Name, p, strings.Join(keys, " "))
+		}
+	}
+	return sb.String()
+}
+
+// A batch whose later update is violated must leave the store and every
+// incremental materialization byte-identical to the pre-batch snapshot.
+func TestBatchRollbackIncrementalByteIdentical(t *testing.T) {
+	c := employeeChecker(t, 7, Options{Incremental: true})
+	// A constraint with an intermediate predicate, so the materialization
+	// holds derived relations beyond panic itself.
+	if err := c.AddConstraintSource("derived",
+		`overpaid(E,D) :- emp(E,D,S) & S > 1000.
+		 panic :- overpaid(E,D) & dept(D).`); err != nil {
+		t.Fatal(err)
+	}
+	preDump := c.DB().Dump()
+	preMats := matSnapshot(c)
+
+	br, err := c.ApplyBatch([]store.Update{
+		store.Ins("dept", relation.Strs("annex")),
+		store.Ins("emp", relation.TupleOf(ast.Str("newhire"), ast.Str("dept00"), ast.Int(20))),
+		store.Del("emp", relation.TupleOf(ast.Str("e0"), ast.Str("dept00"), ast.Int(10))),
+		// Violating: ghost department fails the referential constraint.
+		store.Ins("emp", relation.TupleOf(ast.Str("ghostly"), ast.Str("ghost"), ast.Int(20))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied || br.FailedAt != 3 {
+		t.Fatalf("batch applied=%v failedAt=%d, want rejected at 3", br.Applied, br.FailedAt)
+	}
+	if got := c.DB().Dump(); got != preDump {
+		t.Errorf("store not restored:\npre:\n%s\npost:\n%s", preDump, got)
+	}
+	if got := matSnapshot(c); got != preMats {
+		t.Errorf("materializations not restored:\npre:\n%s\npost:\n%s", preMats, got)
+	}
+}
+
+// Concurrent readers may scan, probe and index-lookup the store while
+// Apply streams updates through the parallel pipeline (run under -race).
+func TestConcurrentApplyReaders(t *testing.T) {
+	c := employeeChecker(t, 11, Options{})
+	db := c.DB()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				db.Tuples("emp")
+				db.Lookup("emp", 1, ast.Str("dept00"))
+				db.Contains("dept", relation.Strs("dept01"))
+				db.Probe("salRange", relation.TupleOf(ast.Str("dept00"), ast.Int(10), ast.Int(60)))
+			}
+		}(g)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, u := range workload.EmployeeUpdates(rng, 150, 5, 0.2) {
+		if _, err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// The parallel cached pipeline must produce identical reports, stats and
+// final stores to the serial uncached one on randomized update streams.
+func TestParallelCacheCrossCheck(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		serial := employeeChecker(t, seed, Options{Workers: 1, DisableCache: true})
+		par := employeeChecker(t, seed, Options{Workers: runtime.GOMAXPROCS(0)})
+		rng := rand.New(rand.NewSource(seed * 100))
+		updates := workload.EmployeeUpdates(rng, 120, 5, 0.25)
+		// Mix in deletions so the deletion-side cache is exercised too.
+		updates = append(updates,
+			store.Del("emp", relation.TupleOf(ast.Str("e1"), ast.Str("dept01"), ast.Int(20))),
+			store.Del("dept", relation.Strs("dept04")),
+		)
+		for _, u := range updates {
+			rs, err1 := serial.Apply(u)
+			rp, err2 := par.Apply(u)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("seed %d %v: error mismatch %v vs %v", seed, u, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if !reflect.DeepEqual(rs, rp) {
+				t.Fatalf("seed %d %v: report mismatch\nserial:   %+v\nparallel: %+v", seed, u, rs, rp)
+			}
+		}
+		ss, sp := serial.Stats(), par.Stats()
+		if !reflect.DeepEqual(ss.ByPhase, sp.ByPhase) || ss.Rejected != sp.Rejected {
+			t.Errorf("seed %d: stats mismatch\nserial:   %+v\nparallel: %+v", seed, ss, sp)
+		}
+		if serial.DB().Dump() != par.DB().Dump() {
+			t.Errorf("seed %d: final stores differ", seed)
+		}
+		if ss.CacheHits != 0 || ss.CacheMisses != 0 {
+			t.Errorf("seed %d: DisableCache checker touched the cache: %+v", seed, ss)
+		}
+	}
+}
+
+// Repeated-relation streams must hit the decision cache on the vast
+// majority of dispatches (acceptance bar: >50%).
+func TestCacheHitRateRepeatedStream(t *testing.T) {
+	c := employeeChecker(t, 31, Options{})
+	rng := rand.New(rand.NewSource(31))
+	for _, u := range workload.EmployeeUpdates(rng, 100, 5, 0.1) {
+		if _, err := c.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.CacheHits+s.CacheMisses == 0 {
+		t.Fatal("cache never consulted")
+	}
+	if rate := s.CacheHitRate(); rate <= 0.5 {
+		t.Errorf("cache hit rate %.2f (hits=%d misses=%d), want >0.5", rate, s.CacheHits, s.CacheMisses)
+	}
+}
+
+// Cache invalidation: adding or removing a constraint must drop cached
+// decisions so later updates see the new set.
+func TestCacheInvalidationOnSetChange(t *testing.T) {
+	c := employeeChecker(t, 41, Options{})
+	mark := func(name string) store.Update {
+		return store.Ins("proj", relation.Strs(name))
+	}
+	// Warm the cache: with no constraint over proj, the insert is decided
+	// as unaffected for every constraint.
+	if rep, err := c.Apply(mark("nobody")); err != nil || !rep.Applied {
+		t.Fatalf("warmup insert rejected: %+v %v", rep, err)
+	}
+	// A new constraint forbidding employees on the proj list must reject
+	// the same shape of insert even though the old set's decisions were
+	// cached (e0 exists in the employee database).
+	if err := c.AddConstraintSource("noproj", "panic :- emp(E,D,S) & proj(E)."); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Apply(mark("e0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied {
+		t.Error("insert violating the newly added constraint was applied")
+	}
+	if !c.RemoveConstraint("noproj") {
+		t.Fatal("RemoveConstraint failed")
+	}
+	if rep, err := c.Apply(mark("e0")); err != nil || !rep.Applied {
+		t.Errorf("insert after constraint removal rejected: %+v %v", rep, err)
+	}
+}

@@ -405,23 +405,32 @@ func filterByConstants(ts []relation.Tuple, atom ast.Atom) []relation.Tuple {
 	if !hasConst {
 		return ts
 	}
-	out := ts[:0:0]
-	for _, t := range ts {
+	keep := func(t relation.Tuple) bool {
 		if len(t) != len(atom.Args) {
-			continue
+			return false
 		}
-		ok := true
 		for i, a := range atom.Args {
 			if a.IsConst() && !a.Const.Equal(t[i]) {
-				ok = false
-				break
+				return false
 			}
 		}
-		if ok {
-			out = append(out, t)
-		}
+		return true
 	}
-	return out
+	// Copy only from the first mismatch on: the common case where every
+	// candidate survives returns the input slice unchanged.
+	for j, t := range ts {
+		if keep(t) {
+			continue
+		}
+		out := append(ts[:0:0], ts[:j]...)
+		for _, t := range ts[j+1:] {
+			if keep(t) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	return ts
 }
 
 // Violations evaluates several constraint programs and returns the names

@@ -3,11 +3,18 @@
 // small — an in-memory column-agnostic heap of tuples with exact-match
 // indexes — because the paper's algorithms only need insert, delete,
 // scan, and indexed lookup.
+//
+// Relations are safe for concurrent use: any number of readers may scan,
+// probe and perform indexed lookups (lazy column-index construction
+// included) while writers insert and delete. Stored tuples are never
+// mutated after insertion, so snapshots handed out by Tuples/Each may be
+// shared freely.
 package relation
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 )
@@ -101,8 +108,10 @@ func TermsToTuple(terms []ast.Term) (Tuple, error) {
 // preserved for deterministic iteration. The zero value is not usable;
 // call New.
 type Relation struct {
-	name   string
-	arity  int
+	name  string
+	arity int
+
+	mu     sync.RWMutex
 	tuples []Tuple          // live tuples in insertion order, nil holes after delete
 	index  map[string]int   // tuple key -> position in tuples
 	holes  int              // number of nil holes in tuples
@@ -124,11 +133,18 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.index) }
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.index)
+}
 
 // Contains reports whether the relation holds t.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.index[t.Key()]
+	k := t.Key()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.index[k]
 	return ok
 }
 
@@ -140,6 +156,8 @@ func (r *Relation) Insert(t Tuple) bool {
 		panic(fmt.Sprintf("relation: inserting arity-%d tuple into %s/%d", len(t), r.name, r.arity))
 	}
 	k := t.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.index[k]; ok {
 		return false
 	}
@@ -155,6 +173,8 @@ func (r *Relation) Insert(t Tuple) bool {
 // Delete removes t; it reports whether the tuple was present.
 func (r *Relation) Delete(t Tuple) bool {
 	k := t.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	pos, ok := r.index[k]
 	if !ok {
 		return false
@@ -163,14 +183,16 @@ func (r *Relation) Delete(t Tuple) bool {
 	r.tuples[pos] = nil
 	r.holes++
 	if r.holes > len(r.index) && r.holes > 64 {
-		r.compact()
+		r.compactLocked()
 	}
 	return true
 }
 
-// compact removes holes and rebuilds indexes.
-func (r *Relation) compact() {
-	live := r.tuples[:0]
+// compactLocked removes holes and rebuilds indexes. Caller holds mu. A
+// fresh backing array is allocated so snapshots handed out earlier are
+// never scribbled over.
+func (r *Relation) compactLocked() {
+	live := make([]Tuple, 0, len(r.index))
 	for _, t := range r.tuples {
 		if t != nil {
 			live = append(live, t)
@@ -185,13 +207,25 @@ func (r *Relation) compact() {
 	r.cols = map[int]colIndex{}
 }
 
-// Each calls f for every tuple in insertion order; f must not mutate the
-// relation. Iteration stops early if f returns false.
-func (r *Relation) Each(f func(Tuple) bool) {
+// snapshot returns the live tuples in insertion order. The slice is fresh
+// but the tuples are shared (they are immutable once stored).
+func (r *Relation) snapshot() []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Tuple, 0, len(r.index))
 	for _, t := range r.tuples {
-		if t == nil {
-			continue
+		if t != nil {
+			out = append(out, t)
 		}
+	}
+	return out
+}
+
+// Each calls f for every tuple in insertion order; f must not mutate the
+// tuples. Iteration stops early if f returns false. f runs outside the
+// relation's lock (on a snapshot), so it may call back into the relation.
+func (r *Relation) Each(f func(Tuple) bool) {
+	for _, t := range r.snapshot() {
 		if !f(t) {
 			return
 		}
@@ -199,19 +233,27 @@ func (r *Relation) Each(f func(Tuple) bool) {
 }
 
 // Tuples returns a snapshot slice of all tuples in insertion order.
-func (r *Relation) Tuples() []Tuple {
-	out := make([]Tuple, 0, r.Len())
-	r.Each(func(t Tuple) bool { out = append(out, t); return true })
-	return out
-}
+func (r *Relation) Tuples() []Tuple { return r.snapshot() }
 
 // Lookup returns the tuples whose column col equals v, using (and lazily
-// building) a hash index on that column.
+// building) a hash index on that column. The index build is double-checked
+// under the write lock so concurrent readers race safely.
 func (r *Relation) Lookup(col int, v ast.Value) []Tuple {
 	if col < 0 || col >= r.arity {
 		panic(fmt.Sprintf("relation: column %d out of range for %s/%d", col, r.name, r.arity))
 	}
+	vk := v.Key()
+	r.mu.RLock()
 	ci, ok := r.cols[col]
+	if ok {
+		out := r.gatherLocked(ci, vk)
+		r.mu.RUnlock()
+		return out
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ci, ok = r.cols[col]
 	if !ok {
 		ci = colIndex{}
 		for pos, t := range r.tuples {
@@ -221,8 +263,14 @@ func (r *Relation) Lookup(col int, v ast.Value) []Tuple {
 		}
 		r.cols[col] = ci
 	}
+	return r.gatherLocked(ci, vk)
+}
+
+// gatherLocked collects the live tuples at the indexed positions. Caller
+// holds mu (read or write).
+func (r *Relation) gatherLocked(ci colIndex, key string) []Tuple {
 	var out []Tuple
-	for _, pos := range ci[v.Key()] {
+	for _, pos := range ci[key] {
 		if t := r.tuples[pos]; t != nil {
 			out = append(out, t)
 		}

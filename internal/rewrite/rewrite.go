@@ -111,11 +111,21 @@ func Rewrite(c *ast.Program, u store.Update) (*ast.Program, error) {
 // verdict certifies — from constraints and update alone, no data — that
 // c still holds afterwards.
 func UpdateSafe(c *ast.Program, others []*ast.Program, u store.Update) (subsume.Result, error) {
+	return UpdateSafeAmong(c, append([]*ast.Program{c}, others...), u)
+}
+
+// UpdateSafeAmong is UpdateSafe for a caller that already holds the full
+// constraint set: set is every constraint known to hold before the update
+// and may (should) include c itself, so the per-constraint "rest" slice
+// never needs to be materialized. Subsumption is a property of the set —
+// order and duplication do not change the verdict — which makes the one
+// shared slice reusable across all constraints of an update.
+func UpdateSafeAmong(c *ast.Program, set []*ast.Program, u store.Update) (subsume.Result, error) {
 	cPrime, err := Rewrite(c, u)
 	if err != nil {
 		return subsume.Result{}, err
 	}
-	return subsume.Subsumes(cPrime, append([]*ast.Program{c}, others...))
+	return subsume.Subsumes(cPrime, set)
 }
 
 // relUsage reports the arity of rel within c and whether c mentions it.

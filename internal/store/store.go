@@ -2,12 +2,18 @@
 // application, snapshots, and per-relation access accounting. The access
 // counters are what the distributed simulator (internal/dist) uses to
 // measure how much remote data a checking strategy touches.
+//
+// A Store is safe for concurrent use: relation creation is guarded by an
+// RWMutex, the relations themselves are internally synchronized (see
+// internal/relation), and the access counters sit behind their own mutex
+// so concurrent readers charge reads without racing.
 package store
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/relation"
@@ -16,8 +22,10 @@ import (
 // Store is a mutable database: a set of named relations. The zero value
 // is not usable; call New.
 type Store struct {
-	rels  map[string]*relation.Relation
-	reads map[string]int64 // tuples handed out per relation
+	mu      sync.RWMutex
+	rels    map[string]*relation.Relation
+	readsMu sync.Mutex
+	reads   map[string]int64 // tuples handed out per relation
 }
 
 // New creates an empty store.
@@ -25,9 +33,25 @@ func New() *Store {
 	return &Store{rels: map[string]*relation.Relation{}, reads: map[string]int64{}}
 }
 
+// get returns the named relation or nil, under the read lock.
+func (s *Store) get(name string) *relation.Relation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rels[name]
+}
+
+// charge adds n tuple reads to the named relation's counter.
+func (s *Store) charge(name string, n int64) {
+	s.readsMu.Lock()
+	s.reads[name] += n
+	s.readsMu.Unlock()
+}
+
 // Ensure returns the relation named name, creating it with the given
 // arity if absent. It fails if the relation exists with another arity.
 func (s *Store) Ensure(name string, arity int) (*relation.Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if r, ok := s.rels[name]; ok {
 		if r.Arity() != arity {
 			return nil, fmt.Errorf("store: relation %s has arity %d, requested %d", name, r.Arity(), arity)
@@ -49,14 +73,16 @@ func (s *Store) MustEnsure(name string, arity int) *relation.Relation {
 }
 
 // Relation returns the named relation, or nil if absent.
-func (s *Store) Relation(name string) *relation.Relation { return s.rels[name] }
+func (s *Store) Relation(name string) *relation.Relation { return s.get(name) }
 
 // Names returns the sorted relation names.
 func (s *Store) Names() []string {
+	s.mu.RLock()
 	out := make([]string, 0, len(s.rels))
 	for n := range s.rels {
 		out = append(out, n)
 	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -72,7 +98,7 @@ func (s *Store) Insert(name string, t relation.Tuple) (bool, error) {
 
 // Delete removes a tuple; deleting from an absent relation is a no-op.
 func (s *Store) Delete(name string, t relation.Tuple) bool {
-	r := s.rels[name]
+	r := s.get(name)
 	if r == nil {
 		return false
 	}
@@ -81,31 +107,31 @@ func (s *Store) Delete(name string, t relation.Tuple) bool {
 
 // Contains reports whether the named relation holds t.
 func (s *Store) Contains(name string, t relation.Tuple) bool {
-	r := s.rels[name]
+	r := s.get(name)
 	return r != nil && r.Contains(t)
 }
 
 // Tuples returns a snapshot of the named relation's tuples and charges
 // the read counter. Absent relations are empty.
 func (s *Store) Tuples(name string) []relation.Tuple {
-	r := s.rels[name]
+	r := s.get(name)
 	if r == nil {
 		return nil
 	}
 	ts := r.Tuples()
-	s.reads[name] += int64(len(ts))
+	s.charge(name, int64(len(ts)))
 	return ts
 }
 
 // Lookup returns the tuples of the named relation whose column col equals
 // v, charging the read counter for the tuples returned.
 func (s *Store) Lookup(name string, col int, v ast.Value) []relation.Tuple {
-	r := s.rels[name]
+	r := s.get(name)
 	if r == nil {
 		return nil
 	}
 	ts := r.Lookup(col, v)
-	s.reads[name] += int64(len(ts))
+	s.charge(name, int64(len(ts)))
 	return ts
 }
 
@@ -113,14 +139,18 @@ func (s *Store) Lookup(name string, col int, v ast.Value) []relation.Tuple {
 // (unlike Contains, which is a free structural check). Evaluators use
 // Probe so that negated-subgoal checks are accounted.
 func (s *Store) Probe(name string, t relation.Tuple) bool {
-	s.reads[name]++
-	r := s.rels[name]
+	s.charge(name, 1)
+	r := s.get(name)
 	return r != nil && r.Contains(t)
 }
 
 // Reads returns the cumulative number of tuples read from the named
 // relation via Tuples/Lookup/Probe.
-func (s *Store) Reads(name string) int64 { return s.reads[name] }
+func (s *Store) Reads(name string) int64 {
+	s.readsMu.Lock()
+	defer s.readsMu.Unlock()
+	return s.reads[name]
+}
 
 // TotalReads sums the read counters over the given relation names (all
 // relations when none are given).
@@ -128,6 +158,8 @@ func (s *Store) TotalReads(names ...string) int64 {
 	if len(names) == 0 {
 		names = s.Names()
 	}
+	s.readsMu.Lock()
+	defer s.readsMu.Unlock()
 	var sum int64
 	for _, n := range names {
 		sum += s.reads[n]
@@ -136,11 +168,17 @@ func (s *Store) TotalReads(names ...string) int64 {
 }
 
 // ResetReads zeroes all read counters.
-func (s *Store) ResetReads() { s.reads = map[string]int64{} }
+func (s *Store) ResetReads() {
+	s.readsMu.Lock()
+	s.reads = map[string]int64{}
+	s.readsMu.Unlock()
+}
 
 // Clone returns a deep copy of the store with zeroed counters.
 func (s *Store) Clone() *Store {
 	out := New()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for n, r := range s.rels {
 		out.rels[n] = r.Clone()
 	}
@@ -169,7 +207,7 @@ func (s *Store) LoadFacts(prog *ast.Program) error {
 func (s *Store) String() string {
 	var parts []string
 	for _, n := range s.Names() {
-		parts = append(parts, s.rels[n].String())
+		parts = append(parts, s.get(n).String())
 	}
 	return strings.Join(parts, "\n")
 }
@@ -214,7 +252,7 @@ func (u Update) String() string {
 func (s *Store) Dump() string {
 	var sb strings.Builder
 	for _, name := range s.Names() {
-		r := s.rels[name]
+		r := s.get(name)
 		for _, t := range r.Tuples() {
 			sb.WriteString(ast.Fact(ast.Atom{Pred: name, Args: t.Terms()}).String())
 			sb.WriteString("\n")
