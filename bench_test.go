@@ -12,6 +12,7 @@
 // T5.3  BenchmarkRACompile / BenchmarkRALocalTest
 // F6.1  BenchmarkIntervalDatalog / BenchmarkIntervalSweep (ablation)
 // D1    BenchmarkDistributedStaged / BenchmarkDistributedNaive
+// D-net BenchmarkNetDistLoopback (wire protocol + coordinator)
 // plus substrate micro-benchmarks (solver, evaluator, SAT).
 package repro
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/icq"
 	"repro/internal/incremental"
 	"repro/internal/ineq"
+	"repro/internal/netdist"
 	"repro/internal/parser"
 	"repro/internal/reduction"
 	"repro/internal/relation"
@@ -325,6 +327,54 @@ func benchDistributed(b *testing.B, naive bool) {
 
 func BenchmarkDistributedStaged(b *testing.B) { benchDistributed(b, false) }
 func BenchmarkDistributedNaive(b *testing.B)  { benchDistributed(b, true) }
+
+// BenchmarkNetDistLoopback is the D-net counterpart of
+// BenchmarkDistributedStaged: the same interval workload, but the remote
+// relation answers through the netdist wire protocol (frame codec and
+// all) over the in-process loopback transport. The gap between the two
+// is the real marshalling cost of going remote.
+func BenchmarkNetDistLoopback(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(42))
+		remote := store.New()
+		for j := int64(0); j < 50; j++ {
+			if _, err := remote.Insert("r", relation.Ints(10000+j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		lb := netdist.NewLoopback()
+		lb.AddSite("siteR", netdist.NewServer(remote, []string{"r"}))
+		local := store.New()
+		for _, tu := range workload.Intervals(rng, 40, 20, 200) {
+			if _, err := local.Insert("l", tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+		co, err := netdist.New(local, []netdist.SiteSpec{{Site: "siteR", Relations: []string{"r"}}}, lb,
+			netdist.Options{Checker: core.Options{LocalRelations: []string{"l"}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := co.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+			b.Fatal(err)
+		}
+		updates := workload.IntervalInserts(rng, 20, 10, 200, "l")
+		b.StartTimer()
+		for _, u := range updates {
+			if _, err := co.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := co.Stats()
+		b.ReportMetric(float64(st.WireTuples), "wire-tuples/op")
+		b.ReportMetric(float64(st.RoundTrips), "round-trips/op")
+		b.StartTimer()
+	}
+}
 
 // --- pipeline: parallel dispatch + decision cache ----------------------------
 

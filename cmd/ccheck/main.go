@@ -5,11 +5,19 @@
 // Usage:
 //
 //	ccheck -constraints c.dl -data d.dl -updates u.txt [-local emp,dept]
+//	ccheck -constraints c.dl -data d.dl -updates u.txt \
+//	       -local emp -sites 127.0.0.1:7070=dept,salRange
 //
 // Constraint files hold one or more constraint programs separated by
 // blank lines (each must define panic). Data files hold facts. Update
 // scripts hold one update per line: +emp(jones,shoe,50) or -dept(toy);
 // '%' comments and blank lines are ignored.
+//
+// Without -sites the "remote" relations are simulated by the dist cost
+// model. Each -sites flag (repeatable) names a ccsited daemon and the
+// relations it owns; ccheck then runs the netdist coordinator, fetching
+// those relations over TCP during global phases, and the report shows
+// measured wire traffic instead of modeled cost.
 package main
 
 import (
@@ -17,13 +25,38 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/netdist"
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/store"
 )
+
+// config is everything main parses from flags; run consumes it.
+type config struct {
+	constraints string
+	data        string
+	updates     string
+	local       string
+	workers     int
+	verbose     bool
+	save        string
+	sites       []netdist.SiteSpec
+	timeout     time.Duration
+	retries     int
+}
+
+// siteFlags collects repeated -sites values.
+type siteFlags []string
+
+func (s *siteFlags) String() string { return strings.Join(*s, " ") }
+func (s *siteFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -31,26 +64,98 @@ func main() {
 		dataPath        = flag.String("data", "", "path to initial facts")
 		updatesPath     = flag.String("updates", "", "path to update script (+rel(...) / -rel(...) per line)")
 		localList       = flag.String("local", "", "comma-separated local relations (default: all local)")
-		workers         = flag.Int("workers", 0, "worker goroutines for constraint dispatch (0: one per CPU, 1: serial)")
+		workers         = flag.Int("workers", 0, "worker goroutines for constraint dispatch (default: one per CPU)")
 		verbose         = flag.Bool("v", false, "print per-update decisions")
 		savePath        = flag.String("save", "", "write the final database to this file as facts")
+		timeout         = flag.Duration("timeout", 2*time.Second, "per-request deadline for -sites round trips")
+		retries         = flag.Int("retries", 3, "retry budget per -sites round trip")
+		sites           siteFlags
 	)
+	flag.Var(&sites, "sites", "site daemon spec host:port=rel1,rel2 (repeatable)")
 	flag.Parse()
-	if *constraintsPath == "" || *updatesPath == "" {
-		fmt.Fprintln(os.Stderr, "ccheck: -constraints and -updates are required")
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	cfg, err := buildConfig(*constraintsPath, *dataPath, *updatesPath, *localList, *workers, workersSet, *verbose, *savePath, *timeout, *retries, sites)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccheck:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*constraintsPath, *dataPath, *updatesPath, *localList, *workers, *verbose, *savePath); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(constraintsPath, dataPath, updatesPath, localList string, workers int, verbose bool, savePath ...string) error {
+// buildConfig validates the raw flag values into a runnable config: the
+// required paths must be present, an explicitly-set -workers must be
+// positive (leaving it unset keeps the one-per-CPU default), every
+// -sites spec must parse, and no relation may be claimed twice or
+// listed both local and remote.
+func buildConfig(constraints, data, updates, local string, workers int, workersSet, verbose bool, save string, timeout time.Duration, retries int, sites []string) (config, error) {
+	cfg := config{
+		constraints: constraints, data: data, updates: updates, local: local,
+		workers: workers, verbose: verbose, save: save, timeout: timeout, retries: retries,
+	}
+	if constraints == "" || updates == "" {
+		return cfg, fmt.Errorf("-constraints and -updates are required")
+	}
+	if workersSet && workers <= 0 {
+		return cfg, fmt.Errorf("-workers must be positive (got %d); omit it for one per CPU", workers)
+	}
+	if !workersSet && workers < 0 {
+		return cfg, fmt.Errorf("-workers must be positive (got %d)", workers)
+	}
+	claimed := map[string]string{}
+	for _, s := range sites {
+		spec, err := netdist.ParseSiteSpec(s)
+		if err != nil {
+			return cfg, err
+		}
+		for _, rel := range spec.Relations {
+			if other, ok := claimed[rel]; ok {
+				return cfg, fmt.Errorf("-sites: relation %s claimed by both %s and %s", rel, other, spec.Site)
+			}
+			claimed[rel] = spec.Site
+		}
+		cfg.sites = append(cfg.sites, spec)
+	}
+	for _, rel := range splitList(local) {
+		if site, ok := claimed[rel]; ok {
+			return cfg, fmt.Errorf("relation %s is both -local and served by %s", rel, site)
+		}
+	}
+	return cfg, nil
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// applier is the surface shared by dist.System and netdist.Coordinator.
+type applier interface {
+	Apply(u store.Update) (core.Report, error)
+	Report() string
+}
+
+func run(cfg config) error {
 	db := store.New()
-	if dataPath != "" {
-		src, err := os.ReadFile(dataPath)
+	if cfg.data != "" {
+		src, err := os.ReadFile(cfg.data)
 		if err != nil {
 			return err
 		}
@@ -62,25 +167,38 @@ func run(constraintsPath, dataPath, updatesPath, localList string, workers int, 
 			return err
 		}
 	}
-	var locals []string
-	if localList != "" {
-		locals = strings.Split(localList, ",")
-	}
-	sys := dist.NewWithOptions(db, core.Options{LocalRelations: locals, Workers: workers}, dist.DefaultCost)
+	opts := core.Options{LocalRelations: splitList(cfg.local), Workers: cfg.workers}
 
-	csrc, err := os.ReadFile(constraintsPath)
+	var sys applier
+	var checker *core.Checker
+	if len(cfg.sites) > 0 {
+		co, err := netdist.New(db, cfg.sites, netdist.NewTCPTransport(), netdist.Options{
+			Checker: opts,
+			Timeout: cfg.timeout,
+			Retries: cfg.retries,
+		})
+		if err != nil {
+			return err
+		}
+		sys, checker = co, co.Checker
+	} else {
+		ds := dist.NewWithOptions(db, opts, dist.DefaultCost)
+		sys, checker = ds, ds.Checker
+	}
+
+	csrc, err := os.ReadFile(cfg.constraints)
 	if err != nil {
 		return err
 	}
 	for i, block := range splitBlocks(string(csrc)) {
 		name := fmt.Sprintf("c%d", i+1)
-		if err := sys.Checker.AddConstraintSource(name, block); err != nil {
+		if err := checker.AddConstraintSource(name, block); err != nil {
 			return fmt.Errorf("constraint %s: %w", name, err)
 		}
 	}
 	db.ResetReads()
 
-	usrc, err := os.ReadFile(updatesPath)
+	usrc, err := os.ReadFile(cfg.updates)
 	if err != nil {
 		return err
 	}
@@ -93,7 +211,7 @@ func run(constraintsPath, dataPath, updatesPath, localList string, workers int, 
 		if err != nil {
 			return fmt.Errorf("update %v: %w", u, err)
 		}
-		if verbose {
+		if cfg.verbose {
 			status := "applied"
 			if !rep.Applied {
 				status = "REJECTED (" + strings.Join(rep.Violations(), ",") + ")"
@@ -105,8 +223,8 @@ func run(constraintsPath, dataPath, updatesPath, localList string, workers int, 
 		}
 	}
 	fmt.Print(sys.Report())
-	if len(savePath) > 0 && savePath[0] != "" {
-		if err := os.WriteFile(savePath[0], []byte(db.Dump()), 0o644); err != nil {
+	if cfg.save != "" {
+		if err := os.WriteFile(cfg.save, []byte(db.Dump()), 0o644); err != nil {
 			return fmt.Errorf("save: %w", err)
 		}
 	}

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/netdist"
+	"repro/internal/parser"
+	"repro/internal/store"
 )
 
 func TestParseUpdates(t *testing.T) {
@@ -43,6 +49,49 @@ func TestParseUpdatesErrors(t *testing.T) {
 	}
 }
 
+// mustConfig builds a config the way main does, failing the test on
+// validation errors.
+func mustConfig(t *testing.T, constraints, data, updates, local string, workers int, verbose bool, save string, sites ...string) config {
+	t.Helper()
+	cfg, err := buildConfig(constraints, data, updates, local, workers, workers != 0, verbose, save, 2*time.Second, 3, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestBuildConfigValidation(t *testing.T) {
+	ok := func(err error, msg string) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: accepted", msg)
+		}
+	}
+	_, err := buildConfig("", "", "u.txt", "", 0, false, false, "", time.Second, 3, nil)
+	ok(err, "missing -constraints")
+	_, err = buildConfig("c.dl", "", "", "", 0, false, false, "", time.Second, 3, nil)
+	ok(err, "missing -updates")
+	_, err = buildConfig("c.dl", "", "u.txt", "", 0, true, false, "", time.Second, 3, nil)
+	ok(err, "explicit -workers 0")
+	_, err = buildConfig("c.dl", "", "u.txt", "", -2, true, false, "", time.Second, 3, nil)
+	ok(err, "negative -workers")
+	_, err = buildConfig("c.dl", "", "u.txt", "", 0, false, false, "", time.Second, 3, []string{"hostonly"})
+	ok(err, "malformed -sites spec")
+	_, err = buildConfig("c.dl", "", "u.txt", "", 0, false, false, "", time.Second, 3, []string{"h:1=r", "h:2=r"})
+	ok(err, "relation claimed by two sites")
+	_, err = buildConfig("c.dl", "", "u.txt", "r,s", 0, false, false, "", time.Second, 3, []string{"h:1=r"})
+	ok(err, "relation both local and remote")
+
+	cfg, err := buildConfig("c.dl", "d.dl", "u.txt", "emp", 0, false, true, "out.dl", time.Second, 3,
+		[]string{"h:1=dept", "h:2=salRange,cap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.sites) != 2 || cfg.sites[1].Site != "h:2" || len(cfg.sites[1].Relations) != 2 {
+		t.Errorf("parsed sites = %+v", cfg.sites)
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, content string) string {
@@ -64,7 +113,7 @@ panic :- emp(E,D,S) & S > 100.`)
 -emp(ann,toy,50)
 `)
 	saved := filepath.Join(dir, "out.dl")
-	if err := run(constraints, data, updates, "emp,dept", 0, true, saved); err != nil {
+	if err := run(mustConfig(t, constraints, data, updates, "emp,dept", 0, true, saved)); err != nil {
 		t.Fatal(err)
 	}
 	dump, err := os.ReadFile(saved)
@@ -82,11 +131,74 @@ panic :- emp(E,D,S) & S > 100.`)
 	}
 	// Violated constraint at load time must error.
 	badData := write("bad.dl", "emp(x,ghost,5).")
-	if err := run(constraints, badData, updates, "", 2, false); err == nil {
+	if err := run(mustConfig(t, constraints, badData, updates, "", 2, false, "")); err == nil {
 		t.Error("initially-violated database accepted")
 	}
 	// Missing file.
-	if err := run(filepath.Join(dir, "missing.dl"), data, updates, "", 1, false); err == nil {
+	if err := run(mustConfig(t, filepath.Join(dir, "missing.dl"), data, updates, "", 1, false, "")); err == nil {
 		t.Error("missing constraints file accepted")
+	}
+}
+
+// TestRunWithSites drives run() against a real ccsited-style TCP site:
+// dept lives remotely, emp locally, and the referential constraint must
+// reject the hire into a department the site doesn't know.
+func TestRunWithSites(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	siteDB := store.New()
+	facts, err := parser.ParseProgram("dept(toy). dept(shoe).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := siteDB.LoadFacts(facts); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go netdist.NewServer(siteDB, []string{"dept"}).Serve(l)
+
+	constraints := write("c.dl", "panic :- emp(E,D,S) & not dept(D).")
+	data := write("d.dl", "emp(ann,toy,50).")
+	updates := write("u.txt", "+emp(bob,shoe,60)\n+emp(eve,ghost,70)\n")
+	saved := filepath.Join(dir, "out.dl")
+	cfg := mustConfig(t, constraints, data, updates, "emp", 0, true, saved,
+		l.Addr().String()+"=dept")
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "emp(bob,shoe,60).") {
+		t.Errorf("valid hire missing from dump:\n%s", dump)
+	}
+	if strings.Contains(string(dump), "ghost") {
+		t.Errorf("invalid hire committed:\n%s", dump)
+	}
+	// An unreachable site must surface as an error, not a hang or crash.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	cfg, err = buildConfig(constraints, data, updates, "emp", 0, false, false, "", 200*time.Millisecond, -1,
+		[]string{deadAddr + "=dept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfg); err == nil {
+		t.Error("run against a dead site succeeded")
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	ccrepro            # everything
 //	ccrepro -only 2.1  # one artifact: 2.1, 4.1, 4.2, 6.1, ex4.1,
-//	                   # t3, t51, t52, t53, t61, d1
+//	                   # t3, t51, t52, t53, t61, d1, dnet
 //	ccrepro -quick     # smaller parameter sweeps
 package main
 
@@ -13,12 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	only := flag.String("only", "", "regenerate a single artifact (2.1, 4.1, 4.2, 6.1, ex4.1, t3, t51, t52, t53, t61, d1)")
+	only := flag.String("only", "", "regenerate a single artifact (2.1, 4.1, 4.2, 6.1, ex4.1, t3, t51, t52, t53, t61, d1, dnet)")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	flag.Parse()
 	if err := run(*only, *quick); err != nil {
@@ -124,6 +125,19 @@ func run(only string, quick bool) error {
 			updates = 30
 		}
 		t, err := experiments.ExpDistributed(densities, updates, 5)
+		if err != nil {
+			return err
+		}
+		p(t)
+	}
+	if want("dnet") {
+		densities := []int{10, 50, 150}
+		updates, latency := 100, time.Millisecond
+		if quick {
+			densities = []int{10, 50}
+			updates = 30
+		}
+		t, err := experiments.ExpNetDistributed(densities, updates, latency, 5)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netdist"
+)
+
+func TestSetupAndServe(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "site.dl")
+	if err := os.WriteFile(data, []byte("r(1). r(2). secret(9)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, l, err := setup("127.0.0.1:0", data, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+
+	tr := netdist.NewTCPTransport()
+	defer tr.Close()
+	resp, err := tr.RoundTrip(l.Addr().String(), &netdist.Request{ID: 1, Type: netdist.OpScan, Relation: "r"}, time.Second)
+	if err != nil || !resp.OK || len(resp.Tuples) != 2 {
+		t.Fatalf("scan against ccsited: resp=%+v err=%v", resp, err)
+	}
+	if resp, err := tr.RoundTrip(l.Addr().String(), &netdist.Request{ID: 2, Type: netdist.OpScan, Relation: "secret"}, time.Second); err != nil || resp.OK {
+		t.Fatalf("unserved relation leaked: resp=%+v err=%v", resp, err)
+	}
+
+	out := renderStats(srv.Stats())
+	if !strings.Contains(out, "2 requests served (1 errors)") || !strings.Contains(out, "r: 2 tuples shipped") {
+		t.Errorf("stats rendering:\n%s", out)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	if _, _, err := setup("127.0.0.1:0", filepath.Join(t.TempDir(), "missing.dl"), ""); err == nil {
+		t.Error("missing data file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.dl")
+	if err := os.WriteFile(bad, []byte("r(X) :- s(X)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := setup("127.0.0.1:0", bad, ""); err == nil {
+		t.Error("non-fact data file accepted")
+	}
+	good := filepath.Join(dir, "good.dl")
+	if err := os.WriteFile(good, []byte("r(1)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := setup("127.0.0.1:0", good, "r,,s"); err == nil {
+		t.Error("empty relation name accepted")
+	}
+	if _, _, err := setup("256.256.256.256:99999", good, ""); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -210,9 +210,14 @@ func New(db *store.Store, opts Options) *Checker {
 // DB returns the underlying store.
 func (c *Checker) DB() *store.Store { return c.db }
 
-// Stats returns aggregate phase statistics.
+// Stats returns aggregate phase statistics. The ByPhase map is a copy:
+// mutating it does not touch the checker's live counters.
 func (c *Checker) Stats() Stats {
 	s := c.stats
+	s.ByPhase = make(map[Phase]int, len(c.stats.ByPhase))
+	for p, n := range c.stats.ByPhase {
+		s.ByPhase[p] = n
+	}
 	s.CacheHits = c.cache.hits.Load()
 	s.CacheMisses = c.cache.misses.Load()
 	return s

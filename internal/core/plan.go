@@ -1,0 +1,79 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/store"
+)
+
+// PlanReport is the outcome of a Plan: which constraints the read-only
+// phases 1–3 already decide for an update, which ones would need the
+// global phase, and which stored relations that phase would read.
+type PlanReport struct {
+	// Decided holds the phase-1/1.5/2/3 decisions (always Holds: a
+	// violation can only surface in the global phase).
+	Decided []Decision
+	// Global names the constraints that need a global evaluation, in
+	// registration order.
+	Global []string
+	// Relations is the sorted union of EDB relations (body predicates not
+	// defined by the constraint programs themselves) mentioned by the
+	// Global constraints — the data a global evaluation would consult.
+	Relations []string
+}
+
+// Plan runs the read-only phases 1–3 for every constraint against the
+// update without applying it: the store is not mutated and the checker's
+// aggregate stats are untouched (decision-cache hit/miss counters still
+// move, since Plan warms the same cache Apply uses). A networked
+// coordinator uses Plan to learn, before committing to an update, which
+// remote relations it must fetch for the global phase — an update whose
+// plan has no Global constraints needs no remote data at all.
+func (c *Checker) Plan(u store.Update) PlanReport {
+	n := len(c.constraints)
+	phases := make([]Phase, n)
+	decided := make([]bool, n)
+	runParallel(n, c.workers(), func(i int) {
+		phases[i], decided[i] = c.stageOne(c.constraints[i], u)
+	})
+	var pr PlanReport
+	seen := map[string]bool{}
+	for i, k := range c.constraints {
+		if decided[i] {
+			pr.Decided = append(pr.Decided, Decision{k.Name, phases[i], Holds})
+			continue
+		}
+		pr.Global = append(pr.Global, k.Name)
+		for _, rel := range edbRelations(k.Prog) {
+			if !seen[rel] {
+				seen[rel] = true
+				pr.Relations = append(pr.Relations, rel)
+			}
+		}
+	}
+	sort.Strings(pr.Relations)
+	return pr
+}
+
+// edbRelations returns the body predicates of prog that are not defined
+// by any of prog's rule heads — the stored relations an evaluation reads
+// (derived predicates are computed, not fetched).
+func edbRelations(prog *ast.Program) []string {
+	heads := map[string]bool{}
+	for _, r := range prog.Rules {
+		heads[r.Head.Pred] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.IsComp() || heads[l.Atom.Pred] || seen[l.Atom.Pred] {
+				continue
+			}
+			seen[l.Atom.Pred] = true
+			out = append(out, l.Atom.Pred)
+		}
+	}
+	return out
+}

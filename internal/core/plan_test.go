@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func planChecker(t *testing.T) *Checker {
+	t.Helper()
+	c := newChecker(t, "dept(toy). emp(ann,toy,50).", Options{LocalRelations: []string{"emp"}})
+	if err := c.AddConstraintSource("ri", "panic :- emp(E,D,S) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddConstraintSource("cap", "panic :- emp(E,D,S) & S > 100."); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlanDecidedWithoutGlobal(t *testing.T) {
+	c := planChecker(t)
+	// Inserting a department is harmless for both constraints: phases 1–2
+	// decide everything, so no relation would be fetched.
+	pr := c.Plan(store.Ins("dept", relation.Strs("shoe")))
+	if len(pr.Global) != 0 || len(pr.Relations) != 0 {
+		t.Fatalf("plan needs global for +dept(shoe): %+v", pr)
+	}
+	if len(pr.Decided) != 2 {
+		t.Fatalf("decided %d constraints, want 2: %+v", len(pr.Decided), pr)
+	}
+	for _, d := range pr.Decided {
+		if d.Verdict != Holds || d.Phase == PhaseGlobal {
+			t.Errorf("decision %+v", d)
+		}
+	}
+}
+
+func TestPlanGlobalRelations(t *testing.T) {
+	c := planChecker(t)
+	// A high-salary hire into an existing department: the referential
+	// constraint can be certified from dept alone only by the global
+	// phase in this configuration (dept is remote), and the salary cap
+	// cannot be certified at all without evaluation.
+	pr := c.Plan(store.Ins("emp", relation.TupleOf(ast.Str("bob"), ast.Str("toy"), ast.Int(500))))
+	if len(pr.Global) == 0 {
+		t.Fatalf("expected global constraints: %+v", pr)
+	}
+	want := []string{"dept", "emp"}
+	if !reflect.DeepEqual(pr.Relations, want) {
+		t.Errorf("relations = %v, want %v", pr.Relations, want)
+	}
+}
+
+func TestPlanIsReadOnly(t *testing.T) {
+	c := planChecker(t)
+	before := c.Stats()
+	dump := c.DB().Dump()
+	pr := c.Plan(store.Ins("emp", relation.TupleOf(ast.Str("x"), ast.Str("ghost"), ast.Int(500))))
+	if len(pr.Global) == 0 {
+		t.Fatalf("expected a global plan: %+v", pr)
+	}
+	if got := c.DB().Dump(); got != dump {
+		t.Errorf("Plan mutated the store:\n%s", got)
+	}
+	after := c.Stats()
+	if after.Updates != before.Updates || after.Decisions != before.Decisions || after.Rejected != before.Rejected {
+		t.Errorf("Plan moved aggregate stats: before %+v after %+v", before, after)
+	}
+}
+
+func TestPlanMatchesApply(t *testing.T) {
+	c := planChecker(t)
+	updates := []store.Update{
+		store.Ins("dept", relation.Strs("shoe")),
+		store.Ins("emp", relation.TupleOf(ast.Str("bob"), ast.Str("shoe"), ast.Int(60))),
+		store.Ins("emp", relation.TupleOf(ast.Str("zed"), ast.Str("toy"), ast.Int(900))),
+		store.Del("emp", relation.TupleOf(ast.Str("ann"), ast.Str("toy"), ast.Int(50))),
+	}
+	for _, u := range updates {
+		pr := c.Plan(u)
+		rep, err := c.Apply(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every planned early decision appears verbatim in the report, and
+		// every planned-global constraint was decided by the global phase.
+		byName := map[string]Decision{}
+		for _, d := range rep.Decisions {
+			byName[d.Constraint] = d
+		}
+		for _, d := range pr.Decided {
+			if got := byName[d.Constraint]; got != d {
+				t.Errorf("%v: planned %+v, applied %+v", u, d, got)
+			}
+		}
+		for _, name := range pr.Global {
+			if got := byName[name]; got.Phase != PhaseGlobal {
+				t.Errorf("%v: planned global for %s, applied %+v", u, name, got)
+			}
+		}
+	}
+}
+
+func TestEdbRelationsExcludesDerived(t *testing.T) {
+	c := newChecker(t, "mgr(a,b).", Options{})
+	src := `boss(E,M) :- mgr(E,M).
+boss(E,M) :- mgr(E,X) & boss(X,M).
+panic :- boss(E,E).`
+	if err := c.AddConstraintSource("cycle", src); err != nil {
+		t.Fatal(err)
+	}
+	pr := c.Plan(store.Ins("mgr", relation.Strs("b", "a")))
+	if len(pr.Global) != 1 {
+		t.Fatalf("plan = %+v", pr)
+	}
+	if want := []string{"mgr"}; !reflect.DeepEqual(pr.Relations, want) {
+		t.Errorf("relations = %v, want %v (derived boss excluded)", pr.Relations, want)
+	}
+}
+
+func TestStatsByPhaseIsACopy(t *testing.T) {
+	c := planChecker(t)
+	if _, err := c.Apply(store.Ins("dept", relation.Strs("shoe"))); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	for p := range st.ByPhase {
+		st.ByPhase[p] += 1000
+	}
+	st2 := c.Stats()
+	for p, n := range st2.ByPhase {
+		if n >= 1000 {
+			t.Fatalf("Stats leaked the live ByPhase map: %v=%d", p, n)
+		}
+	}
+	_ = fmt.Sprint(st2)
+}

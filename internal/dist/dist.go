@@ -84,8 +84,16 @@ func toSet(names []string) map[string]bool {
 	return m
 }
 
-// Stats returns the accumulated statistics.
-func (s *System) Stats() Stats { return s.stats }
+// Stats returns the accumulated statistics. The ByPhase map is a copy:
+// mutating it does not touch the system's live counters.
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.ByPhase = make(map[core.Phase]int, len(s.stats.ByPhase))
+	for p, n := range s.stats.ByPhase {
+		st.ByPhase[p] = n
+	}
+	return st
+}
 
 // Apply pushes one update through the pipeline, accounting local and
 // remote reads.

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// TestReportZeroUpdates: with nothing applied, Report must not divide
+// by zero and must render zeroed counters.
+func TestReportZeroUpdates(t *testing.T) {
+	sys := New(store.New(), nil, DefaultCost)
+	out := sys.Report()
+	if !strings.Contains(out, "updates: 0  rejected: 0  decided-locally: 0 (0.0%)") {
+		t.Errorf("zero-update report:\n%s", out)
+	}
+	if !strings.Contains(out, "remote: 0 trips, 0 tuples, cost 0") {
+		t.Errorf("zero-update report:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	for _, tc := range []struct {
+		a, b int
+		want float64
+	}{
+		{0, 0, 0}, // division guard
+		{5, 0, 0},
+		{1, 2, 50},
+		{3, 3, 100},
+		{0, 7, 0},
+	} {
+		if got := pct(tc.a, tc.b); got != tc.want {
+			t.Errorf("pct(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// reportSystem runs a tiny workload with one rejection and one
+// remote-phase decision so the report has something to count.
+func reportSystem(t *testing.T) *System {
+	t.Helper()
+	db := store.New()
+	if _, err := db.Insert("l", relation.Ints(20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("r", relation.Ints(35)); err != nil {
+		t.Fatal(err)
+	}
+	sys := New(db, []string{"l"}, DefaultCost)
+	if err := sys.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetReads()
+	// Decided locally (covered by l(20,30)); accepted.
+	if _, err := sys.Apply(store.Ins("l", relation.Ints(22, 28))); err != nil {
+		t.Fatal(err)
+	}
+	// Needs the remote site and is rejected: r(35) ∈ [10,40].
+	rep, err := sys.Apply(store.Ins("l", relation.Ints(10, 40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied {
+		t.Fatal("violating insert accepted; fixture broken")
+	}
+	return sys
+}
+
+func TestReportAccounting(t *testing.T) {
+	sys := reportSystem(t)
+	st := sys.Stats()
+	if st.Updates != 2 || st.Rejected != 1 || st.DecidedLocally != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	out := sys.Report()
+	if !strings.Contains(out, "updates: 2  rejected: 1  decided-locally: 1 (50.0%)") {
+		t.Errorf("report header:\n%s", out)
+	}
+	if !strings.Contains(out, "remote: 1 trips") {
+		t.Errorf("report remote line:\n%s", out)
+	}
+}
+
+// TestReportPhaseOrdering: phase lines appear in pipeline order, not
+// map-iteration order, so repeated renders are identical.
+func TestReportPhaseOrdering(t *testing.T) {
+	sys := reportSystem(t)
+	out := sys.Report()
+	local := strings.Index(out, core.PhaseLocalData.String())
+	global := strings.Index(out, core.PhaseGlobal.String())
+	if local < 0 || global < 0 {
+		t.Fatalf("expected both phases in report:\n%s", out)
+	}
+	if local > global {
+		t.Errorf("phases out of pipeline order:\n%s", out)
+	}
+	for i := 0; i < 5; i++ {
+		if again := sys.Report(); again != out {
+			t.Fatalf("report rendering unstable:\n%s\nvs\n%s", out, again)
+		}
+	}
+}
+
+// TestStatsIsACopy: mutating the ByPhase map a caller got back must not
+// corrupt the live counters (Stats used to leak the internal map).
+func TestStatsIsACopy(t *testing.T) {
+	sys := reportSystem(t)
+	st := sys.Stats()
+	for p := range st.ByPhase {
+		st.ByPhase[p] = 999
+	}
+	st.ByPhase[core.PhaseUnaffected] = 777
+	if fresh := sys.Stats(); fresh.ByPhase[core.PhaseUnaffected] == 777 {
+		t.Error("Stats leaked its internal ByPhase map")
+	}
+	for p, n := range sys.Stats().ByPhase {
+		if n == 999 {
+			t.Errorf("phase %s counter corrupted via returned map", p)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFig21AllAgree(t *testing.T) {
@@ -208,6 +209,30 @@ func TestTableRender(t *testing.T) {
 	for _, want := range []string{"T\n=", "a", "bbbb", "xxxxx", "note: n"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpNetDistributedAgreesWithModel: the wire run must reach the
+// same verdicts as the cost-model run and measure exactly the predicted
+// number of round trips.
+func TestExpNetDistributedAgreesWithModel(t *testing.T) {
+	tab, err := ExpNetDistributed([]int{10, 150}, 40, time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[7] != "yes" {
+			t.Errorf("density %s: wire run disagrees with model: %v", row[0], row)
+		}
+		if row[2] != row[3] {
+			t.Errorf("density %s: predicted %s trips, measured %s", row[0], row[2], row[3])
+		}
+		if row[5] != "50" {
+			t.Errorf("density %s: sync tuples = %s, want 50", row[0], row[5])
 		}
 	}
 }

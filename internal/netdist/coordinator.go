@@ -1,0 +1,392 @@
+package netdist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// SiteSpec binds a site address to the relations it owns.
+type SiteSpec struct {
+	Site      string
+	Relations []string
+}
+
+// ParseSiteSpec parses the ccheck flag syntax "host:port=rel1,rel2".
+func ParseSiteSpec(s string) (SiteSpec, error) {
+	addr, rels, ok := strings.Cut(s, "=")
+	if !ok || strings.TrimSpace(addr) == "" {
+		return SiteSpec{}, fmt.Errorf("netdist: site spec %q is not host:port=rel1,rel2", s)
+	}
+	spec := SiteSpec{Site: strings.TrimSpace(addr)}
+	for _, r := range strings.Split(rels, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			return SiteSpec{}, fmt.Errorf("netdist: site spec %q has an empty relation name", s)
+		}
+		spec.Relations = append(spec.Relations, r)
+	}
+	if len(spec.Relations) == 0 {
+		return SiteSpec{}, fmt.Errorf("netdist: site spec %q serves no relations", s)
+	}
+	return spec, nil
+}
+
+// Options configure a Coordinator.
+type Options struct {
+	// Checker configures the staged pipeline. LocalRelations names the
+	// relations resident at the coordinator; every relation claimed by a
+	// SiteSpec is remote and must not appear in it.
+	Checker core.Options
+	// Timeout bounds each wire round trip (default 2s).
+	Timeout time.Duration
+	// Retries is how many times a failed round trip is re-attempted
+	// (0 means the default of 3; negative disables retrying).
+	Retries int
+	// Backoff is the first retry delay; subsequent retries double it,
+	// each with up to 50% added jitter (default 10ms).
+	Backoff time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Timeout <= 0 {
+		out.Timeout = 2 * time.Second
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	} else if out.Retries == 0 {
+		out.Retries = 3
+	}
+	if out.Backoff <= 0 {
+		out.Backoff = 10 * time.Millisecond
+	}
+	return out
+}
+
+// Stats aggregates the coordinator's accounting: the measured
+// counterpart of dist.Stats' modeled costs.
+type Stats struct {
+	Updates  int
+	Rejected int
+	// Unavailable counts updates refused with ErrSiteUnavailable: a site
+	// they needed was unreachable, so no verdict was issued.
+	Unavailable int
+	ByPhase     map[core.Phase]int
+	// DecidedLocally counts updates that needed no wire traffic.
+	DecidedLocally int
+	// RoundTrips counts wire requests that completed (response
+	// received), Retries the extra attempts after failures, WireTuples
+	// the tuples shipped back over the wire.
+	RoundTrips int
+	Retries    int
+	WireTuples int64
+	// NetTime is wall clock spent waiting on the wire (fetches,
+	// propagations, failed attempts).
+	NetTime time.Duration
+	// SyncTrips/SyncTuples account the one-time initial mirror sync in
+	// New, kept apart so the per-update counters above line up with the
+	// dist cost model's per-update predictions.
+	SyncTrips  int
+	SyncTuples int64
+}
+
+// Coordinator runs the staged checker over a local mirror and reaches
+// remote sites over a Transport only when an update's plan requires the
+// global phase. Like dist.System it exposes Apply/ApplyBatch/Stats — the
+// difference is that its remote accesses are real requests with real
+// failure modes, not cost-model entries.
+//
+// Freshness contract: phases 1–3 use only constraints, the update and
+// local relations, so they never need the mirror's remote entries;
+// before any global evaluation the coordinator re-fetches exactly the
+// remote relations the undecided constraints mention. A site outage
+// therefore fails only the updates whose plan needed that site —
+// reported as ErrSiteUnavailable, never as a verdict.
+//
+// A Coordinator is single-writer, like core.Checker: one Apply at a
+// time.
+type Coordinator struct {
+	Checker *core.Checker
+
+	mirror    *store.Store
+	transport Transport
+	siteOf    map[string]string   // relation -> owning site
+	relsOf    map[string][]string // site -> owned relations, sorted
+	opts      Options
+	stats     Stats
+	reqID     atomic.Uint64
+	rng       *rand.Rand
+}
+
+// New builds a coordinator over the local store and the given site
+// specs, then performs an initial sync: every remote relation is
+// scanned into the mirror so the checker starts from the same global
+// state dist.System would see. The local store must hold only local
+// relations; a relation claimed by two sites, or both local and remote,
+// is an error.
+func New(local *store.Store, sites []SiteSpec, tr Transport, opts Options) (*Coordinator, error) {
+	co := &Coordinator{
+		mirror:    local,
+		transport: tr,
+		siteOf:    map[string]string{},
+		relsOf:    map[string][]string{},
+		opts:      opts.withDefaults(),
+		stats:     Stats{ByPhase: map[core.Phase]int{}},
+		rng:       rand.New(rand.NewSource(1)),
+	}
+	localSet := map[string]bool{}
+	for _, n := range opts.Checker.LocalRelations {
+		localSet[n] = true
+	}
+	for _, spec := range sites {
+		for _, rel := range spec.Relations {
+			if other, ok := co.siteOf[rel]; ok {
+				return nil, fmt.Errorf("netdist: relation %s claimed by sites %s and %s", rel, other, spec.Site)
+			}
+			if localSet[rel] {
+				return nil, fmt.Errorf("netdist: relation %s is both local and served by %s", rel, spec.Site)
+			}
+			co.siteOf[rel] = spec.Site
+			co.relsOf[spec.Site] = append(co.relsOf[spec.Site], rel)
+		}
+	}
+	for _, rels := range co.relsOf {
+		sort.Strings(rels)
+	}
+	if err := co.refresh(co.remoteRelations()); err != nil {
+		return nil, err
+	}
+	co.stats.SyncTrips, co.stats.RoundTrips = co.stats.RoundTrips, 0
+	co.stats.SyncTuples, co.stats.WireTuples = co.stats.WireTuples, 0
+	co.stats.Retries = 0
+	co.Checker = core.New(local, opts.Checker)
+	return co, nil
+}
+
+// remoteRelations returns every site-owned relation, sorted.
+func (co *Coordinator) remoteRelations() []string {
+	out := make([]string, 0, len(co.siteOf))
+	for rel := range co.siteOf {
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the accumulated statistics; ByPhase is a copy.
+func (co *Coordinator) Stats() Stats {
+	st := co.stats
+	st.ByPhase = make(map[core.Phase]int, len(co.stats.ByPhase))
+	for p, n := range co.stats.ByPhase {
+		st.ByPhase[p] = n
+	}
+	return st
+}
+
+// call performs one request with bounded retries and exponential
+// backoff with jitter. Transport errors retry; RemoteErrors (the site
+// answered and refused) do not. After the last failed attempt the error
+// is a *SiteError matching ErrSiteUnavailable.
+func (co *Coordinator) call(site string, req *Request) (*Response, error) {
+	req.ID = co.reqID.Add(1)
+	backoff := co.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= co.opts.Retries; attempt++ {
+		if attempt > 0 {
+			co.stats.Retries++
+			time.Sleep(backoff + time.Duration(co.rng.Int63n(int64(backoff)/2+1)))
+			backoff *= 2
+		}
+		start := time.Now()
+		resp, err := co.transport.RoundTrip(site, req, co.opts.Timeout)
+		co.stats.NetTime += time.Since(start)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		co.stats.RoundTrips++
+		if !resp.OK {
+			return nil, &RemoteError{Site: site, Msg: resp.Err}
+		}
+		co.stats.WireTuples += int64(len(resp.Tuples))
+		return resp, nil
+	}
+	return nil, &SiteError{Site: site, Err: lastErr}
+}
+
+// refresh re-fetches the given relations from their owning sites into
+// the mirror. Relations not owned by any site are ignored (they are
+// local or derived). One scan per relation; the first unreachable site
+// aborts with its SiteError.
+func (co *Coordinator) refresh(rels []string) error {
+	for _, rel := range rels {
+		site, ok := co.siteOf[rel]
+		if !ok {
+			continue
+		}
+		resp, err := co.call(site, &Request{Type: OpScan, Relation: rel})
+		if err != nil {
+			return err
+		}
+		ts, err := DecodeTuples(resp.Tuples)
+		if err != nil {
+			return &RemoteError{Site: site, Msg: err.Error()}
+		}
+		arity := resp.Arity
+		if arity == 0 {
+			// Empty, never-used relation: keep the mirror's arity if it
+			// already has one, otherwise skip (nothing to store).
+			if r := co.mirror.Relation(rel); r != nil {
+				arity = r.Arity()
+			} else {
+				continue
+			}
+		}
+		if err := co.mirror.Replace(rel, arity, ts); err != nil {
+			return &RemoteError{Site: site, Msg: err.Error()}
+		}
+	}
+	return nil
+}
+
+// Apply pushes one update through the pipeline. When the update's plan
+// needs remote data that cannot be fetched, it returns an error
+// matching ErrSiteUnavailable and the database is untouched; updates
+// decidable from local information commit regardless of site health.
+func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
+	co.stats.Updates++
+	trips := co.stats.RoundTrips
+	retries := co.stats.Retries
+
+	// Decide what the global phase would need before touching anything.
+	plan := co.Checker.Plan(u)
+	var needed []string
+	for _, rel := range plan.Relations {
+		if _, remote := co.siteOf[rel]; remote {
+			needed = append(needed, rel)
+		}
+	}
+	if err := co.refresh(needed); err != nil {
+		co.stats.Unavailable++
+		return core.Report{Update: u}, fmt.Errorf("update %s: %w", u, err)
+	}
+	rep, err := co.Checker.Apply(u)
+	if err != nil {
+		return rep, err
+	}
+	// Propagate an applied update on a remote relation to its owner; if
+	// the owner is unreachable the local application is undone — the
+	// sites never diverge from the mirror over a failure.
+	if site, remote := co.siteOf[u.Relation]; remote && rep.Applied {
+		_, err := co.call(site, &Request{
+			Type:     OpApply,
+			Relation: u.Relation,
+			Insert:   u.Insert,
+			Tuple:    EncodeTuple(u.Tuple),
+		})
+		if err != nil {
+			co.undoMirror(u)
+			co.stats.Unavailable++
+			return core.Report{Update: u}, fmt.Errorf("update %s: propagate: %w", u, err)
+		}
+	}
+	for _, d := range rep.Decisions {
+		co.stats.ByPhase[d.Phase]++
+	}
+	if !rep.Applied {
+		co.stats.Rejected++
+	}
+	if co.stats.RoundTrips == trips && co.stats.Retries == retries {
+		co.stats.DecidedLocally++
+	}
+	return rep, nil
+}
+
+// undoMirror reverts an applied update on the mirror at store level
+// (used when remote propagation fails after local commit).
+func (co *Coordinator) undoMirror(u store.Update) {
+	if u.Insert {
+		co.mirror.Delete(u.Relation, u.Tuple)
+	} else {
+		if _, err := co.mirror.Insert(u.Relation, u.Tuple); err != nil {
+			panic(fmt.Sprintf("netdist: mirror undo failed: %v", err))
+		}
+	}
+}
+
+// ApplyBatch applies the updates as one atomic transaction, mirroring
+// core.Checker.ApplyBatch: on the first rejection or error every
+// already-applied update is undone locally and, for remote relations,
+// un-propagated. FailedAt reports the offending index on rejection.
+func (co *Coordinator) ApplyBatch(updates []store.Update) (core.BatchReport, error) {
+	br := core.BatchReport{Applied: true, FailedAt: -1}
+	type undo struct {
+		u       store.Update
+		changed bool
+	}
+	var undos []undo
+	rollback := func() error {
+		for i := len(undos) - 1; i >= 0; i-- {
+			if !undos[i].changed {
+				continue
+			}
+			u := undos[i].u
+			co.undoMirror(u)
+			if site, remote := co.siteOf[u.Relation]; remote {
+				inv := &Request{Type: OpApply, Relation: u.Relation, Insert: !u.Insert, Tuple: EncodeTuple(u.Tuple)}
+				if _, err := co.call(site, inv); err != nil {
+					return fmt.Errorf("netdist: batch rollback of %s: %w", u, err)
+				}
+			}
+		}
+		return nil
+	}
+	for i, u := range updates {
+		changes := co.mirror.Contains(u.Relation, u.Tuple) != u.Insert
+		rep, err := co.Apply(u)
+		if err != nil {
+			if rbErr := rollback(); rbErr != nil {
+				return br, rbErr
+			}
+			return br, err
+		}
+		br.Reports = append(br.Reports, rep)
+		if !rep.Applied {
+			br.Applied = false
+			br.FailedAt = i
+			if err := rollback(); err != nil {
+				return br, err
+			}
+			return br, nil
+		}
+		undos = append(undos, undo{u: u, changed: changes})
+	}
+	return br, nil
+}
+
+// Report renders the statistics as a small table, the measured
+// counterpart of dist.System.Report.
+func (co *Coordinator) Report() string {
+	st := co.stats
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "updates: %d  rejected: %d  unavailable: %d  decided-locally: %d\n",
+		st.Updates, st.Rejected, st.Unavailable, st.DecidedLocally)
+	fmt.Fprintf(&sb, "wire: %d round trips (%d retries), %d tuples, %s on the network\n",
+		st.RoundTrips, st.Retries, st.WireTuples, st.NetTime.Round(time.Microsecond))
+	var phases []core.Phase
+	for p := range st.ByPhase {
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i] < phases[j] })
+	for _, p := range phases {
+		fmt.Fprintf(&sb, "  decided by %-12s %d\n", p.String()+":", st.ByPhase[p])
+	}
+	return sb.String()
+}

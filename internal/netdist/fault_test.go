@@ -1,0 +1,153 @@
+package netdist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// faultFixture: local relation l (intervals), remote relation r on one
+// loopback site, the forbidden-interval constraint. Local coverage
+// certifies inserts inside [20,30]; anything else needs the global
+// phase and therefore the site.
+func faultFixture(t *testing.T, retries int) (*Coordinator, *Loopback, *store.Store) {
+	t.Helper()
+	remote := store.New()
+	if _, err := remote.Insert("r", relation.Ints(10000)); err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback()
+	lb.AddSite("s1", NewServer(remote, []string{"r"}))
+	local := store.New()
+	if _, err := local.Insert("l", relation.Ints(20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	co, err := New(local, []SiteSpec{{Site: "s1", Relations: []string{"r"}}}, lb, Options{
+		Checker: core.Options{LocalRelations: []string{"l"}},
+		Timeout: 50 * time.Millisecond,
+		Retries: retries,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+		t.Fatal(err)
+	}
+	return co, lb, remote
+}
+
+func TestPartitionFailsOnlyGlobalUpdates(t *testing.T) {
+	co, lb, _ := faultFixture(t, -1)
+	lb.Partition("s1")
+
+	// Covered by local data: decides in phase 3, needs no site, commits.
+	rep, err := co.Apply(store.Ins("l", relation.Ints(22, 28)))
+	if err != nil || !rep.Applied {
+		t.Fatalf("locally-decidable update failed under partition: rep=%+v err=%v", rep, err)
+	}
+	// Outside local coverage: needs the site, must fail loudly — not
+	// crash, not report a verdict.
+	rep, err = co.Apply(store.Ins("l", relation.Ints(100, 200)))
+	if !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("global update under partition: err=%v", err)
+	}
+	if len(rep.Decisions) != 0 || rep.Applied {
+		t.Errorf("failed update carries a verdict: %+v", rep)
+	}
+	if co.Checker.DB().Contains("l", relation.Ints(100, 200)) {
+		t.Error("failed update mutated the store")
+	}
+
+	// Heal: the same update now decides.
+	lb.Heal("s1")
+	rep, err = co.Apply(store.Ins("l", relation.Ints(100, 200)))
+	if err != nil || !rep.Applied {
+		t.Fatalf("update after heal: rep=%+v err=%v", rep, err)
+	}
+
+	st := co.Stats()
+	if st.Unavailable != 1 {
+		t.Errorf("Unavailable = %d, want 1", st.Unavailable)
+	}
+	if st.Updates != 3 {
+		t.Errorf("Updates = %d, want 3", st.Updates)
+	}
+}
+
+func TestRetriesRecoverFromTransientDrops(t *testing.T) {
+	co, lb, _ := faultFixture(t, 3)
+	// Two dropped frames, then delivery: the third attempt succeeds.
+	lb.DropNext("s1", 2)
+	rep, err := co.Apply(store.Ins("l", relation.Ints(100, 200)))
+	if err != nil || !rep.Applied {
+		t.Fatalf("update with transient drops: rep=%+v err=%v", rep, err)
+	}
+	st := co.Stats()
+	if st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Retries)
+	}
+	if st.RoundTrips != 1 {
+		t.Errorf("RoundTrips = %d, want 1 (only the delivered attempt)", st.RoundTrips)
+	}
+
+	// More consecutive failures than retries: the update fails.
+	lb.FailNext("s1", 10)
+	if _, err := co.Apply(store.Ins("l", relation.Ints(300, 400))); !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("update beyond retry budget: err=%v", err)
+	}
+}
+
+func TestLatencyBeyondDeadlineTimesOut(t *testing.T) {
+	co, lb, _ := faultFixture(t, -1)
+	lb.SetLatency("s1", 200*time.Millisecond) // > the 50ms deadline
+	start := time.Now()
+	_, err := co.Apply(store.Ins("l", relation.Ints(100, 200)))
+	if !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("latency beyond deadline: err=%v", err)
+	}
+	if el := time.Since(start); el > 150*time.Millisecond {
+		t.Errorf("timed-out update burned %v of wall clock", el)
+	}
+	// Within the deadline the update goes through, and the coordinator's
+	// NetTime sees the injected latency.
+	lb.SetLatency("s1", 5*time.Millisecond)
+	if rep, err := co.Apply(store.Ins("l", relation.Ints(100, 200))); err != nil || !rep.Applied {
+		t.Fatalf("update under tolerable latency: rep=%+v err=%v", rep, err)
+	}
+	if st := co.Stats(); st.NetTime < 5*time.Millisecond {
+		t.Errorf("NetTime = %v, want at least the injected 5ms", st.NetTime)
+	}
+}
+
+func TestPropagationFailureUndoesLocalWrite(t *testing.T) {
+	remote := store.New()
+	if _, err := remote.Insert("dept", relation.Strs("toy")); err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback()
+	lb.AddSite("s1", NewServer(remote, []string{"dept"}))
+	co, err := New(store.New(), []SiteSpec{{Site: "s1", Relations: []string{"dept"}}}, lb,
+		Options{Retries: -1, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Partition("s1")
+	// No constraint mentions dept, so the update decides locally — but
+	// it writes a remote relation and propagation fails: the mirror must
+	// be restored and the error must mark the site.
+	_, err = co.Apply(store.Ins("dept", relation.Strs("shoe")))
+	if !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("propagation under partition: err=%v", err)
+	}
+	if co.Checker.DB().Contains("dept", relation.Strs("shoe")) {
+		t.Error("mirror kept a write the owning site never saw")
+	}
+	if remote.Contains("dept", relation.Strs("shoe")) {
+		t.Error("partitioned site saw the write")
+	}
+}

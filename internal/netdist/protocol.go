@@ -1,0 +1,248 @@
+// Package netdist is the networked multi-site runtime: it turns the
+// in-process cost model of internal/dist into a deployment that actually
+// crosses sockets. A site daemon (cmd/ccsited) serves one site's
+// relations from a store.Store behind a small wire protocol; a
+// Coordinator runs the staged checker against a local mirror and fetches
+// remote tuples over the wire only when an update's plan needs the
+// global phase — so the paper's "complete local tests avoid remote
+// round trips" claim is measured in real requests, not simulated cost
+// units.
+//
+// The wire protocol is deliberately minimal and stdlib-only:
+// length-prefixed JSON frames over TCP. Each frame is a 4-byte
+// big-endian payload length followed by one JSON-encoded Request or
+// Response. A connection carries one request at a time (the client pools
+// connections instead of multiplexing), so responses need no reordering;
+// the echoed ID is a sanity check.
+package netdist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+)
+
+// MaxFrame bounds a frame payload (16 MiB): a malicious or corrupt
+// length prefix must not make a peer allocate unbounded memory.
+const MaxFrame = 16 << 20
+
+// Request types. Scan/Fetch/Eval are the read operations the coordinator
+// issues during the global phase; Apply propagates writes to the owning
+// site; Reads and Ping are accounting and discovery.
+const (
+	// OpScan returns every tuple of a served relation.
+	OpScan = "scan"
+	// OpFetch returns the tuples of a served relation whose column Col
+	// equals Value (the indexed lookup).
+	OpFetch = "fetch"
+	// OpEval evaluates a datalog subquery (Program source, Goal
+	// predicate) against the site's store and returns whether the goal is
+	// derivable. It lets a coordinator push a residual test to the data
+	// instead of shipping the data to the test.
+	OpEval = "eval"
+	// OpApply applies one insert/delete to a served relation.
+	OpApply = "apply"
+	// OpReads returns the site's per-relation cumulative read counters
+	// (the server-side mirror of store.Reads).
+	OpReads = "reads"
+	// OpPing returns the served relation names and arities.
+	OpPing = "ping"
+)
+
+// Request is one client→site frame.
+type Request struct {
+	ID   uint64 `json:"id"`
+	Type string `json:"type"`
+	// Relation names the target relation (Scan, Fetch, Apply).
+	Relation string `json:"relation,omitempty"`
+	// Col and Value select Fetch's indexed lookup.
+	Col   int    `json:"col,omitempty"`
+	Value string `json:"value,omitempty"`
+	// Program and Goal carry Eval's subquery.
+	Program string `json:"program,omitempty"`
+	Goal    string `json:"goal,omitempty"`
+	// Insert and Tuple carry Apply's update (Tuple is EncodeTuple'd).
+	Insert bool     `json:"insert,omitempty"`
+	Tuple  []string `json:"tuple,omitempty"`
+}
+
+// Response is one site→client frame.
+type Response struct {
+	ID uint64 `json:"id"`
+	OK bool   `json:"ok"`
+	// Err is the server-side failure when OK is false.
+	Err string `json:"err,omitempty"`
+	// Tuples and Arity answer Scan/Fetch.
+	Tuples [][]string `json:"tuples,omitempty"`
+	Arity  int        `json:"arity,omitempty"`
+	// Holds answers Eval.
+	Holds bool `json:"holds,omitempty"`
+	// Changed answers Apply.
+	Changed bool `json:"changed,omitempty"`
+	// Reads answers Reads.
+	Reads map[string]int64 `json:"reads,omitempty"`
+	// Relations answers Ping: served relation name → arity.
+	Relations map[string]int `json:"relations,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("netdist: frame of %d bytes exceeds MaxFrame", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("netdist: frame of %d bytes exceeds MaxFrame", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// roundTripJSON pushes v through the frame codec into out — the
+// loopback transport uses it so in-process requests see exactly the
+// bytes TCP would carry.
+func roundTripJSON(v, out any) error {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, v); err != nil {
+		return err
+	}
+	return ReadFrame(&buf, out)
+}
+
+// reencode returns a frame-codec round-tripped copy of req.
+func reencode(req *Request) (*Request, error) {
+	var out Request
+	if err := roundTripJSON(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EncodeValue renders a constant for the wire using the store's
+// canonical key syntax: "#<rational>" for numbers (exact — no float
+// round-trip loss), "$<text>" for symbols.
+func EncodeValue(v ast.Value) string { return v.Key() }
+
+// DecodeValue parses EncodeValue's output.
+func DecodeValue(s string) (ast.Value, error) {
+	if strings.HasPrefix(s, "$") {
+		return ast.Str(s[1:]), nil
+	}
+	if strings.HasPrefix(s, "#") {
+		r := new(big.Rat)
+		if _, ok := r.SetString(s[1:]); !ok {
+			return ast.Value{}, fmt.Errorf("netdist: bad numeric value %q", s)
+		}
+		return ast.Value{Kind: ast.NumberValue, Num: r}, nil
+	}
+	return ast.Value{}, fmt.Errorf("netdist: bad value encoding %q", s)
+}
+
+// EncodeTuple renders a tuple for the wire.
+func EncodeTuple(t relation.Tuple) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeTuple parses EncodeTuple's output.
+func DecodeTuple(ss []string) (relation.Tuple, error) {
+	t := make(relation.Tuple, len(ss))
+	for i, s := range ss {
+		v, err := DecodeValue(s)
+		if err != nil {
+			return nil, err
+		}
+		t[i] = v
+	}
+	return t, nil
+}
+
+// EncodeTuples renders a tuple slice for the wire.
+func EncodeTuples(ts []relation.Tuple) [][]string {
+	out := make([][]string, len(ts))
+	for i, t := range ts {
+		out[i] = EncodeTuple(t)
+	}
+	return out
+}
+
+// DecodeTuples parses EncodeTuples's output.
+func DecodeTuples(tss [][]string) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, len(tss))
+	for i, ss := range tss {
+		t, err := DecodeTuple(ss)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// RemoteError is a semantic failure reported by a site (unknown
+// relation, bad request): the request reached the site and was answered,
+// so it is not retried and does not mark the site unavailable.
+type RemoteError struct {
+	Site string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("netdist: site %s: %s", e.Site, e.Msg)
+}
+
+// ErrSiteUnavailable marks an update that could not be decided because a
+// site it needed was unreachable after every retry. It is a sentinel for
+// errors.Is; the concrete error is a *SiteError carrying the site and
+// the last transport failure.
+var ErrSiteUnavailable = errors.New("netdist: site unavailable")
+
+// SiteError wraps the last transport failure for one site. It matches
+// ErrSiteUnavailable under errors.Is.
+type SiteError struct {
+	Site string
+	Err  error
+}
+
+func (e *SiteError) Error() string {
+	return fmt.Sprintf("netdist: site %s unavailable: %v", e.Site, e.Err)
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *SiteError) Unwrap() error { return e.Err }
+
+// Is matches the ErrSiteUnavailable sentinel.
+func (e *SiteError) Is(target error) bool { return target == ErrSiteUnavailable }

@@ -1,0 +1,189 @@
+package netdist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	req := &Request{ID: 7, Type: OpFetch, Relation: "emp", Col: 2, Value: "#50"}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := ReadFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != req.ID || got.Type != req.Type || got.Relation != req.Relation || got.Col != req.Col || got.Value != req.Value {
+		t.Errorf("round trip: got %+v, want %+v", got, *req)
+	}
+}
+
+func TestFrameRejectsOversizedAndTruncated(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if err := ReadFrame(bytes.NewReader(hdr[:]), &Request{}); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// A declared length longer than the stream must error, not hang or
+	// succeed.
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	short := append(hdr[:], []byte(`{"id":1}`)...)
+	if err := ReadFrame(bytes.NewReader(short), &Request{}); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []ast.Value{
+		ast.Int(42),
+		ast.Int(-3),
+		ast.Rat(1, 3),
+		ast.Float(2.5),
+		ast.Str("toy"),
+		ast.Str("New York"),
+		ast.Str(""),
+		ast.Str("#42"),  // a symbol that looks like a number encoding
+		ast.Str("$odd"), // a symbol that looks like a string encoding
+	}
+	for _, v := range vals {
+		got, err := DecodeValue(EncodeValue(v))
+		if err != nil {
+			t.Errorf("decode(encode(%v)): %v", v, err)
+			continue
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %q -> %v", v, EncodeValue(v), got)
+		}
+	}
+	for _, bad := range []string{"", "42", "#", "#x/y"} {
+		if _, err := DecodeValue(bad); err == nil {
+			t.Errorf("DecodeValue(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	tup := relation.TupleOf(ast.Str("jones"), ast.Str("shoe"), ast.Int(50))
+	got, err := DecodeTuple(EncodeTuple(tup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(tup) {
+		t.Errorf("tuple round trip: got %v, want %v", got, tup)
+	}
+}
+
+func newSiteStore(t *testing.T, facts string) *store.Store {
+	t.Helper()
+	db := store.New()
+	if err := db.LoadFacts(parser.MustParseProgram(facts)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestServerScanFetchPing(t *testing.T) {
+	db := newSiteStore(t, "emp(ann,toy,50). emp(bob,shoe,60). dept(toy).")
+	srv := NewServer(db, []string{"emp"})
+
+	resp := srv.Handle(&Request{ID: 1, Type: OpScan, Relation: "emp"})
+	if !resp.OK || len(resp.Tuples) != 2 || resp.Arity != 3 || resp.ID != 1 {
+		t.Fatalf("scan: %+v", resp)
+	}
+	// dept is not served.
+	if resp := srv.Handle(&Request{Type: OpScan, Relation: "dept"}); resp.OK {
+		t.Error("scan of unserved relation succeeded")
+	}
+	resp = srv.Handle(&Request{Type: OpFetch, Relation: "emp", Col: 1, Value: EncodeValue(ast.Str("toy"))})
+	if !resp.OK || len(resp.Tuples) != 1 {
+		t.Fatalf("fetch: %+v", resp)
+	}
+	if resp := srv.Handle(&Request{Type: OpFetch, Relation: "emp", Col: 9, Value: "$toy"}); resp.OK {
+		t.Error("out-of-range column accepted")
+	}
+	resp = srv.Handle(&Request{Type: OpPing})
+	if !resp.OK || resp.Relations["emp"] != 3 {
+		t.Fatalf("ping: %+v", resp)
+	}
+	if _, ok := resp.Relations["dept"]; ok {
+		t.Error("ping leaked unserved relation")
+	}
+
+	st := srv.Stats()
+	if st.Requests[OpScan] != 2 || st.TuplesSent["emp"] != 3 || st.Errors != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+	// The stats copy is deep.
+	st.TuplesSent["emp"] = 999
+	if srv.Stats().TuplesSent["emp"] == 999 {
+		t.Error("Stats leaked the live map")
+	}
+}
+
+func TestServerEval(t *testing.T) {
+	db := newSiteStore(t, "r(3). r(7).")
+	srv := NewServer(db, []string{"r"})
+	resp := srv.Handle(&Request{Type: OpEval, Program: "hit :- r(X) & X > 5.", Goal: "hit"})
+	if !resp.OK || !resp.Holds {
+		t.Fatalf("eval: %+v", resp)
+	}
+	resp = srv.Handle(&Request{Type: OpEval, Program: "hit :- r(X) & X > 50.", Goal: "hit"})
+	if !resp.OK || resp.Holds {
+		t.Fatalf("eval: %+v", resp)
+	}
+	// Subqueries may not read unserved relations.
+	if resp := srv.Handle(&Request{Type: OpEval, Program: "hit :- secret(X).", Goal: "hit"}); resp.OK {
+		t.Error("eval read an unserved relation")
+	}
+	if resp := srv.Handle(&Request{Type: OpEval, Program: "junk((", Goal: "hit"}); resp.OK {
+		t.Error("unparseable program accepted")
+	}
+}
+
+func TestServerApplyAndReads(t *testing.T) {
+	db := newSiteStore(t, "r(1).")
+	srv := NewServer(db, nil)
+	resp := srv.Handle(&Request{Type: OpApply, Relation: "r", Insert: true, Tuple: EncodeTuple(relation.Ints(2))})
+	if !resp.OK || !resp.Changed {
+		t.Fatalf("apply insert: %+v", resp)
+	}
+	resp = srv.Handle(&Request{Type: OpApply, Relation: "r", Insert: true, Tuple: EncodeTuple(relation.Ints(2))})
+	if !resp.OK || resp.Changed {
+		t.Fatalf("duplicate insert reported change: %+v", resp)
+	}
+	resp = srv.Handle(&Request{Type: OpApply, Relation: "r", Tuple: EncodeTuple(relation.Ints(1))})
+	if !resp.OK || !resp.Changed {
+		t.Fatalf("apply delete: %+v", resp)
+	}
+	srv.Handle(&Request{Type: OpScan, Relation: "r"})
+	resp = srv.Handle(&Request{Type: OpReads})
+	if !resp.OK || resp.Reads["r"] != 1 {
+		t.Fatalf("reads: %+v", resp)
+	}
+	if resp := srv.Handle(&Request{Type: "bogus"}); resp.OK {
+		t.Error("unknown request type accepted")
+	}
+}
+
+func TestSiteErrorMatchesSentinel(t *testing.T) {
+	err := &SiteError{Site: "s1", Err: ErrPartitioned}
+	if !errors.Is(err, ErrSiteUnavailable) {
+		t.Error("SiteError does not match ErrSiteUnavailable")
+	}
+	if !errors.Is(err, ErrPartitioned) {
+		t.Error("SiteError does not unwrap to its cause")
+	}
+	if !strings.Contains(err.Error(), "s1") {
+		t.Error("SiteError message lacks the site")
+	}
+}

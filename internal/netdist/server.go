@@ -1,0 +1,251 @@
+package netdist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/store"
+)
+
+// ServerStats is per-request accounting on the site side, mirroring the
+// store's read counters at request granularity: what the site was asked,
+// and how many tuples it shipped, per relation.
+type ServerStats struct {
+	// Requests counts frames handled per request type.
+	Requests map[string]int64
+	// TuplesSent counts tuples shipped per relation (Scan + Fetch).
+	TuplesSent map[string]int64
+	// Errors counts requests answered with OK=false.
+	Errors int64
+}
+
+// Server answers the wire protocol for one site: a store plus the set of
+// relations this site owns. It is safe for concurrent use — the store is
+// internally synchronized and the stats sit behind a mutex — so one
+// Server may back many connections (TCP) or callers (loopback).
+type Server struct {
+	db     *store.Store
+	served map[string]bool // nil: every relation in db
+
+	mu    sync.Mutex
+	stats ServerStats
+}
+
+// NewServer builds a server for db. With a non-empty relations list only
+// those relations are visible; otherwise every relation in db is served.
+func NewServer(db *store.Store, relations []string) *Server {
+	s := &Server{db: db, stats: ServerStats{Requests: map[string]int64{}, TuplesSent: map[string]int64{}}}
+	if len(relations) > 0 {
+		s.served = map[string]bool{}
+		for _, r := range relations {
+			s.served[r] = true
+		}
+	}
+	return s
+}
+
+// Stats returns a deep copy of the accounting counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ServerStats{
+		Requests:   make(map[string]int64, len(s.stats.Requests)),
+		TuplesSent: make(map[string]int64, len(s.stats.TuplesSent)),
+		Errors:     s.stats.Errors,
+	}
+	for k, v := range s.stats.Requests {
+		out.Requests[k] = v
+	}
+	for k, v := range s.stats.TuplesSent {
+		out.TuplesSent[k] = v
+	}
+	return out
+}
+
+// serves reports whether the relation is visible through this server.
+func (s *Server) serves(rel string) bool {
+	if s.served == nil {
+		return true
+	}
+	return s.served[rel]
+}
+
+// ServedRelations returns the sorted served relation names with their
+// arities (relations restricted by NewServer but absent from the store
+// are reported with arity 0 until first use).
+func (s *Server) ServedRelations() map[string]int {
+	out := map[string]int{}
+	if s.served != nil {
+		for name := range s.served {
+			out[name] = 0
+		}
+	}
+	for _, name := range s.db.Names() {
+		if s.serves(name) {
+			out[name] = s.db.Relation(name).Arity()
+		}
+	}
+	return out
+}
+
+// Handle answers one request. It never panics on malformed input: every
+// failure comes back as OK=false with the reason in Err.
+func (s *Server) Handle(req *Request) *Response {
+	s.mu.Lock()
+	s.stats.Requests[req.Type]++
+	s.mu.Unlock()
+	resp := s.handle(req)
+	resp.ID = req.ID
+	if !resp.OK {
+		s.mu.Lock()
+		s.stats.Errors++
+		s.mu.Unlock()
+	}
+	return resp
+}
+
+func (s *Server) handle(req *Request) *Response {
+	fail := func(format string, args ...any) *Response {
+		return &Response{Err: fmt.Sprintf(format, args...)}
+	}
+	switch req.Type {
+	case OpScan:
+		if !s.serves(req.Relation) {
+			return fail("relation %q not served", req.Relation)
+		}
+		ts := s.db.Tuples(req.Relation)
+		s.mu.Lock()
+		s.stats.TuplesSent[req.Relation] += int64(len(ts))
+		s.mu.Unlock()
+		arity := 0
+		if r := s.db.Relation(req.Relation); r != nil {
+			arity = r.Arity()
+		}
+		return &Response{OK: true, Tuples: EncodeTuples(ts), Arity: arity}
+
+	case OpFetch:
+		if !s.serves(req.Relation) {
+			return fail("relation %q not served", req.Relation)
+		}
+		r := s.db.Relation(req.Relation)
+		if r == nil {
+			return &Response{OK: true}
+		}
+		if req.Col < 0 || req.Col >= r.Arity() {
+			return fail("column %d out of range for %s/%d", req.Col, req.Relation, r.Arity())
+		}
+		v, err := DecodeValue(req.Value)
+		if err != nil {
+			return fail("%v", err)
+		}
+		ts := s.db.Lookup(req.Relation, req.Col, v)
+		s.mu.Lock()
+		s.stats.TuplesSent[req.Relation] += int64(len(ts))
+		s.mu.Unlock()
+		return &Response{OK: true, Tuples: EncodeTuples(ts), Arity: r.Arity()}
+
+	case OpEval:
+		prog, err := parser.ParseProgram(req.Program)
+		if err != nil {
+			return fail("program: %v", err)
+		}
+		// The subquery may only read served relations: sites do not leak
+		// relations they were told not to serve.
+		for _, rel := range edbPreds(prog) {
+			if !s.serves(rel) {
+				return fail("relation %q not served", rel)
+			}
+		}
+		holds, err := eval.GoalHolds(prog, s.db, req.Goal)
+		if err != nil {
+			return fail("eval: %v", err)
+		}
+		return &Response{OK: true, Holds: holds}
+
+	case OpApply:
+		if !s.serves(req.Relation) {
+			return fail("relation %q not served", req.Relation)
+		}
+		t, err := DecodeTuple(req.Tuple)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if req.Insert {
+			changed, err := s.db.Insert(req.Relation, t)
+			if err != nil {
+				return fail("%v", err)
+			}
+			return &Response{OK: true, Changed: changed}
+		}
+		return &Response{OK: true, Changed: s.db.Delete(req.Relation, t)}
+
+	case OpReads:
+		reads := map[string]int64{}
+		for _, name := range s.db.Names() {
+			if s.serves(name) {
+				reads[name] = s.db.Reads(name)
+			}
+		}
+		return &Response{OK: true, Reads: reads}
+
+	case OpPing:
+		return &Response{OK: true, Relations: s.ServedRelations()}
+	}
+	return fail("unknown request type %q", req.Type)
+}
+
+// edbPreds returns the body predicates of prog not defined by its own
+// rule heads — the stored relations an evaluation would read.
+func edbPreds(prog *ast.Program) []string {
+	heads := map[string]bool{}
+	for _, r := range prog.Rules {
+		heads[r.Head.Pred] = true
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.IsComp() || heads[l.Atom.Pred] || seen[l.Atom.Pred] {
+				continue
+			}
+			seen[l.Atom.Pred] = true
+			out = append(out, l.Atom.Pred)
+		}
+	}
+	return out
+}
+
+// Serve accepts connections on l and answers frames until l is closed;
+// it then returns nil. Each connection gets its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			// Closed listener: normal shutdown.
+			return nil
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn answers frames on one connection until EOF or error.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			// EOF, partial frame or junk: drop the connection.
+			return
+		}
+		if err := WriteFrame(conn, s.Handle(&req)); err != nil {
+			return
+		}
+	}
+}

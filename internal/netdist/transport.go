@@ -1,0 +1,17 @@
+package netdist
+
+import "time"
+
+// Transport carries one request to a named site and returns its
+// response. Implementations must be safe for concurrent use.
+//
+// The contract the coordinator's retry loop relies on:
+//   - a non-nil error means the request may not have reached the site
+//     (dial failure, timeout, partition) — retryable;
+//   - a response with OK=false means the site answered and refused —
+//     a *RemoteError, not retryable;
+//   - timeout bounds the whole round trip.
+type Transport interface {
+	RoundTrip(site string, req *Request, timeout time.Duration) (*Response, error)
+	Close() error
+}

@@ -174,6 +174,30 @@ func (s *Store) ResetReads() {
 	s.readsMu.Unlock()
 }
 
+// Replace atomically swaps the named relation's contents for the given
+// tuples, creating the relation if absent. No read counters are charged:
+// Replace is bulk state transfer (mirror refresh from a remote site, bulk
+// load), not query evaluation. It fails if the relation exists with a
+// different arity or a tuple has the wrong arity.
+func (s *Store) Replace(name string, arity int, ts []relation.Tuple) error {
+	for _, t := range ts {
+		if len(t) != arity {
+			return fmt.Errorf("store: replace %s/%d: tuple %s has arity %d", name, arity, t, len(t))
+		}
+	}
+	fresh := relation.New(name, arity)
+	for _, t := range ts {
+		fresh.Insert(t)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.rels[name]; ok && r.Arity() != arity {
+		return fmt.Errorf("store: relation %s has arity %d, requested %d", name, r.Arity(), arity)
+	}
+	s.rels[name] = fresh
+	return nil
+}
+
 // Clone returns a deep copy of the store with zeroed counters.
 func (s *Store) Clone() *Store {
 	out := New()

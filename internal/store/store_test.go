@@ -174,3 +174,46 @@ func TestProbeAndMustEnsureAndString(t *testing.T) {
 	}()
 	s.MustEnsure("r", 3)
 }
+
+func TestReplace(t *testing.T) {
+	s := New()
+	if _, err := s.Insert("r", relation.Ints(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("r", relation.Ints(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s.Tuples("r") // charge some reads
+	// Replace swaps contents without touching counters.
+	if err := s.Replace("r", 2, []relation.Tuple{relation.Ints(5, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("r", relation.Ints(1, 2)) || !s.Contains("r", relation.Ints(5, 6)) {
+		t.Errorf("Replace did not swap contents: %s", s)
+	}
+	if got := s.Reads("r"); got != 2 {
+		t.Errorf("Replace charged reads: got %d, want 2 (the pre-replace scan)", got)
+	}
+	// Replace creates absent relations.
+	if err := s.Replace("fresh", 1, []relation.Tuple{relation.Ints(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains("fresh", relation.Ints(7)) {
+		t.Error("Replace did not create the relation")
+	}
+	// Replace to empty empties.
+	if err := s.Replace("r", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Relation("r").Len(); n != 0 {
+		t.Errorf("Replace to empty left %d tuples", n)
+	}
+	// Arity conflicts are rejected, both against the existing relation and
+	// within the tuple list.
+	if err := s.Replace("r", 3, nil); err == nil {
+		t.Error("Replace with conflicting arity accepted")
+	}
+	if err := s.Replace("r", 2, []relation.Tuple{relation.Ints(1)}); err == nil {
+		t.Error("Replace with mis-sized tuple accepted")
+	}
+}

@@ -1,26 +1,31 @@
 #!/usr/bin/env bash
 # Runs the key pipeline benchmarks (-count=5 each) and emits
-# BENCH_pipeline.json: one record per benchmark run with name, iterations
+# BENCH_pipeline.json, then the networked-runtime benchmarks and emits
+# BENCH_net.json: one record per benchmark run with name, iterations
 # and ns/op, suitable for diffing across commits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_pipeline.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-go test -run '^$' \
-  -bench 'BenchmarkDistributedStaged$|BenchmarkTheorem51$|BenchmarkApplyParallel$' \
-  -count="$COUNT" -benchmem . | tee "$TMP"
+# bench_to_json BENCH_REGEX OUT_FILE
+bench_to_json() {
+  local regex="$1" out="$2"
+  go test -run '^$' -bench "$regex" -count="$COUNT" -benchmem . | tee "$TMP"
+  awk '
+    BEGIN { print "[" }
+    /^Benchmark/ {
+      name = $1; iters = $2; ns = $3
+      printf "%s  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s}", (n++ ? ",\n" : ""), name, iters, ns
+    }
+    END { print "\n]" }
+  ' "$TMP" > "$out"
+  echo "wrote $out ($(grep -c '"name"' "$out") runs)"
+}
 
-awk '
-  BEGIN { print "[" }
-  /^Benchmark/ {
-    name = $1; iters = $2; ns = $3
-    printf "%s  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s}", (n++ ? ",\n" : ""), name, iters, ns
-  }
-  END { print "\n]" }
-' "$TMP" > "$OUT"
-
-echo "wrote $OUT ($(grep -c '"name"' "$OUT") runs)"
+bench_to_json 'BenchmarkDistributedStaged$|BenchmarkTheorem51$|BenchmarkApplyParallel$' \
+  "${OUT:-BENCH_pipeline.json}"
+bench_to_json 'BenchmarkNetDistLoopback$|BenchmarkDistributedStaged$' \
+  "${NET_OUT:-BENCH_net.json}"
