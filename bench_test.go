@@ -33,6 +33,7 @@ import (
 	"repro/internal/incremental"
 	"repro/internal/ineq"
 	"repro/internal/netdist"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/reduction"
 	"repro/internal/relation"
@@ -438,6 +439,57 @@ func BenchmarkApplyParallel(b *testing.B) {
 	})
 	b.Run(fmt.Sprintf("workers=%d/cached", runtime.GOMAXPROCS(0)), func(b *testing.B) {
 		benchApplyParallel(b, core.Options{})
+	})
+}
+
+// --- observability: tracing overhead ----------------------------------------
+
+// benchTraceOverhead drives the D1 interval stream through a checker
+// wired with the given tracer; the off/disabled/on sub-benchmarks below
+// bound the cost of the always-compiled-in trace hooks.
+func benchTraceOverhead(b *testing.B, tracer func() obs.Tracer) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(42))
+		db := store.New()
+		for _, t := range workload.Intervals(rng, 40, 20, 200) {
+			if _, err := db.Insert("l", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := int64(0); j < 50; j++ {
+			if _, err := db.Insert("r", relation.Ints(10000+j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c := core.New(db, core.Options{LocalRelations: []string{"l"}, Tracer: tracer()})
+		if err := c.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+			b.Fatal(err)
+		}
+		updates := workload.IntervalInserts(rng, 20, 10, 200, "l")
+		b.StartTimer()
+		for _, u := range updates {
+			if _, err := c.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTraceOverhead is the EXPERIMENTS.md tracing-overhead
+// benchmark: "off" has no tracer at all, "disabled" pays only the
+// Enabled() checks (the production default), "on" buffers every event.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchTraceOverhead(b, func() obs.Tracer { return nil })
+	})
+	b.Run("disabled", func(b *testing.B) {
+		benchTraceOverhead(b, func() obs.Tracer { return obs.Disabled })
+	})
+	b.Run("on", func(b *testing.B) {
+		benchTraceOverhead(b, func() obs.Tracer { return obs.NewBufferTracer(64) })
 	})
 }
 

@@ -18,9 +18,16 @@
 // relations it owns; ccheck then runs the netdist coordinator, fetching
 // those relations over TCP during global phases, and the report shows
 // measured wire traffic instead of modeled cost.
+//
+// Observability: -trace prints a per-update decision trace (every phase
+// attempt, cache hits, remote relations consulted); -trace-out file
+// appends the same events as JSON lines; -stats-json file dumps the
+// final pipeline statistics — per-phase decision counts, cache hit rate,
+// and the deployment's data-access accounting — as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/netdist"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -47,6 +55,27 @@ type config struct {
 	sites       []netdist.SiteSpec
 	timeout     time.Duration
 	retries     int
+	trace       bool
+	traceOut    string
+	statsJSON   string
+}
+
+// flags is the raw flag surface buildConfig validates into a config.
+type flags struct {
+	constraints string
+	data        string
+	updates     string
+	local       string
+	workers     int
+	workersSet  bool
+	verbose     bool
+	save        string
+	timeout     time.Duration
+	retries     int
+	sites       []string
+	trace       bool
+	traceOut    string
+	statsJSON   string
 }
 
 // siteFlags collects repeated -sites values.
@@ -69,6 +98,9 @@ func main() {
 		savePath        = flag.String("save", "", "write the final database to this file as facts")
 		timeout         = flag.Duration("timeout", 2*time.Second, "per-request deadline for -sites round trips")
 		retries         = flag.Int("retries", 3, "retry budget per -sites round trip")
+		trace           = flag.Bool("trace", false, "print the per-update decision trace (which phase decided each constraint and why)")
+		traceOut        = flag.String("trace-out", "", "append the decision trace to this file as JSON lines")
+		statsJSON       = flag.String("stats-json", "", "write the final pipeline statistics to this file as JSON")
 		sites           siteFlags
 	)
 	flag.Var(&sites, "sites", "site daemon spec host:port=rel1,rel2 (repeatable)")
@@ -79,7 +111,12 @@ func main() {
 			workersSet = true
 		}
 	})
-	cfg, err := buildConfig(*constraintsPath, *dataPath, *updatesPath, *localList, *workers, workersSet, *verbose, *savePath, *timeout, *retries, sites)
+	cfg, err := buildConfig(flags{
+		constraints: *constraintsPath, data: *dataPath, updates: *updatesPath,
+		local: *localList, workers: *workers, workersSet: workersSet,
+		verbose: *verbose, save: *savePath, timeout: *timeout, retries: *retries,
+		sites: sites, trace: *trace, traceOut: *traceOut, statsJSON: *statsJSON,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
 		flag.Usage()
@@ -96,22 +133,23 @@ func main() {
 // positive (leaving it unset keeps the one-per-CPU default), every
 // -sites spec must parse, and no relation may be claimed twice or
 // listed both local and remote.
-func buildConfig(constraints, data, updates, local string, workers int, workersSet, verbose bool, save string, timeout time.Duration, retries int, sites []string) (config, error) {
+func buildConfig(f flags) (config, error) {
 	cfg := config{
-		constraints: constraints, data: data, updates: updates, local: local,
-		workers: workers, verbose: verbose, save: save, timeout: timeout, retries: retries,
+		constraints: f.constraints, data: f.data, updates: f.updates, local: f.local,
+		workers: f.workers, verbose: f.verbose, save: f.save, timeout: f.timeout, retries: f.retries,
+		trace: f.trace, traceOut: f.traceOut, statsJSON: f.statsJSON,
 	}
-	if constraints == "" || updates == "" {
+	if f.constraints == "" || f.updates == "" {
 		return cfg, fmt.Errorf("-constraints and -updates are required")
 	}
-	if workersSet && workers <= 0 {
-		return cfg, fmt.Errorf("-workers must be positive (got %d); omit it for one per CPU", workers)
+	if f.workersSet && f.workers <= 0 {
+		return cfg, fmt.Errorf("-workers must be positive (got %d); omit it for one per CPU", f.workers)
 	}
-	if !workersSet && workers < 0 {
-		return cfg, fmt.Errorf("-workers must be positive (got %d)", workers)
+	if !f.workersSet && f.workers < 0 {
+		return cfg, fmt.Errorf("-workers must be positive (got %d)", f.workers)
 	}
 	claimed := map[string]string{}
-	for _, s := range sites {
+	for _, s := range f.sites {
 		spec, err := netdist.ParseSiteSpec(s)
 		if err != nil {
 			return cfg, err
@@ -124,7 +162,7 @@ func buildConfig(constraints, data, updates, local string, workers int, workersS
 		}
 		cfg.sites = append(cfg.sites, spec)
 	}
-	for _, rel := range splitList(local) {
+	for _, rel := range splitList(f.local) {
 		if site, ok := claimed[rel]; ok {
 			return cfg, fmt.Errorf("relation %s is both -local and served by %s", rel, site)
 		}
@@ -168,6 +206,30 @@ func run(cfg config) error {
 		}
 	}
 	opts := core.Options{LocalRelations: splitList(cfg.local), Workers: cfg.workers}
+
+	// Decision tracing: -trace renders to stdout as updates run,
+	// -trace-out appends the same events as JSON lines; both may be on.
+	var tracers []obs.Tracer
+	if cfg.trace {
+		tracers = append(tracers, obs.NewTextTracer(os.Stdout))
+	}
+	var jsonl *obs.JSONLTracer
+	if cfg.traceOut != "" {
+		f, err := os.OpenFile(cfg.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONLTracer(f)
+		tracers = append(tracers, jsonl)
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		opts.Tracer = tracers[0]
+	default:
+		opts.Tracer = obs.MultiTracer(tracers...)
+	}
 
 	var sys applier
 	var checker *core.Checker
@@ -223,12 +285,86 @@ func run(cfg config) error {
 		}
 	}
 	fmt.Print(sys.Report())
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
+	if cfg.statsJSON != "" {
+		if err := writeStatsJSON(cfg.statsJSON, checker, sys); err != nil {
+			return fmt.Errorf("stats-json: %w", err)
+		}
+	}
 	if cfg.save != "" {
 		if err := os.WriteFile(cfg.save, []byte(db.Dump()), 0o644); err != nil {
 			return fmt.Errorf("save: %w", err)
 		}
 	}
 	return nil
+}
+
+// phaseNames converts a by-phase counter map to phase-name keys for JSON.
+func phaseNames(m map[core.Phase]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for p, n := range m {
+		out[p.String()] = n
+	}
+	return out
+}
+
+// writeStatsJSON dumps the checker's and the deployment's final
+// statistics as one JSON document: the staged pipeline's per-phase
+// decision counts and cache effectiveness, plus either the dist cost
+// model's entries or the netdist coordinator's measured wire accounting.
+func writeStatsJSON(path string, checker *core.Checker, sys applier) error {
+	cs := checker.Stats()
+	doc := map[string]any{
+		"checker": map[string]any{
+			"updates":        cs.Updates,
+			"rejected":       cs.Rejected,
+			"decisions":      cs.Decisions,
+			"by_phase":       phaseNames(cs.ByPhase),
+			"cache_hits":     cs.CacheHits,
+			"cache_misses":   cs.CacheMisses,
+			"cache_hit_rate": cs.CacheHitRate(),
+		},
+	}
+	switch s := sys.(type) {
+	case *dist.System:
+		ds := s.Stats()
+		doc["dist"] = map[string]any{
+			"updates":         ds.Updates,
+			"rejected":        ds.Rejected,
+			"by_phase":        phaseNames(ds.ByPhase),
+			"remote_tuples":   ds.RemoteTuples,
+			"remote_trips":    ds.RemoteTrips,
+			"local_tuples":    ds.LocalTuples,
+			"decided_locally": ds.DecidedLocally,
+			"cost":            ds.Cost,
+		}
+	case *netdist.Coordinator:
+		ns := s.Stats()
+		doc["net"] = map[string]any{
+			"updates":             ns.Updates,
+			"rejected":            ns.Rejected,
+			"unavailable":         ns.Unavailable,
+			"by_phase":            phaseNames(ns.ByPhase),
+			"decided_locally":     ns.DecidedLocally,
+			"round_trips":         ns.RoundTrips,
+			"retries":             ns.Retries,
+			"retries_by_site":     ns.RetriesBySite,
+			"unavailable_by_site": ns.UnavailableBySite,
+			"wire_tuples":         ns.WireTuples,
+			"net_time_seconds":    ns.NetTime.Seconds(),
+			"sync_trips":          ns.SyncTrips,
+			"sync_tuples":         ns.SyncTuples,
+		}
+	}
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
 }
 
 // splitBlocks splits a file into blank-line-separated program blocks.

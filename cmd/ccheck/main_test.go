@@ -8,7 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"encoding/json"
+
 	"repro/internal/netdist"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/store"
 )
@@ -53,7 +56,11 @@ func TestParseUpdatesErrors(t *testing.T) {
 // validation errors.
 func mustConfig(t *testing.T, constraints, data, updates, local string, workers int, verbose bool, save string, sites ...string) config {
 	t.Helper()
-	cfg, err := buildConfig(constraints, data, updates, local, workers, workers != 0, verbose, save, 2*time.Second, 3, sites)
+	cfg, err := buildConfig(flags{
+		constraints: constraints, data: data, updates: updates, local: local,
+		workers: workers, workersSet: workers != 0, verbose: verbose, save: save,
+		timeout: 2 * time.Second, retries: 3, sites: sites,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,23 +74,35 @@ func TestBuildConfigValidation(t *testing.T) {
 			t.Errorf("%s: accepted", msg)
 		}
 	}
-	_, err := buildConfig("", "", "u.txt", "", 0, false, false, "", time.Second, 3, nil)
+	base := flags{constraints: "c.dl", updates: "u.txt", timeout: time.Second, retries: 3}
+	_, err := buildConfig(flags{updates: "u.txt", timeout: time.Second, retries: 3})
 	ok(err, "missing -constraints")
-	_, err = buildConfig("c.dl", "", "", "", 0, false, false, "", time.Second, 3, nil)
+	_, err = buildConfig(flags{constraints: "c.dl", timeout: time.Second, retries: 3})
 	ok(err, "missing -updates")
-	_, err = buildConfig("c.dl", "", "u.txt", "", 0, true, false, "", time.Second, 3, nil)
+	f := base
+	f.workersSet = true
+	_, err = buildConfig(f)
 	ok(err, "explicit -workers 0")
-	_, err = buildConfig("c.dl", "", "u.txt", "", -2, true, false, "", time.Second, 3, nil)
+	f.workers = -2
+	_, err = buildConfig(f)
 	ok(err, "negative -workers")
-	_, err = buildConfig("c.dl", "", "u.txt", "", 0, false, false, "", time.Second, 3, []string{"hostonly"})
+	f = base
+	f.sites = []string{"hostonly"}
+	_, err = buildConfig(f)
 	ok(err, "malformed -sites spec")
-	_, err = buildConfig("c.dl", "", "u.txt", "", 0, false, false, "", time.Second, 3, []string{"h:1=r", "h:2=r"})
+	f.sites = []string{"h:1=r", "h:2=r"}
+	_, err = buildConfig(f)
 	ok(err, "relation claimed by two sites")
-	_, err = buildConfig("c.dl", "", "u.txt", "r,s", 0, false, false, "", time.Second, 3, []string{"h:1=r"})
+	f.sites = []string{"h:1=r"}
+	f.local = "r,s"
+	_, err = buildConfig(f)
 	ok(err, "relation both local and remote")
 
-	cfg, err := buildConfig("c.dl", "d.dl", "u.txt", "emp", 0, false, true, "out.dl", time.Second, 3,
-		[]string{"h:1=dept", "h:2=salRange,cap"})
+	cfg, err := buildConfig(flags{
+		constraints: "c.dl", data: "d.dl", updates: "u.txt", local: "emp",
+		verbose: true, save: "out.dl", timeout: time.Second, retries: 3,
+		sites: []string{"h:1=dept", "h:2=salRange,cap"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,6 +159,89 @@ panic :- emp(E,D,S) & S > 100.`)
 	}
 }
 
+// TestRunTraceAndStats drives run() with the observability flags on: the
+// JSONL trace must hold one bracketed event group per update and the
+// stats file must carry the per-phase counts and the cache hit rate.
+func TestRunTraceAndStats(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	constraints := write("c.dl", "panic :- emp(E,D,S) & S > 100.")
+	data := write("d.dl", "emp(ann,toy,50).")
+	updates := write("u.txt", "+emp(bob,toy,60)\n+emp(zed,toy,900)\n")
+	traceOut := filepath.Join(dir, "trace.jsonl")
+	statsOut := filepath.Join(dir, "stats.json")
+
+	cfg := mustConfig(t, constraints, data, updates, "", 0, false, "")
+	cfg.trace = true
+	cfg.traceOut = traceOut
+	cfg.statsJSON = statsOut
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var events []obs.Event
+	for _, line := range lines {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	begins, ends := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindUpdateBegin:
+			begins++
+		case obs.KindUpdateEnd:
+			ends++
+		}
+	}
+	if begins != 2 || ends != 2 {
+		t.Errorf("trace has %d begins / %d ends, want 2 / 2", begins, ends)
+	}
+	last := events[len(events)-1]
+	if last.Applied || len(last.Rejected) != 1 {
+		t.Errorf("rejected update's end event = %+v", last)
+	}
+
+	var doc map[string]any
+	raw, err = os.ReadFile(statsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	checker, ok := doc["checker"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats JSON missing checker section: %v", doc)
+	}
+	if checker["updates"] != float64(2) || checker["rejected"] != float64(1) {
+		t.Errorf("checker stats = %v", checker)
+	}
+	if _, ok := checker["cache_hit_rate"]; !ok {
+		t.Error("stats JSON missing cache_hit_rate")
+	}
+	byPhase, ok := checker["by_phase"].(map[string]any)
+	if !ok || len(byPhase) == 0 {
+		t.Errorf("stats JSON by_phase = %v", checker["by_phase"])
+	}
+	if _, ok := doc["dist"]; !ok {
+		t.Error("stats JSON missing dist section for a -sites-less run")
+	}
+}
+
 // TestRunWithSites drives run() against a real ccsited-style TCP site:
 // dept lives remotely, emp locally, and the referential constraint must
 // reject the hire into a department the site doesn't know.
@@ -193,8 +295,10 @@ func TestRunWithSites(t *testing.T) {
 	}
 	deadAddr := dead.Addr().String()
 	dead.Close()
-	cfg, err = buildConfig(constraints, data, updates, "emp", 0, false, false, "", 200*time.Millisecond, -1,
-		[]string{deadAddr + "=dept"})
+	cfg, err = buildConfig(flags{
+		constraints: constraints, data: data, updates: updates, local: "emp",
+		timeout: 200 * time.Millisecond, retries: -1, sites: []string{deadAddr + "=dept"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

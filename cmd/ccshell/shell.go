@@ -20,6 +20,7 @@
 //	:redundant                Section 3: constraints subsumed by the rest
 //	:check                    fully evaluate every constraint
 //	:stats                    phase statistics
+//	:explain                  replay the last update's decision trace
 //	:dump                     print the database as facts
 //	:quit                     exit
 //	+rel(t…) / -rel(t…)       apply an update through the pipeline
@@ -37,6 +38,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -55,14 +57,21 @@ func main() {
 }
 
 // shell holds interactive state; exec processes one line and reports
-// whether the session should end.
+// whether the session should end. Every update is traced into a small
+// ring buffer so :explain can replay the latest decision after the fact.
 type shell struct {
-	out io.Writer
-	chk *core.Checker
+	out   io.Writer
+	chk   *core.Checker
+	trace *obs.BufferTracer
 }
 
 func newShell(out io.Writer) *shell {
-	return &shell{out: out, chk: core.New(store.New(), core.Options{})}
+	trace := obs.NewBufferTracer(8)
+	return &shell{
+		out:   out,
+		chk:   core.New(store.New(), core.Options{Tracer: trace}),
+		trace: trace,
+	}
 }
 
 func (sh *shell) printf(format string, args ...any) {
@@ -92,7 +101,7 @@ func (sh *shell) command(line string) {
 	fields := strings.SplitN(line, " ", 3)
 	switch fields[0] {
 	case ":help":
-		sh.printf(":load <file> | :constraint <name> <rules> | :constraints | :redundant | :check | :stats | :dump | :quit | +atom | -atom | ? <conj>\n")
+		sh.printf(":load <file> | :constraint <name> <rules> | :constraints | :redundant | :check | :stats | :explain | :dump | :quit | +atom | -atom | ? <conj>\n")
 	case ":load":
 		if len(fields) < 2 {
 			sh.printf("usage: :load <file>\n")
@@ -162,6 +171,13 @@ func (sh *shell) command(line string) {
 		for _, p := range phases {
 			sh.printf("  %-12s %d\n", p, st.ByPhase[p])
 		}
+	case ":explain":
+		events := sh.trace.Last()
+		if len(events) == 0 {
+			sh.printf("no update to explain yet\n")
+			return
+		}
+		obs.WriteText(sh.out, events)
 	case ":dump":
 		sh.printf("%s", sh.chk.DB().Dump())
 	default:

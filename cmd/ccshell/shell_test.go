@@ -106,6 +106,32 @@ func TestShellRedundant(t *testing.T) {
 	}
 }
 
+func TestShellExplain(t *testing.T) {
+	if out := run(t, ":explain"); !strings.Contains(out, "no update to explain yet") {
+		t.Errorf("empty :explain output: %q", out)
+	}
+	out := run(t,
+		":constraint ri panic :- emp(E,D) & not dept(D).",
+		"+dept(toy)",
+		"+emp(eve,ghost)",
+		":explain",
+	)
+	// :explain replays only the most recent update: the rejected hire.
+	for _, want := range []string{
+		"== +emp(eve,ghost)",
+		"ri",
+		"decided: VIOLATED",
+		"=> REJECTED [ri]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf(":explain output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "== +dept(toy)") {
+		t.Errorf(":explain replayed an earlier update:\n%s", out)
+	}
+}
+
 func TestShellQuit(t *testing.T) {
 	var sb strings.Builder
 	sh := newShell(&sb)

@@ -11,19 +11,28 @@
 // relation in the data file is served. The daemon runs until killed; on
 // SIGINT/SIGTERM it prints its accounting (requests handled, tuples
 // shipped per relation) and exits.
+//
+// With -http the daemon also serves live endpoints on a second address:
+// /metrics (Prometheus text format: per-op request counters and latency
+// histograms, tuples shipped per relation, frame bytes), /healthz (JSON
+// status with uptime and served relations), /debug/vars (expvar, the
+// same metrics as a JSON snapshot) and /debug/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/netdist"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/store"
 )
@@ -33,6 +42,7 @@ func main() {
 		listen    = flag.String("listen", ":7070", "address to serve on")
 		dataPath  = flag.String("data", "", "path to this site's facts")
 		relations = flag.String("relations", "", "comma-separated served relations (default: all in -data)")
+		httpAddr  = flag.String("http", "", "address for live endpoints (/metrics, /healthz, /debug/pprof); empty disables")
 		verbose   = flag.Bool("v", false, "log each served relation at startup")
 	)
 	flag.Parse()
@@ -42,6 +52,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ccsited: serving on %s\n", l.Addr())
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccsited: -http:", err)
+			os.Exit(1)
+		}
+		mux := liveMux(srv, time.Now())
+		go http.Serve(hl, mux)
+		fmt.Printf("ccsited: live endpoints on http://%s/metrics\n", hl.Addr())
+	}
 	if *verbose {
 		rels := srv.ServedRelations()
 		names := make([]string, 0, len(rels))
@@ -93,6 +113,27 @@ func setup(listen, dataPath, relations string) (*netdist.Server, net.Listener, e
 		return nil, nil, err
 	}
 	return netdist.NewServer(db, rels), l, nil
+}
+
+// liveMux instruments the server with a fresh registry and builds the
+// live-endpoint mux: /metrics, /healthz (uptime + served relations),
+// /debug/vars and /debug/pprof. Split from main for testing.
+func liveMux(srv *netdist.Server, start time.Time) *http.ServeMux {
+	reg := obs.NewRegistry()
+	srv.Instrument(reg)
+	reg.PublishExpvar("ccsited")
+	return obs.Mux(reg, func() map[string]any {
+		rels := srv.ServedRelations()
+		names := make([]string, 0, len(rels))
+		for n := range rels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return map[string]any{
+			"uptime_seconds": int64(time.Since(start).Seconds()),
+			"relations":      names,
+		}
+	})
 }
 
 // renderStats formats the daemon's accounting for shutdown.

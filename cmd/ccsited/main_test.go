@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,6 +38,73 @@ func TestSetupAndServe(t *testing.T) {
 	out := renderStats(srv.Stats())
 	if !strings.Contains(out, "2 requests served (1 errors)") || !strings.Contains(out, "r: 2 tuples shipped") {
 		t.Errorf("stats rendering:\n%s", out)
+	}
+}
+
+// TestLiveEndpoints drives the -http mux against a served site: the
+// /metrics exposition must agree with the shutdown accounting report and
+// /healthz must name the served relations.
+func TestLiveEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "site.dl")
+	if err := os.WriteFile(data, []byte("r(1). r(2). r(3)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, l, err := setup("127.0.0.1:0", data, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+	mux := liveMux(srv, time.Now())
+
+	tr := netdist.NewTCPTransport()
+	defer tr.Close()
+	for i := 0; i < 2; i++ {
+		if resp, err := tr.RoundTrip(l.Addr().String(), &netdist.Request{ID: uint64(i), Type: netdist.OpScan, Relation: "r"}, time.Second); err != nil || !resp.OK {
+			t.Fatalf("scan %d: resp=%+v err=%v", i, resp, err)
+		}
+	}
+	if resp, err := tr.RoundTrip(l.Addr().String(), &netdist.Request{ID: 9, Type: netdist.OpScan, Relation: "hidden"}, time.Second); err != nil || resp.OK {
+		t.Fatalf("unserved scan: resp=%+v err=%v", resp, err)
+	}
+
+	get := func(path string) string {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, rec.Code)
+		}
+		return rec.Body.String()
+	}
+
+	metrics := get("/metrics")
+	st := srv.Stats()
+	var total int64
+	for _, n := range st.Requests {
+		total += n
+	}
+	// Counters and the latency histogram must sum to the accounting
+	// report's totals.
+	for _, want := range []string{
+		fmt.Sprintf(`cc_site_requests_total{op="scan"} %d`, st.Requests[netdist.OpScan]),
+		fmt.Sprintf(`cc_site_tuples_sent_total{relation="r"} %d`, st.TuplesSent["r"]),
+		fmt.Sprintf("cc_site_errors_total %d", st.Errors),
+		fmt.Sprintf(`cc_site_request_seconds_count{op="scan"} %d`, st.Requests[netdist.OpScan]),
+		"cc_site_request_seconds_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if int64(st.Requests[netdist.OpScan]) != total {
+		// All three requests were scans; the per-op counter is the total.
+		t.Errorf("request accounting: per-op %d, total %d", st.Requests[netdist.OpScan], total)
+	}
+
+	health := get("/healthz")
+	if !strings.Contains(health, `"status":"ok"`) || !strings.Contains(health, `"relations":["r"]`) {
+		t.Errorf("/healthz payload: %s", health)
 	}
 }
 

@@ -54,17 +54,18 @@ func (dc *decisionCache) invalidate() {
 	dc.mu.Unlock()
 }
 
-// entry returns the memoized record for key, creating it on first use.
+// entry returns the memoized record for key, creating it on first use,
+// and reports whether the lookup hit (the decision trace records it).
 // Creation computes the phase-1 mention check, the phase-1.5 polarity
 // verdict and the relevant-position mask once; every later update to the
 // same (relation, direction) reuses them.
-func (dc *decisionCache) entry(key cacheKey, prog *ast.Program) *cacheEntry {
+func (dc *decisionCache) entry(key cacheKey, prog *ast.Program) (*cacheEntry, bool) {
 	dc.mu.Lock()
 	e, ok := dc.entries[key]
 	dc.mu.Unlock()
 	if ok {
 		dc.hits.Add(1)
-		return e
+		return e, true
 	}
 	dc.misses.Add(1)
 	e = buildCacheEntry(prog, key.relation, key.insert)
@@ -75,7 +76,7 @@ func (dc *decisionCache) entry(key cacheKey, prog *ast.Program) *cacheEntry {
 		dc.entries[key] = e
 	}
 	dc.mu.Unlock()
-	return e
+	return e, false
 }
 
 // phase2CacheCap bounds the per-entry concrete-verdict memo; streams of

@@ -20,12 +20,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/classify"
 	"repro/internal/eval"
 	"repro/internal/icq"
 	"repro/internal/incremental"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/reduction"
 	"repro/internal/relation"
@@ -173,6 +175,13 @@ type Options struct {
 	// phase-1/1.5/2 verdict per update (the pre-cache behavior; used as
 	// the oracle in cross-check tests and for ablation experiments).
 	DisableCache bool
+	// Tracer receives the per-update decision trace: one event per phase
+	// attempt per constraint, bracketed by update-begin/update-end. Nil
+	// or disabled tracers keep Apply on the uninstrumented path.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the checker's counters and the
+	// Apply latency histogram (metric names in DESIGN.md).
+	Metrics *obs.Registry
 }
 
 // Checker manages constraints over a store. A Checker's methods are not
@@ -193,11 +202,19 @@ type Checker struct {
 	// refreshSet instead of per constraint per update.
 	progs []*ast.Program
 	fp    uint64 // fingerprint of the current constraint set
+
+	// traceSeq numbers emitted trace events; met holds the registry
+	// handles (nil when Options.Metrics is nil). See trace.go.
+	traceSeq uint64
+	met      *checkerMetrics
 }
 
 // New creates a Checker over db.
 func New(db *store.Store, opts Options) *Checker {
 	c := &Checker{db: db, opts: opts, stats: Stats{ByPhase: map[Phase]int{}}, cache: newDecisionCache()}
+	if opts.Metrics != nil {
+		c.met = newCheckerMetrics(opts.Metrics)
+	}
 	if opts.LocalRelations != nil {
 		c.local = map[string]bool{}
 		for _, n := range opts.LocalRelations {
@@ -356,29 +373,47 @@ func mentions(prog *ast.Program, rel string) bool {
 // no Checker state besides the (internally synchronized) decision cache
 // and store reads, so the parallel dispatch may run it for every
 // constraint concurrently. It returns the deciding phase, or decided
-// false when the constraint needs a global evaluation.
-func (c *Checker) stageOne(k *Constraint, u store.Update) (Phase, bool) {
+// false when the constraint needs a global evaluation. With tr non-nil
+// it appends one trace event per phase attempt (the tracing path; nil
+// keeps the hot path free of clock reads and allocations).
+func (c *Checker) stageOne(k *Constraint, u store.Update, tr *[]obs.Event) (Phase, bool) {
 	var e *cacheEntry
+	entryCache := "" // cache status of the entry-level phases 1/1.5
 	if !c.opts.DisableCache {
-		e = c.cache.entry(cacheKey{k.Name, c.fp, u.Relation, u.Insert}, k.Prog)
+		var hit bool
+		e, hit = c.cache.entry(cacheKey{k.Name, c.fp, u.Relation, u.Insert}, k.Prog)
+		if tr != nil {
+			entryCache = obs.CacheMiss
+			if hit {
+				entryCache = obs.CacheHit
+			}
+		}
+	} else if tr != nil {
+		entryCache = obs.CacheOff
 	}
 	// Phase 1: unaffected.
+	start := traceStart(tr)
+	var unaffected bool
 	if e != nil {
-		if !e.mentions {
-			return PhaseUnaffected, true
-		}
-	} else if !mentions(k.Prog, u.Relation) {
+		unaffected = !e.mentions
+	} else {
+		unaffected = !mentions(k.Prog, u.Relation)
+	}
+	phaseAttempt(tr, k.Name, PhaseUnaffected, unaffected, entryCache, start)
+	if unaffected {
 		return PhaseUnaffected, true
 	}
 	if !c.opts.DisableUpdateOnly {
 		// Phase 1.5: polarity (monotonicity). Uses only the constraint
 		// text and the update's direction.
+		start = traceStart(tr)
 		pol := false
 		if e != nil {
 			pol = e.polarity
 		} else {
 			pol = classify.UpdateMonotoneSafe(k.Prog, ast.PanicPred, u.Relation, u.Insert)
 		}
+		phaseAttempt(tr, k.Name, PhasePolarity, pol, entryCache, start)
 		if pol {
 			return PhasePolarity, true
 		}
@@ -386,12 +421,16 @@ func (c *Checker) stageOne(k *Constraint, u store.Update) (Phase, bool) {
 		// subsumption). The verdict depends on the tuple only through its
 		// verdict-relevant positions, so the cache memoizes it per
 		// projected tuple key.
+		start = traceStart(tr)
 		certified := false
+		phase2Cache := obs.CacheOff
 		if e != nil {
 			key := e.projKey(u.Tuple)
 			var known bool
 			certified, known = e.phase2Get(key)
+			phase2Cache = obs.CacheHit
 			if !known {
+				phase2Cache = obs.CacheMiss
 				res, err := rewrite.UpdateSafeAmong(k.Prog, c.progs, u)
 				certified = err == nil && res.Verdict == subsume.Yes
 				e.phase2Put(key, certified)
@@ -400,13 +439,16 @@ func (c *Checker) stageOne(k *Constraint, u store.Update) (Phase, bool) {
 			res, err := rewrite.UpdateSafeAmong(k.Prog, c.progs, u)
 			certified = err == nil && res.Verdict == subsume.Yes
 		}
+		phaseAttempt(tr, k.Name, PhaseUpdateOnly, certified, phase2Cache, start)
 		if certified {
 			return PhaseUpdateOnly, true
 		}
 	}
 	// Phase 3: local data.
 	if !c.opts.DisableLocalData && u.Insert && k.cqc != nil && k.cqc.LocalPred == u.Relation {
+		start = traceStart(tr)
 		ok, err := c.localTest(k, u.Tuple)
+		phaseAttempt(tr, k.Name, PhaseLocalData, err == nil && ok, "", start)
 		if err == nil && ok {
 			return PhaseLocalData, true
 		}
@@ -419,20 +461,44 @@ func (c *Checker) stageOne(k *Constraint, u store.Update) (Phase, bool) {
 func (c *Checker) Apply(u store.Update) (Report, error) {
 	rep := Report{Update: u, Applied: true}
 	c.stats.Updates++
+	var applyStart time.Time
+	if c.met != nil {
+		c.met.updates.Inc()
+		applyStart = time.Now()
+	}
+	tracing := c.tracing()
+	uStr := ""
+	if tracing {
+		uStr = u.String()
+		c.emit(uStr, obs.Event{Kind: obs.KindUpdateBegin, Constraints: len(c.constraints)})
+	}
 	n := len(c.constraints)
 	phases := make([]Phase, n)
 	decided := make([]bool, n)
+	var traces [][]obs.Event
+	if tracing {
+		traces = make([][]obs.Event, n)
+	}
 	runParallel(n, c.workers(), func(i int) {
-		phases[i], decided[i] = c.stageOne(c.constraints[i], u)
+		var tr *[]obs.Event
+		if tracing {
+			tr = &traces[i]
+		}
+		phases[i], decided[i] = c.stageOne(c.constraints[i], u, tr)
 	})
-	// Aggregate in constraint order on this goroutine, so reports and
-	// stats are identical whatever the pool width.
+	// Aggregate in constraint order on this goroutine, so reports, stats
+	// and trace-event order are identical whatever the pool width.
 	needGlobal := make([]*Constraint, 0, n)
 	for i, k := range c.constraints {
 		c.stats.Decisions++
+		if tracing {
+			for _, e := range traces[i] {
+				c.emit(uStr, e)
+			}
+		}
 		if decided[i] {
 			rep.Decisions = append(rep.Decisions, Decision{k.Name, phases[i], Holds})
-			c.stats.ByPhase[phases[i]]++
+			c.bumpPhase(phases[i])
 			continue
 		}
 		needGlobal = append(needGlobal, k)
@@ -443,6 +509,9 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	if u.Insert {
 		ch, err := c.db.Insert(u.Relation, u.Tuple)
 		if err != nil {
+			if tracing {
+				c.emit(uStr, obs.Event{Kind: obs.KindUpdateEnd, Err: err.Error()})
+			}
 			return rep, err
 		}
 		changed = ch
@@ -450,6 +519,9 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 		changed = c.db.Delete(u.Relation, u.Tuple)
 	}
 	if err := c.notifyMats(u, changed); err != nil {
+		if tracing {
+			c.emit(uStr, obs.Event{Kind: obs.KindUpdateEnd, Err: err.Error()})
+		}
 		return rep, err
 	}
 	rollback := func() {
@@ -478,20 +550,31 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	type evalOutcome struct {
 		bad bool
 		err error
+		dur time.Duration
 	}
 	outcomes := make([]evalOutcome, len(needGlobal))
 	runParallel(len(needGlobal), c.workers(), func(i int) {
 		k := needGlobal[i]
+		var start time.Time
+		if tracing {
+			start = time.Now()
+		}
 		if k.mat != nil {
 			outcomes[i].bad = k.mat.Holds(ast.PanicPred)
 		} else {
 			outcomes[i].bad, outcomes[i].err = eval.GoalHolds(k.Prog, c.db, ast.PanicPred)
+		}
+		if tracing {
+			outcomes[i].dur = time.Since(start)
 		}
 	})
 	violated := false
 	for i, k := range needGlobal {
 		if err := outcomes[i].err; err != nil {
 			rollback()
+			if tracing {
+				c.emit(uStr, obs.Event{Kind: obs.KindUpdateEnd, Err: err.Error()})
+			}
 			return rep, err
 		}
 		v := Holds
@@ -499,16 +582,45 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 			v = Violated
 			violated = true
 		}
+		if tracing {
+			c.emit(uStr, obs.Event{
+				Kind:       obs.KindPhase,
+				Constraint: k.Name,
+				Phase:      PhaseGlobal.String(),
+				Decided:    true,
+				Verdict:    v.String(),
+				Duration:   outcomes[i].dur,
+				Relations:  c.remoteRelations(k),
+			})
+		}
 		rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseGlobal, v})
-		c.stats.ByPhase[PhaseGlobal]++
+		c.bumpPhase(PhaseGlobal)
 	}
 	if violated {
 		rollback()
 		rep.Applied = false
 		c.stats.Rejected++
+		if c.met != nil {
+			c.met.rejected.Inc()
+		}
 	}
 	sort.SliceStable(rep.Decisions, func(i, j int) bool { return rep.Decisions[i].Constraint < rep.Decisions[j].Constraint })
+	if tracing {
+		c.emit(uStr, obs.Event{Kind: obs.KindUpdateEnd, Applied: rep.Applied, Rejected: rep.Violations()})
+	}
+	if c.met != nil {
+		c.met.applySeconds.Observe(time.Since(applyStart).Seconds())
+	}
 	return rep, nil
+}
+
+// bumpPhase counts one decision in the stats and, when a registry is
+// attached, in the cc_checker_decisions_total family.
+func (c *Checker) bumpPhase(p Phase) {
+	c.stats.ByPhase[p]++
+	if c.met != nil {
+		c.met.decisions.With(p.String()).Inc()
+	}
 }
 
 // notifyMats propagates an applied update into every materialization in

@@ -35,7 +35,7 @@ func (c *Checker) Plan(u store.Update) PlanReport {
 	phases := make([]Phase, n)
 	decided := make([]bool, n)
 	runParallel(n, c.workers(), func(i int) {
-		phases[i], decided[i] = c.stageOne(c.constraints[i], u)
+		phases[i], decided[i] = c.stageOne(c.constraints[i], u, nil)
 	})
 	var pr PlanReport
 	seen := map[string]bool{}

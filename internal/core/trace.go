@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the checker's observability seam: the decision-trace
+// emission behind Options.Tracer and the metric handles behind
+// Options.Metrics. Both are strictly optional — with a nil (or disabled)
+// tracer and a nil registry, Apply takes the exact pre-instrumentation
+// path: no clock reads, no event construction, no atomic bumps beyond
+// the existing stats.
+
+// tracing reports whether Apply should build trace events.
+func (c *Checker) tracing() bool {
+	return c.opts.Tracer != nil && c.opts.Tracer.Enabled()
+}
+
+// emit stamps the update string and the checker-wide sequence number on
+// the event and hands it to the tracer. Only Apply's goroutine emits, so
+// the sequence is strictly increasing within and across updates.
+func (c *Checker) emit(update string, e obs.Event) {
+	c.traceSeq++
+	e.Seq = c.traceSeq
+	e.Update = update
+	c.opts.Tracer.Emit(e)
+}
+
+// traceStart returns the attempt clock when tracing, the zero time
+// otherwise (so the untraced path never reads the clock).
+func traceStart(tr *[]obs.Event) time.Time {
+	if tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// phaseAttempt appends one phase-attempt event to the constraint's local
+// trace. Attempts in phases 1–3 can only decide "holds": a violation is
+// observable solely in the global phase.
+func phaseAttempt(tr *[]obs.Event, constraint string, p Phase, decided bool, cache string, start time.Time) {
+	if tr == nil {
+		return
+	}
+	e := obs.Event{
+		Kind:       obs.KindPhase,
+		Constraint: constraint,
+		Phase:      p.String(),
+		Decided:    decided,
+		Cache:      cache,
+		Duration:   time.Since(start),
+	}
+	if decided {
+		e.Verdict = Holds.String()
+	}
+	*tr = append(*tr, e)
+}
+
+// remoteRelations lists the non-local EDB relations a global evaluation
+// of the constraint consults — the "why did this update go remote" part
+// of the trace.
+func (c *Checker) remoteRelations(k *Constraint) []string {
+	var out []string
+	for _, rel := range edbRelations(k.Prog) {
+		if !c.isLocal(rel) {
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+// checkerMetrics holds the registry handles the checker bumps per
+// update. Metric names are documented in DESIGN.md ("Observability").
+type checkerMetrics struct {
+	updates      *obs.Counter
+	rejected     *obs.Counter
+	decisions    *obs.CounterVec // phase
+	applySeconds *obs.Histogram
+}
+
+// newCheckerMetrics registers the checker's metric families on reg.
+func newCheckerMetrics(reg *obs.Registry) *checkerMetrics {
+	return &checkerMetrics{
+		updates:      reg.Counter("cc_checker_updates_total", "updates pushed through the staged pipeline"),
+		rejected:     reg.Counter("cc_checker_rejected_total", "updates rolled back on a violation"),
+		decisions:    reg.CounterVec("cc_checker_decisions_total", "per-constraint decisions by deciding phase", "phase"),
+		applySeconds: reg.Histogram("cc_checker_apply_seconds", "wall clock per Apply", nil),
+	}
+}

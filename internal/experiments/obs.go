@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// ExpTraceOverhead measures the cost of the decision-trace hooks on the
+// D1 interval workload: the same update stream runs with no tracer, with
+// obs.Disabled (the hooks fire but Enabled() says no — the ccheck
+// default when -trace is off), and with a live buffering tracer. The
+// claim in ISSUE/EXPERIMENTS: the disabled arm stays within noise of the
+// no-tracer baseline, so instrumentation can ship always-compiled-in.
+func ExpTraceOverhead(density, updates, rounds int, seed int64) (Table, error) {
+	t := Table{
+		Title:   "Tracing overhead — D1 interval workload, per-update cost by tracer arm",
+		Columns: []string{"arm", "updates", "events", "total time", "time/update", "vs baseline"},
+	}
+	arms := []struct {
+		name   string
+		tracer func() obs.Tracer
+	}{
+		{"none", func() obs.Tracer { return nil }},
+		{"disabled", func() obs.Tracer { return obs.Disabled }},
+		{"buffer", func() obs.Tracer { return obs.NewBufferTracer(updates) }},
+	}
+	var baseline time.Duration
+	for _, arm := range arms {
+		var total time.Duration
+		var events int
+		for round := 0; round < rounds; round++ {
+			rng := rand.New(rand.NewSource(seed))
+			db := store.New()
+			for _, tu := range workload.Intervals(rng, density, 20, 200) {
+				if _, err := db.Insert("l", tu); err != nil {
+					return t, err
+				}
+			}
+			for i := int64(0); i < 50; i++ {
+				if _, err := db.Insert("r", relation.Ints(10000+i)); err != nil {
+					return t, err
+				}
+			}
+			tr := arm.tracer()
+			chk := core.New(db, core.Options{LocalRelations: []string{"l"}, Tracer: tr})
+			if err := chk.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+				return t, err
+			}
+			stream := workload.IntervalInserts(rng, updates, 10, 200, "l")
+			start := time.Now()
+			for _, u := range stream {
+				if _, err := chk.Apply(u); err != nil {
+					return t, err
+				}
+			}
+			total += time.Since(start)
+			if buf, ok := tr.(*obs.BufferTracer); ok {
+				events += len(buf.All())
+			}
+		}
+		if arm.name == "none" {
+			baseline = total
+		}
+		ratio := "—"
+		if baseline > 0 && arm.name != "none" {
+			ratio = fmt.Sprintf("%+.1f%%", 100*(float64(total)/float64(baseline)-1))
+		}
+		n := updates * rounds
+		t.Rows = append(t.Rows, []string{
+			arm.name, fmt.Sprint(n), fmt.Sprint(events),
+			total.String(), (total / time.Duration(n)).String(), ratio,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"none = Options.Tracer nil; disabled = obs.Disabled (hooks present, Enabled()==false); buffer = live ring tracer",
+		"single-run wall clocks are noisy — BenchmarkTraceOverhead is the statistically sound version of this table")
+	return t, nil
+}

@@ -1,6 +1,7 @@
 package netdist
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -52,6 +54,11 @@ type Options struct {
 	// Backoff is the first retry delay; subsequent retries double it,
 	// each with up to 50% added jitter (default 10ms).
 	Backoff time.Duration
+	// Metrics, when non-nil, receives the coordinator's wire metrics:
+	// per-op RPC latency histograms, per-site round-trip/retry/error
+	// counters and frame-byte totals (names in DESIGN.md). Independent of
+	// Checker.Metrics — pass the same registry to see both sides.
+	Metrics *obs.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -87,6 +94,12 @@ type Stats struct {
 	RoundTrips int
 	Retries    int
 	WireTuples int64
+	// RetriesBySite breaks Retries down by the site that failed the
+	// attempt; UnavailableBySite breaks Unavailable down by the site whose
+	// outage refused the update. Sites absent from the maps never misbehaved
+	// — a healthy run has both empty.
+	RetriesBySite     map[string]int
+	UnavailableBySite map[string]int
 	// NetTime is wall clock spent waiting on the wire (fetches,
 	// propagations, failed attempts).
 	NetTime time.Duration
@@ -121,6 +134,7 @@ type Coordinator struct {
 	relsOf    map[string][]string // site -> owned relations, sorted
 	opts      Options
 	stats     Stats
+	met       *coordMetrics
 	reqID     atomic.Uint64
 	rng       *rand.Rand
 }
@@ -138,8 +152,15 @@ func New(local *store.Store, sites []SiteSpec, tr Transport, opts Options) (*Coo
 		siteOf:    map[string]string{},
 		relsOf:    map[string][]string{},
 		opts:      opts.withDefaults(),
-		stats:     Stats{ByPhase: map[core.Phase]int{}},
-		rng:       rand.New(rand.NewSource(1)),
+		stats: Stats{
+			ByPhase:           map[core.Phase]int{},
+			RetriesBySite:     map[string]int{},
+			UnavailableBySite: map[string]int{},
+		},
+		rng: rand.New(rand.NewSource(1)),
+	}
+	if opts.Metrics != nil {
+		co.met = newCoordMetrics(opts.Metrics)
 	}
 	localSet := map[string]bool{}
 	for _, n := range opts.Checker.LocalRelations {
@@ -166,6 +187,7 @@ func New(local *store.Store, sites []SiteSpec, tr Transport, opts Options) (*Coo
 	co.stats.SyncTrips, co.stats.RoundTrips = co.stats.RoundTrips, 0
 	co.stats.SyncTuples, co.stats.WireTuples = co.stats.WireTuples, 0
 	co.stats.Retries = 0
+	co.stats.RetriesBySite = map[string]int{}
 	co.Checker = core.New(local, opts.Checker)
 	return co, nil
 }
@@ -180,12 +202,20 @@ func (co *Coordinator) remoteRelations() []string {
 	return out
 }
 
-// Stats returns the accumulated statistics; ByPhase is a copy.
+// Stats returns the accumulated statistics; the maps are copies.
 func (co *Coordinator) Stats() Stats {
 	st := co.stats
 	st.ByPhase = make(map[core.Phase]int, len(co.stats.ByPhase))
 	for p, n := range co.stats.ByPhase {
 		st.ByPhase[p] = n
+	}
+	st.RetriesBySite = make(map[string]int, len(co.stats.RetriesBySite))
+	for s, n := range co.stats.RetriesBySite {
+		st.RetriesBySite[s] = n
+	}
+	st.UnavailableBySite = make(map[string]int, len(co.stats.UnavailableBySite))
+	for s, n := range co.stats.UnavailableBySite {
+		st.UnavailableBySite[s] = n
 	}
 	return st
 }
@@ -201,12 +231,18 @@ func (co *Coordinator) call(site string, req *Request) (*Response, error) {
 	for attempt := 0; attempt <= co.opts.Retries; attempt++ {
 		if attempt > 0 {
 			co.stats.Retries++
+			co.stats.RetriesBySite[site]++
+			if co.met != nil {
+				co.met.retries.With(site).Inc()
+			}
 			time.Sleep(backoff + time.Duration(co.rng.Int63n(int64(backoff)/2+1)))
 			backoff *= 2
 		}
 		start := time.Now()
 		resp, err := co.transport.RoundTrip(site, req, co.opts.Timeout)
-		co.stats.NetTime += time.Since(start)
+		elapsed := time.Since(start)
+		co.stats.NetTime += elapsed
+		co.met.observeAttempt(site, req.Type, req, resp, err, elapsed)
 		if err != nil {
 			lastErr = err
 			continue
@@ -274,7 +310,7 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 		}
 	}
 	if err := co.refresh(needed); err != nil {
-		co.stats.Unavailable++
+		co.noteUnavailable(err)
 		return core.Report{Update: u}, fmt.Errorf("update %s: %w", u, err)
 	}
 	rep, err := co.Checker.Apply(u)
@@ -293,7 +329,7 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 		})
 		if err != nil {
 			co.undoMirror(u)
-			co.stats.Unavailable++
+			co.noteUnavailable(err)
 			return core.Report{Update: u}, fmt.Errorf("update %s: propagate: %w", u, err)
 		}
 	}
@@ -307,6 +343,21 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 		co.stats.DecidedLocally++
 	}
 	return rep, nil
+}
+
+// noteUnavailable accounts one update refused because a site was
+// unreachable, attributing it to the offending site when the error chain
+// names one. A RemoteError (site answered, refused) lands here only from
+// refresh's decode path and counts site-less.
+func (co *Coordinator) noteUnavailable(err error) {
+	co.stats.Unavailable++
+	if co.met != nil {
+		co.met.unavailable.Inc()
+	}
+	var se *SiteError
+	if errors.As(err, &se) {
+		co.stats.UnavailableBySite[se.Site]++
+	}
 }
 
 // undoMirror reverts an applied update on the mirror at store level
@@ -380,6 +431,12 @@ func (co *Coordinator) Report() string {
 		st.Updates, st.Rejected, st.Unavailable, st.DecidedLocally)
 	fmt.Fprintf(&sb, "wire: %d round trips (%d retries), %d tuples, %s on the network\n",
 		st.RoundTrips, st.Retries, st.WireTuples, st.NetTime.Round(time.Microsecond))
+	if len(st.RetriesBySite) > 0 {
+		fmt.Fprintf(&sb, "retries by site: %s\n", siteCounts(st.RetriesBySite))
+	}
+	if len(st.UnavailableBySite) > 0 {
+		fmt.Fprintf(&sb, "degraded sites: %s\n", siteCounts(st.UnavailableBySite))
+	}
 	var phases []core.Phase
 	for p := range st.ByPhase {
 		phases = append(phases, p)
@@ -389,4 +446,19 @@ func (co *Coordinator) Report() string {
 		fmt.Fprintf(&sb, "  decided by %-12s %d\n", p.String()+":", st.ByPhase[p])
 	}
 	return sb.String()
+}
+
+// siteCounts renders a per-site counter map as "site=count" pairs in
+// site order.
+func siteCounts(m map[string]int) string {
+	sites := make([]string, 0, len(m))
+	for s := range m {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	parts := make([]string, len(sites))
+	for i, s := range sites {
+		parts[i] = fmt.Sprintf("%s=%d", s, m[s])
+	}
+	return strings.Join(parts, "  ")
 }

@@ -1,0 +1,184 @@
+package netdist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// metricsFixture is faultFixture with a registry attached to the
+// coordinator.
+func metricsFixture(t *testing.T, reg *obs.Registry) (*Coordinator, *Loopback) {
+	t.Helper()
+	remote := store.New()
+	if _, err := remote.Insert("r", relation.Ints(10000)); err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback()
+	lb.AddSite("s1", NewServer(remote, []string{"r"}))
+	local := store.New()
+	if _, err := local.Insert("l", relation.Ints(20, 30)); err != nil {
+		t.Fatal(err)
+	}
+	co, err := New(local, []SiteSpec{{Site: "s1", Relations: []string{"r"}}}, lb, Options{
+		Checker: core.Options{LocalRelations: []string{"l"}},
+		Timeout: 50 * time.Millisecond,
+		Retries: 3,
+		Backoff: time.Millisecond,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+		t.Fatal(err)
+	}
+	return co, lb
+}
+
+// sumPrefix adds every integer series whose key starts with prefix.
+func sumPrefix(snap map[string]any, prefix string) int64 {
+	var total int64
+	for k, v := range snap {
+		if strings.HasPrefix(k, prefix) {
+			if n, ok := v.(int64); ok {
+				total += n
+			}
+		}
+	}
+	return total
+}
+
+func TestCoordinatorMetricsAgreeWithStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	co, lb := metricsFixture(t, reg)
+
+	// A global update whose scan is dropped twice before delivery: one
+	// completed round trip, two retries.
+	lb.DropNext("s1", 2)
+	if rep, err := co.Apply(store.Ins("l", relation.Ints(100, 200))); err != nil || !rep.Applied {
+		t.Fatalf("update with transient drops: rep=%+v err=%v", rep, err)
+	}
+	// A partitioned site: the update is refused, every attempt errors.
+	lb.Partition("s1")
+	if _, err := co.Apply(store.Ins("l", relation.Ints(300, 400))); !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("update under partition: err=%v", err)
+	}
+
+	st := co.Stats()
+	snap := reg.Snapshot()
+
+	// The registry counts every wire event including the initial sync;
+	// Stats books the sync apart.
+	if got, want := sumPrefix(snap, "cc_coord_rpc_total{"), int64(st.RoundTrips+st.SyncTrips); got != want {
+		t.Errorf("rpc_total = %d, stats say %d", got, want)
+	}
+	if got, want := snap["cc_coord_wire_tuples_total"].(int64), st.WireTuples+st.SyncTuples; got != want {
+		t.Errorf("wire_tuples_total = %d, stats say %d", got, want)
+	}
+	if got, want := sumPrefix(snap, "cc_coord_retries_total{"), int64(st.Retries); got != want {
+		t.Errorf("retries_total = %d, stats say %d", got, want)
+	}
+	if got, want := snap["cc_coord_unavailable_total"].(int64), int64(st.Unavailable); got != want {
+		t.Errorf("unavailable_total = %d, stats say %d", got, want)
+	}
+	// 2 drops + 4 partitioned attempts (first try + 3 retries).
+	if got := sumPrefix(snap, "cc_coord_rpc_errors_total{"); got != 6 {
+		t.Errorf("rpc_errors_total = %d, want 6", got)
+	}
+	if snap["cc_coord_bytes_sent_total"].(int64) <= 0 || snap["cc_coord_bytes_recv_total"].(int64) <= 0 {
+		t.Error("byte counters did not move")
+	}
+	// Latency is observed per attempt, delivered or not.
+	hist, ok := snap[`cc_coord_rpc_seconds{op="scan"}`].(map[string]any)
+	if !ok {
+		t.Fatalf("no scan latency histogram in %v", snap)
+	}
+	attempts := lb.Stats().Attempts["s1"]
+	if got := hist["count"].(uint64); got != uint64(attempts) {
+		t.Errorf("rpc_seconds count = %d, want %d attempts", got, attempts)
+	}
+
+	if st.RetriesBySite["s1"] != st.Retries {
+		t.Errorf("RetriesBySite = %v, Retries = %d", st.RetriesBySite, st.Retries)
+	}
+	if st.UnavailableBySite["s1"] != 1 {
+		t.Errorf("UnavailableBySite = %v, want s1=1", st.UnavailableBySite)
+	}
+}
+
+func TestReportShowsRetriesAndDegradedSites(t *testing.T) {
+	co, lb := metricsFixture(t, obs.NewRegistry())
+	rep := co.Report()
+	for _, absent := range []string{"retries by site", "degraded sites"} {
+		if strings.Contains(rep, absent) {
+			t.Errorf("healthy report mentions %q:\n%s", absent, rep)
+		}
+	}
+	lb.DropNext("s1", 2)
+	if _, err := co.Apply(store.Ins("l", relation.Ints(100, 200))); err != nil {
+		t.Fatal(err)
+	}
+	lb.Partition("s1")
+	if _, err := co.Apply(store.Ins("l", relation.Ints(300, 400))); !errors.Is(err, ErrSiteUnavailable) {
+		t.Fatalf("update under partition: err=%v", err)
+	}
+	rep = co.Report()
+	// 2 dropped frames + 3 retries against the partition.
+	if !strings.Contains(rep, "retries by site: s1=5") {
+		t.Errorf("report missing per-site retries:\n%s", rep)
+	}
+	if !strings.Contains(rep, "degraded sites: s1=1") {
+		t.Errorf("report missing degraded sites:\n%s", rep)
+	}
+}
+
+func TestServerMetricsAgreeWithStats(t *testing.T) {
+	db := store.New()
+	for _, tu := range []relation.Tuple{relation.Ints(1, 2), relation.Ints(3, 4)} {
+		if _, err := db.Insert("r", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(db, []string{"r"})
+	reg := obs.NewRegistry()
+	srv.Instrument(reg)
+
+	srv.Handle(&Request{Type: OpScan, Relation: "r"})
+	srv.Handle(&Request{Type: OpScan, Relation: "r"})
+	srv.Handle(&Request{Type: OpPing})
+	srv.Handle(&Request{Type: OpScan, Relation: "hidden"}) // error: not served
+
+	st := srv.Stats()
+	snap := reg.Snapshot()
+
+	var statReqs int64
+	for _, n := range st.Requests {
+		statReqs += n
+	}
+	if got := sumPrefix(snap, "cc_site_requests_total{"); got != statReqs {
+		t.Errorf("requests_total = %d, stats say %d", got, statReqs)
+	}
+	if got := snap[`cc_site_tuples_sent_total{relation="r"}`].(int64); got != st.TuplesSent["r"] {
+		t.Errorf("tuples_sent_total{r} = %d, stats say %d", got, st.TuplesSent["r"])
+	}
+	if got := snap["cc_site_errors_total"].(int64); got != st.Errors {
+		t.Errorf("errors_total = %d, stats say %d", got, st.Errors)
+	}
+	hist, ok := snap[`cc_site_request_seconds{op="scan"}`].(map[string]any)
+	if !ok {
+		t.Fatalf("no scan latency histogram in %v", snap)
+	}
+	if got := hist["count"].(uint64); got != uint64(st.Requests[OpScan]) {
+		t.Errorf("request_seconds{scan} count = %d, stats say %d", got, st.Requests[OpScan])
+	}
+	if snap["cc_site_bytes_recv_total"].(int64) <= 0 || snap["cc_site_bytes_sent_total"].(int64) <= 0 {
+		t.Error("byte counters did not move")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/eval"
@@ -33,6 +34,9 @@ type Server struct {
 
 	mu    sync.Mutex
 	stats ServerStats
+	// met is set once by Instrument before serving; nil keeps Handle on
+	// the uninstrumented path.
+	met *serverMetrics
 }
 
 // NewServer builds a server for db. With a non-empty relations list only
@@ -95,6 +99,10 @@ func (s *Server) ServedRelations() map[string]int {
 // Handle answers one request. It never panics on malformed input: every
 // failure comes back as OK=false with the reason in Err.
 func (s *Server) Handle(req *Request) *Response {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
 	s.mu.Lock()
 	s.stats.Requests[req.Type]++
 	s.mu.Unlock()
@@ -104,6 +112,9 @@ func (s *Server) Handle(req *Request) *Response {
 		s.mu.Lock()
 		s.stats.Errors++
 		s.mu.Unlock()
+	}
+	if s.met != nil {
+		s.met.observe(req, resp, time.Since(start))
 	}
 	return resp
 }

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mux builds the live-endpoint mux a daemon serves on its -http address:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      JSON health payload (health() merged over {"status":"ok"})
+//	/debug/vars   expvar (publish reg with PublishExpvar to include it)
+//	/debug/pprof  the standard runtime profiles
+//
+// health may be nil; the endpoint then reports only {"status":"ok"}.
+func Mux(reg *Registry, health func() map[string]any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		payload := map[string]any{"status": "ok"}
+		if health != nil {
+			for k, v := range health() {
+				payload[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(payload)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

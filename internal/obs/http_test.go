@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "ups").Inc()
+	mux := Mux(reg, func() map[string]any {
+		return map[string]any{"relations": 3}
+	})
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("/metrics body:\n%s", rec.Body.String())
+	}
+
+	rec := get("/healthz")
+	var health map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	if health["status"] != "ok" || health["relations"] != float64(3) {
+		t.Errorf("/healthz payload = %v", health)
+	}
+
+	if rec := get("/debug/pprof/"); rec.Code != 200 {
+		t.Errorf("/debug/pprof/ status = %d", rec.Code)
+	}
+	if rec := get("/debug/vars"); rec.Code != 200 {
+		t.Errorf("/debug/vars status = %d", rec.Code)
+	}
+}
+
+func TestMuxNilHealth(t *testing.T) {
+	mux := Mux(NewRegistry(), nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Errorf("/healthz payload: %s", rec.Body.String())
+	}
+}

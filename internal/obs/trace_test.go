@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func update(name string, seq uint64) []Event {
+	return []Event{
+		{Kind: KindUpdateBegin, Seq: seq, Update: name, Constraints: 1},
+		{Kind: KindPhase, Seq: seq + 1, Update: name, Constraint: "ri", Phase: "global", Decided: true, Verdict: "holds", Relations: []string{"dept"}, Duration: 42 * time.Microsecond},
+		{Kind: KindUpdateEnd, Seq: seq + 2, Update: name, Applied: true},
+	}
+}
+
+func TestBufferTracerKeepsLastUpdates(t *testing.T) {
+	b := NewBufferTracer(2)
+	if !b.Enabled() {
+		t.Fatal("buffer tracer disabled")
+	}
+	for i, u := range []string{"+a(1)", "+a(2)", "+a(3)"} {
+		for _, e := range update(u, uint64(i*3)) {
+			b.Emit(e)
+		}
+	}
+	last := b.Last()
+	if len(last) != 3 || last[0].Update != "+a(3)" {
+		t.Errorf("Last() = %+v", last)
+	}
+	all := b.All()
+	if len(all) != 6 || all[0].Update != "+a(2)" {
+		t.Errorf("All() retained %d events starting %q, want 6 starting +a(2)", len(all), all[0].Update)
+	}
+}
+
+func TestBufferTracerEmptyLast(t *testing.T) {
+	if got := NewBufferTracer(0).Last(); got != nil {
+		t.Errorf("Last() on empty tracer = %v", got)
+	}
+}
+
+func TestJSONLTracerRoundTrips(t *testing.T) {
+	var sb strings.Builder
+	tr := NewJSONLTracer(&sb)
+	for _, e := range update("+emp(ann,toy,50)", 0) {
+		tr.Emit(e)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindPhase || e.Phase != "global" || !e.Decided || e.Relations[0] != "dept" {
+		t.Errorf("round-tripped event = %+v", e)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJSONLTracerStickyError(t *testing.T) {
+	tr := NewJSONLTracer(failWriter{})
+	tr.Emit(Event{Kind: KindUpdateBegin})
+	tr.Emit(Event{Kind: KindUpdateEnd})
+	if tr.Err() == nil {
+		t.Error("write error not surfaced")
+	}
+}
+
+func TestWriteTextRendering(t *testing.T) {
+	var sb strings.Builder
+	WriteText(&sb, []Event{
+		{Kind: KindUpdateBegin, Update: "+emp(eve,ghost,70)", Constraints: 2},
+		{Kind: KindPhase, Constraint: "ri", Phase: "unaffected", Cache: CacheHit, Duration: 2 * time.Microsecond},
+		{Kind: KindPhase, Constraint: "ri", Phase: "global", Decided: true, Verdict: "VIOLATED", Relations: []string{"dept", "salRange"}},
+		{Kind: KindUpdateEnd, Update: "+emp(eve,ghost,70)", Rejected: []string{"ri"}},
+	})
+	out := sb.String()
+	for _, want := range []string{
+		"== +emp(eve,ghost,70) (2 constraints)",
+		"unaffected",
+		"next",
+		"cache=hit",
+		"decided: VIOLATED",
+		"remote=dept,salRange",
+		"=> REJECTED [ri]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	WriteText(&sb, []Event{{Kind: KindUpdateEnd, Err: "boom"}})
+	if !strings.Contains(sb.String(), "error: boom") {
+		t.Errorf("error rendering: %q", sb.String())
+	}
+}
+
+func TestMultiTracerAndDisabled(t *testing.T) {
+	if Disabled.Enabled() {
+		t.Error("Disabled reports enabled")
+	}
+	Disabled.Emit(Event{}) // must not panic
+	if MultiTracer(Disabled).Enabled() {
+		t.Error("multi of disabled reports enabled")
+	}
+	buf := NewBufferTracer(4)
+	m := MultiTracer(Disabled, buf)
+	if !m.Enabled() {
+		t.Error("multi with a live member reports disabled")
+	}
+	m.Emit(Event{Kind: KindUpdateBegin, Update: "+a(1)"})
+	if len(buf.Last()) != 1 {
+		t.Error("multi did not forward to the live member")
+	}
+}
+
+func TestTextTracerStreams(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTextTracer(&sb)
+	if !tr.Enabled() {
+		t.Fatal("text tracer disabled")
+	}
+	tr.Emit(Event{Kind: KindUpdateBegin, Update: "+a(1)", Constraints: 1})
+	if !strings.Contains(sb.String(), "== +a(1)") {
+		t.Errorf("streamed rendering: %q", sb.String())
+	}
+}

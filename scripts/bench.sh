@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Runs the key pipeline benchmarks (-count=5 each) and emits
-# BENCH_pipeline.json, then the networked-runtime benchmarks and emits
-# BENCH_net.json: one record per benchmark run with name, iterations
-# and ns/op, suitable for diffing across commits.
+# BENCH_pipeline.json, then the networked-runtime benchmarks
+# (BENCH_net.json), then the tracing-overhead benchmarks
+# (BENCH_obs.json): one record per benchmark run with name, iterations
+# and ns/op, suitable for diffing across commits. The obs file is the
+# evidence for EXPERIMENTS.md's claim that the disabled tracer costs
+# ≤5% on the D1 workload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,3 +32,5 @@ bench_to_json 'BenchmarkDistributedStaged$|BenchmarkTheorem51$|BenchmarkApplyPar
   "${OUT:-BENCH_pipeline.json}"
 bench_to_json 'BenchmarkNetDistLoopback$|BenchmarkDistributedStaged$' \
   "${NET_OUT:-BENCH_net.json}"
+bench_to_json 'BenchmarkTraceOverhead$' \
+  "${OBS_OUT:-BENCH_obs.json}"
