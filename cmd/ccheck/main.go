@@ -24,6 +24,10 @@
 // appends the same events as JSON lines; -stats-json file dumps the
 // final pipeline statistics — per-phase decision counts, cache hit rate,
 // and the deployment's data-access accounting — as JSON.
+//
+// Global evaluations use hash-index probes with bound-first join
+// planning; -noindex falls back to scan-and-filter evaluation for A/B
+// comparison (see BenchmarkEvalIndexed).
 package main
 
 import (
@@ -50,6 +54,7 @@ type config struct {
 	updates     string
 	local       string
 	workers     int
+	noindex     bool
 	verbose     bool
 	save        string
 	sites       []netdist.SiteSpec
@@ -68,6 +73,7 @@ type flags struct {
 	local       string
 	workers     int
 	workersSet  bool
+	noindex     bool
 	verbose     bool
 	save        string
 	timeout     time.Duration
@@ -94,6 +100,7 @@ func main() {
 		updatesPath     = flag.String("updates", "", "path to update script (+rel(...) / -rel(...) per line)")
 		localList       = flag.String("local", "", "comma-separated local relations (default: all local)")
 		workers         = flag.Int("workers", 0, "worker goroutines for constraint dispatch (default: one per CPU)")
+		noindex         = flag.Bool("noindex", false, "disable hash-index probes and bound-first join planning in global evaluations (A/B escape hatch)")
 		verbose         = flag.Bool("v", false, "print per-update decisions")
 		savePath        = flag.String("save", "", "write the final database to this file as facts")
 		timeout         = flag.Duration("timeout", 2*time.Second, "per-request deadline for -sites round trips")
@@ -113,7 +120,7 @@ func main() {
 	})
 	cfg, err := buildConfig(flags{
 		constraints: *constraintsPath, data: *dataPath, updates: *updatesPath,
-		local: *localList, workers: *workers, workersSet: workersSet,
+		local: *localList, workers: *workers, workersSet: workersSet, noindex: *noindex,
 		verbose: *verbose, save: *savePath, timeout: *timeout, retries: *retries,
 		sites: sites, trace: *trace, traceOut: *traceOut, statsJSON: *statsJSON,
 	})
@@ -136,7 +143,7 @@ func main() {
 func buildConfig(f flags) (config, error) {
 	cfg := config{
 		constraints: f.constraints, data: f.data, updates: f.updates, local: f.local,
-		workers: f.workers, verbose: f.verbose, save: f.save, timeout: f.timeout, retries: f.retries,
+		workers: f.workers, noindex: f.noindex, verbose: f.verbose, save: f.save, timeout: f.timeout, retries: f.retries,
 		trace: f.trace, traceOut: f.traceOut, statsJSON: f.statsJSON,
 	}
 	if f.constraints == "" || f.updates == "" {
@@ -205,7 +212,7 @@ func run(cfg config) error {
 			return err
 		}
 	}
-	opts := core.Options{LocalRelations: splitList(cfg.local), Workers: cfg.workers}
+	opts := core.Options{LocalRelations: splitList(cfg.local), Workers: cfg.workers, DisableIndexes: cfg.noindex}
 
 	// Decision tracing: -trace renders to stdout as updates run,
 	// -trace-out appends the same events as JSON lines; both may be on.

@@ -12,6 +12,9 @@
 // SIGINT/SIGTERM it prints its accounting (requests handled, tuples
 // shipped per relation) and exits.
 //
+// Eval subqueries run with hash-index probes and bound-first join
+// planning; -noindex falls back to scan-and-filter evaluation.
+//
 // With -http the daemon also serves live endpoints on a second address:
 // /metrics (Prometheus text format: per-op request counters and latency
 // histograms, tuples shipped per relation, frame bytes), /healthz (JSON
@@ -31,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/eval"
 	"repro/internal/netdist"
 	"repro/internal/obs"
 	"repro/internal/parser"
@@ -44,6 +48,7 @@ func main() {
 		relations = flag.String("relations", "", "comma-separated served relations (default: all in -data)")
 		httpAddr  = flag.String("http", "", "address for live endpoints (/metrics, /healthz, /debug/pprof); empty disables")
 		verbose   = flag.Bool("v", false, "log each served relation at startup")
+		noindex   = flag.Bool("noindex", false, "disable hash-index probes and bound-first join planning in Eval subqueries (A/B escape hatch)")
 	)
 	flag.Parse()
 	srv, l, err := setup(*listen, *dataPath, *relations)
@@ -51,6 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccsited:", err)
 		os.Exit(1)
 	}
+	srv.SetEvalOptions(eval.Options{DisableIndexes: *noindex})
 	fmt.Printf("ccsited: serving on %s\n", l.Addr())
 	if *httpAddr != "" {
 		hl, err := net.Listen("tcp", *httpAddr)

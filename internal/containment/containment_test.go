@@ -602,3 +602,29 @@ func TestTheorem51NontrivialHeads(t *testing.T) {
 		}
 	}
 }
+
+func TestMappingsCandidateOrdering(t *testing.T) {
+	// One src subgoal is constant-incompatible with every dst subgoal of
+	// its predicate: the candidate prefilter must prove "no mapping"
+	// without entering the search, and agree with the brute-force answer.
+	src := mustC(t, "panic :- r(X,Y) & s(X,toy).")
+	dst := mustC(t, "panic :- r(A,B) & r(B,C) & s(A,shoe).")
+	if ms := Mappings(src, dst); len(ms) != 0 {
+		t.Errorf("constant-incompatible subgoal yielded %d mappings", len(ms))
+	}
+	if HasMapping(src, dst) {
+		t.Error("HasMapping found a mapping past an empty candidate list")
+	}
+	// Fewest-candidates-first reordering must not change the solution
+	// set: s(X,toy) has 1 candidate, r(X,Y) has 3 — the search starts at
+	// s either way, but all mappings must still be enumerated.
+	src2 := mustC(t, "panic :- r(X,Y) & s(X,toy).")
+	dst2 := mustC(t, "panic :- r(A,B) & r(B,C) & r(C,C) & s(A,toy).")
+	ms := Mappings(src2, dst2)
+	if len(ms) != 1 {
+		t.Fatalf("got %d mappings, want 1", len(ms))
+	}
+	if !HasMapping(src2, dst2) {
+		t.Error("HasMapping missed the mapping")
+	}
+}

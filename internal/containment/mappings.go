@@ -61,7 +61,10 @@ func Mappings(src, dst *ast.Rule) []Mapping {
 	if !matchAtomTrail(src.Head, dst.Head, h, &trail) {
 		return nil
 	}
-	srcAtoms := src.PositiveAtoms()
+	srcAtoms, cands, ok := orderCandidates(src.PositiveAtoms(), byPred, h)
+	if !ok {
+		return nil // some subgoal has no compatible target: no mapping exists
+	}
 	var out []Mapping
 	seen := map[string]bool{}
 	var rec func(i int)
@@ -74,7 +77,7 @@ func Mappings(src, dst *ast.Rule) []Mapping {
 			}
 			return
 		}
-		for _, target := range byPred[srcAtoms[i].Pred] {
+		for _, target := range cands[i] {
 			mark := len(trail)
 			if matchAtomTrail(srcAtoms[i], target, h, &trail) {
 				rec(i + 1)
@@ -101,13 +104,16 @@ func HasMapping(src, dst *ast.Rule) bool {
 	if !matchAtomTrail(src.Head, dst.Head, h, &trail) {
 		return false
 	}
-	srcAtoms := src.PositiveAtoms()
+	srcAtoms, cands, ok := orderCandidates(src.PositiveAtoms(), byPred, h)
+	if !ok {
+		return false
+	}
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(srcAtoms) {
 			return true
 		}
-		for _, target := range byPred[srcAtoms[i].Pred] {
+		for _, target := range cands[i] {
 			mark := len(trail)
 			if matchAtomTrail(srcAtoms[i], target, h, &trail) && rec(i+1) {
 				return true
@@ -120,6 +126,49 @@ func HasMapping(src, dst *ast.Rule) bool {
 		return false
 	}
 	return rec(0)
+}
+
+// orderCandidates precomputes, for each positive src subgoal, the dst
+// subgoals compatible with the head bindings already in h, and returns
+// the subgoals reordered fewest-candidates-first (stable on ties) along
+// with their candidate lists. Trying the most constrained subgoal first
+// fails fast: a wrong early binding is discovered after the smallest
+// candidate product, not after exhausting a wide one. A subgoal with no
+// compatible candidate at all proves no mapping exists (ok is false), so
+// callers skip the search entirely. h is used as scratch during the
+// compatibility probes but left exactly as given.
+func orderCandidates(srcAtoms []ast.Atom, byPred map[string][]ast.Atom, h Mapping) (atoms []ast.Atom, cands [][]ast.Atom, ok bool) {
+	type entry struct {
+		atom  ast.Atom
+		cands []ast.Atom
+	}
+	entries := make([]entry, 0, len(srcAtoms))
+	var scratch []string
+	for _, a := range srcAtoms {
+		var cs []ast.Atom
+		for _, target := range byPred[a.Pred] {
+			mark := len(scratch)
+			if matchAtomTrail(a, target, h, &scratch) {
+				cs = append(cs, target)
+			}
+			for len(scratch) > mark {
+				delete(h, scratch[len(scratch)-1])
+				scratch = scratch[:len(scratch)-1]
+			}
+		}
+		if len(cs) == 0 {
+			return nil, nil, false
+		}
+		entries = append(entries, entry{a, cs})
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return len(entries[i].cands) < len(entries[j].cands) })
+	atoms = make([]ast.Atom, len(entries))
+	cands = make([][]ast.Atom, len(entries))
+	for i, e := range entries {
+		atoms[i] = e.atom
+		cands[i] = e.cands
+	}
+	return atoms, cands, true
 }
 
 // matchAtomTrail extends h so that h(src) == dst, treating dst's terms as

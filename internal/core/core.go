@@ -175,6 +175,11 @@ type Options struct {
 	// phase-1/1.5/2 verdict per update (the pre-cache behavior; used as
 	// the oracle in cross-check tests and for ablation experiments).
 	DisableCache bool
+	// DisableIndexes makes every global evaluation run the pre-index
+	// nested-loop join (textual atom order, scan-and-filter) instead of
+	// bound-first planning with hash-index probes — the A/B escape hatch
+	// behind ccheck -noindex.
+	DisableIndexes bool
 	// Tracer receives the per-update decision trace: one event per phase
 	// attempt per constraint, bracketed by update-begin/update-end. Nil
 	// or disabled tracers keep Apply on the uninstrumented path.
@@ -292,7 +297,7 @@ func (c *Checker) AddConstraint(name string, prog *ast.Program) error {
 			return fmt.Errorf("core: duplicate constraint name %q", name)
 		}
 	}
-	bad, err := eval.GoalHolds(prog, c.db, ast.PanicPred)
+	bad, err := eval.GoalHoldsWith(prog, c.db, ast.PanicPred, c.evalOpts())
 	if err != nil {
 		return err
 	}
@@ -347,6 +352,12 @@ func (c *Checker) prepare(k *Constraint) {
 	if a, err := icq.Analyze(cqc); err == nil {
 		k.analysis = a
 	}
+}
+
+// evalOpts translates the checker options into evaluation options for
+// the global phase (constraint admission and CheckAll included).
+func (c *Checker) evalOpts() eval.Options {
+	return eval.Options{DisableIndexes: c.opts.DisableIndexes}
 }
 
 // isLocal reports whether the relation is resident at the checking site.
@@ -562,7 +573,7 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 		if k.mat != nil {
 			outcomes[i].bad = k.mat.Holds(ast.PanicPred)
 		} else {
-			outcomes[i].bad, outcomes[i].err = eval.GoalHolds(k.Prog, c.db, ast.PanicPred)
+			outcomes[i].bad, outcomes[i].err = eval.GoalHoldsWith(k.Prog, c.db, ast.PanicPred, c.evalOpts())
 		}
 		if tracing {
 			outcomes[i].dur = time.Since(start)
@@ -610,6 +621,7 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	}
 	if c.met != nil {
 		c.met.applySeconds.Observe(time.Since(applyStart).Seconds())
+		c.met.sampleIndexCounters()
 	}
 	return rep, nil
 }
@@ -657,7 +669,7 @@ func (c *Checker) localTest(k *Constraint, t relation.Tuple) (bool, error) {
 func (c *Checker) CheckAll() ([]string, error) {
 	var out []string
 	for _, k := range c.constraints {
-		bad, err := eval.GoalHolds(k.Prog, c.db, ast.PanicPred)
+		bad, err := eval.GoalHoldsWith(k.Prog, c.db, ast.PanicPred, c.evalOpts())
 		if err != nil {
 			return nil, err
 		}

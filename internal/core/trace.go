@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/relation"
 )
 
 // This file is the checker's observability seam: the decision-trace
@@ -78,6 +79,8 @@ type checkerMetrics struct {
 	rejected     *obs.Counter
 	decisions    *obs.CounterVec // phase
 	applySeconds *obs.Histogram
+	indexBuilds  *obs.Gauge
+	indexProbes  *obs.Gauge
 }
 
 // newCheckerMetrics registers the checker's metric families on reg.
@@ -87,5 +90,14 @@ func newCheckerMetrics(reg *obs.Registry) *checkerMetrics {
 		rejected:     reg.Counter("cc_checker_rejected_total", "updates rolled back on a violation"),
 		decisions:    reg.CounterVec("cc_checker_decisions_total", "per-constraint decisions by deciding phase", "phase"),
 		applySeconds: reg.Histogram("cc_checker_apply_seconds", "wall clock per Apply", nil),
+		indexBuilds:  reg.Gauge("cc_index_builds", "process-wide hash-index builds (relation layer)"),
+		indexProbes:  reg.Gauge("cc_index_probes", "process-wide hash-index probes (relation layer)"),
 	}
+}
+
+// sampleIndexCounters mirrors the relation layer's process-wide index
+// accounting into the registry; called once per Apply.
+func (m *checkerMetrics) sampleIndexCounters() {
+	m.indexBuilds.Set(relation.IndexBuilds())
+	m.indexProbes.Set(relation.IndexProbes())
 }

@@ -33,10 +33,27 @@ func (r *Result) Holds(pred string) bool {
 	return rel != nil && rel.Len() > 0
 }
 
+// Options tune the evaluation strategy. The zero value is the fast
+// default: bound-first join planning and multi-column indexed probes.
+type Options struct {
+	// DisableIndexes restores the pre-index evaluator for A/B comparison
+	// (ccheck -noindex): body atoms are joined in textual order and
+	// candidate tuples are fetched by scan-plus-filter (at best a
+	// single-column lookup on the first constant argument) instead of a
+	// hash probe on the full bound-column signature.
+	DisableIndexes bool
+}
+
 // Eval computes the stratified fixpoint of prog over the extensional
-// database db. The store is read (charging its access counters) but never
-// written. Rules must be safe and the program stratifiable.
+// database db with default options. The store is read (charging its
+// access counters) but never written. Rules must be safe and the program
+// stratifiable.
 func Eval(prog *ast.Program, db *store.Store) (*Result, error) {
+	return EvalWith(prog, db, Options{})
+}
+
+// EvalWith is Eval with explicit evaluation options.
+func EvalWith(prog *ast.Program, db *store.Store, opts Options) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,7 +61,7 @@ func Eval(prog *ast.Program, db *store.Store) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, res, err := newEvaluator(prog, db)
+	ev, res, err := newEvaluator(prog, db, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -57,13 +74,13 @@ func Eval(prog *ast.Program, db *store.Store) (*Result, error) {
 }
 
 // newEvaluator allocates evaluation state (empty IDB relations) for prog.
-func newEvaluator(prog *ast.Program, db *store.Store) (*evaluator, *Result, error) {
+func newEvaluator(prog *ast.Program, db *store.Store, opts Options) (*evaluator, *Result, error) {
 	arity := prog.Preds()
 	res := &Result{idb: map[string]*relation.Relation{}}
 	for pred := range prog.IDBPreds() {
 		res.idb[pred] = relation.New(pred, arity[pred])
 	}
-	return &evaluator{prog: prog, db: db, res: res}, res, nil
+	return &evaluator{prog: prog, db: db, res: res, opts: opts}, res, nil
 }
 
 // PanicHolds evaluates the constraint program and reports whether panic
@@ -81,6 +98,7 @@ type evaluator struct {
 	prog  *ast.Program
 	db    *store.Store
 	res   *Result
+	opts  Options
 	plans map[*ast.Rule]*rulePlan
 	// stopWhenNonEmpty, when set, aborts evaluation with errGoalDerived
 	// as soon as the named predicate derives a tuple (GoalHolds).
@@ -94,9 +112,24 @@ func (ev *evaluator) planFor(r *ast.Rule) (*rulePlan, error) {
 	if p, ok := ev.plans[r]; ok {
 		return p, nil
 	}
-	p, err := planRule(r)
+	p, err := planRule(r, !ev.opts.DisableIndexes)
 	if err != nil {
 		return nil, err
+	}
+	// Validate subgoal arities once, here: a stored relation whose arity
+	// disagrees with the atom can never match it (Insert enforces uniform
+	// arity within a relation), so the step is marked empty and the join
+	// loop needs no per-tuple length check. IDB and delta relations are
+	// allocated from the program's own arity map and cannot disagree.
+	idb := ev.prog.IDBPreds()
+	for i := range p.steps {
+		st := &p.steps[i]
+		if !st.lit.IsPos() || idb[st.lit.Atom.Pred] {
+			continue
+		}
+		if rel := ev.db.Relation(st.lit.Atom.Pred); rel != nil && rel.Arity() != len(st.lit.Atom.Args) {
+			st.empty = true
+		}
 	}
 	ev.plans[r] = p
 	return p, nil
@@ -212,10 +245,11 @@ func (ev *evaluator) applyRule(r *ast.Rule, newOut map[string]*relation.Relation
 	return ev.joinLoop(plan, 0, ast.Subst{}, deltaPos, delta, emit)
 }
 
-// rulePlan is an evaluation order for the body: positive atoms in
-// original order, with each comparison and negated atom scheduled at the
-// earliest point where its variables are bound. steps[i].bodyIndex
-// remembers the literal's original position for delta bookkeeping.
+// rulePlan is an evaluation order for the body: positive atoms
+// most-bound-first (or in original order under DisableIndexes), with
+// each comparison and negated atom scheduled at the earliest point where
+// its variables are bound. steps[i].bodyIndex remembers the literal's
+// original position for delta bookkeeping.
 type rulePlan struct {
 	steps []planStep
 }
@@ -223,17 +257,62 @@ type rulePlan struct {
 type planStep struct {
 	lit       ast.Literal
 	bodyIndex int
+	// probeCols are the argument positions of a positive atom that are
+	// ground when the step runs (textual constants plus variables bound
+	// by earlier steps) — the bound-column signature of the indexed
+	// probe. Computed at plan time: the bound-variable set evolves
+	// deterministically along the plan order.
+	probeCols []int
+	// empty marks a positive atom over a stored relation whose arity
+	// disagrees with the atom: it can never match, so the step yields
+	// nothing (set by planFor, which can see the database).
+	empty bool
 }
 
-func planRule(r *ast.Rule) (*rulePlan, error) {
+// boundScore counts the atom's argument positions ground under the given
+// bound-variable set — the number of columns an indexed probe can pin.
+func boundScore(a ast.Atom, bound map[string]bool) int {
+	n := 0
+	for _, t := range a.Args {
+		if t.IsConst() || (t.IsVar() && bound[t.Var]) {
+			n++
+		}
+	}
+	return n
+}
+
+// probeColsFor lists the atom's positions ground under bound, skipping
+// repeated occurrences of a variable first bound within this same atom
+// (those are checked tuple-by-tuple, not probed).
+func probeColsFor(a ast.Atom, bound map[string]bool) []int {
+	var cols []int
+	for i, t := range a.Args {
+		if t.IsConst() || (t.IsVar() && bound[t.Var]) {
+			cols = append(cols, i)
+		}
+	}
+	return cols
+}
+
+// planRule orders the body for the nested-loop join. With reorder set
+// (the indexed evaluator), positive atoms are scheduled greedily
+// most-bound-first: at every point the atom with the most ground
+// argument positions runs next, ties broken by textual order, so each
+// probe pins as many columns as possible. Without reorder (the -noindex
+// escape hatch) positive atoms keep their textual order — the seed
+// behavior. Comparisons and negated atoms are interleaved at the
+// earliest point where their variables are bound in both modes.
+func planRule(r *ast.Rule, reorder bool) (*rulePlan, error) {
 	bound := map[string]bool{}
 	var steps []planStep
 	pending := make([]int, 0, len(r.Body))
+	var posLeft []int
 	for i, l := range r.Body {
 		if l.IsPos() {
-			continue
+			posLeft = append(posLeft, i)
+		} else {
+			pending = append(pending, i)
 		}
-		pending = append(pending, i)
 	}
 	ready := func() []int {
 		var out []int
@@ -255,12 +334,24 @@ func planRule(r *ast.Rule) (*rulePlan, error) {
 		pending = rest
 		return out
 	}
-	for i, l := range r.Body {
-		if !l.IsPos() {
-			continue
+	for len(posLeft) > 0 {
+		pick := 0
+		if reorder {
+			best := -1
+			for idx, bi := range posLeft {
+				if score := boundScore(r.Body[bi].Atom, bound); score > best {
+					best, pick = score, idx
+				}
+			}
 		}
-		steps = append(steps, planStep{lit: l, bodyIndex: i})
-		for _, v := range l.Vars(nil) {
+		bi := posLeft[pick]
+		posLeft = append(posLeft[:pick], posLeft[pick+1:]...)
+		steps = append(steps, planStep{
+			lit:       r.Body[bi],
+			bodyIndex: bi,
+			probeCols: probeColsFor(r.Body[bi].Atom, bound),
+		})
+		for _, v := range r.Body[bi].Vars(nil) {
 			bound[v] = true
 		}
 		for _, j := range ready() {
@@ -312,23 +403,22 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 		}
 		return ev.joinLoop(plan, si+1, s, deltaPos, delta, emit)
 	default:
+		if step.empty {
+			return nil // stored arity disagrees with the atom: no match possible
+		}
 		// Resolve the atom's arguments against the bindings made by
-		// earlier steps, once.
+		// earlier steps, once. Candidates arrive pre-matched on every
+		// ground position (indexed probe or constant filter), so the loop
+		// below only binds the free variables and checks variables
+		// repeated within this atom.
 		atom := step.lit.Atom.Apply(s)
 		var trail []string
-		for _, t := range ev.scan(atom, step.bodyIndex == deltaPos, delta) {
-			if len(t) != len(atom.Args) {
-				continue
-			}
+		for _, t := range ev.fetch(&step, atom, step.bodyIndex == deltaPos, delta) {
 			ok := true
 			n0 := len(trail)
 			for i, arg := range atom.Args {
 				if arg.IsConst() {
-					if !arg.Const.Equal(t[i]) {
-						ok = false
-						break
-					}
-					continue
+					continue // guaranteed equal by the probe / constant filter
 				}
 				// A repeated variable within this atom may have been
 				// bound by an earlier column of the same tuple.
@@ -354,6 +444,45 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 		}
 		return nil
 	}
+}
+
+// fetch returns the candidate tuples for one positive step: an indexed
+// probe on the step's full bound-column signature by default, or the
+// seed scan-and-filter under DisableIndexes. useDelta restricts an IDB
+// predicate of the current stratum to the previous round's delta (delta
+// relations build their own transient indexes, refreshed each semi-naive
+// round because each round allocates fresh deltas).
+func (ev *evaluator) fetch(step *planStep, atom ast.Atom, useDelta bool, delta map[string]*relation.Relation) []relation.Tuple {
+	if ev.opts.DisableIndexes {
+		return ev.scan(atom, useDelta, delta)
+	}
+	cols := step.probeCols
+	var vals []ast.Value
+	if len(cols) > 0 {
+		vals = make([]ast.Value, len(cols))
+		for i, c := range cols {
+			vals[i] = atom.Args[c].Const
+		}
+	}
+	if useDelta {
+		if d, ok := delta[atom.Pred]; ok {
+			if len(cols) == 0 {
+				return d.Tuples()
+			}
+			return d.LookupCols(cols, vals)
+		}
+	}
+	if rel, ok := ev.res.idb[atom.Pred]; ok {
+		// IDB relations are not charged: they are derived scratch space.
+		if len(cols) == 0 {
+			return rel.Tuples()
+		}
+		return rel.LookupCols(cols, vals)
+	}
+	if len(cols) == 0 {
+		return ev.db.Tuples(atom.Pred)
+	}
+	return ev.db.LookupCols(atom.Pred, cols, vals)
 }
 
 // contains checks membership in an IDB result or the EDB store; EDB
@@ -406,9 +535,8 @@ func filterByConstants(ts []relation.Tuple, atom ast.Atom) []relation.Tuple {
 		return ts
 	}
 	keep := func(t relation.Tuple) bool {
-		if len(t) != len(atom.Args) {
-			return false
-		}
+		// Tuple length always matches: planFor validated the relation's
+		// arity against the atom once, at plan time.
 		for i, a := range atom.Args {
 			if a.IsConst() && !a.Const.Equal(t[i]) {
 				return false

@@ -18,6 +18,11 @@ var errGoalDerived = errors.New("eval: goal derived")
 // within the goal's stratum derivations only grow (negation refers to
 // completed lower strata).
 func GoalHolds(prog *ast.Program, db *store.Store, goal string) (bool, error) {
+	return GoalHoldsWith(prog, db, goal, Options{})
+}
+
+// GoalHoldsWith is GoalHolds with explicit evaluation options.
+func GoalHoldsWith(prog *ast.Program, db *store.Store, goal string, opts Options) (bool, error) {
 	pruned := pruneToGoal(prog, goal)
 	if len(pruned.RulesFor(goal)) == 0 {
 		return false, nil // goal underivable: no rules at all
@@ -29,7 +34,7 @@ func GoalHolds(prog *ast.Program, db *store.Store, goal string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	ev, result, err := newEvaluator(pruned, db)
+	ev, result, err := newEvaluator(pruned, db, opts)
 	if err != nil {
 		return false, err
 	}

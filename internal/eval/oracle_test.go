@@ -159,6 +159,8 @@ func TestEvalAgainstNaiveOracle(t *testing.T) {
 		"reach(X,Y) :- edge(X,Y).\nreach(X,Y) :- reach(X,Z) & edge(Z,Y).",
 		"odd(Y) :- even(X) & succ(X,Y).\neven(Y) :- odd(X) & succ(X,Y).\neven(X) :- zero(X).",
 		"q(X) :- e(X) & not p(X).\np(X) :- f(X) & g(X).",
+		"p(X) :- edge(1,X) & edge(X,Y) & f(Y).",
+		"p(X) :- edge(X,X) & e(X).",
 	}
 	arity := map[string]int{"e": 1, "f": 1, "g": 1, "edge": 2, "succ": 2, "zero": 1}
 	rng := rand.New(rand.NewSource(4))
@@ -186,23 +188,42 @@ func TestEvalAgainstNaiveOracle(t *testing.T) {
 					}
 				}
 			}
-			res, err := Eval(prog, db)
+			// Both arms — indexed probes with bound-first planning, and
+			// the plain scan path — must agree with the oracle exactly,
+			// and indexing must never read more store tuples than the
+			// scans it replaces. Each arm gets its own clone so the read
+			// counters are per-arm.
+			dbIdx, dbScan := db.Clone(), db.Clone()
+			resIdx, err := EvalWith(prog, dbIdx, Options{})
 			if err != nil {
-				t.Fatalf("program %d trial %d: %v", pi, trial, err)
+				t.Fatalf("program %d trial %d (indexed): %v", pi, trial, err)
+			}
+			resScan, err := EvalWith(prog, dbScan, Options{DisableIndexes: true})
+			if err != nil {
+				t.Fatalf("program %d trial %d (scan): %v", pi, trial, err)
 			}
 			want := naiveEval(t, prog, db)
-			for pred := range prog.IDBPreds() {
-				got := res.Tuples(pred)
-				wantSet := want[pred]
-				if len(got) != len(wantSet) {
-					t.Fatalf("program %d trial %d: %s has %d tuples, oracle %d\nprog:\n%s\ndb:\n%s",
-						pi, trial, pred, len(got), len(wantSet), prog, db)
-				}
-				for _, tu := range got {
-					if _, ok := wantSet[tu.Key()]; !ok {
-						t.Fatalf("program %d trial %d: %s derived %v not in oracle", pi, trial, pred, tu)
+			for _, arm := range []struct {
+				name string
+				res  *Result
+			}{{"indexed", resIdx}, {"scan", resScan}} {
+				for pred := range prog.IDBPreds() {
+					got := arm.res.Tuples(pred)
+					wantSet := want[pred]
+					if len(got) != len(wantSet) {
+						t.Fatalf("program %d trial %d (%s): %s has %d tuples, oracle %d\nprog:\n%s\ndb:\n%s",
+							pi, trial, arm.name, pred, len(got), len(wantSet), prog, db)
+					}
+					for _, tu := range got {
+						if _, ok := wantSet[tu.Key()]; !ok {
+							t.Fatalf("program %d trial %d (%s): %s derived %v not in oracle", pi, trial, arm.name, pred, tu)
+						}
 					}
 				}
+			}
+			if ri, rs := dbIdx.TotalReads(), dbScan.TotalReads(); ri > rs {
+				t.Fatalf("program %d trial %d: indexed eval read %d store tuples, scan read %d\nprog:\n%s\ndb:\n%s",
+					pi, trial, ri, rs, prog, db)
 			}
 		}
 	}

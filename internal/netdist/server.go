@@ -37,7 +37,15 @@ type Server struct {
 	// met is set once by Instrument before serving; nil keeps Handle on
 	// the uninstrumented path.
 	met *serverMetrics
+	// evalOpts configure OpEval subquery evaluation; the zero value is
+	// the indexed default. Set once by SetEvalOptions before serving.
+	evalOpts eval.Options
 }
+
+// SetEvalOptions configures how OpEval subqueries are evaluated
+// (ccsited -noindex routes through here). Call before serving: the
+// options are read without synchronization by request handlers.
+func (s *Server) SetEvalOptions(o eval.Options) { s.evalOpts = o }
 
 // NewServer builds a server for db. With a non-empty relations list only
 // those relations are visible; otherwise every relation in db is served.
@@ -171,7 +179,7 @@ func (s *Server) handle(req *Request) *Response {
 				return fail("relation %q not served", rel)
 			}
 		}
-		holds, err := eval.GoalHolds(prog, s.db, req.Goal)
+		holds, err := eval.GoalHoldsWith(prog, s.db, req.Goal, s.evalOpts)
 		if err != nil {
 			return fail("eval: %v", err)
 		}

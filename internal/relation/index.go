@@ -1,0 +1,220 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/ast"
+)
+
+// Per-column-set hash indexes. A multiIndex buckets tuple positions by
+// the canonical key of the tuple's projection onto a fixed column set;
+// probing a bucket answers "which tuples agree with these bound values"
+// in O(bucket) instead of O(relation). Indexes are built lazily on first
+// probe (or eagerly via EnsureIndex), maintained incrementally by
+// Insert, tolerate Delete holes (gather skips them), and are rebuilt —
+// not dropped — by compactLocked, so a signature once requested stays
+// warm for the relation's lifetime.
+
+// multiIndex maps a bound-column projection key to the positions of the
+// tuples holding that projection. cols is sorted ascending.
+type multiIndex struct {
+	cols    []int
+	buckets map[string][]int
+}
+
+// Process-wide index accounting, exported into the internal/obs registry
+// by core (cc_index_builds / cc_index_probes). Builds count full index
+// constructions (lazy build, EnsureIndex, compaction rebuild); probes
+// count bucket lookups (LookupCols / Index.Probe, single-column Lookup
+// included).
+var (
+	indexBuilds atomic.Int64
+	indexProbes atomic.Int64
+)
+
+// IndexBuilds returns the process-wide count of hash-index builds.
+func IndexBuilds() int64 { return indexBuilds.Load() }
+
+// IndexProbes returns the process-wide count of hash-index probes.
+func IndexProbes() int64 { return indexProbes.Load() }
+
+// colsSignature canonicalizes a sorted column set ("0,2") for the index
+// map key.
+func colsSignature(cols []int) string {
+	var sb strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	return sb.String()
+}
+
+// projKey encodes the tuple's projection onto cols, unique per
+// projection value (the Tuple.Key length-prefixed scheme).
+func projKey(t Tuple, cols []int) string {
+	var sb strings.Builder
+	for _, c := range cols {
+		k := t[c].Key()
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// valsKey encodes probe values in the same scheme as projKey.
+func valsKey(vals []ast.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		k := v.Key()
+		sb.WriteString(strconv.Itoa(len(k)))
+		sb.WriteByte(':')
+		sb.WriteString(k)
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// normalizeCols validates the column set against the arity and returns a
+// sorted copy along with the values permuted to match. It panics on
+// out-of-range or duplicate columns and on a cols/vals length mismatch —
+// programming errors, like Insert's arity panic.
+func (r *Relation) normalizeCols(cols []int, vals []ast.Value) ([]int, []ast.Value) {
+	if vals != nil && len(cols) != len(vals) {
+		panic(fmt.Sprintf("relation: %d columns probed with %d values on %s", len(cols), len(vals), r.name))
+	}
+	order := make([]int, len(cols))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cols[order[a]] < cols[order[b]] })
+	outCols := make([]int, len(cols))
+	var outVals []ast.Value
+	if vals != nil {
+		outVals = make([]ast.Value, len(vals))
+	}
+	prev := -1
+	for i, o := range order {
+		c := cols[o]
+		if c < 0 || c >= r.arity {
+			panic(fmt.Sprintf("relation: column %d out of range for %s/%d", c, r.name, r.arity))
+		}
+		if c == prev {
+			panic(fmt.Sprintf("relation: duplicate column %d in index for %s", c, r.name))
+		}
+		prev = c
+		outCols[i] = c
+		if vals != nil {
+			outVals[i] = vals[o]
+		}
+	}
+	return outCols, outVals
+}
+
+// buildLocked constructs the index for the sorted column set. Caller
+// holds the write lock.
+func (r *Relation) buildLocked(cols []int) *multiIndex {
+	mi := &multiIndex{cols: cols, buckets: map[string][]int{}}
+	for pos, t := range r.tuples {
+		if t != nil {
+			k := projKey(t, cols)
+			mi.buckets[k] = append(mi.buckets[k], pos)
+		}
+	}
+	r.midx[colsSignature(cols)] = mi
+	indexBuilds.Add(1)
+	return mi
+}
+
+// EnsureIndex builds the hash index on the given column set if it does
+// not exist yet. Probes through LookupCols build lazily anyway; EnsureIndex
+// is for warming an index ahead of time (store.Replace uses it to carry
+// index signatures onto the fresh relation).
+func (r *Relation) EnsureIndex(cols ...int) {
+	sorted, _ := r.normalizeCols(cols, nil)
+	sig := colsSignature(sorted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.midx[sig]; !ok {
+		r.buildLocked(sorted)
+	}
+}
+
+// IndexSignatures returns the column sets of the indexes currently built
+// on the relation, sorted by signature for determinism.
+func (r *Relation) IndexSignatures() [][]int {
+	r.mu.RLock()
+	sigs := make([]string, 0, len(r.midx))
+	for sig := range r.midx {
+		sigs = append(sigs, sig)
+	}
+	bySig := make(map[string][]int, len(r.midx))
+	for sig, mi := range r.midx {
+		bySig[sig] = append([]int(nil), mi.cols...)
+	}
+	r.mu.RUnlock()
+	sort.Strings(sigs)
+	out := make([][]int, len(sigs))
+	for i, sig := range sigs {
+		out[i] = bySig[sig]
+	}
+	return out
+}
+
+// LookupCols returns the tuples whose projection onto cols equals vals,
+// using (and lazily building) the hash index on that column set. The
+// build is double-checked under the write lock so concurrent readers
+// race safely, exactly like the single-column Lookup.
+func (r *Relation) LookupCols(cols []int, vals []ast.Value) []Tuple {
+	sorted, svals := r.normalizeCols(cols, vals)
+	sig := colsSignature(sorted)
+	key := valsKey(svals)
+	indexProbes.Add(1)
+	r.mu.RLock()
+	if mi, ok := r.midx[sig]; ok {
+		out := r.gatherLocked(mi.buckets[key])
+		r.mu.RUnlock()
+		return out
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	mi, ok := r.midx[sig]
+	if !ok {
+		mi = r.buildLocked(sorted)
+	}
+	return r.gatherLocked(mi.buckets[key])
+}
+
+// Index is a handle on one column-set hash index: Probe returns the
+// bucket of tuples whose projection onto the index's columns equals the
+// probe values. The handle stays valid across Insert/Delete/compaction —
+// it addresses the index by signature, not by pointer.
+type Index struct {
+	r    *Relation
+	cols []int
+}
+
+// Index returns a probe handle for the hash index on cols, building the
+// index if needed.
+func (r *Relation) Index(cols ...int) *Index {
+	sorted, _ := r.normalizeCols(cols, nil)
+	r.EnsureIndex(sorted...)
+	return &Index{r: r, cols: sorted}
+}
+
+// Cols returns the index's column set (sorted ascending).
+func (ix *Index) Cols() []int { return append([]int(nil), ix.cols...) }
+
+// Probe returns the tuples bucketed under the given bound-column values
+// (in the order of Cols).
+func (ix *Index) Probe(vals ...ast.Value) []Tuple {
+	return ix.r.LookupCols(ix.cols, vals)
+}

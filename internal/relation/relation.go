@@ -112,18 +112,17 @@ type Relation struct {
 	arity int
 
 	mu     sync.RWMutex
-	tuples []Tuple          // live tuples in insertion order, nil holes after delete
-	index  map[string]int   // tuple key -> position in tuples
-	holes  int              // number of nil holes in tuples
-	cols   map[int]colIndex // lazily built per-column indexes
+	tuples []Tuple        // live tuples in insertion order, nil holes after delete
+	index  map[string]int // tuple key -> position in tuples
+	holes  int            // number of nil holes in tuples
+	// midx holds the lazily built per-column-set hash indexes, keyed by
+	// column signature ("0,2"); see index.go.
+	midx map[string]*multiIndex
 }
-
-// colIndex maps a column value key to the positions of tuples holding it.
-type colIndex map[string][]int
 
 // New creates an empty relation with the given name and arity.
 func New(name string, arity int) *Relation {
-	return &Relation{name: name, arity: arity, index: map[string]int{}, cols: map[int]colIndex{}}
+	return &Relation{name: name, arity: arity, index: map[string]int{}, midx: map[string]*multiIndex{}}
 }
 
 // Name returns the relation name.
@@ -164,8 +163,9 @@ func (r *Relation) Insert(t Tuple) bool {
 	pos := len(r.tuples)
 	r.tuples = append(r.tuples, t.Clone())
 	r.index[k] = pos
-	for c, ci := range r.cols {
-		ci[t[c].Key()] = append(ci[t[c].Key()], pos)
+	for _, mi := range r.midx {
+		pk := projKey(t, mi.cols)
+		mi.buckets[pk] = append(mi.buckets[pk], pos)
 	}
 	return true
 }
@@ -190,7 +190,8 @@ func (r *Relation) Delete(t Tuple) bool {
 
 // compactLocked removes holes and rebuilds indexes. Caller holds mu. A
 // fresh backing array is allocated so snapshots handed out earlier are
-// never scribbled over.
+// never scribbled over. Hash indexes are rebuilt in place, not dropped:
+// a signature once requested stays warm across compaction.
 func (r *Relation) compactLocked() {
 	live := make([]Tuple, 0, len(r.index))
 	for _, t := range r.tuples {
@@ -204,7 +205,11 @@ func (r *Relation) compactLocked() {
 	for i, t := range live {
 		r.index[t.Key()] = i
 	}
-	r.cols = map[int]colIndex{}
+	sigs := r.midx
+	r.midx = make(map[string]*multiIndex, len(sigs))
+	for _, mi := range sigs {
+		r.buildLocked(mi.cols)
+	}
 }
 
 // snapshot returns the live tuples in insertion order. The slice is fresh
@@ -235,42 +240,17 @@ func (r *Relation) Each(f func(Tuple) bool) {
 // Tuples returns a snapshot slice of all tuples in insertion order.
 func (r *Relation) Tuples() []Tuple { return r.snapshot() }
 
-// Lookup returns the tuples whose column col equals v, using (and lazily
-// building) a hash index on that column. The index build is double-checked
-// under the write lock so concurrent readers race safely.
+// Lookup returns the tuples whose column col equals v — the one-column
+// special case of LookupCols, kept for its lighter call sites.
 func (r *Relation) Lookup(col int, v ast.Value) []Tuple {
-	if col < 0 || col >= r.arity {
-		panic(fmt.Sprintf("relation: column %d out of range for %s/%d", col, r.name, r.arity))
-	}
-	vk := v.Key()
-	r.mu.RLock()
-	ci, ok := r.cols[col]
-	if ok {
-		out := r.gatherLocked(ci, vk)
-		r.mu.RUnlock()
-		return out
-	}
-	r.mu.RUnlock()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ci, ok = r.cols[col]
-	if !ok {
-		ci = colIndex{}
-		for pos, t := range r.tuples {
-			if t != nil {
-				ci[t[col].Key()] = append(ci[t[col].Key()], pos)
-			}
-		}
-		r.cols[col] = ci
-	}
-	return r.gatherLocked(ci, vk)
+	return r.LookupCols([]int{col}, []ast.Value{v})
 }
 
 // gatherLocked collects the live tuples at the indexed positions. Caller
 // holds mu (read or write).
-func (r *Relation) gatherLocked(ci colIndex, key string) []Tuple {
+func (r *Relation) gatherLocked(positions []int) []Tuple {
 	var out []Tuple
-	for _, pos := range ci[key] {
+	for _, pos := range positions {
 		if t := r.tuples[pos]; t != nil {
 			out = append(out, t)
 		}

@@ -135,6 +135,21 @@ func (s *Store) Lookup(name string, col int, v ast.Value) []relation.Tuple {
 	return ts
 }
 
+// LookupCols returns the tuples of the named relation whose projection
+// onto cols equals vals, probing (and lazily building) the relation's
+// hash index on that column set. Only the tuples actually returned are
+// charged to the read counter, so an indexed probe never reads more
+// store tuples than the scan-and-filter it replaces.
+func (s *Store) LookupCols(name string, cols []int, vals []ast.Value) []relation.Tuple {
+	r := s.get(name)
+	if r == nil {
+		return nil
+	}
+	ts := r.LookupCols(cols, vals)
+	s.charge(name, int64(len(ts)))
+	return ts
+}
+
 // Probe reports membership of t in the named relation, charging one read
 // (unlike Contains, which is a free structural check). Evaluators use
 // Probe so that negated-subgoal checks are accounted.
@@ -191,8 +206,17 @@ func (s *Store) Replace(name string, arity int, ts []relation.Tuple) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if r, ok := s.rels[name]; ok && r.Arity() != arity {
-		return fmt.Errorf("store: relation %s has arity %d, requested %d", name, r.Arity(), arity)
+	if r, ok := s.rels[name]; ok {
+		if r.Arity() != arity {
+			return fmt.Errorf("store: relation %s has arity %d, requested %d", name, r.Arity(), arity)
+		}
+		// Carry the old relation's index signatures onto the fresh one, so
+		// repeated Replace cycles (mirror refreshes before every global
+		// evaluation) keep the evaluator's probe indexes warm instead of
+		// rebuilding them lazily mid-join.
+		for _, cols := range r.IndexSignatures() {
+			fresh.EnsureIndex(cols...)
+		}
 	}
 	s.rels[name] = fresh
 	return nil

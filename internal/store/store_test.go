@@ -217,3 +217,56 @@ func TestReplace(t *testing.T) {
 		t.Error("Replace with mis-sized tuple accepted")
 	}
 }
+
+func TestLookupColsCharging(t *testing.T) {
+	s := New()
+	for i := int64(0); i < 10; i++ {
+		if _, err := s.Insert("r", relation.Ints(i%2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A multi-column probe charges only the tuples it returns — that is
+	// the whole point of indexed evaluation under read accounting.
+	ts := s.LookupCols("r", []int{0, 1}, []ast.Value{ast.Int(1), ast.Int(3)})
+	if len(ts) != 1 {
+		t.Fatalf("LookupCols = %d tuples, want 1", len(ts))
+	}
+	if got := s.Reads("r"); got != 1 {
+		t.Errorf("Reads = %d, want 1", got)
+	}
+	// Probing an absent relation returns nil and charges nothing.
+	if ts := s.LookupCols("absent", []int{0}, []ast.Value{ast.Int(1)}); ts != nil {
+		t.Errorf("LookupCols on absent relation = %v", ts)
+	}
+	if got := s.Reads("absent"); got != 0 {
+		t.Errorf("absent relation charged %d reads", got)
+	}
+}
+
+func TestReplaceCarriesIndexSignatures(t *testing.T) {
+	s := New()
+	if _, err := s.Insert("r", relation.Ints(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Build an index through a probe, then Replace: the fresh relation
+	// must come up with the same signature already warm (the netdist
+	// coordinator refreshes its mirror with Replace before every global
+	// evaluation).
+	s.LookupCols("r", []int{0, 1}, []ast.Value{ast.Int(1), ast.Int(2)})
+	if err := s.Replace("r", 2, []relation.Tuple{relation.Ints(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	sigs := s.Relation("r").IndexSignatures()
+	found := false
+	for _, cols := range sigs {
+		if len(cols) == 2 && cols[0] == 0 && cols[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Replace dropped index signatures: %v", sigs)
+	}
+	if ts := s.LookupCols("r", []int{0, 1}, []ast.Value{ast.Int(3), ast.Int(4)}); len(ts) != 1 {
+		t.Fatalf("probe after Replace = %d tuples, want 1", len(ts))
+	}
+}

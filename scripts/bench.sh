@@ -2,10 +2,12 @@
 # Runs the key pipeline benchmarks (-count=5 each) and emits
 # BENCH_pipeline.json, then the networked-runtime benchmarks
 # (BENCH_net.json), then the tracing-overhead benchmarks
-# (BENCH_obs.json): one record per benchmark run with name, iterations
-# and ns/op, suitable for diffing across commits. The obs file is the
-# evidence for EXPERIMENTS.md's claim that the disabled tracer costs
-# ≤5% on the D1 workload.
+# (BENCH_obs.json), then the indexed-join benchmarks (BENCH_eval.json):
+# one record per benchmark run with name, iterations and ns/op, suitable
+# for diffing across commits. The obs file is the evidence for
+# EXPERIMENTS.md's claim that the disabled tracer costs ≤5% on the D1
+# workload; the eval file is the evidence for the indexed-vs-scan
+# speedup claim.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,3 +36,5 @@ bench_to_json 'BenchmarkNetDistLoopback$|BenchmarkDistributedStaged$' \
   "${NET_OUT:-BENCH_net.json}"
 bench_to_json 'BenchmarkTraceOverhead$' \
   "${OBS_OUT:-BENCH_obs.json}"
+bench_to_json 'BenchmarkEvalIndexed$' \
+  "${EVAL_OUT:-BENCH_eval.json}"
