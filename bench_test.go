@@ -442,6 +442,65 @@ func BenchmarkApplyParallel(b *testing.B) {
 	})
 }
 
+// --- compile-once: plan cache A/B -------------------------------------------
+
+// benchApplyCompiled drives the D1 interval stream — every local
+// l-insert followed by a remote-side r-insert — through a checker with
+// the cheap early phases disabled, so each update runs the phase-4
+// global evaluation the plan cache targets. The compiled arm reuses one
+// cached plan per (program, store shape) across the whole stream; the
+// noplancache arm re-derives validation, stratification and join plans
+// on every evaluation, which is exactly what the seed evaluator did.
+func benchApplyCompiled(b *testing.B, opts core.Options) {
+	b.Helper()
+	opts.LocalRelations = []string{"l"}
+	opts.DisableUpdateOnly = true
+	opts.DisableLocalData = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(42))
+		db := store.New()
+		for _, t := range workload.Intervals(rng, 40, 20, 200) {
+			if _, err := db.Insert("l", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := int64(0); j < 100; j++ {
+			if _, err := db.Insert("r", relation.Ints(10000+j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c := core.New(db, opts)
+		if err := c.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+			b.Fatal(err)
+		}
+		var updates []store.Update
+		for k, u := range workload.IntervalInserts(rng, 20, 10, 200, "l") {
+			updates = append(updates, u,
+				store.Ins("r", relation.Ints(20000+int64(k))))
+		}
+		b.StartTimer()
+		for _, u := range updates {
+			if _, err := c.Apply(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkApplyCompiled is the compile-once A/B recorded in
+// BENCH_plan.json: identical workloads, plan cache on vs off
+// (ccheck -noplancache).
+func BenchmarkApplyCompiled(b *testing.B) {
+	b.Run("compiled", func(b *testing.B) {
+		benchApplyCompiled(b, core.Options{})
+	})
+	b.Run("noplancache", func(b *testing.B) {
+		benchApplyCompiled(b, core.Options{DisablePlanCache: true})
+	})
+}
+
 // --- observability: tracing overhead ----------------------------------------
 
 // benchTraceOverhead drives the D1 interval stream through a checker

@@ -26,8 +26,10 @@
 // and the deployment's data-access accounting — as JSON.
 //
 // Global evaluations use hash-index probes with bound-first join
-// planning; -noindex falls back to scan-and-filter evaluation for A/B
-// comparison (see BenchmarkEvalIndexed).
+// planning and reuse compiled evaluation plans across the update stream;
+// -noindex falls back to scan-and-filter evaluation and -noplancache to
+// per-call re-planning for A/B comparison (see BenchmarkEvalIndexed and
+// BenchmarkApplyCompiled).
 package main
 
 import (
@@ -55,6 +57,7 @@ type config struct {
 	local       string
 	workers     int
 	noindex     bool
+	noplancache bool
 	verbose     bool
 	save        string
 	sites       []netdist.SiteSpec
@@ -74,6 +77,7 @@ type flags struct {
 	workers     int
 	workersSet  bool
 	noindex     bool
+	noplancache bool
 	verbose     bool
 	save        string
 	timeout     time.Duration
@@ -101,6 +105,7 @@ func main() {
 		localList       = flag.String("local", "", "comma-separated local relations (default: all local)")
 		workers         = flag.Int("workers", 0, "worker goroutines for constraint dispatch (default: one per CPU)")
 		noindex         = flag.Bool("noindex", false, "disable hash-index probes and bound-first join planning in global evaluations (A/B escape hatch)")
+		noplancache     = flag.Bool("noplancache", false, "disable the compiled evaluation plan cache: re-derive stratification and join plans on every global evaluation (A/B escape hatch)")
 		verbose         = flag.Bool("v", false, "print per-update decisions")
 		savePath        = flag.String("save", "", "write the final database to this file as facts")
 		timeout         = flag.Duration("timeout", 2*time.Second, "per-request deadline for -sites round trips")
@@ -121,7 +126,8 @@ func main() {
 	cfg, err := buildConfig(flags{
 		constraints: *constraintsPath, data: *dataPath, updates: *updatesPath,
 		local: *localList, workers: *workers, workersSet: workersSet, noindex: *noindex,
-		verbose: *verbose, save: *savePath, timeout: *timeout, retries: *retries,
+		noplancache: *noplancache,
+		verbose:     *verbose, save: *savePath, timeout: *timeout, retries: *retries,
 		sites: sites, trace: *trace, traceOut: *traceOut, statsJSON: *statsJSON,
 	})
 	if err != nil {
@@ -143,7 +149,8 @@ func main() {
 func buildConfig(f flags) (config, error) {
 	cfg := config{
 		constraints: f.constraints, data: f.data, updates: f.updates, local: f.local,
-		workers: f.workers, noindex: f.noindex, verbose: f.verbose, save: f.save, timeout: f.timeout, retries: f.retries,
+		workers: f.workers, noindex: f.noindex, noplancache: f.noplancache,
+		verbose: f.verbose, save: f.save, timeout: f.timeout, retries: f.retries,
 		trace: f.trace, traceOut: f.traceOut, statsJSON: f.statsJSON,
 	}
 	if f.constraints == "" || f.updates == "" {
@@ -212,7 +219,7 @@ func run(cfg config) error {
 			return err
 		}
 	}
-	opts := core.Options{LocalRelations: splitList(cfg.local), Workers: cfg.workers, DisableIndexes: cfg.noindex}
+	opts := core.Options{LocalRelations: splitList(cfg.local), Workers: cfg.workers, DisableIndexes: cfg.noindex, DisablePlanCache: cfg.noplancache}
 
 	// Decision tracing: -trace renders to stdout as updates run,
 	// -trace-out appends the same events as JSON lines; both may be on.
@@ -334,6 +341,16 @@ func writeStatsJSON(path string, checker *core.Checker, sys applier) error {
 			"cache_hits":     cs.CacheHits,
 			"cache_misses":   cs.CacheMisses,
 			"cache_hit_rate": cs.CacheHitRate(),
+			// Evaluation machinery counters: the relation layer's
+			// process-wide index accounting (the same values the obs
+			// gauges cc_index_builds/cc_index_probes sample), the compiled
+			// plan cache, and the intern pool size.
+			"index_builds":       relation.IndexBuilds(),
+			"index_probes":       relation.IndexProbes(),
+			"plan_cache_hits":    cs.PlanHits,
+			"plan_cache_misses":  cs.PlanMisses,
+			"plan_cache_entries": cs.PlanEntries,
+			"intern_size":        relation.InternSize(),
 		},
 	}
 	switch s := sys.(type) {

@@ -13,7 +13,9 @@
 // shipped per relation) and exits.
 //
 // Eval subqueries run with hash-index probes and bound-first join
-// planning; -noindex falls back to scan-and-filter evaluation.
+// planning and reuses compiled evaluation plans across requests;
+// -noindex falls back to scan-and-filter evaluation and -noplancache to
+// per-request re-planning.
 //
 // With -http the daemon also serves live endpoints on a second address:
 // /metrics (Prometheus text format: per-op request counters and latency
@@ -43,12 +45,13 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":7070", "address to serve on")
-		dataPath  = flag.String("data", "", "path to this site's facts")
-		relations = flag.String("relations", "", "comma-separated served relations (default: all in -data)")
-		httpAddr  = flag.String("http", "", "address for live endpoints (/metrics, /healthz, /debug/pprof); empty disables")
-		verbose   = flag.Bool("v", false, "log each served relation at startup")
-		noindex   = flag.Bool("noindex", false, "disable hash-index probes and bound-first join planning in Eval subqueries (A/B escape hatch)")
+		listen      = flag.String("listen", ":7070", "address to serve on")
+		dataPath    = flag.String("data", "", "path to this site's facts")
+		relations   = flag.String("relations", "", "comma-separated served relations (default: all in -data)")
+		httpAddr    = flag.String("http", "", "address for live endpoints (/metrics, /healthz, /debug/pprof); empty disables")
+		verbose     = flag.Bool("v", false, "log each served relation at startup")
+		noindex     = flag.Bool("noindex", false, "disable hash-index probes and bound-first join planning in Eval subqueries (A/B escape hatch)")
+		noplancache = flag.Bool("noplancache", false, "disable the compiled evaluation plan cache for Eval subqueries (A/B escape hatch)")
 	)
 	flag.Parse()
 	srv, l, err := setup(*listen, *dataPath, *relations)
@@ -56,7 +59,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccsited:", err)
 		os.Exit(1)
 	}
-	srv.SetEvalOptions(eval.Options{DisableIndexes: *noindex})
+	evalOpts := eval.Options{DisableIndexes: *noindex}
+	if !*noplancache {
+		evalOpts.Cache = eval.NewPlanCache()
+	}
+	srv.SetEvalOptions(evalOpts)
 	fmt.Printf("ccsited: serving on %s\n", l.Addr())
 	if *httpAddr != "" {
 		hl, err := net.Listen("tcp", *httpAddr)

@@ -65,6 +65,13 @@ func (v Value) Compare(w Value) int {
 		return 1
 	}
 	if v.Kind == NumberValue {
+		// Integer fast path: big.Rat.Cmp cross-multiplies via scaleDenom,
+		// allocating on every call, even when both sides are integers —
+		// which is nearly every comparison the evaluator runs. Integral
+		// rationals compare by numerator alone, allocation-free.
+		if v.Num.IsInt() && w.Num.IsInt() {
+			return v.Num.Num().Cmp(w.Num.Num())
+		}
 		return v.Num.Cmp(w.Num)
 	}
 	return strings.Compare(v.Str, w.Str)

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/relation"
 )
 
 // Mapping is a containment mapping: a substitution on the source rule's
@@ -205,7 +206,15 @@ func mappingKey(h Mapping) string {
 	pairs := make([]pair, 0, len(h))
 	size := 0
 	for v, t := range h {
-		p := pair{v, t.Key()}
+		// Constant terms render through the intern pool's precomputed key
+		// table (relation.ValueKey) instead of rebuilding the string; the
+		// mapping search deduplicates after every full assignment, so this
+		// sits on containment's hot path.
+		k := t.Key()
+		if t.IsConst() {
+			k = "C" + relation.ValueKey(t.Const)
+		}
+		p := pair{v, k}
 		pairs = append(pairs, p)
 		size += len(p.v) + len(p.k) + 2
 	}

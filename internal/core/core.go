@@ -142,6 +142,12 @@ type Stats struct {
 	// checker's lifetime (a miss builds the entry; see decisionCache).
 	CacheHits   int64
 	CacheMisses int64
+	// PlanHits/PlanMisses/PlanEntries report the evaluation plan cache
+	// (eval.PlanCache): hits reuse a compiled stratification + join plan,
+	// misses compile one. Zero when Options.DisablePlanCache is set.
+	PlanHits    int64
+	PlanMisses  int64
+	PlanEntries int
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -180,6 +186,11 @@ type Options struct {
 	// bound-first planning with hash-index probes — the A/B escape hatch
 	// behind ccheck -noindex.
 	DisableIndexes bool
+	// DisablePlanCache makes every global evaluation re-derive its goal
+	// pruning, stratification and join plan from scratch instead of
+	// reusing compiled plans across the update stream — the A/B escape
+	// hatch behind ccheck -noplancache.
+	DisablePlanCache bool
 	// Tracer receives the per-update decision trace: one event per phase
 	// attempt per constraint, bracketed by update-begin/update-end. Nil
 	// or disabled tracers keep Apply on the uninstrumented path.
@@ -208,6 +219,10 @@ type Checker struct {
 	progs []*ast.Program
 	fp    uint64 // fingerprint of the current constraint set
 
+	// planCache memoizes compiled evaluations (stratification + join
+	// plans) for the global phase; nil under Options.DisablePlanCache.
+	planCache *eval.PlanCache
+
 	// traceSeq numbers emitted trace events; met holds the registry
 	// handles (nil when Options.Metrics is nil). See trace.go.
 	traceSeq uint64
@@ -217,6 +232,9 @@ type Checker struct {
 // New creates a Checker over db.
 func New(db *store.Store, opts Options) *Checker {
 	c := &Checker{db: db, opts: opts, stats: Stats{ByPhase: map[Phase]int{}}, cache: newDecisionCache()}
+	if !opts.DisablePlanCache {
+		c.planCache = eval.NewPlanCache()
+	}
 	if opts.Metrics != nil {
 		c.met = newCheckerMetrics(opts.Metrics)
 	}
@@ -242,6 +260,9 @@ func (c *Checker) Stats() Stats {
 	}
 	s.CacheHits = c.cache.hits.Load()
 	s.CacheMisses = c.cache.misses.Load()
+	if c.planCache != nil {
+		s.PlanHits, s.PlanMisses, s.PlanEntries = c.planCache.Stats()
+	}
 	return s
 }
 
@@ -261,6 +282,12 @@ func (c *Checker) refreshSet() {
 	}
 	c.fp = h.Sum64()
 	c.cache.invalidate()
+	if c.planCache != nil {
+		// Compiled plans key on program identity; a removed constraint's
+		// plans would merely linger, but invalidating reclaims them and
+		// keeps the add/remove semantics symmetric with the decision cache.
+		c.planCache.Invalidate()
+	}
 }
 
 // Constraints returns the managed constraints' names in order.
@@ -357,7 +384,7 @@ func (c *Checker) prepare(k *Constraint) {
 // evalOpts translates the checker options into evaluation options for
 // the global phase (constraint admission and CheckAll included).
 func (c *Checker) evalOpts() eval.Options {
-	return eval.Options{DisableIndexes: c.opts.DisableIndexes}
+	return eval.Options{DisableIndexes: c.opts.DisableIndexes, Cache: c.planCache}
 }
 
 // isLocal reports whether the relation is resident at the checking site.
@@ -622,6 +649,7 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	if c.met != nil {
 		c.met.applySeconds.Observe(time.Since(applyStart).Seconds())
 		c.met.sampleIndexCounters()
+		c.met.samplePlanCounters(c.planCache)
 	}
 	return rep, nil
 }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestPlanCacheInvalidatedOnConstraintChange pins the refreshSet
+// contract: plans accumulate across Apply calls and are dropped — not
+// merely orphaned — whenever the constraint set changes.
+func TestPlanCacheInvalidatedOnConstraintChange(t *testing.T) {
+	c := newChecker(t, "l(30,60). r(40).",
+		Options{DisableUpdateOnly: true, DisableLocalData: true})
+	if err := c.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & Y < X."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(store.Ins("r", relation.Ints(41))); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.PlanEntries == 0 {
+		t.Fatalf("no plans cached after a global-phase Apply: %+v", s)
+	}
+	if err := c.AddConstraintSource("fi2", "panic :- r(Z) & Z > 10000."); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.PlanEntries != 0 {
+		t.Fatalf("AddConstraint left %d cached plans", s.PlanEntries)
+	}
+	if _, err := c.Apply(store.Ins("r", relation.Ints(42))); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.PlanEntries == 0 {
+		t.Fatal("cache did not repopulate after Apply")
+	}
+	if !c.RemoveConstraint("fi2") {
+		t.Fatal("RemoveConstraint(fi2) found nothing")
+	}
+	if s := c.Stats(); s.PlanEntries != 0 {
+		t.Fatalf("RemoveConstraint left %d cached plans", s.PlanEntries)
+	}
+}
+
+// TestPlanCacheDisabled is the -noplancache escape hatch: no plan
+// counters may move.
+func TestPlanCacheDisabled(t *testing.T) {
+	c := newChecker(t, "l(30,60). r(40).",
+		Options{DisablePlanCache: true, DisableUpdateOnly: true, DisableLocalData: true})
+	if err := c.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & Y < X."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(store.Ins("r", relation.Ints(41))); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.PlanHits != 0 || s.PlanMisses != 0 || s.PlanEntries != 0 {
+		t.Fatalf("disabled plan cache has activity: %+v", s)
+	}
+}
+
+// applyPlanStream drives one randomized interval stream through a
+// checker with the given options and returns the per-update
+// applied/violated outcomes.
+func applyPlanStream(t *testing.T, opts Options) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	db := store.New()
+	for _, tu := range workload.Intervals(rng, 20, 20, 200) {
+		if _, err := db.Insert("l", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts.LocalRelations = []string{"l"}
+	c := New(db, opts)
+	for i, src := range []string{
+		"panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.",
+		"panic :- l(X,Y) & Y < X.",
+		"panic :- r(Z) & Z < 0.",
+		"panic :- l(X,Y) & s(Z) & Y < Z & Z < X.",
+	} {
+		if err := c.AddConstraintSource(fmt.Sprintf("k%d", i), src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out []string
+	for i := 0; i < 30; i++ {
+		var u store.Update
+		switch i % 3 {
+		case 0:
+			u = store.Ins("l", relation.Ints(rng.Int63n(100), 200+rng.Int63n(100)))
+		case 1:
+			u = store.Ins("r", relation.Ints(300+rng.Int63n(50)))
+		default:
+			u = store.Ins("r", relation.Ints(rng.Int63n(250)))
+		}
+		rep, err := c.Apply(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := rep.Violations()
+		sort.Strings(v)
+		out = append(out, fmt.Sprintf("applied=%v violations=%v", rep.Applied, v))
+	}
+	return out
+}
+
+// TestApplyParallelPlanCacheAgrees runs the same stream through the
+// parallel dispatch pipeline with the plan cache enabled (many
+// constraint goroutines sharing one cache per Apply — the configuration
+// the CI race job exercises) and through the serial no-cache pipeline;
+// every update must get the identical verdict.
+func TestApplyParallelPlanCacheAgrees(t *testing.T) {
+	cached := applyPlanStream(t, Options{Workers: 8,
+		DisableUpdateOnly: true, DisableLocalData: true, DisableCache: true})
+	plain := applyPlanStream(t, Options{Workers: 1, DisablePlanCache: true,
+		DisableUpdateOnly: true, DisableLocalData: true, DisableCache: true})
+	if len(cached) != len(plain) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(cached), len(plain))
+	}
+	for i := range cached {
+		if cached[i] != plain[i] {
+			t.Fatalf("update %d: cached arm %q, no-cache arm %q", i, cached[i], plain[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/relation"
 )
@@ -81,6 +82,9 @@ type checkerMetrics struct {
 	applySeconds *obs.Histogram
 	indexBuilds  *obs.Gauge
 	indexProbes  *obs.Gauge
+	planHits     *obs.Gauge
+	planMisses   *obs.Gauge
+	internSize   *obs.Gauge
 }
 
 // newCheckerMetrics registers the checker's metric families on reg.
@@ -92,6 +96,9 @@ func newCheckerMetrics(reg *obs.Registry) *checkerMetrics {
 		applySeconds: reg.Histogram("cc_checker_apply_seconds", "wall clock per Apply", nil),
 		indexBuilds:  reg.Gauge("cc_index_builds", "process-wide hash-index builds (relation layer)"),
 		indexProbes:  reg.Gauge("cc_index_probes", "process-wide hash-index probes (relation layer)"),
+		planHits:     reg.Gauge("cc_plan_cache_hits", "compiled evaluation plans reused from the plan cache"),
+		planMisses:   reg.Gauge("cc_plan_cache_misses", "compiled evaluation plans built on a cache miss"),
+		internSize:   reg.Gauge("cc_intern_size", "distinct constants in the process-wide intern pool"),
 	}
 }
 
@@ -100,4 +107,16 @@ func newCheckerMetrics(reg *obs.Registry) *checkerMetrics {
 func (m *checkerMetrics) sampleIndexCounters() {
 	m.indexBuilds.Set(relation.IndexBuilds())
 	m.indexProbes.Set(relation.IndexProbes())
+}
+
+// samplePlanCounters mirrors the plan-cache counters and the intern-pool
+// size into the registry; called once per Apply. pc may be nil
+// (Options.DisablePlanCache), in which case the plan gauges stay zero.
+func (m *checkerMetrics) samplePlanCounters(pc *eval.PlanCache) {
+	if pc != nil {
+		hits, misses, _ := pc.Stats()
+		m.planHits.Set(hits)
+		m.planMisses.Set(misses)
+	}
+	m.internSize.Set(relation.InternSize())
 }

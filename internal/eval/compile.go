@@ -1,0 +1,252 @@
+package eval
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/store"
+)
+
+// Compile-once evaluation. Every piece of per-call preparation the
+// evaluator used to redo on each Eval/GoalHolds — goal pruning,
+// validation, stratification, bound-first join planning, subgoal-arity
+// checks against the database — is hoisted into a compiled object that
+// depends only on (program, goal, index mode, store shape). A PlanCache
+// memoizes compiled objects across the update stream, so the steady
+// state of Checker.Apply runs ready-made plans: the per-update cost is
+// the join itself, not re-deriving how to join.
+
+// stratumPlan is one stratum with its evaluation bookkeeping
+// precomputed: the rules deriving its predicates, whether the stratum is
+// recursive (needs semi-naive iteration), and the membership set the
+// semi-naive rewriting consults per body literal.
+type stratumPlan struct {
+	preds     []string
+	rules     []*ast.Rule
+	recursive bool
+	inLayer   map[string]bool
+}
+
+// compiled is a ready-to-run evaluation: the (goal-pruned) program, its
+// strata, and one join plan per rule with the subgoal arity checks
+// already folded in. A compiled object is immutable after construction
+// and safe to share across concurrent evaluations.
+type compiled struct {
+	prog *ast.Program
+	// goal is the predicate GoalHolds stops on; empty for full Eval.
+	goal string
+	// noRules marks a goal with no deriving rules after pruning: the
+	// goal is trivially underivable and nothing else is compiled.
+	noRules bool
+	strata  []stratumPlan
+	// goalLevel is the stratum index of the goal predicate (-1 when no
+	// goal): evaluation stops at the first derivation in that stratum.
+	goalLevel int
+	plans     map[*ast.Rule]*rulePlan
+	// idbArity maps each derived predicate to its arity, for allocating
+	// result relations without re-walking the program.
+	idbArity map[string]int
+}
+
+// compile builds the ready-to-run evaluation for prog (pruned to goal
+// when goal is non-empty) against the current shape of db. The database
+// matters only through its shape — which relations exist, with which
+// arities — never through its tuples, which is what makes compiled
+// objects cacheable across the update stream.
+func compile(prog *ast.Program, db *store.Store, goal string, opts Options) (*compiled, error) {
+	c := &compiled{prog: prog, goal: goal, goalLevel: -1}
+	if goal != "" {
+		c.prog = pruneToGoal(prog, goal)
+		if len(c.prog.RulesFor(goal)) == 0 {
+			c.noRules = true
+			return c, nil
+		}
+	}
+	if err := c.prog.Validate(); err != nil {
+		return nil, err
+	}
+	layers, err := Stratify(c.prog)
+	if err != nil {
+		return nil, err
+	}
+	arity := c.prog.Preds()
+	idb := c.prog.IDBPreds()
+	c.idbArity = make(map[string]int, len(idb))
+	for p := range idb {
+		c.idbArity[p] = arity[p]
+	}
+	c.plans = make(map[*ast.Rule]*rulePlan)
+	for i, layer := range layers {
+		sp := stratumPlan{preds: layer, inLayer: make(map[string]bool, len(layer))}
+		for _, p := range layer {
+			sp.inLayer[p] = true
+			if p == goal {
+				c.goalLevel = i
+			}
+			sp.rules = append(sp.rules, c.prog.RulesFor(p)...)
+		}
+		for _, r := range sp.rules {
+			for _, l := range r.Body {
+				if !l.IsComp() && sp.inLayer[l.Atom.Pred] {
+					sp.recursive = true
+				}
+			}
+			if _, ok := c.plans[r]; ok {
+				continue
+			}
+			p, err := planRule(r, !opts.DisableIndexes)
+			if err != nil {
+				return nil, err
+			}
+			// Validate subgoal arities once, at compile time: a stored
+			// relation whose arity disagrees with the atom can never match
+			// it (Insert enforces uniform arity within a relation), so the
+			// step is marked empty and the join loop needs no per-tuple
+			// length check. IDB and delta relations are allocated from the
+			// program's own arity map and cannot disagree. Relation
+			// creation bumps the store's schema version, so a cached plan
+			// never outlives the shape it validated against.
+			for si := range p.steps {
+				st := &p.steps[si]
+				if !st.lit.IsPos() || idb[st.lit.Atom.Pred] {
+					continue
+				}
+				if rel := db.Relation(st.lit.Atom.Pred); rel != nil && rel.Arity() != len(st.lit.Atom.Args) {
+					st.empty = true
+				}
+			}
+			c.plans[r] = p
+		}
+		c.strata = append(c.strata, sp)
+	}
+	return c, nil
+}
+
+// compiledFor resolves the compiled evaluation for the call, through the
+// options' plan cache when one is attached and by direct compilation
+// otherwise.
+func compiledFor(prog *ast.Program, db *store.Store, goal string, opts Options) (*compiled, error) {
+	if opts.Cache != nil {
+		return opts.Cache.compiledFor(prog, db, goal, opts)
+	}
+	return compile(prog, db, goal, opts)
+}
+
+// planKey identifies a compiled evaluation: the program content
+// fingerprint, the goal adornment, the index mode, and the store shape
+// (identity + schema version). The store's identity must participate —
+// compiled plans bake in arity checks against one particular database,
+// and schema counters of distinct stores advance independently, so
+// (fp, goal, schema) alone could alias two stores.
+type planKey struct {
+	fp      uint64
+	goal    string
+	noIndex bool
+	storeID uint64
+	schema  uint64
+}
+
+const (
+	// planCacheCap bounds the compiled-plan map; at the cap the map is
+	// reset wholesale (same policy as core's decision cache — entries
+	// are recomputable, so eviction precision is not worth the
+	// bookkeeping).
+	planCacheCap = 4096
+	// planFPCap bounds the program-pointer → fingerprint memo.
+	planFPCap = 4096
+)
+
+// PlanCache memoizes compiled evaluations across calls. It is safe for
+// concurrent use; core.Checker attaches one to its evaluation options so
+// every phase-4 global check and admission check reuses plans across the
+// update stream. Structural store changes (relation creation, Replace,
+// EnsureIndex) advance the store's schema version and thereby miss the
+// cache naturally; constraint-set changes must call Invalidate.
+type PlanCache struct {
+	mu sync.Mutex
+	// fps memoizes program fingerprints by pointer identity: constraint
+	// programs are parsed once and reused across the update stream, so
+	// the (allocating) content hash is computed once per program, not
+	// once per call.
+	fps     map[*ast.Program]uint64
+	entries map[planKey]*compiled
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewPlanCache creates an empty plan cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{
+		fps:     make(map[*ast.Program]uint64),
+		entries: make(map[planKey]*compiled),
+	}
+}
+
+// Stats returns the cumulative hit/miss counters and the current number
+// of cached compiled evaluations.
+func (pc *PlanCache) Stats() (hits, misses int64, entries int) {
+	pc.mu.Lock()
+	entries = len(pc.entries)
+	pc.mu.Unlock()
+	return pc.hits.Load(), pc.misses.Load(), entries
+}
+
+// Invalidate drops every cached plan (the fingerprint memo survives: it
+// keys on program identity, which outlives any store or constraint-set
+// change). Call it when the constraint set changes.
+func (pc *PlanCache) Invalidate() {
+	pc.mu.Lock()
+	pc.entries = make(map[planKey]*compiled)
+	pc.mu.Unlock()
+}
+
+// fingerprintLocked returns the content fingerprint for prog, memoized
+// by pointer. Caller holds pc.mu.
+func (pc *PlanCache) fingerprintLocked(prog *ast.Program) uint64 {
+	if fp, ok := pc.fps[prog]; ok {
+		return fp
+	}
+	h := fnv.New64a()
+	h.Write([]byte(prog.String()))
+	fp := h.Sum64()
+	if len(pc.fps) >= planFPCap {
+		pc.fps = make(map[*ast.Program]uint64)
+	}
+	pc.fps[prog] = fp
+	return fp
+}
+
+// compiledFor returns the cached compiled evaluation for the call,
+// compiling and caching on miss. Compilation runs outside the lock —
+// concurrent first calls may compile twice, but both results are
+// identical and one simply wins the store.
+func (pc *PlanCache) compiledFor(prog *ast.Program, db *store.Store, goal string, opts Options) (*compiled, error) {
+	pc.mu.Lock()
+	key := planKey{
+		fp:      pc.fingerprintLocked(prog),
+		goal:    goal,
+		noIndex: opts.DisableIndexes,
+		storeID: db.ID(),
+		schema:  db.SchemaVersion(),
+	}
+	if e, ok := pc.entries[key]; ok {
+		pc.mu.Unlock()
+		pc.hits.Add(1)
+		return e, nil
+	}
+	pc.mu.Unlock()
+	e, err := compile(prog, db, goal, opts)
+	if err != nil {
+		return nil, err // compile errors are not cached
+	}
+	pc.misses.Add(1)
+	pc.mu.Lock()
+	if len(pc.entries) >= planCacheCap {
+		pc.entries = make(map[planKey]*compiled)
+	}
+	pc.entries[key] = e
+	pc.mu.Unlock()
+	return e, nil
+}

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/relation"
@@ -42,6 +43,11 @@ type Options struct {
 	// single-column lookup on the first constant argument) instead of a
 	// hash probe on the full bound-column signature.
 	DisableIndexes bool
+	// Cache, when non-nil, memoizes compiled evaluations (pruning,
+	// stratification, join plans, arity checks) across calls — see
+	// PlanCache. Without a cache every call compiles afresh, which is
+	// the -noplancache A/B arm.
+	Cache *PlanCache
 }
 
 // Eval computes the stratified fixpoint of prog over the extensional
@@ -54,33 +60,29 @@ func Eval(prog *ast.Program, db *store.Store) (*Result, error) {
 
 // EvalWith is Eval with explicit evaluation options.
 func EvalWith(prog *ast.Program, db *store.Store, opts Options) (*Result, error) {
-	if err := prog.Validate(); err != nil {
-		return nil, err
-	}
-	strata, err := Stratify(prog)
+	c, err := compiledFor(prog, db, "", opts)
 	if err != nil {
 		return nil, err
 	}
-	ev, res, err := newEvaluator(prog, db, opts)
-	if err != nil {
-		return nil, err
-	}
-	for _, layer := range strata {
-		if err := ev.evalStratum(layer); err != nil {
+	ev, res := newEvaluator(c, db, opts)
+	defer ev.release()
+	for i := range c.strata {
+		if err := ev.evalStratum(&c.strata[i]); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
 }
 
-// newEvaluator allocates evaluation state (empty IDB relations) for prog.
-func newEvaluator(prog *ast.Program, db *store.Store, opts Options) (*evaluator, *Result, error) {
-	arity := prog.Preds()
-	res := &Result{idb: map[string]*relation.Relation{}}
-	for pred := range prog.IDBPreds() {
-		res.idb[pred] = relation.New(pred, arity[pred])
+// newEvaluator allocates evaluation state (empty IDB relations) for the
+// compiled program and borrows pooled scratch buffers; callers must
+// release() the evaluator when done.
+func newEvaluator(c *compiled, db *store.Store, opts Options) (*evaluator, *Result) {
+	res := &Result{idb: make(map[string]*relation.Relation, len(c.idbArity))}
+	for pred, ar := range c.idbArity {
+		res.idb[pred] = relation.New(pred, ar)
 	}
-	return &evaluator{prog: prog, db: db, res: res, opts: opts}, res, nil
+	return &evaluator{comp: c, db: db, res: res, opts: opts, scr: scratchPool.Get().(*scratch)}, res
 }
 
 // PanicHolds evaluates the constraint program and reports whether panic
@@ -93,117 +95,123 @@ func PanicHolds(prog *ast.Program, db *store.Store) (bool, error) {
 	return res.Holds(ast.PanicPred), nil
 }
 
-// evaluator carries evaluation state for one Eval call.
+// evaluator carries evaluation state for one Eval call. The compiled
+// object it runs is shared and read-only; all mutable state (result
+// relations, scratch buffers) is per-evaluator.
 type evaluator struct {
-	prog  *ast.Program
-	db    *store.Store
-	res   *Result
-	opts  Options
-	plans map[*ast.Rule]*rulePlan
+	comp *compiled
+	db   *store.Store
+	res  *Result
+	opts Options
+	scr  *scratch
 	// stopWhenNonEmpty, when set, aborts evaluation with errGoalDerived
 	// as soon as the named predicate derives a tuple (GoalHolds).
 	stopWhenNonEmpty string
 }
 
-func (ev *evaluator) planFor(r *ast.Rule) (*rulePlan, error) {
-	if ev.plans == nil {
-		ev.plans = map[*ast.Rule]*rulePlan{}
+// release returns the evaluator's scratch to the pool. The substitution
+// may hold bindings when evaluation unwound through errGoalDerived, so
+// it is cleared here rather than trusting the backtracking trail.
+func (ev *evaluator) release() {
+	if ev.scr != nil {
+		clear(ev.scr.subst)
+		scratchPool.Put(ev.scr)
+		ev.scr = nil
 	}
-	if p, ok := ev.plans[r]; ok {
+}
+
+func (ev *evaluator) planFor(r *ast.Rule) (*rulePlan, error) {
+	if p, ok := ev.comp.plans[r]; ok {
 		return p, nil
 	}
-	p, err := planRule(r, !ev.opts.DisableIndexes)
-	if err != nil {
-		return nil, err
+	// Unreachable in practice — compile() plans every rule of every
+	// stratum — but fall back to a throwaway plan rather than panic.
+	return planRule(r, !ev.opts.DisableIndexes)
+}
+
+// scratch holds the per-evaluation reusable buffers: one levelScratch
+// per join depth plus the head-tuple buffer and the binding map. Pooled
+// so the steady-state apply stream re-allocates none of it.
+type scratch struct {
+	subst  ast.Subst
+	head   []ast.Value
+	levels []levelScratch
+}
+
+// levelScratch is the per-join-depth scratch: resolved atom arguments,
+// probe values (or the ground tuple of a negated subgoal), fetched
+// candidate tuples, and the backtracking trail. Levels never alias —
+// joinLoop recursion strictly increases the depth.
+type levelScratch struct {
+	args  []ast.Term
+	vals  []ast.Value
+	tups  []relation.Tuple
+	trail []string
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{subst: ast.Subst{}} }}
+
+// level returns the scratch for join depth i, growing the ladder on
+// first use.
+func (sc *scratch) level(i int) *levelScratch {
+	for len(sc.levels) <= i {
+		sc.levels = append(sc.levels, levelScratch{})
 	}
-	// Validate subgoal arities once, here: a stored relation whose arity
-	// disagrees with the atom can never match it (Insert enforces uniform
-	// arity within a relation), so the step is marked empty and the join
-	// loop needs no per-tuple length check. IDB and delta relations are
-	// allocated from the program's own arity map and cannot disagree.
-	idb := ev.prog.IDBPreds()
-	for i := range p.steps {
-		st := &p.steps[i]
-		if !st.lit.IsPos() || idb[st.lit.Atom.Pred] {
-			continue
-		}
-		if rel := ev.db.Relation(st.lit.Atom.Pred); rel != nil && rel.Arity() != len(st.lit.Atom.Args) {
-			st.empty = true
-		}
-	}
-	ev.plans[r] = p
-	return p, nil
+	return &sc.levels[i]
 }
 
 // evalStratum computes the fixpoint of the (possibly mutually recursive)
-// predicates in layer. Lower strata are complete; negation may refer only
-// to them or to EDB relations.
-func (ev *evaluator) evalStratum(layer []string) error {
-	inLayer := map[string]bool{}
-	for _, p := range layer {
-		inLayer[p] = true
-	}
-	var rules []*ast.Rule
-	for _, p := range layer {
-		rules = append(rules, ev.prog.RulesFor(p)...)
-	}
-	recursive := false
-	for _, r := range rules {
-		for _, l := range r.Body {
-			if !l.IsComp() && inLayer[l.Atom.Pred] {
-				recursive = true
-			}
-		}
-	}
-	if !recursive {
-		for _, r := range rules {
-			if err := ev.applyRule(r, nil, -1, nil); err != nil {
+// predicates in the stratum. Lower strata are complete; negation may
+// refer only to them or to EDB relations. Stratum membership, rule
+// lists, and the recursive flag come precomputed from compile().
+func (ev *evaluator) evalStratum(sp *stratumPlan) error {
+	if !sp.recursive {
+		for _, r := range sp.rules {
+			if err := ev.applyRule(r, nil, -1, nil, sp); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	// Semi-naive iteration. delta holds the tuples new in the previous
-	// round, per layer predicate.
-	delta := map[string]*relation.Relation{}
-	for _, p := range layer {
+	// round, per stratum predicate; the two delta generations ping-pong
+	// via Reset instead of allocating fresh relations per round (Reset
+	// keeps backing storage and built index signatures warm).
+	delta := make(map[string]*relation.Relation, len(sp.preds))
+	next := make(map[string]*relation.Relation, len(sp.preds))
+	for _, p := range sp.preds {
 		delta[p] = relation.New(p, ev.res.idb[p].Arity())
+		next[p] = relation.New(p, ev.res.idb[p].Arity())
 	}
 	// Round 0: evaluate every rule with no delta restriction; everything
 	// derived seeds the delta.
-	for _, r := range rules {
-		if err := ev.applyRule(r, delta, -1, nil); err != nil {
+	for _, r := range sp.rules {
+		if err := ev.applyRule(r, delta, -1, nil, sp); err != nil {
 			return err
 		}
 	}
 	for {
-		next := map[string]*relation.Relation{}
-		for _, p := range layer {
-			next[p] = relation.New(p, ev.res.idb[p].Arity())
+		for _, p := range sp.preds {
+			next[p].Reset()
 		}
 		any := false
-		for _, r := range rules {
-			// One pass per occurrence of a layer predicate: occurrence i
+		for _, r := range sp.rules {
+			// One pass per occurrence of a stratum predicate: occurrence i
 			// reads the previous delta, occurrences before i read the
 			// full current relation, and so do occurrences after i (the
 			// standard semi-naive rewriting over-approximates slightly
 			// by using full relations on both sides; it remains correct
 			// and terminates because results are deduplicated).
-			occ := 0
 			for bi, l := range r.Body {
-				if l.IsComp() || l.IsNeg() || !inLayer[l.Atom.Pred] {
+				if l.IsComp() || l.IsNeg() || !sp.inLayer[l.Atom.Pred] {
 					continue
 				}
-				if err := ev.applyRule(r, next, bi, delta); err != nil {
+				if err := ev.applyRule(r, next, bi, delta, sp); err != nil {
 					return err
 				}
-				occ++
-			}
-			if occ == 0 {
-				continue // non-recursive rule: already applied in round 0
 			}
 		}
-		for _, p := range layer {
+		for _, p := range sp.preds {
 			if next[p].Len() > 0 {
 				any = true
 			}
@@ -211,7 +219,7 @@ func (ev *evaluator) evalStratum(layer []string) error {
 		if !any {
 			return nil
 		}
-		delta = next
+		delta, next = next, delta
 	}
 }
 
@@ -219,21 +227,32 @@ func (ev *evaluator) evalStratum(layer []string) error {
 // result. When deltaPos >= 0, the positive body literal at that index
 // ranges over delta[pred] instead of the full relation. Newly derived
 // tuples (not already present) are also added to newOut when non-nil.
-func (ev *evaluator) applyRule(r *ast.Rule, newOut map[string]*relation.Relation, deltaPos int, delta map[string]*relation.Relation) error {
+func (ev *evaluator) applyRule(r *ast.Rule, newOut map[string]*relation.Relation, deltaPos int, delta map[string]*relation.Relation, sp *stratumPlan) error {
 	plan, err := ev.planFor(r)
 	if err != nil {
 		return err
 	}
+	scr := ev.scr
+	clear(scr.subst)
 	emit := func(s ast.Subst) error {
-		head := r.Head.Apply(s)
-		t, err := relation.TermsToTuple(head.Args)
-		if err != nil {
-			return fmt.Errorf("eval: derived non-ground head %s (unsafe rule?)", head)
+		// Build the head tuple into the pooled buffer; Insert dedups
+		// before cloning, so the buffer may be reused immediately.
+		ht := scr.head[:0]
+		for _, a := range r.Head.Args {
+			if a.IsVar() {
+				b, ok := s[a.Var]
+				if !ok || !b.IsConst() {
+					return fmt.Errorf("eval: derived non-ground head %s (unsafe rule?)", r.Head)
+				}
+				a = b
+			}
+			ht = append(ht, a.Const)
 		}
-		if ev.res.idb[r.Head.Pred].Insert(t) {
+		scr.head = ht
+		if ev.res.idb[r.Head.Pred].Insert(relation.Tuple(ht)) {
 			if newOut != nil {
 				if d, ok := newOut[r.Head.Pred]; ok {
-					d.Insert(t)
+					d.Insert(relation.Tuple(ht))
 				}
 			}
 			if r.Head.Pred == ev.stopWhenNonEmpty {
@@ -242,7 +261,7 @@ func (ev *evaluator) applyRule(r *ast.Rule, newOut map[string]*relation.Relation
 		}
 		return nil
 	}
-	return ev.joinLoop(plan, 0, ast.Subst{}, deltaPos, delta, emit)
+	return ev.joinLoop(plan, 0, scr.subst, deltaPos, delta, emit)
 }
 
 // rulePlan is an evaluation order for the body: positive atoms
@@ -380,25 +399,30 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 	if si == len(plan.steps) {
 		return emit(s)
 	}
-	step := plan.steps[si]
+	step := &plan.steps[si]
 	switch {
 	case step.lit.IsComp():
-		l := step.lit.Apply(s)
-		v, ground := l.Comp.Ground()
-		if !ground {
-			return fmt.Errorf("eval: comparison %s not ground at evaluation time", l.Comp)
+		c := step.lit.Comp
+		l, r := s.Resolve(c.Left), s.Resolve(c.Right)
+		if !l.IsConst() || !r.IsConst() {
+			return fmt.Errorf("eval: comparison %s not ground at evaluation time", c)
 		}
-		if !v {
+		if !c.Op.Eval(l.Const, r.Const) {
 			return nil
 		}
 		return ev.joinLoop(plan, si+1, s, deltaPos, delta, emit)
 	case step.lit.IsNeg():
-		l := step.lit.Apply(s)
-		t, err := relation.TermsToTuple(l.Atom.Args)
-		if err != nil {
-			return fmt.Errorf("eval: negated subgoal %s not ground at evaluation time", l.Atom)
+		lv := ev.scr.level(si)
+		vals := lv.vals[:0]
+		for _, a := range step.lit.Atom.Args {
+			a = s.Resolve(a)
+			if !a.IsConst() {
+				return fmt.Errorf("eval: negated subgoal %s not ground at evaluation time", step.lit.Atom)
+			}
+			vals = append(vals, a.Const)
 		}
-		if ev.contains(l.Atom.Pred, t) {
+		lv.vals = vals
+		if ev.contains(step.lit.Atom.Pred, relation.Tuple(vals)) {
 			return nil
 		}
 		return ev.joinLoop(plan, si+1, s, deltaPos, delta, emit)
@@ -407,16 +431,21 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 			return nil // stored arity disagrees with the atom: no match possible
 		}
 		// Resolve the atom's arguments against the bindings made by
-		// earlier steps, once. Candidates arrive pre-matched on every
-		// ground position (indexed probe or constant filter), so the loop
-		// below only binds the free variables and checks variables
-		// repeated within this atom.
-		atom := step.lit.Atom.Apply(s)
-		var trail []string
-		for _, t := range ev.fetch(&step, atom, step.bodyIndex == deltaPos, delta) {
+		// earlier steps, once, into this level's scratch. Candidates
+		// arrive pre-matched on every ground position (indexed probe or
+		// constant filter), so the loop below only binds the free
+		// variables and checks variables repeated within this atom.
+		lv := ev.scr.level(si)
+		args := lv.args[:0]
+		for _, a := range step.lit.Atom.Args {
+			args = append(args, s.Resolve(a))
+		}
+		lv.args = args
+		trail := lv.trail[:0]
+		for _, t := range ev.fetch(lv, step, step.bodyIndex == deltaPos, delta) {
 			ok := true
 			n0 := len(trail)
-			for i, arg := range atom.Args {
+			for i, arg := range args {
 				if arg.IsConst() {
 					continue // guaranteed equal by the probe / constant filter
 				}
@@ -434,6 +463,7 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 			}
 			if ok {
 				if err := ev.joinLoop(plan, si+1, s, deltaPos, delta, emit); err != nil {
+					lv.trail = trail
 					return err
 				}
 			}
@@ -442,6 +472,7 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 				trail = trail[:len(trail)-1]
 			}
 		}
+		lv.trail = trail
 		return nil
 	}
 }
@@ -450,39 +481,46 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 // probe on the step's full bound-column signature by default, or the
 // seed scan-and-filter under DisableIndexes. useDelta restricts an IDB
 // predicate of the current stratum to the previous round's delta (delta
-// relations build their own transient indexes, refreshed each semi-naive
-// round because each round allocates fresh deltas).
-func (ev *evaluator) fetch(step *planStep, atom ast.Atom, useDelta bool, delta map[string]*relation.Relation) []relation.Tuple {
+// relations carry their own indexes: Reset clears the buckets but keeps
+// the signatures, and Insert maintains them incrementally). The indexed
+// paths append into the level's reusable buffers, so the steady state
+// fetches without allocating.
+func (ev *evaluator) fetch(lv *levelScratch, step *planStep, useDelta bool, delta map[string]*relation.Relation) []relation.Tuple {
+	pred := step.lit.Atom.Pred
 	if ev.opts.DisableIndexes {
-		return ev.scan(atom, useDelta, delta)
+		return ev.scan(ast.Atom{Pred: pred, Args: lv.args}, useDelta, delta)
 	}
 	cols := step.probeCols
-	var vals []ast.Value
-	if len(cols) > 0 {
-		vals = make([]ast.Value, len(cols))
-		for i, c := range cols {
-			vals[i] = atom.Args[c].Const
-		}
+	vals := lv.vals[:0]
+	for _, c := range cols {
+		vals = append(vals, lv.args[c].Const)
 	}
-	if useDelta {
-		if d, ok := delta[atom.Pred]; ok {
-			if len(cols) == 0 {
-				return d.Tuples()
-			}
-			return d.LookupCols(cols, vals)
-		}
-	}
-	if rel, ok := ev.res.idb[atom.Pred]; ok {
-		// IDB relations are not charged: they are derived scratch space.
+	lv.vals = vals
+	dst := lv.tups[:0]
+	switch {
+	case useDelta && delta[pred] != nil:
+		d := delta[pred]
 		if len(cols) == 0 {
-			return rel.Tuples()
+			dst = d.TuplesAppend(dst)
+		} else {
+			dst = d.LookupColsAppend(dst, cols, vals)
 		}
-		return rel.LookupCols(cols, vals)
+	default:
+		if rel, ok := ev.res.idb[pred]; ok {
+			// IDB relations are not charged: they are derived scratch space.
+			if len(cols) == 0 {
+				dst = rel.TuplesAppend(dst)
+			} else {
+				dst = rel.LookupColsAppend(dst, cols, vals)
+			}
+		} else if len(cols) == 0 {
+			dst = ev.db.TuplesAppend(dst, pred)
+		} else {
+			dst = ev.db.LookupColsAppend(dst, pred, cols, vals)
+		}
 	}
-	if len(cols) == 0 {
-		return ev.db.Tuples(atom.Pred)
-	}
-	return ev.db.LookupCols(atom.Pred, cols, vals)
+	lv.tups = dst
+	return dst
 }
 
 // contains checks membership in an IDB result or the EDB store; EDB

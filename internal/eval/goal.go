@@ -21,40 +21,28 @@ func GoalHolds(prog *ast.Program, db *store.Store, goal string) (bool, error) {
 	return GoalHoldsWith(prog, db, goal, Options{})
 }
 
-// GoalHoldsWith is GoalHolds with explicit evaluation options.
+// GoalHoldsWith is GoalHolds with explicit evaluation options. The
+// pruning, validation, stratification and join planning all live in the
+// compiled object, cached across calls when opts.Cache is set.
 func GoalHoldsWith(prog *ast.Program, db *store.Store, goal string, opts Options) (bool, error) {
-	pruned := pruneToGoal(prog, goal)
-	if len(pruned.RulesFor(goal)) == 0 {
+	c, err := compiledFor(prog, db, goal, opts)
+	if err != nil {
+		return false, err
+	}
+	if c.noRules {
 		return false, nil // goal underivable: no rules at all
 	}
-	if err := pruned.Validate(); err != nil {
-		return false, err
-	}
-	strata, err := Stratify(pruned)
-	if err != nil {
-		return false, err
-	}
-	ev, result, err := newEvaluator(pruned, db, opts)
-	if err != nil {
-		return false, err
-	}
-	goalLevel := -1
-	for i, layer := range strata {
-		for _, p := range layer {
-			if p == goal {
-				goalLevel = i
-			}
-		}
-	}
-	for i, layer := range strata {
-		if i != goalLevel {
-			if err := ev.evalStratum(layer); err != nil {
+	ev, result := newEvaluator(c, db, opts)
+	defer ev.release()
+	for i := range c.strata {
+		if i != c.goalLevel {
+			if err := ev.evalStratum(&c.strata[i]); err != nil {
 				return false, err
 			}
 			continue
 		}
 		ev.stopWhenNonEmpty = goal
-		err := ev.evalStratum(layer)
+		err := ev.evalStratum(&c.strata[i])
 		ev.stopWhenNonEmpty = ""
 		if errors.Is(err, errGoalDerived) {
 			return true, nil

@@ -164,6 +164,10 @@ func TestEvalAgainstNaiveOracle(t *testing.T) {
 	}
 	arity := map[string]int{"e": 1, "f": 1, "g": 1, "edge": 2, "succ": 2, "zero": 1}
 	rng := rand.New(rand.NewSource(4))
+	// One plan cache shared by every program and trial: compiled plans
+	// must never leak results across the (program, store) combinations the
+	// key distinguishes.
+	cache := NewPlanCache()
 	for pi, src := range programs {
 		prog := parser.MustParseProgram(src)
 		// Binary e for the comparison program.
@@ -188,12 +192,13 @@ func TestEvalAgainstNaiveOracle(t *testing.T) {
 					}
 				}
 			}
-			// Both arms — indexed probes with bound-first planning, and
-			// the plain scan path — must agree with the oracle exactly,
-			// and indexing must never read more store tuples than the
-			// scans it replaces. Each arm gets its own clone so the read
-			// counters are per-arm.
-			dbIdx, dbScan := db.Clone(), db.Clone()
+			// All three arms — indexed probes with bound-first planning,
+			// the plain scan path, and the indexed path through the shared
+			// plan cache — must agree with the oracle exactly, and
+			// indexing must never read more store tuples than the scans it
+			// replaces. Each arm gets its own clone so the read counters
+			// are per-arm.
+			dbIdx, dbScan, dbCached := db.Clone(), db.Clone(), db.Clone()
 			resIdx, err := EvalWith(prog, dbIdx, Options{})
 			if err != nil {
 				t.Fatalf("program %d trial %d (indexed): %v", pi, trial, err)
@@ -202,11 +207,21 @@ func TestEvalAgainstNaiveOracle(t *testing.T) {
 			if err != nil {
 				t.Fatalf("program %d trial %d (scan): %v", pi, trial, err)
 			}
+			resCached, err := EvalWith(prog, dbCached, Options{Cache: cache})
+			if err != nil {
+				t.Fatalf("program %d trial %d (cached): %v", pi, trial, err)
+			}
+			// A second evaluation on the same store hits the cached plan
+			// and must reproduce the first answer.
+			resCached2, err := EvalWith(prog, dbCached, Options{Cache: cache})
+			if err != nil {
+				t.Fatalf("program %d trial %d (cached, reuse): %v", pi, trial, err)
+			}
 			want := naiveEval(t, prog, db)
 			for _, arm := range []struct {
 				name string
 				res  *Result
-			}{{"indexed", resIdx}, {"scan", resScan}} {
+			}{{"indexed", resIdx}, {"scan", resScan}, {"cached", resCached}, {"cached-reuse", resCached2}} {
 				for pred := range prog.IDBPreds() {
 					got := arm.res.Tuples(pred)
 					wantSet := want[pred]
@@ -226,5 +241,10 @@ func TestEvalAgainstNaiveOracle(t *testing.T) {
 					pi, trial, ri, rs, prog, db)
 			}
 		}
+	}
+	// Every trial re-evaluated once on an unchanged store, so the shared
+	// cache must have served at least one hit per trial.
+	if hits, misses, entries := cache.Stats(); hits == 0 || misses == 0 || entries == 0 {
+		t.Fatalf("shared plan cache unused: hits=%d misses=%d entries=%d", hits, misses, entries)
 	}
 }

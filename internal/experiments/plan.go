@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// ExpPlanCache is the compile-once A/B on the D1 interval workload with
+// every update forced through the phase-4 global evaluation: the
+// compiled arm reuses one cached plan per (constraint, store shape)
+// across the stream, the noplancache arm re-derives validation,
+// stratification and join order on every evaluation (ccheck
+// -noplancache). Both arms share the process-wide intern pool, so the
+// delta isolates plan reuse alone; the allocation story is in
+// BENCH_plan.json.
+func ExpPlanCache(density, updates, rounds int, seed int64) (Table, error) {
+	t := Table{
+		Title:   "Plan cache — D1 interval workload, all updates global, compiled vs -noplancache",
+		Columns: []string{"arm", "updates", "total time", "time/update", "vs noplancache", "plan hits", "plan misses", "plan entries"},
+	}
+	arms := []struct {
+		name    string
+		disable bool
+	}{
+		{"noplancache", true},
+		{"compiled", false},
+	}
+	var baseline time.Duration
+	for _, arm := range arms {
+		var total time.Duration
+		var hits, misses int64
+		var entries int
+		for round := 0; round < rounds; round++ {
+			rng := rand.New(rand.NewSource(seed))
+			db := store.New()
+			for _, tu := range workload.Intervals(rng, density, 20, 200) {
+				if _, err := db.Insert("l", tu); err != nil {
+					return t, err
+				}
+			}
+			for i := int64(0); i < 50; i++ {
+				if _, err := db.Insert("r", relation.Ints(10000+i)); err != nil {
+					return t, err
+				}
+			}
+			chk := core.New(db, core.Options{
+				LocalRelations:    []string{"l"},
+				DisablePlanCache:  arm.disable,
+				DisableUpdateOnly: true,
+				DisableLocalData:  true,
+			})
+			if err := chk.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+				return t, err
+			}
+			var stream []store.Update
+			for k, u := range workload.IntervalInserts(rng, updates/2, 10, 200, "l") {
+				stream = append(stream, u,
+					store.Ins("r", relation.Ints(20000+int64(k))))
+			}
+			start := time.Now()
+			for _, u := range stream {
+				if _, err := chk.Apply(u); err != nil {
+					return t, err
+				}
+			}
+			total += time.Since(start)
+			st := chk.Stats()
+			hits += st.PlanHits
+			misses += st.PlanMisses
+			entries = st.PlanEntries
+		}
+		if arm.name == "noplancache" {
+			baseline = total
+		}
+		ratio := "—"
+		if baseline > 0 && arm.name != "noplancache" {
+			ratio = fmt.Sprintf("%+.1f%%", 100*(float64(total)/float64(baseline)-1))
+		}
+		n := (updates / 2) * 2 * rounds
+		t.Rows = append(t.Rows, []string{
+			arm.name, fmt.Sprint(n), total.String(), (total / time.Duration(n)).String(), ratio,
+			fmt.Sprint(hits), fmt.Sprint(misses), fmt.Sprint(entries),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"early phases disabled so every update pays the global evaluation the cache targets",
+		fmt.Sprintf("intern pool holds %d values process-wide after the run", relation.InternSize()),
+		"single-run wall clocks are noisy — BenchmarkApplyCompiled (BENCH_plan.json) is the statistically sound version, including allocs/op")
+	return t, nil
+}

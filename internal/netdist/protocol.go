@@ -150,20 +150,28 @@ func reencode(req *Request) (*Request, error) {
 
 // EncodeValue renders a constant for the wire using the store's
 // canonical key syntax: "#<rational>" for numbers (exact — no float
-// round-trip loss), "$<text>" for symbols.
-func EncodeValue(v ast.Value) string { return v.Key() }
+// round-trip loss), "$<text>" for symbols. The rendering comes from the
+// intern pool's precomputed key table (byte-identical to v.Key()), so
+// re-encoding the same constant across mirror refreshes reuses one
+// string for the process lifetime. Interning stays strictly
+// process-local: only the canonical text crosses the wire.
+func EncodeValue(v ast.Value) string { return relation.ValueKey(v) }
 
-// DecodeValue parses EncodeValue's output.
+// DecodeValue parses EncodeValue's output. The result is funneled
+// through the intern pool (relation.Canonical), so duplicated remote
+// constants share one backing value and arrive pre-interned for
+// fingerprinting — the exact-rational semantics are untouched, since
+// Canonical returns a value equal to its argument.
 func DecodeValue(s string) (ast.Value, error) {
 	if strings.HasPrefix(s, "$") {
-		return ast.Str(s[1:]), nil
+		return relation.Canonical(ast.Str(s[1:])), nil
 	}
 	if strings.HasPrefix(s, "#") {
 		r := new(big.Rat)
 		if _, ok := r.SetString(s[1:]); !ok {
 			return ast.Value{}, fmt.Errorf("netdist: bad numeric value %q", s)
 		}
-		return ast.Value{Kind: ast.NumberValue, Num: r}, nil
+		return relation.Canonical(ast.Value{Kind: ast.NumberValue, Num: r}), nil
 	}
 	return ast.Value{}, fmt.Errorf("netdist: bad value encoding %q", s)
 }

@@ -3,27 +3,27 @@ package relation
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 	"sync/atomic"
 
 	"repro/internal/ast"
 )
 
 // Per-column-set hash indexes. A multiIndex buckets tuple positions by
-// the canonical key of the tuple's projection onto a fixed column set;
-// probing a bucket answers "which tuples agree with these bound values"
-// in O(bucket) instead of O(relation). Indexes are built lazily on first
-// probe (or eagerly via EnsureIndex), maintained incrementally by
-// Insert, tolerate Delete holes (gather skips them), and are rebuilt —
-// not dropped — by compactLocked, so a signature once requested stays
-// warm for the relation's lifetime.
+// the fingerprint of the tuple's interned-handle projection onto a fixed
+// column set; probing a bucket answers "which tuples agree with these
+// bound values" in O(bucket) instead of O(relation). Candidates are
+// verified by handle comparison on the probed columns, so a fingerprint
+// collision costs a comparison, never a wrong answer. Indexes are built
+// lazily on first probe (or eagerly via EnsureIndex), maintained
+// incrementally by Insert, tolerate Delete holes (gather skips them),
+// and are rebuilt — not dropped — by compactLocked, so a signature once
+// requested stays warm for the relation's lifetime.
 
-// multiIndex maps a bound-column projection key to the positions of the
-// tuples holding that projection. cols is sorted ascending.
+// multiIndex maps a bound-column projection fingerprint to the positions
+// of the tuples holding that projection. cols is sorted ascending.
 type multiIndex struct {
 	cols    []int
-	buckets map[string][]int
+	buckets map[uint64][]int
 }
 
 // Process-wide index accounting, exported into the internal/obs registry
@@ -42,53 +42,58 @@ func IndexBuilds() int64 { return indexBuilds.Load() }
 // IndexProbes returns the process-wide count of hash-index probes.
 func IndexProbes() int64 { return indexProbes.Load() }
 
-// colsSignature canonicalizes a sorted column set ("0,2") for the index
-// map key.
-func colsSignature(cols []int) string {
-	var sb strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(strconv.Itoa(c))
-	}
-	return sb.String()
-}
-
-// projKey encodes the tuple's projection onto cols, unique per
-// projection value (the Tuple.Key length-prefixed scheme).
-func projKey(t Tuple, cols []int) string {
-	var sb strings.Builder
+// colsMask encodes a duplicate-free column set as a bitmask — an exact,
+// allocation-free map key for the per-column-set indexes. The hash-index
+// layer therefore supports relations of up to 64 columns, far beyond any
+// arity the constraint language produces.
+func colsMask(cols []int) uint64 {
+	var m uint64
 	for _, c := range cols {
-		k := t[c].Key()
-		sb.WriteString(strconv.Itoa(len(k)))
-		sb.WriteByte(':')
-		sb.WriteString(k)
-		sb.WriteByte('|')
+		if c >= 64 {
+			panic(fmt.Sprintf("relation: hash indexes support at most 64 columns (column %d)", c))
+		}
+		m |= 1 << uint(c)
 	}
-	return sb.String()
+	return m
 }
 
-// valsKey encodes probe values in the same scheme as projKey.
-func valsKey(vals []ast.Value) string {
-	var sb strings.Builder
-	for _, v := range vals {
-		k := v.Key()
-		sb.WriteString(strconv.Itoa(len(k)))
-		sb.WriteByte(':')
-		sb.WriteString(k)
-		sb.WriteByte('|')
+// fingerprintProj fingerprints the projection of a stored handle slice
+// onto cols.
+func fingerprintProj(hs []Handle, cols []int) uint64 {
+	fp := uint64(fnvOffset64)
+	for _, c := range cols {
+		fp = fingerprintFold(fp, hs[c])
 	}
-	return sb.String()
+	return fp
 }
 
-// normalizeCols validates the column set against the arity and returns a
-// sorted copy along with the values permuted to match. It panics on
-// out-of-range or duplicate columns and on a cols/vals length mismatch —
+// checkCols validates the column set against the arity and reports
+// whether it is already sorted strictly ascending (the planner always
+// emits sorted probe columns, so the hot path never allocates). It
+// panics on out-of-range columns and on a cols/vals length mismatch —
 // programming errors, like Insert's arity panic.
-func (r *Relation) normalizeCols(cols []int, vals []ast.Value) ([]int, []ast.Value) {
+func (r *Relation) checkCols(cols []int, vals []ast.Value) (sorted bool) {
 	if vals != nil && len(cols) != len(vals) {
 		panic(fmt.Sprintf("relation: %d columns probed with %d values on %s", len(cols), len(vals), r.name))
+	}
+	sorted = true
+	for i, c := range cols {
+		if c < 0 || c >= r.arity {
+			panic(fmt.Sprintf("relation: column %d out of range for %s/%d", c, r.name, r.arity))
+		}
+		if i > 0 && c <= cols[i-1] {
+			sorted = false
+		}
+	}
+	return sorted
+}
+
+// normalizeCols returns cols sorted strictly ascending along with the
+// values permuted to match, copying only when the input is unsorted. It
+// panics on duplicate columns.
+func (r *Relation) normalizeCols(cols []int, vals []ast.Value) ([]int, []ast.Value) {
+	if r.checkCols(cols, vals) {
+		return cols, vals
 	}
 	order := make([]int, len(cols))
 	for i := range order {
@@ -103,9 +108,6 @@ func (r *Relation) normalizeCols(cols []int, vals []ast.Value) ([]int, []ast.Val
 	prev := -1
 	for i, o := range order {
 		c := cols[o]
-		if c < 0 || c >= r.arity {
-			panic(fmt.Sprintf("relation: column %d out of range for %s/%d", c, r.name, r.arity))
-		}
 		if c == prev {
 			panic(fmt.Sprintf("relation: duplicate column %d in index for %s", c, r.name))
 		}
@@ -121,14 +123,14 @@ func (r *Relation) normalizeCols(cols []int, vals []ast.Value) ([]int, []ast.Val
 // buildLocked constructs the index for the sorted column set. Caller
 // holds the write lock.
 func (r *Relation) buildLocked(cols []int) *multiIndex {
-	mi := &multiIndex{cols: cols, buckets: map[string][]int{}}
-	for pos, t := range r.tuples {
-		if t != nil {
-			k := projKey(t, cols)
+	mi := &multiIndex{cols: cols, buckets: map[uint64][]int{}}
+	for pos, hs := range r.handles {
+		if hs != nil {
+			k := fingerprintProj(hs, cols)
 			mi.buckets[k] = append(mi.buckets[k], pos)
 		}
 	}
-	r.midx[colsSignature(cols)] = mi
+	r.midx[colsMask(cols)] = mi
 	indexBuilds.Add(1)
 	return mi
 }
@@ -139,11 +141,13 @@ func (r *Relation) buildLocked(cols []int) *multiIndex {
 // index signatures onto the fresh relation).
 func (r *Relation) EnsureIndex(cols ...int) {
 	sorted, _ := r.normalizeCols(cols, nil)
-	sig := colsSignature(sorted)
+	sig := colsMask(sorted)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.midx[sig]; !ok {
-		r.buildLocked(sorted)
+		// buildLocked keeps a reference to the column slice; copy so a
+		// caller reusing its argument cannot mutate the index's key.
+		r.buildLocked(append([]int(nil), sorted...))
 	}
 }
 
@@ -151,35 +155,64 @@ func (r *Relation) EnsureIndex(cols ...int) {
 // on the relation, sorted by signature for determinism.
 func (r *Relation) IndexSignatures() [][]int {
 	r.mu.RLock()
-	sigs := make([]string, 0, len(r.midx))
-	for sig := range r.midx {
-		sigs = append(sigs, sig)
-	}
-	bySig := make(map[string][]int, len(r.midx))
-	for sig, mi := range r.midx {
-		bySig[sig] = append([]int(nil), mi.cols...)
+	out := make([][]int, 0, len(r.midx))
+	for _, mi := range r.midx {
+		out = append(out, append([]int(nil), mi.cols...))
 	}
 	r.mu.RUnlock()
-	sort.Strings(sigs)
-	out := make([][]int, len(sigs))
-	for i, sig := range sigs {
-		out[i] = bySig[sig]
-	}
+	sort.Slice(out, func(i, j int) bool { return colsMask(out[i]) < colsMask(out[j]) })
 	return out
 }
 
+// gatherMatchLocked appends to dst the live tuples at the indexed
+// positions whose handles agree with the probe handles on cols. Caller
+// holds mu (read or write).
+func (r *Relation) gatherMatchLocked(dst []Tuple, positions []int, cols []int, phs []Handle) []Tuple {
+	for _, pos := range positions {
+		t := r.tuples[pos]
+		if t == nil {
+			continue
+		}
+		hs := r.handles[pos]
+		ok := true
+		for i, c := range cols {
+			if hs[c] != phs[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
 // LookupCols returns the tuples whose projection onto cols equals vals,
-// using (and lazily building) the hash index on that column set. The
+// using (and lazily building) the hash index on that column set.
+func (r *Relation) LookupCols(cols []int, vals []ast.Value) []Tuple {
+	return r.LookupColsAppend(nil, cols, vals)
+}
+
+// LookupColsAppend is LookupCols appending into dst — the
+// allocation-free variant for callers holding a reusable buffer. The
 // build is double-checked under the write lock so concurrent readers
 // race safely, exactly like the single-column Lookup.
-func (r *Relation) LookupCols(cols []int, vals []ast.Value) []Tuple {
+func (r *Relation) LookupColsAppend(dst []Tuple, cols []int, vals []ast.Value) []Tuple {
 	sorted, svals := r.normalizeCols(cols, vals)
-	sig := colsSignature(sorted)
-	key := valsKey(svals)
+	var scratch [8]Handle
+	phs := scratch[:0]
+	fp := uint64(fnvOffset64)
+	for _, v := range svals {
+		h := Intern(v)
+		phs = append(phs, h)
+		fp = fingerprintFold(fp, h)
+	}
+	sig := colsMask(sorted)
 	indexProbes.Add(1)
 	r.mu.RLock()
 	if mi, ok := r.midx[sig]; ok {
-		out := r.gatherLocked(mi.buckets[key])
+		out := r.gatherMatchLocked(dst, mi.buckets[fp], sorted, phs)
 		r.mu.RUnlock()
 		return out
 	}
@@ -188,9 +221,9 @@ func (r *Relation) LookupCols(cols []int, vals []ast.Value) []Tuple {
 	defer r.mu.Unlock()
 	mi, ok := r.midx[sig]
 	if !ok {
-		mi = r.buildLocked(sorted)
+		mi = r.buildLocked(append([]int(nil), sorted...))
 	}
-	return r.gatherLocked(mi.buckets[key])
+	return r.gatherMatchLocked(dst, mi.buckets[fp], sorted, phs)
 }
 
 // Index is a handle on one column-set hash index: Probe returns the
@@ -206,6 +239,7 @@ type Index struct {
 // index if needed.
 func (r *Relation) Index(cols ...int) *Index {
 	sorted, _ := r.normalizeCols(cols, nil)
+	sorted = append([]int(nil), sorted...)
 	r.EnsureIndex(sorted...)
 	return &Index{r: r, cols: sorted}
 }

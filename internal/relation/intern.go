@@ -1,0 +1,210 @@
+package relation
+
+import (
+	"math/big"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+)
+
+// Value interning. Every constant that flows through the relational
+// substrate — exact rationals and strings alike — is mapped to a dense
+// process-local Handle, so the hot paths compare and hash small integers
+// instead of rebuilding canonical key strings (Value.Key allocates a
+// fresh string per call, and big.Rat comparison walks limbs). The pool
+// also memoizes each value's canonical key string and a pooled
+// representative Value, so key rendering and wire encoding reuse one
+// allocation per distinct constant for the process lifetime.
+//
+// Interning is strictly process-local: the wire format (internal/netdist)
+// still carries canonical exact values, and decode re-interns on arrival.
+// Handles are never persisted or exchanged.
+//
+// The pool is safe for concurrent use (read-mostly RWMutex; the fast
+// path after warm-up is one read-locked map lookup). Same value ⇒ same
+// handle and distinct values ⇒ distinct handles, for the process
+// lifetime: big.Rat is always kept normalized, so RatString is a
+// canonical form and the numeric maps cannot alias.
+
+// Handle is a dense process-local identifier for an interned constant.
+// Handles of equal values are equal; handles of distinct values differ.
+type Handle uint32
+
+// pool is the process-wide intern pool.
+type pool struct {
+	mu sync.RWMutex
+	// ints fast-paths the dominant case: integral rationals that fit in
+	// an int64 (no string rendering needed to key them).
+	ints map[int64]Handle
+	// rats keys every other rational by its canonical RatString.
+	rats map[string]Handle
+	// strs keys symbolic constants by their text.
+	strs map[string]Handle
+	// values[h] is the pooled representative; keys[h] its canonical
+	// Value.Key rendering, precomputed once.
+	values []ast.Value
+	keys   []string
+	size   atomic.Int64 // len(values), readable without the lock
+}
+
+var internPool = &pool{
+	ints: map[int64]Handle{},
+	rats: map[string]Handle{},
+	strs: map[string]Handle{},
+}
+
+// lookupLocked finds v's handle under a held read or write lock. The
+// rendered rat key is returned so the insert path can reuse it.
+func (p *pool) lookupLocked(v ast.Value, ratKey string) (Handle, bool) {
+	if v.Kind == ast.StringValue {
+		h, ok := p.strs[v.Str]
+		return h, ok
+	}
+	if ratKey == "" {
+		h, ok := p.ints[v.Num.Num().Int64()]
+		return h, ok
+	}
+	h, ok := p.rats[ratKey]
+	return h, ok
+}
+
+// Intern returns the dense handle for v, registering it on first use.
+func Intern(v ast.Value) Handle {
+	p := internPool
+	// Render the slow-path numeric key outside the lock: RatString
+	// allocates, and only non-int64 rationals need it.
+	ratKey := ""
+	if v.Kind == ast.NumberValue && !(v.Num.IsInt() && v.Num.Num().IsInt64()) {
+		ratKey = v.Num.RatString()
+	}
+	p.mu.RLock()
+	h, ok := p.lookupLocked(v, ratKey)
+	p.mu.RUnlock()
+	if ok {
+		return h
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h, ok := p.lookupLocked(v, ratKey); ok {
+		return h // a concurrent interner won the race
+	}
+	h = Handle(len(p.values))
+	// Store a private copy of the value so later mutation of a caller's
+	// big.Rat cannot corrupt the pool (Values are treated as immutable
+	// repo-wide, but the pool outlives any caller).
+	stored := v
+	if v.Kind == ast.NumberValue {
+		stored.Num = new(big.Rat).SetFrac(v.Num.Num(), v.Num.Denom())
+	}
+	p.values = append(p.values, stored)
+	p.keys = append(p.keys, stored.Key())
+	switch {
+	case v.Kind == ast.StringValue:
+		p.strs[v.Str] = h
+	case ratKey == "":
+		p.ints[v.Num.Num().Int64()] = h
+	default:
+		p.rats[ratKey] = h
+	}
+	p.size.Store(int64(len(p.values)))
+	return h
+}
+
+// InternedValue returns the pooled representative for h.
+func InternedValue(h Handle) ast.Value {
+	p := internPool
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.values[h]
+}
+
+// Canonical returns the pooled representative equal to v, interning it
+// on first use. The netdist decode path funnels every wire constant
+// through Canonical so duplicated remote values share one backing
+// big.Rat/string and arrive pre-interned for fingerprinting.
+func Canonical(v ast.Value) ast.Value {
+	return InternedValue(Intern(v))
+}
+
+// ValueKey returns v's canonical Value.Key rendering from the pool's
+// precomputed table — byte-identical to v.Key(), without rebuilding it.
+func ValueKey(v ast.Value) string {
+	h := Intern(v)
+	p := internPool
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.keys[h]
+}
+
+// InternSize returns the number of distinct constants interned so far
+// (exported into the obs registry as the cc_intern_size gauge).
+func InternSize() int64 { return internPool.size.Load() }
+
+// Tuple fingerprints: an FNV-1a fold over the tuple's interned handles.
+// Equal tuples always agree (same values ⇒ same handles); the relation
+// layer treats the fingerprint as a hash — bucket candidates are still
+// verified by handle comparison, so a collision costs a probe, never an
+// answer.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fingerprintFold folds one handle into a running fingerprint.
+func fingerprintFold(fp uint64, h Handle) uint64 {
+	fp ^= uint64(h)
+	fp *= fnvPrime64
+	fp ^= uint64(h) >> 16 // stir the high bits back in
+	fp *= fnvPrime64
+	return fp
+}
+
+// fingerprintHandles fingerprints a full handle slice.
+func fingerprintHandles(hs []Handle) uint64 {
+	fp := uint64(fnvOffset64)
+	for _, h := range hs {
+		fp = fingerprintFold(fp, h)
+	}
+	return fp
+}
+
+// Fingerprint returns the tuple's interned fingerprint: equal tuples
+// agree, distinct tuples collide only with hash probability.
+func (t Tuple) Fingerprint() uint64 {
+	fp := uint64(fnvOffset64)
+	for _, v := range t {
+		fp = fingerprintFold(fp, Intern(v))
+	}
+	return fp
+}
+
+// internTuple interns every component of t into dst (resized as
+// needed) and returns the handle slice alongside the fingerprint.
+func internTuple(t Tuple, dst []Handle) ([]Handle, uint64) {
+	if cap(dst) < len(t) {
+		dst = make([]Handle, len(t))
+	}
+	dst = dst[:len(t)]
+	fp := uint64(fnvOffset64)
+	for i, v := range t {
+		h := Intern(v)
+		dst[i] = h
+		fp = fingerprintFold(fp, h)
+	}
+	return dst, fp
+}
+
+// handlesEqual reports whether two handle slices are identical.
+func handlesEqual(a, b []Handle) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,153 @@
+package relation
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// internWorkload returns a mixed set of values exercising every intern
+// namespace: int64-fast-path rationals, non-integral rationals, huge
+// integers past int64, and strings.
+func internWorkload() []ast.Value {
+	var vals []ast.Value
+	for i := int64(-20); i < 20; i++ {
+		vals = append(vals, ast.Int(i))
+	}
+	for d := int64(2); d < 8; d++ {
+		vals = append(vals, ast.Value{Kind: ast.NumberValue, Num: big.NewRat(7, d)})
+	}
+	huge := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 80))
+	vals = append(vals, ast.Value{Kind: ast.NumberValue, Num: huge})
+	for i := 0; i < 16; i++ {
+		vals = append(vals, ast.Str(fmt.Sprintf("sym-%d", i)))
+	}
+	return vals
+}
+
+func TestInternHandleStability(t *testing.T) {
+	for _, v := range internWorkload() {
+		h1 := Intern(v)
+		// A structurally equal but distinct Value must map to the same
+		// handle.
+		clone := v
+		if v.Kind == ast.NumberValue {
+			clone.Num = new(big.Rat).Set(v.Num)
+		}
+		h2 := Intern(clone)
+		if h1 != h2 {
+			t.Fatalf("Intern(%s) unstable: %d vs %d", v, h1, h2)
+		}
+		got := InternedValue(h1)
+		if !got.Equal(v) {
+			t.Fatalf("InternedValue(%d) = %s, want %s", h1, got, v)
+		}
+		if ValueKey(v) != v.Key() {
+			t.Fatalf("ValueKey(%s) = %q, want %q", v, ValueKey(v), v.Key())
+		}
+	}
+}
+
+func TestInternDistinctValuesDistinctHandles(t *testing.T) {
+	vals := internWorkload()
+	seen := map[Handle]ast.Value{}
+	for _, v := range vals {
+		h := Intern(v)
+		if prev, ok := seen[h]; ok && !prev.Equal(v) {
+			t.Fatalf("handle %d aliases %s and %s", h, prev, v)
+		}
+		seen[h] = v
+	}
+	// 1/2 and 2/4 normalize to the same rational, so they must share.
+	a := Intern(ast.Value{Kind: ast.NumberValue, Num: big.NewRat(1, 2)})
+	b := Intern(ast.Value{Kind: ast.NumberValue, Num: big.NewRat(2, 4)})
+	if a != b {
+		t.Fatalf("1/2 and 2/4 interned to distinct handles %d, %d", a, b)
+	}
+	// Numeric "3" and string "3" live in disjoint namespaces.
+	if Intern(ast.Int(3)) == Intern(ast.Str("3")) {
+		t.Fatal("number 3 and string \"3\" share a handle")
+	}
+}
+
+// TestInternConcurrent hammers the pool from parallel workers (run under
+// -race in CI): every worker interning the same value must observe the
+// same handle, and tuple fingerprints must agree with a fingerprint
+// computed from the handles each worker saw.
+func TestInternConcurrent(t *testing.T) {
+	vals := internWorkload()
+	const workers = 16
+	handles := make([][]Handle, workers)
+	fps := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hs := make([]Handle, len(vals))
+			// Walk the values in a worker-dependent order so racing
+			// first-interns hit different namespaces simultaneously.
+			for i := range vals {
+				j := (i + w*5) % len(vals)
+				hs[j] = Intern(vals[j])
+			}
+			handles[w] = hs
+			fps[w] = Tuple(vals).Fingerprint()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range vals {
+			if handles[w][i] != handles[0][i] {
+				t.Fatalf("worker %d saw handle %d for %s, worker 0 saw %d",
+					w, handles[w][i], vals[i], handles[0][i])
+			}
+		}
+		if fps[w] != fps[0] {
+			t.Fatalf("worker %d fingerprint %x != worker 0 %x", w, fps[w], fps[0])
+		}
+	}
+	// The fingerprint derived from the observed handles must equal the
+	// Tuple.Fingerprint computed independently.
+	if got := fingerprintHandles(handles[0]); got != fps[0] {
+		t.Fatalf("fingerprintHandles = %x, Tuple.Fingerprint = %x", got, fps[0])
+	}
+	// vals holds one duplicate under normalization (7/7 == 1), so count
+	// distinct canonical keys rather than slice length.
+	distinct := map[string]bool{}
+	for _, v := range vals {
+		distinct[v.Key()] = true
+	}
+	if InternSize() < int64(len(distinct)) {
+		t.Fatalf("InternSize() = %d, want >= %d", InternSize(), len(distinct))
+	}
+}
+
+func TestFingerprintMatchesUninternedHashing(t *testing.T) {
+	// Two tuples are equal iff their canonical keys are equal; the
+	// interned fingerprint must respect that equivalence.
+	tuples := []Tuple{
+		Ints(1, 2, 3),
+		Ints(1, 2, 3),
+		Ints(3, 2, 1),
+		Strs("a", "b"),
+		Strs("a", "b"),
+		TupleOf(ast.Int(1), ast.Str("1")),
+		TupleOf(ast.Str("1"), ast.Int(1)),
+	}
+	for i, a := range tuples {
+		for j, b := range tuples {
+			sameKey := a.Key() == b.Key()
+			sameFP := a.Fingerprint() == b.Fingerprint()
+			if sameKey && !sameFP {
+				t.Fatalf("tuples %d,%d equal by key but fingerprints differ", i, j)
+			}
+			if !sameKey && sameFP && a.Equal(b) {
+				t.Fatalf("tuples %d,%d unequal by key but Equal", i, j)
+			}
+		}
+	}
+}

@@ -4,6 +4,11 @@
 // indexes — because the paper's algorithms only need insert, delete,
 // scan, and indexed lookup.
 //
+// Constants are interned process-wide (see intern.go): every stored
+// tuple carries a precomputed handle slice and fingerprint, so
+// membership tests, dedup and index maintenance compare dense integers
+// instead of rebuilding canonical key strings.
+//
 // Relations are safe for concurrent use: any number of readers may scan,
 // probe and perform indexed lookups (lazy column-index construction
 // included) while writers insert and delete. Stored tuples are never
@@ -47,8 +52,10 @@ func Strs(ss ...string) Tuple {
 func (t Tuple) Key() string {
 	var sb strings.Builder
 	for _, v := range t {
-		k := v.Key()
-		fmt.Fprintf(&sb, "%d:%s|", len(k), k)
+		k := ValueKey(v)
+		sb.WriteString(fmt.Sprintf("%d:", len(k)))
+		sb.WriteString(k)
+		sb.WriteByte('|')
 	}
 	return sb.String()
 }
@@ -111,18 +118,24 @@ type Relation struct {
 	name  string
 	arity int
 
-	mu     sync.RWMutex
-	tuples []Tuple        // live tuples in insertion order, nil holes after delete
-	index  map[string]int // tuple key -> position in tuples
-	holes  int            // number of nil holes in tuples
+	mu      sync.RWMutex
+	tuples  []Tuple    // live tuples in insertion order, nil holes after delete
+	handles [][]Handle // interned handles, parallel to tuples (nil holes too)
+	count   int        // number of live tuples
+	holes   int        // number of nil holes in tuples
+	// index buckets tuple positions by whole-tuple fingerprint; bucket
+	// candidates are verified by handle comparison (collisions cost a
+	// probe, never an answer). Positions of deleted tuples linger as nil
+	// holes until compaction.
+	index map[uint64][]int
 	// midx holds the lazily built per-column-set hash indexes, keyed by
-	// column signature ("0,2"); see index.go.
-	midx map[string]*multiIndex
+	// column bitmask; see index.go.
+	midx map[uint64]*multiIndex
 }
 
 // New creates an empty relation with the given name and arity.
 func New(name string, arity int) *Relation {
-	return &Relation{name: name, arity: arity, index: map[string]int{}, midx: map[string]*multiIndex{}}
+	return &Relation{name: name, arity: arity, index: map[uint64][]int{}, midx: map[uint64]*multiIndex{}}
 }
 
 // Name returns the relation name.
@@ -135,36 +148,50 @@ func (r *Relation) Arity() int { return r.arity }
 func (r *Relation) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.index)
+	return r.count
+}
+
+// findLocked returns the live position holding the tuple with the given
+// handles, or -1. Caller holds mu.
+func (r *Relation) findLocked(fp uint64, hs []Handle) int {
+	for _, pos := range r.index[fp] {
+		if r.tuples[pos] != nil && handlesEqual(r.handles[pos], hs) {
+			return pos
+		}
+	}
+	return -1
 }
 
 // Contains reports whether the relation holds t.
 func (r *Relation) Contains(t Tuple) bool {
-	k := t.Key()
+	var scratch [8]Handle
+	hs, fp := internTuple(t, scratch[:0])
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, ok := r.index[k]
-	return ok
+	return r.findLocked(fp, hs) >= 0
 }
 
 // Insert adds t; it reports whether the relation changed (false if the
 // tuple was already present). It panics on arity mismatch, which is a
-// programming error.
+// programming error. The tuple is copied: callers may reuse t's backing
+// array afterwards.
 func (r *Relation) Insert(t Tuple) bool {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation: inserting arity-%d tuple into %s/%d", len(t), r.name, r.arity))
 	}
-	k := t.Key()
+	hs, fp := internTuple(t, nil)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.index[k]; ok {
+	if r.findLocked(fp, hs) >= 0 {
 		return false
 	}
 	pos := len(r.tuples)
 	r.tuples = append(r.tuples, t.Clone())
-	r.index[k] = pos
+	r.handles = append(r.handles, hs)
+	r.index[fp] = append(r.index[fp], pos)
+	r.count++
 	for _, mi := range r.midx {
-		pk := projKey(t, mi.cols)
+		pk := fingerprintProj(hs, mi.cols)
 		mi.buckets[pk] = append(mi.buckets[pk], pos)
 	}
 	return true
@@ -172,20 +199,38 @@ func (r *Relation) Insert(t Tuple) bool {
 
 // Delete removes t; it reports whether the tuple was present.
 func (r *Relation) Delete(t Tuple) bool {
-	k := t.Key()
+	var scratch [8]Handle
+	hs, fp := internTuple(t, scratch[:0])
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	pos, ok := r.index[k]
-	if !ok {
+	pos := r.findLocked(fp, hs)
+	if pos < 0 {
 		return false
 	}
-	delete(r.index, k)
 	r.tuples[pos] = nil
+	r.handles[pos] = nil
+	r.count--
 	r.holes++
-	if r.holes > len(r.index) && r.holes > 64 {
+	if r.holes > r.count && r.holes > 64 {
 		r.compactLocked()
 	}
 	return true
+}
+
+// Reset empties the relation in place, keeping the allocated backing
+// storage and the built index signatures warm. The semi-naive evaluator
+// uses it to recycle delta relations across rounds instead of
+// allocating fresh ones.
+func (r *Relation) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tuples = r.tuples[:0]
+	r.handles = r.handles[:0]
+	r.count, r.holes = 0, 0
+	clear(r.index)
+	for _, mi := range r.midx {
+		clear(mi.buckets)
+	}
 }
 
 // compactLocked removes holes and rebuilds indexes. Caller holds mu. A
@@ -193,20 +238,25 @@ func (r *Relation) Delete(t Tuple) bool {
 // never scribbled over. Hash indexes are rebuilt in place, not dropped:
 // a signature once requested stays warm across compaction.
 func (r *Relation) compactLocked() {
-	live := make([]Tuple, 0, len(r.index))
-	for _, t := range r.tuples {
+	live := make([]Tuple, 0, r.count)
+	liveH := make([][]Handle, 0, r.count)
+	for i, t := range r.tuples {
 		if t != nil {
 			live = append(live, t)
+			liveH = append(liveH, r.handles[i])
 		}
 	}
 	r.tuples = live
+	r.handles = liveH
+	r.count = len(live)
 	r.holes = 0
-	r.index = make(map[string]int, len(live))
-	for i, t := range live {
-		r.index[t.Key()] = i
+	r.index = make(map[uint64][]int, len(live))
+	for i, hs := range liveH {
+		fp := fingerprintHandles(hs)
+		r.index[fp] = append(r.index[fp], i)
 	}
 	sigs := r.midx
-	r.midx = make(map[string]*multiIndex, len(sigs))
+	r.midx = make(map[uint64]*multiIndex, len(sigs))
 	for _, mi := range sigs {
 		r.buildLocked(mi.cols)
 	}
@@ -214,16 +264,23 @@ func (r *Relation) compactLocked() {
 
 // snapshot returns the live tuples in insertion order. The slice is fresh
 // but the tuples are shared (they are immutable once stored).
-func (r *Relation) snapshot() []Tuple {
+func (r *Relation) snapshot() []Tuple { return r.TuplesAppend(nil) }
+
+// TuplesAppend appends the live tuples in insertion order to dst and
+// returns the extended slice — the allocation-free variant of Tuples
+// for callers holding a reusable buffer.
+func (r *Relation) TuplesAppend(dst []Tuple) []Tuple {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]Tuple, 0, len(r.index))
+	if dst == nil {
+		dst = make([]Tuple, 0, r.count)
+	}
 	for _, t := range r.tuples {
 		if t != nil {
-			out = append(out, t)
+			dst = append(dst, t)
 		}
 	}
-	return out
+	return dst
 }
 
 // Each calls f for every tuple in insertion order; f must not mutate the
@@ -244,18 +301,6 @@ func (r *Relation) Tuples() []Tuple { return r.snapshot() }
 // special case of LookupCols, kept for its lighter call sites.
 func (r *Relation) Lookup(col int, v ast.Value) []Tuple {
 	return r.LookupCols([]int{col}, []ast.Value{v})
-}
-
-// gatherLocked collects the live tuples at the indexed positions. Caller
-// holds mu (read or write).
-func (r *Relation) gatherLocked(positions []int) []Tuple {
-	var out []Tuple
-	for _, pos := range positions {
-		if t := r.tuples[pos]; t != nil {
-			out = append(out, t)
-		}
-	}
-	return out
 }
 
 // Clone returns a deep copy of the relation (indexes are rebuilt lazily).

@@ -14,24 +14,50 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/relation"
 )
 
+// nextStoreID hands out process-unique store identities (see Store.ID).
+var nextStoreID atomic.Uint64
+
 // Store is a mutable database: a set of named relations. The zero value
 // is not usable; call New.
 type Store struct {
-	mu      sync.RWMutex
-	rels    map[string]*relation.Relation
+	id uint64 // process-unique, for plan-cache keying
+
+	mu   sync.RWMutex
+	rels map[string]*relation.Relation
+	// schema counts structural changes — relation creation, Replace
+	// swaps, index availability changes via EnsureIndex — so compiled
+	// evaluation plans (internal/eval.PlanCache) can key on the store
+	// shape and drop stale plans without subscribing to the store.
+	schema  atomic.Uint64
 	readsMu sync.Mutex
 	reads   map[string]int64 // tuples handed out per relation
 }
 
 // New creates an empty store.
 func New() *Store {
-	return &Store{rels: map[string]*relation.Relation{}, reads: map[string]int64{}}
+	return &Store{
+		id:    nextStoreID.Add(1),
+		rels:  map[string]*relation.Relation{},
+		reads: map[string]int64{},
+	}
 }
+
+// ID returns the store's process-unique identity. Two stores never share
+// an ID, so (ID, SchemaVersion) globally identifies a store shape —
+// the plan cache uses the pair as part of its key.
+func (s *Store) ID() uint64 { return s.id }
+
+// SchemaVersion returns a counter that advances on every structural
+// change: relation creation, Replace, and EnsureIndex. Data-only changes
+// (Insert/Delete) do not advance it — compiled plans only depend on
+// which relations exist, their arities, and their index availability.
+func (s *Store) SchemaVersion() uint64 { return s.schema.Load() }
 
 // get returns the named relation or nil, under the read lock.
 func (s *Store) get(name string) *relation.Relation {
@@ -60,6 +86,7 @@ func (s *Store) Ensure(name string, arity int) (*relation.Relation, error) {
 	}
 	r := relation.New(name, arity)
 	s.rels[name] = r
+	s.schema.Add(1)
 	return r, nil
 }
 
@@ -123,6 +150,20 @@ func (s *Store) Tuples(name string) []relation.Tuple {
 	return ts
 }
 
+// TuplesAppend appends a snapshot of the named relation's tuples to dst,
+// charging only the appended tuples — the allocation-free variant of
+// Tuples for evaluators holding a reusable buffer.
+func (s *Store) TuplesAppend(dst []relation.Tuple, name string) []relation.Tuple {
+	r := s.get(name)
+	if r == nil {
+		return dst
+	}
+	before := len(dst)
+	dst = r.TuplesAppend(dst)
+	s.charge(name, int64(len(dst)-before))
+	return dst
+}
+
 // Lookup returns the tuples of the named relation whose column col equals
 // v, charging the read counter for the tuples returned.
 func (s *Store) Lookup(name string, col int, v ast.Value) []relation.Tuple {
@@ -148,6 +189,32 @@ func (s *Store) LookupCols(name string, cols []int, vals []ast.Value) []relation
 	ts := r.LookupCols(cols, vals)
 	s.charge(name, int64(len(ts)))
 	return ts
+}
+
+// LookupColsAppend is LookupCols appending into dst, charging only the
+// appended tuples.
+func (s *Store) LookupColsAppend(dst []relation.Tuple, name string, cols []int, vals []ast.Value) []relation.Tuple {
+	r := s.get(name)
+	if r == nil {
+		return dst
+	}
+	before := len(dst)
+	dst = r.LookupColsAppend(dst, cols, vals)
+	s.charge(name, int64(len(dst)-before))
+	return dst
+}
+
+// EnsureIndex warms the hash index on the named relation's column set,
+// advancing the schema version: index availability is part of the store
+// shape compiled plans depend on.
+func (s *Store) EnsureIndex(name string, cols ...int) error {
+	r := s.get(name)
+	if r == nil {
+		return fmt.Errorf("store: EnsureIndex on absent relation %s", name)
+	}
+	r.EnsureIndex(cols...)
+	s.schema.Add(1)
+	return nil
 }
 
 // Probe reports membership of t in the named relation, charging one read
@@ -219,6 +286,7 @@ func (s *Store) Replace(name string, arity int, ts []relation.Tuple) error {
 		}
 	}
 	s.rels[name] = fresh
+	s.schema.Add(1)
 	return nil
 }
 

@@ -2,12 +2,14 @@
 # Runs the key pipeline benchmarks (-count=5 each) and emits
 # BENCH_pipeline.json, then the networked-runtime benchmarks
 # (BENCH_net.json), then the tracing-overhead benchmarks
-# (BENCH_obs.json), then the indexed-join benchmarks (BENCH_eval.json):
-# one record per benchmark run with name, iterations and ns/op, suitable
-# for diffing across commits. The obs file is the evidence for
+# (BENCH_obs.json), then the indexed-join benchmarks (BENCH_eval.json),
+# then the plan-cache benchmarks (BENCH_plan.json): one record per
+# benchmark run with name, iterations, ns/op, B/op and allocs/op,
+# suitable for diffing across commits. The obs file is the evidence for
 # EXPERIMENTS.md's claim that the disabled tracer costs ≤5% on the D1
 # workload; the eval file is the evidence for the indexed-vs-scan
-# speedup claim.
+# speedup claim; the plan file is the evidence for the compile-once
+# speedup/allocation claim.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,11 +21,19 @@ trap 'rm -f "$TMP"' EXIT
 bench_to_json() {
   local regex="$1" out="$2"
   go test -run '^$' -bench "$regex" -count="$COUNT" -benchmem . | tee "$TMP"
+  # B/op and allocs/op are located by their unit, not by position: lines
+  # carrying ReportMetric extras (remote-tuples/op, wire-tuples/op, …)
+  # shift the -benchmem columns.
   awk '
     BEGIN { print "[" }
     /^Benchmark/ {
-      name = $1; iters = $2; ns = $3
-      printf "%s  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s}", (n++ ? ",\n" : ""), name, iters, ns
+      name = $1; iters = $2; ns = $3; bytes = 0; allocs = 0
+      for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+      }
+      printf "%s  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+        (n++ ? ",\n" : ""), name, iters, ns, bytes, allocs
     }
     END { print "\n]" }
   ' "$TMP" > "$out"
@@ -38,3 +48,5 @@ bench_to_json 'BenchmarkTraceOverhead$' \
   "${OBS_OUT:-BENCH_obs.json}"
 bench_to_json 'BenchmarkEvalIndexed$' \
   "${EVAL_OUT:-BENCH_eval.json}"
+bench_to_json 'BenchmarkApplyCompiled$' \
+  "${PLAN_OUT:-BENCH_plan.json}"
