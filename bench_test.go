@@ -444,18 +444,12 @@ func BenchmarkApplyParallel(b *testing.B) {
 
 // --- compile-once: plan cache A/B -------------------------------------------
 
-// benchApplyCompiled drives the D1 interval stream — every local
-// l-insert followed by a remote-side r-insert — through a checker with
-// the cheap early phases disabled, so each update runs the phase-4
-// global evaluation the plan cache targets. The compiled arm reuses one
-// cached plan per (program, store shape) across the whole stream; the
-// noplancache arm re-derives validation, stratification and join plans
-// on every evaluation, which is exactly what the seed evaluator did.
-func benchApplyCompiled(b *testing.B, opts core.Options) {
+// benchApplyD1 drives the D1 interval stream — every local l-insert
+// followed by a remote-side r-insert — through a checker with the given
+// options; the plan-cache and residual A/Bs below share this body.
+func benchApplyD1(b *testing.B, opts core.Options) {
 	b.Helper()
 	opts.LocalRelations = []string{"l"}
-	opts.DisableUpdateOnly = true
-	opts.DisableLocalData = true
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -489,6 +483,20 @@ func benchApplyCompiled(b *testing.B, opts core.Options) {
 	}
 }
 
+// benchApplyCompiled runs the D1 stream with the cheap early phases and
+// residual dispatch disabled, so each update runs the phase-4 global
+// evaluation the plan cache targets. The compiled arm reuses one cached
+// plan per (program, store shape) across the whole stream; the
+// noplancache arm re-derives validation, stratification and join plans
+// on every evaluation, which is exactly what the seed evaluator did.
+func benchApplyCompiled(b *testing.B, opts core.Options) {
+	b.Helper()
+	opts.DisableUpdateOnly = true
+	opts.DisableLocalData = true
+	opts.DisableResidual = true
+	benchApplyD1(b, opts)
+}
+
 // BenchmarkApplyCompiled is the compile-once A/B recorded in
 // BENCH_plan.json: identical workloads, plan cache on vs off
 // (ccheck -noplancache).
@@ -498,6 +506,23 @@ func BenchmarkApplyCompiled(b *testing.B) {
 	})
 	b.Run("noplancache", func(b *testing.B) {
 		benchApplyCompiled(b, core.Options{DisablePlanCache: true})
+	})
+}
+
+// --- residual compilation: update-pattern A/B -------------------------------
+
+// BenchmarkApplyResidual is the residual-dispatch A/B recorded in
+// BENCH_residual.json: the default arm decides every D1 update with the
+// pattern-compiled residual VM (two compilations for the whole stream —
+// one per update pattern — then cache hits), while the noresidual arm
+// is ccheck -noresidual: each update falls through the staged pipeline
+// to the phase-4 global evaluation.
+func BenchmarkApplyResidual(b *testing.B) {
+	b.Run("residual", func(b *testing.B) {
+		benchApplyD1(b, core.Options{})
+	})
+	b.Run("noresidual", func(b *testing.B) {
+		benchApplyD1(b, core.Options{DisableResidual: true})
 	})
 }
 

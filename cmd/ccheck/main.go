@@ -29,7 +29,12 @@
 // planning and reuse compiled evaluation plans across the update stream;
 // -noindex falls back to scan-and-filter evaluation and -noplancache to
 // per-call re-planning for A/B comparison (see BenchmarkEvalIndexed and
-// BenchmarkApplyCompiled).
+// BenchmarkApplyCompiled). Eligible (constraint, update-pattern) pairs
+// are additionally served by compiled residual checks cached per pattern
+// (see internal/residual and BenchmarkApplyResidual); -noresidual forces
+// every constraint through the staged pipeline instead. -repeat N
+// replays the update script N times with counters reset between runs, so
+// the reported statistics describe a warm-cache run.
 package main
 
 import (
@@ -58,6 +63,8 @@ type config struct {
 	workers     int
 	noindex     bool
 	noplancache bool
+	noresidual  bool
+	repeat      int
 	verbose     bool
 	save        string
 	sites       []netdist.SiteSpec
@@ -78,6 +85,8 @@ type flags struct {
 	workersSet  bool
 	noindex     bool
 	noplancache bool
+	noresidual  bool
+	repeat      int
 	verbose     bool
 	save        string
 	timeout     time.Duration
@@ -106,6 +115,8 @@ func main() {
 		workers         = flag.Int("workers", 0, "worker goroutines for constraint dispatch (default: one per CPU)")
 		noindex         = flag.Bool("noindex", false, "disable hash-index probes and bound-first join planning in global evaluations (A/B escape hatch)")
 		noplancache     = flag.Bool("noplancache", false, "disable the compiled evaluation plan cache: re-derive stratification and join plans on every global evaluation (A/B escape hatch)")
+		noresidual      = flag.Bool("noresidual", false, "disable residual check compilation: run every constraint through the staged phase pipeline (A/B escape hatch)")
+		repeat          = flag.Int("repeat", 1, "apply the update script this many times; checker counters reset between runs so the final statistics describe the last (warm-cache) run")
 		verbose         = flag.Bool("v", false, "print per-update decisions")
 		savePath        = flag.String("save", "", "write the final database to this file as facts")
 		timeout         = flag.Duration("timeout", 2*time.Second, "per-request deadline for -sites round trips")
@@ -126,8 +137,8 @@ func main() {
 	cfg, err := buildConfig(flags{
 		constraints: *constraintsPath, data: *dataPath, updates: *updatesPath,
 		local: *localList, workers: *workers, workersSet: workersSet, noindex: *noindex,
-		noplancache: *noplancache,
-		verbose:     *verbose, save: *savePath, timeout: *timeout, retries: *retries,
+		noplancache: *noplancache, noresidual: *noresidual, repeat: *repeat,
+		verbose: *verbose, save: *savePath, timeout: *timeout, retries: *retries,
 		sites: sites, trace: *trace, traceOut: *traceOut, statsJSON: *statsJSON,
 	})
 	if err != nil {
@@ -150,11 +161,20 @@ func buildConfig(f flags) (config, error) {
 	cfg := config{
 		constraints: f.constraints, data: f.data, updates: f.updates, local: f.local,
 		workers: f.workers, noindex: f.noindex, noplancache: f.noplancache,
+		noresidual: f.noresidual, repeat: f.repeat,
 		verbose: f.verbose, save: f.save, timeout: f.timeout, retries: f.retries,
 		trace: f.trace, traceOut: f.traceOut, statsJSON: f.statsJSON,
 	}
 	if f.constraints == "" || f.updates == "" {
 		return cfg, fmt.Errorf("-constraints and -updates are required")
+	}
+	// The zero value (flags built programmatically) means the default of
+	// one run; an explicit non-positive -repeat is an error.
+	if f.repeat < 0 {
+		return cfg, fmt.Errorf("-repeat must be at least 1 (got %d)", f.repeat)
+	}
+	if f.repeat == 0 {
+		cfg.repeat = 1
 	}
 	if f.workersSet && f.workers <= 0 {
 		return cfg, fmt.Errorf("-workers must be positive (got %d); omit it for one per CPU", f.workers)
@@ -219,7 +239,13 @@ func run(cfg config) error {
 			return err
 		}
 	}
-	opts := core.Options{LocalRelations: splitList(cfg.local), Workers: cfg.workers, DisableIndexes: cfg.noindex, DisablePlanCache: cfg.noplancache}
+	opts := core.Options{
+		LocalRelations:   splitList(cfg.local),
+		Workers:          cfg.workers,
+		DisableIndexes:   cfg.noindex,
+		DisablePlanCache: cfg.noplancache,
+		DisableResidual:  cfg.noresidual,
+	}
 
 	// Decision tracing: -trace renders to stdout as updates run,
 	// -trace-out appends the same events as JSON lines; both may be on.
@@ -282,19 +308,29 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	for _, u := range updates {
-		rep, err := sys.Apply(u)
-		if err != nil {
-			return fmt.Errorf("update %v: %w", u, err)
+	for run := 0; run < cfg.repeat; run++ {
+		if run > 0 {
+			// Each -repeat run reports its own rates: zero the checker's
+			// counter families (decision, plan and residual caches keep
+			// their entries — measuring warm caches is the point) and the
+			// store's read accounting.
+			checker.ResetStats()
+			db.ResetReads()
 		}
-		if cfg.verbose {
-			status := "applied"
-			if !rep.Applied {
-				status = "REJECTED (" + strings.Join(rep.Violations(), ",") + ")"
+		for _, u := range updates {
+			rep, err := sys.Apply(u)
+			if err != nil {
+				return fmt.Errorf("update %v: %w", u, err)
 			}
-			fmt.Printf("%-30s %s\n", u, status)
-			for _, d := range rep.Decisions {
-				fmt.Printf("    %-10s decided by %s: %s\n", d.Constraint, d.Phase, d.Verdict)
+			if cfg.verbose && run == cfg.repeat-1 {
+				status := "applied"
+				if !rep.Applied {
+					status = "REJECTED (" + strings.Join(rep.Violations(), ",") + ")"
+				}
+				fmt.Printf("%-30s %s\n", u, status)
+				for _, d := range rep.Decisions {
+					fmt.Printf("    %-10s decided by %s: %s\n", d.Constraint, d.Phase, d.Verdict)
+				}
 			}
 		}
 	}
@@ -351,6 +387,12 @@ func writeStatsJSON(path string, checker *core.Checker, sys applier) error {
 			"plan_cache_misses":  cs.PlanMisses,
 			"plan_cache_entries": cs.PlanEntries,
 			"intern_size":        relation.InternSize(),
+			// Residual dispatch: pattern-cache effectiveness and how many
+			// compiled residuals are live (zero under -noresidual).
+			"residual_hits":     cs.ResidualHits,
+			"residual_misses":   cs.ResidualMisses,
+			"residual_compiled": cs.ResidualCompiled,
+			"residual_entries":  cs.ResidualEntries,
 		},
 	}
 	switch s := sys.(type) {

@@ -306,3 +306,76 @@ func TestRunWithSites(t *testing.T) {
 		t.Error("run against a dead site succeeded")
 	}
 }
+
+// TestRunRepeatAndResidualStats: -repeat replays the script with
+// counters reset between runs, so the final stats describe one
+// warm-cache run — residual hits high, compilations zero (they happened
+// in run one). -noresidual zeroes the residual family entirely.
+func TestRunRepeatAndResidualStats(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	constraints := write("c.dl", "panic :- emp(E,D,S) & S > 100.")
+	data := write("d.dl", "emp(ann,toy,50).")
+	updates := write("u.txt", "+emp(bob,toy,60)\n+emp(cid,toy,70)\n+emp(dot,toy,80)\n")
+	statsOut := filepath.Join(dir, "stats.json")
+
+	load := func() map[string]any {
+		t.Helper()
+		raw, err := os.ReadFile(statsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		checker, ok := doc["checker"].(map[string]any)
+		if !ok {
+			t.Fatalf("stats JSON missing checker section: %v", doc)
+		}
+		return checker
+	}
+
+	cfg := mustConfig(t, constraints, data, updates, "", 0, false, "")
+	cfg.statsJSON = statsOut
+	cfg.repeat = 3
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	checker := load()
+	// The last run sees only the warmed pattern cache: every update hits,
+	// nothing compiles, and updates/decisions count one run, not three.
+	if checker["updates"] != float64(3) {
+		t.Errorf("updates = %v, want 3 (last run only)", checker["updates"])
+	}
+	if checker["residual_hits"] != float64(3) || checker["residual_compiled"] != float64(0) {
+		t.Errorf("warm run residual counters = hits:%v compiled:%v, want 3/0",
+			checker["residual_hits"], checker["residual_compiled"])
+	}
+	if checker["residual_entries"] == float64(0) {
+		t.Error("warm run has no cached residuals")
+	}
+
+	cfg = mustConfig(t, constraints, data, updates, "", 0, false, "")
+	cfg.statsJSON = statsOut
+	cfg.noresidual = true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	checker = load()
+	for _, key := range []string{"residual_hits", "residual_misses", "residual_compiled", "residual_entries"} {
+		if checker[key] != float64(0) {
+			t.Errorf("-noresidual left %s = %v", key, checker[key])
+		}
+	}
+	byPhase, ok := checker["by_phase"].(map[string]any)
+	if !ok || byPhase["residual"] != nil {
+		t.Errorf("-noresidual by_phase = %v", checker["by_phase"])
+	}
+}

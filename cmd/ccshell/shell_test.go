@@ -116,10 +116,13 @@ func TestShellExplain(t *testing.T) {
 		"+emp(eve,ghost)",
 		":explain",
 	)
-	// :explain replays only the most recent update: the rejected hire.
+	// :explain replays only the most recent update: the rejected hire,
+	// decided by the compiled residual with its pattern-cache status.
 	for _, want := range []string{
 		"== +emp(eve,ghost)",
 		"ri",
+		"residual",
+		"cache=",
 		"decided: VIOLATED",
 		"=> REJECTED [ri]",
 	} {

@@ -52,6 +52,10 @@ func main() {
 		verbose     = flag.Bool("v", false, "log each served relation at startup")
 		noindex     = flag.Bool("noindex", false, "disable hash-index probes and bound-first join planning in Eval subqueries (A/B escape hatch)")
 		noplancache = flag.Bool("noplancache", false, "disable the compiled evaluation plan cache for Eval subqueries (A/B escape hatch)")
+		// Residual dispatch lives in the coordinator's checker, not in the
+		// site's subquery evaluator; the flag exists for command-line
+		// parity with ccheck and is accepted (and ignored) here.
+		_ = flag.Bool("noresidual", false, "accepted for flag parity with ccheck; sites serve subqueries and never run residual dispatch")
 	)
 	flag.Parse()
 	srv, l, err := setup(*listen, *dataPath, *relations)

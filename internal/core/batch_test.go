@@ -122,7 +122,7 @@ func TestApplyBatchEmpty(t *testing.T) {
 }
 
 func TestApplyBatchPolarityPhaseUsed(t *testing.T) {
-	c := newChecker(t, "dept(toy).", Options{})
+	c := newChecker(t, "dept(toy).", Options{DisableResidual: true})
 	if err := c.AddConstraintSource("ri", "panic :- emp(E,D) & not dept(D)."); err != nil {
 		t.Fatal(err)
 	}

@@ -54,6 +54,13 @@ func (dc *decisionCache) invalidate() {
 	dc.mu.Unlock()
 }
 
+// resetStats zeroes the hit/miss counters without dropping entries
+// (Checker.ResetStats: each -repeat run reports its own rates).
+func (dc *decisionCache) resetStats() {
+	dc.hits.Store(0)
+	dc.misses.Store(0)
+}
+
 // entry returns the memoized record for key, creating it on first use,
 // and reports whether the lookup hit (the decision trace records it).
 // Creation computes the phase-1 mention check, the phase-1.5 polarity

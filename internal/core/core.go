@@ -31,6 +31,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/reduction"
 	"repro/internal/relation"
+	"repro/internal/residual"
 	"repro/internal/rewrite"
 	"repro/internal/store"
 	"repro/internal/subsume"
@@ -53,6 +54,12 @@ const (
 	PhaseLocalData
 	// PhaseGlobal: full evaluation was required.
 	PhaseGlobal
+	// PhaseResidual: a compiled residual check (update-pattern partial
+	// evaluation, internal/residual) decided the constraint in place of
+	// the phase pipeline. Residuals run against the post-update store,
+	// like the global phase, but touch only the data the specialized
+	// disjuncts mention — often a single indexed probe.
+	PhaseResidual
 )
 
 // String names the phase.
@@ -68,6 +75,8 @@ func (p Phase) String() string {
 		return "local-data"
 	case PhaseGlobal:
 		return "global"
+	case PhaseResidual:
+		return "residual"
 	}
 	return fmt.Sprintf("Phase(%d)", int(p))
 }
@@ -148,6 +157,15 @@ type Stats struct {
 	PlanHits    int64
 	PlanMisses  int64
 	PlanEntries int
+	// ResidualHits/ResidualMisses/ResidualCompiled/ResidualEntries report
+	// the residual cache (residual.Cache): hits dispatch a ready-made
+	// residual check, misses either compile one or fall back to the full
+	// pipeline (ineligible patterns), compiled counts compilations. All
+	// zero when Options.DisableResidual is set.
+	ResidualHits     int64
+	ResidualMisses   int64
+	ResidualCompiled int64
+	ResidualEntries  int
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -191,6 +209,11 @@ type Options struct {
 	// reusing compiled plans across the update stream — the A/B escape
 	// hatch behind ccheck -noplancache.
 	DisablePlanCache bool
+	// DisableResidual turns off residual dispatch: every constraint runs
+	// the full phase pipeline for every update — the A/B escape hatch
+	// behind ccheck -noresidual, and the right setting for experiments
+	// that measure the paper's phase distribution itself.
+	DisableResidual bool
 	// Tracer receives the per-update decision trace: one event per phase
 	// attempt per constraint, bracketed by update-begin/update-end. Nil
 	// or disabled tracers keep Apply on the uninstrumented path.
@@ -223,6 +246,11 @@ type Checker struct {
 	// plans) for the global phase; nil under Options.DisablePlanCache.
 	planCache *eval.PlanCache
 
+	// residuals memoizes compiled residual checks per update pattern;
+	// nil under Options.DisableResidual. Apply consults it ahead of the
+	// phase pipeline and falls back for ineligible patterns.
+	residuals *residual.Cache
+
 	// traceSeq numbers emitted trace events; met holds the registry
 	// handles (nil when Options.Metrics is nil). See trace.go.
 	traceSeq uint64
@@ -234,6 +262,9 @@ func New(db *store.Store, opts Options) *Checker {
 	c := &Checker{db: db, opts: opts, stats: Stats{ByPhase: map[Phase]int{}}, cache: newDecisionCache()}
 	if !opts.DisablePlanCache {
 		c.planCache = eval.NewPlanCache()
+	}
+	if !opts.DisableResidual {
+		c.residuals = residual.NewCache()
 	}
 	if opts.Metrics != nil {
 		c.met = newCheckerMetrics(opts.Metrics)
@@ -263,7 +294,25 @@ func (c *Checker) Stats() Stats {
 	if c.planCache != nil {
 		s.PlanHits, s.PlanMisses, s.PlanEntries = c.planCache.Stats()
 	}
+	if c.residuals != nil {
+		s.ResidualHits, s.ResidualMisses, s.ResidualCompiled, s.ResidualEntries = c.residuals.Stats()
+	}
 	return s
+}
+
+// ResetStats zeroes every aggregate counter — the per-phase decision
+// counts and the decision/plan/residual cache counters — without
+// touching the caches' contents, so a warmed checker can report one
+// run's statistics in isolation (ccheck -repeat resets between runs).
+func (c *Checker) ResetStats() {
+	c.stats = Stats{ByPhase: map[Phase]int{}}
+	c.cache.resetStats()
+	if c.planCache != nil {
+		c.planCache.ResetStats()
+	}
+	if c.residuals != nil {
+		c.residuals.ResetStats()
+	}
 }
 
 // refreshSet rebuilds the shared constraint-program slice and the set
@@ -287,6 +336,12 @@ func (c *Checker) refreshSet() {
 		// plans would merely linger, but invalidating reclaims them and
 		// keeps the add/remove semantics symmetric with the decision cache.
 		c.planCache.Invalidate()
+	}
+	if c.residuals != nil {
+		// Residual shapes key on program pointer identity, which a future
+		// constraint could reuse after a removal — invalidation is a
+		// correctness requirement here, not just memory hygiene.
+		c.residuals.Invalidate()
 	}
 }
 
@@ -385,6 +440,13 @@ func (c *Checker) prepare(k *Constraint) {
 // the global phase (constraint admission and CheckAll included).
 func (c *Checker) evalOpts() eval.Options {
 	return eval.Options{DisableIndexes: c.opts.DisableIndexes, Cache: c.planCache}
+}
+
+// residualOpts translates the checker options into residual compilation
+// options, so a residual check answers exactly like the evaluation arm
+// it replaces.
+func (c *Checker) residualOpts() residual.Options {
+	return residual.Options{DisableIndexes: c.opts.DisableIndexes}
 }
 
 // isLocal reports whether the relation is resident at the checking site.
@@ -517,7 +579,29 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	if tracing {
 		traces = make([][]obs.Event, n)
 	}
+	// Residual dispatch runs ahead of the phase pipeline: a cacheable
+	// (constraint, update pattern) pair resolves to a compiled residual
+	// check — evaluated after the mutation, like the global phase — and
+	// skips phases 1–3 entirely. Ineligible patterns fall through to
+	// stageOne unchanged.
+	var resFor []*residual.Residual
+	var resCache []string
+	if c.residuals != nil {
+		resFor = make([]*residual.Residual, n)
+		resCache = make([]string, n)
+	}
 	runParallel(n, c.workers(), func(i int) {
+		if c.residuals != nil {
+			res, hit, ok := c.residuals.For(c.constraints[i].Prog, u, c.db, c.residualOpts())
+			if ok {
+				resFor[i] = res
+				resCache[i] = obs.CacheMiss
+				if hit {
+					resCache[i] = obs.CacheHit
+				}
+				return
+			}
+		}
 		var tr *[]obs.Event
 		if tracing {
 			tr = &traces[i]
@@ -526,7 +610,14 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	})
 	// Aggregate in constraint order on this goroutine, so reports, stats
 	// and trace-event order are identical whatever the pool width.
-	needGlobal := make([]*Constraint, 0, n)
+	type globalCheck struct {
+		k *Constraint
+		// res, when non-nil, decides the constraint by residual check
+		// instead of a full evaluation; cache is its trace status.
+		res   *residual.Residual
+		cache string
+	}
+	needGlobal := make([]globalCheck, 0, n)
 	for i, k := range c.constraints {
 		c.stats.Decisions++
 		if tracing {
@@ -534,12 +625,16 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 				c.emit(uStr, e)
 			}
 		}
+		if resFor != nil && resFor[i] != nil {
+			needGlobal = append(needGlobal, globalCheck{k: k, res: resFor[i], cache: resCache[i]})
+			continue
+		}
 		if decided[i] {
 			rep.Decisions = append(rep.Decisions, Decision{k.Name, phases[i], Holds})
 			c.bumpPhase(phases[i])
 			continue
 		}
-		needGlobal = append(needGlobal, k)
+		needGlobal = append(needGlobal, globalCheck{k: k})
 	}
 	// Apply the update (recording whether it actually changed the store,
 	// so a rollback never corrupts pre-existing tuples).
@@ -580,11 +675,13 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 			panic(fmt.Sprintf("core: rollback notification failed: %v", err))
 		}
 	}
-	// Phase 4: evaluate the undecided constraints on the updated store.
-	// The evaluations only read (per-constraint materializations or the
-	// shared store), so they run concurrently; the verdicts are then
-	// processed in constraint order to keep reports, stats and the
-	// first-error semantics identical to the serial pipeline.
+	// Phase 4: evaluate the undecided constraints on the updated store —
+	// compiled residual checks and full evaluations alike (both read the
+	// post-update state; an always-safe or always-violating residual is
+	// simply a check that returns without touching data). The evaluations
+	// only read, so they run concurrently; the verdicts are then processed
+	// in constraint order to keep reports, stats and the first-error
+	// semantics identical to the serial pipeline.
 	type evalOutcome struct {
 		bad bool
 		err error
@@ -592,22 +689,25 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	}
 	outcomes := make([]evalOutcome, len(needGlobal))
 	runParallel(len(needGlobal), c.workers(), func(i int) {
-		k := needGlobal[i]
+		g := needGlobal[i]
 		var start time.Time
 		if tracing {
 			start = time.Now()
 		}
-		if k.mat != nil {
-			outcomes[i].bad = k.mat.Holds(ast.PanicPred)
-		} else {
-			outcomes[i].bad, outcomes[i].err = eval.GoalHoldsWith(k.Prog, c.db, ast.PanicPred, c.evalOpts())
+		switch {
+		case g.res != nil:
+			outcomes[i].bad = g.res.Decide(c.db, u.Tuple)
+		case g.k.mat != nil:
+			outcomes[i].bad = g.k.mat.Holds(ast.PanicPred)
+		default:
+			outcomes[i].bad, outcomes[i].err = eval.GoalHoldsWith(g.k.Prog, c.db, ast.PanicPred, c.evalOpts())
 		}
 		if tracing {
 			outcomes[i].dur = time.Since(start)
 		}
 	})
 	violated := false
-	for i, k := range needGlobal {
+	for i, g := range needGlobal {
 		if err := outcomes[i].err; err != nil {
 			rollback()
 			if tracing {
@@ -620,19 +720,28 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 			v = Violated
 			violated = true
 		}
+		phase := PhaseGlobal
+		if g.res != nil {
+			phase = PhaseResidual
+		}
 		if tracing {
-			c.emit(uStr, obs.Event{
+			e := obs.Event{
 				Kind:       obs.KindPhase,
-				Constraint: k.Name,
-				Phase:      PhaseGlobal.String(),
+				Constraint: g.k.Name,
+				Phase:      phase.String(),
 				Decided:    true,
 				Verdict:    v.String(),
 				Duration:   outcomes[i].dur,
-				Relations:  c.remoteRelations(k),
-			})
+			}
+			if g.res != nil {
+				e.Cache = g.cache
+			} else {
+				e.Relations = c.remoteRelations(g.k)
+			}
+			c.emit(uStr, e)
 		}
-		rep.Decisions = append(rep.Decisions, Decision{k.Name, PhaseGlobal, v})
-		c.bumpPhase(PhaseGlobal)
+		rep.Decisions = append(rep.Decisions, Decision{g.k.Name, phase, v})
+		c.bumpPhase(phase)
 	}
 	if violated {
 		rollback()
@@ -650,6 +759,7 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 		c.met.applySeconds.Observe(time.Since(applyStart).Seconds())
 		c.met.sampleIndexCounters()
 		c.met.samplePlanCounters(c.planCache)
+		c.met.sampleResidualCounters(c.residuals)
 	}
 	return rep, nil
 }

@@ -16,7 +16,7 @@ import (
 // merely orphaned — whenever the constraint set changes.
 func TestPlanCacheInvalidatedOnConstraintChange(t *testing.T) {
 	c := newChecker(t, "l(30,60). r(40).",
-		Options{DisableUpdateOnly: true, DisableLocalData: true})
+		Options{DisableUpdateOnly: true, DisableLocalData: true, DisableResidual: true})
 	if err := c.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & Y < X."); err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestPlanCacheInvalidatedOnConstraintChange(t *testing.T) {
 // counters may move.
 func TestPlanCacheDisabled(t *testing.T) {
 	c := newChecker(t, "l(30,60). r(40).",
-		Options{DisablePlanCache: true, DisableUpdateOnly: true, DisableLocalData: true})
+		Options{DisablePlanCache: true, DisableUpdateOnly: true, DisableLocalData: true, DisableResidual: true})
 	if err := c.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & Y < X."); err != nil {
 		t.Fatal(err)
 	}
@@ -114,9 +114,9 @@ func applyPlanStream(t *testing.T, opts Options) []string {
 // the CI race job exercises) and through the serial no-cache pipeline;
 // every update must get the identical verdict.
 func TestApplyParallelPlanCacheAgrees(t *testing.T) {
-	cached := applyPlanStream(t, Options{Workers: 8,
+	cached := applyPlanStream(t, Options{Workers: 8, DisableResidual: true,
 		DisableUpdateOnly: true, DisableLocalData: true, DisableCache: true})
-	plain := applyPlanStream(t, Options{Workers: 1, DisablePlanCache: true,
+	plain := applyPlanStream(t, Options{Workers: 1, DisablePlanCache: true, DisableResidual: true,
 		DisableUpdateOnly: true, DisableLocalData: true, DisableCache: true})
 	if len(cached) != len(plain) {
 		t.Fatalf("stream lengths differ: %d vs %d", len(cached), len(plain))

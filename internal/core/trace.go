@@ -6,6 +6,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/relation"
+	"repro/internal/residual"
 )
 
 // This file is the checker's observability seam: the decision-trace
@@ -85,6 +86,9 @@ type checkerMetrics struct {
 	planHits     *obs.Gauge
 	planMisses   *obs.Gauge
 	internSize   *obs.Gauge
+	residHits    *obs.Gauge
+	residMisses  *obs.Gauge
+	residBuilt   *obs.Gauge
 }
 
 // newCheckerMetrics registers the checker's metric families on reg.
@@ -99,6 +103,9 @@ func newCheckerMetrics(reg *obs.Registry) *checkerMetrics {
 		planHits:     reg.Gauge("cc_plan_cache_hits", "compiled evaluation plans reused from the plan cache"),
 		planMisses:   reg.Gauge("cc_plan_cache_misses", "compiled evaluation plans built on a cache miss"),
 		internSize:   reg.Gauge("cc_intern_size", "distinct constants in the process-wide intern pool"),
+		residHits:    reg.Gauge("cc_residual_hits", "compiled residual checks served from the pattern cache"),
+		residMisses:  reg.Gauge("cc_residual_misses", "residual lookups not served from the cache (fresh compilations plus pipeline fallbacks)"),
+		residBuilt:   reg.Gauge("cc_residual_compiled", "residual compilations performed"),
 	}
 }
 
@@ -119,4 +126,17 @@ func (m *checkerMetrics) samplePlanCounters(pc *eval.PlanCache) {
 		m.planMisses.Set(misses)
 	}
 	m.internSize.Set(relation.InternSize())
+}
+
+// sampleResidualCounters mirrors the residual cache's counters into the
+// registry; called once per Apply. rc may be nil
+// (Options.DisableResidual), leaving the gauges at zero.
+func (m *checkerMetrics) sampleResidualCounters(rc *residual.Cache) {
+	if rc == nil {
+		return
+	}
+	hits, misses, compiled, _ := rc.Stats()
+	m.residHits.Set(hits)
+	m.residMisses.Set(misses)
+	m.residBuilt.Set(compiled)
 }

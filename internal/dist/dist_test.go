@@ -24,7 +24,12 @@ func TestLocalCertificationAvoidsRemote(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sys := New(db, []string{"l"}, DefaultCost)
+	// The assertions pin the staged pipeline's locality model: residual
+	// dispatch would decide covered insertions too, but by probing r.
+	sys := NewWithOptions(db, core.Options{
+		LocalRelations:  []string{"l"},
+		DisableResidual: true,
+	}, DefaultCost)
 	if err := sys.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
 		t.Fatal(err)
 	}
@@ -82,6 +87,7 @@ func TestAblationLocalPhase(t *testing.T) {
 		sys := NewWithOptions(db, core.Options{
 			LocalRelations:   []string{"l"},
 			DisableLocalData: disableLocal,
+			DisableResidual:  true,
 		}, DefaultCost)
 		if err := sys.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
 			t.Fatal(err)

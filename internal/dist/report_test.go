@@ -50,7 +50,12 @@ func reportSystem(t *testing.T) *System {
 	if _, err := db.Insert("r", relation.Ints(35)); err != nil {
 		t.Fatal(err)
 	}
-	sys := New(db, []string{"l"}, DefaultCost)
+	// Pin the staged pipeline's phase mix (local-data then global);
+	// residual dispatch would collapse both updates into one phase.
+	sys := NewWithOptions(db, core.Options{
+		LocalRelations:  []string{"l"},
+		DisableResidual: true,
+	}, DefaultCost)
 	if err := sys.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
 		t.Fatal(err)
 	}

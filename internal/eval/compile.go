@@ -193,6 +193,13 @@ func (pc *PlanCache) Stats() (hits, misses int64, entries int) {
 	return pc.hits.Load(), pc.misses.Load(), entries
 }
 
+// ResetStats zeroes the hit/miss counters without dropping plans, so a
+// warmed cache can report one run's rates in isolation (ccheck -repeat).
+func (pc *PlanCache) ResetStats() {
+	pc.hits.Store(0)
+	pc.misses.Store(0)
+}
+
 // Invalidate drops every cached plan (the fingerprint memo survives: it
 // keys on program identity, which outlives any store or constraint-set
 // change). Call it when the constraint set changes.

@@ -293,7 +293,9 @@ func ExpDistributed(densities []int, updates int, seed int64) (Table, error) {
 						return t, err
 					}
 				}
-				opts := core.Options{LocalRelations: []string{"l"}, Workers: workers}
+				// Both arms measure the staged pipeline's locality; the
+				// residual arm is measured separately by ExpResidual.
+				opts := core.Options{LocalRelations: []string{"l"}, Workers: workers, DisableResidual: true}
 				if strategy == "naive" {
 					opts.DisableUpdateOnly = true
 					opts.DisableLocalData = true

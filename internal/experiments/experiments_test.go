@@ -236,3 +236,38 @@ func TestExpNetDistributedAgreesWithModel(t *testing.T) {
 		}
 	}
 }
+
+// TestExpResidualCounters pins the pattern-cache accounting of the
+// residual A/B: the stream amortizes onto one compilation per update
+// shape (+l, +r) and everything else hits; the noresidual arm never
+// touches the residual machinery. Wall clocks are not asserted — the
+// speedup claim lives in BenchmarkApplyResidual.
+func TestExpResidualCounters(t *testing.T) {
+	tab, err := ExpResidual(20, 30, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	find := func(arm string) []string {
+		t.Helper()
+		for _, row := range tab.Rows {
+			if row[0] == arm {
+				return row
+			}
+		}
+		t.Fatalf("no %s row in %v", arm, tab.Rows)
+		return nil
+	}
+	// Columns: arm, updates, total, per-update, ratio, hits, compiled, entries.
+	off := find("noresidual")
+	if off[5] != "0" || off[6] != "0" || off[7] != "0" {
+		t.Errorf("noresidual arm touched the residual cache: %v", off)
+	}
+	on := find("residual")
+	if on[1] != "30" || on[5] != "28" || on[6] != "2" || on[7] != "2" {
+		t.Errorf("residual counters = updates:%s hits:%s compiled:%s entries:%s, want 30/28/2/2",
+			on[1], on[5], on[6], on[7])
+	}
+}

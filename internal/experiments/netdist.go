@@ -50,7 +50,7 @@ func ExpNetDistributed(densities []int, updates int, latency time.Duration, seed
 				}
 			}
 		}
-		sys := dist.NewWithOptions(full, core.Options{LocalRelations: []string{"l"}}, dist.DefaultCost)
+		sys := dist.NewWithOptions(full, core.Options{LocalRelations: []string{"l"}, DisableResidual: true}, dist.DefaultCost)
 		if err := sys.Checker.AddConstraintSource("fi", constraint); err != nil {
 			return t, err
 		}
@@ -60,7 +60,7 @@ func ExpNetDistributed(densities []int, updates int, latency time.Duration, seed
 		lb.AddSite("siteR", netdist.NewServer(remote, []string{"r"}))
 		lb.SetLatency("siteR", latency)
 		co, err := netdist.New(local, []netdist.SiteSpec{{Site: "siteR", Relations: []string{"r"}}}, lb,
-			netdist.Options{Checker: core.Options{LocalRelations: []string{"l"}}})
+			netdist.Options{Checker: core.Options{LocalRelations: []string{"l"}, DisableResidual: true}})
 		if err != nil {
 			return t, err
 		}

@@ -54,6 +54,9 @@ func ExpPlanCache(density, updates, rounds int, seed int64) (Table, error) {
 				DisablePlanCache:  arm.disable,
 				DisableUpdateOnly: true,
 				DisableLocalData:  true,
+				// Measure the plan cache through the global phase;
+				// residual dispatch would bypass it entirely.
+				DisableResidual: true,
 			})
 			if err := chk.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
 				return t, err

@@ -40,7 +40,11 @@ func d1Fixture(t *testing.T, density, nUpdates int, seed int64) (*dist.System, *
 			t.Fatal(err)
 		}
 	}
-	sys := dist.NewWithOptions(full, core.Options{LocalRelations: []string{"l"}}, dist.DefaultCost)
+	// Both arms disable residual dispatch: the fixture compares the cost
+	// model's remote-trip prediction (driven by the staged pipeline's
+	// global phase) against measured scan requests, and Coordinator
+	// prefetch follows the residual-unaware core.Plan.
+	sys := dist.NewWithOptions(full, core.Options{LocalRelations: []string{"l"}, DisableResidual: true}, dist.DefaultCost)
 	if err := sys.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +65,7 @@ func d1Fixture(t *testing.T, density, nUpdates int, seed int64) (*dist.System, *
 		}
 	}
 	co, err := New(local, []SiteSpec{{Site: "siteR", Relations: []string{"r"}}}, lb,
-		Options{Checker: core.Options{LocalRelations: []string{"l"}}, Timeout: time.Second, Backoff: time.Millisecond})
+		Options{Checker: core.Options{LocalRelations: []string{"l"}, DisableResidual: true}, Timeout: time.Second, Backoff: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

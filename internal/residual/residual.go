@@ -1,0 +1,400 @@
+// Package residual partially evaluates a constraint against the symbolic
+// form of an update — relation, polarity, and the argument shape of the
+// harmful occurrences — into a compiled residual test that runs on the
+// hot path in place of the full staged pipeline.
+//
+// The construction is the simplified integrity checking of Nicolas
+// [1982] as systematized by Lloyd/Topor and Martinenghi, specialized to
+// this repository's flat constraints (every rule head is the 0-ary goal
+// panic, every body atom a stored relation). Under the standing
+// invariant that all constraints hold before each update, a post-update
+// panic derivation must use the update somewhere:
+//
+//   - inserting t into R can create new derivations only through the
+//     positive occurrences of R: for each occurrence, unify its argument
+//     vector with t (σ = mgu) and the residual disjunct is σ(body minus
+//     that occurrence), evaluated on the post-update database;
+//   - deleting t from R can create new derivations only through the
+//     negated occurrences of R (a literal not R(…) can only become true
+//     by the deletion): σ as above, and the newly-true literal is
+//     dropped from σ(body).
+//
+// The union of disjuncts over all rules × harmful occurrences is exact:
+// panic is derivable after the update iff some disjunct is derivable.
+// Occurrences whose constants clash with the tuple contribute nothing
+// and fold away at compile time; comparisons ground under σ constant-
+// fold; disjuncts whose comparison sets are unsatisfiable (internal/
+// ineq) are pruned. What remains reduces to one of three outcomes:
+// always safe (no disjuncts survive), always violating (a disjunct has
+// an empty body), or a residual goal — typically one indexed probe plus
+// a few comparisons.
+//
+// To make residuals cacheable across an update stream whose tuples vary,
+// compilation is parameterized: tuple positions where no harmful
+// occurrence carries a constant become runtime parameters ($i = t[i]),
+// so one compiled residual serves every tuple of the pattern. Positions
+// where some occurrence is a constant are pinned — the concrete value is
+// baked in (enabling the compile-time folding above) and participates in
+// the cache key.
+package residual
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ineq"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Options tune residual compilation; they mirror the evaluator's A/B
+// switches so a residual answers exactly like the pipeline arm it
+// replaces.
+type Options struct {
+	// DisableIndexes makes residual joins keep textual atom order and
+	// fetch candidates by scan-and-filter instead of bound-first hash
+	// probes (the ccheck -noindex discipline).
+	DisableIndexes bool
+}
+
+// Outcome classifies a compiled residual.
+type Outcome int
+
+const (
+	// AlwaysSafe: no disjunct survived compilation — the update pattern
+	// cannot create a panic derivation, whatever the database holds.
+	AlwaysSafe Outcome = iota
+	// AlwaysViolating: some disjunct reduced to the empty body — the
+	// update itself completes a panic derivation, whatever the database
+	// holds (given that the constraint held before).
+	AlwaysViolating
+	// ResidualGoal: a non-trivial residual remains and must be evaluated
+	// against the post-update database.
+	ResidualGoal
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case AlwaysSafe:
+		return "always-safe"
+	case AlwaysViolating:
+		return "always-violating"
+	case ResidualGoal:
+		return "residual-goal"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Shape is the compile-relevant skeleton of a (constraint, relation,
+// polarity) pattern: whether the pair is residual-eligible at all, and
+// which tuple positions are pinned (carry a constant in some harmful
+// occurrence, so their concrete value participates in compilation and
+// the cache key).
+type Shape struct {
+	Eligible bool
+	// Arity is the widest harmful-occurrence arity (-1 when the
+	// constraint has no harmful occurrence of the relation, in which
+	// case any tuple is trivially safe).
+	Arity int
+	// Pinned[i] reports that some harmful occurrence has a constant at
+	// position i; len(Pinned) == max(Arity, 0).
+	Pinned []bool
+}
+
+// DeriveShape analyzes prog for updates of the given polarity on rel.
+// Eligibility requires the flat constraint form the correctness argument
+// rests on: every rule head is panic and no body atom mentions panic.
+// Negation and comparisons are fine; helper (IDB) predicates are not —
+// those constraints fall back to the full pipeline.
+func DeriveShape(prog *ast.Program, rel string, insert bool) Shape {
+	if rel == ast.PanicPred {
+		return Shape{}
+	}
+	for _, r := range prog.Rules {
+		if r.Head.Pred != ast.PanicPred {
+			return Shape{}
+		}
+		for _, l := range r.Body {
+			if !l.IsComp() && l.Atom.Pred == ast.PanicPred {
+				return Shape{}
+			}
+		}
+	}
+	sh := Shape{Eligible: true, Arity: -1}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if !harmful(l, rel, insert) {
+				continue
+			}
+			if n := len(l.Atom.Args); n > sh.Arity {
+				sh.Arity = n
+			}
+		}
+	}
+	if sh.Arity < 0 {
+		return sh
+	}
+	sh.Pinned = make([]bool, sh.Arity)
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if !harmful(l, rel, insert) {
+				continue
+			}
+			for i, a := range l.Atom.Args {
+				if a.IsConst() {
+					sh.Pinned[i] = true
+				}
+			}
+		}
+	}
+	return sh
+}
+
+// harmful reports whether the literal is an occurrence of rel through
+// which the update polarity can create new panic derivations: positive
+// occurrences for inserts, negated ones for deletes.
+func harmful(l ast.Literal, rel string, insert bool) bool {
+	if l.IsComp() || l.Atom.Pred != rel {
+		return false
+	}
+	if insert {
+		return l.IsPos()
+	}
+	return l.IsNeg()
+}
+
+// sterm is a symbolic term during compilation: a constant, a reference
+// to an update-tuple position (parameter), or a still-free rule variable.
+type sterm struct {
+	kind skind
+	val  ast.Value // stConst
+	pos  int       // stParam: tuple position
+	name string    // stVar
+}
+
+type skind uint8
+
+const (
+	stConst skind = iota
+	stParam
+	stVar
+)
+
+// slit is a symbolic body literal after σ: a comparison or an atom over
+// sterms. Unification guards (parameter-parameter or parameter-constant
+// equalities induced by repeated variables and pinned clashes) are
+// represented as Eq comparisons.
+type slit struct {
+	comp bool
+	op   ast.CompOp
+	l, r sterm
+	neg  bool
+	pred string
+	args []sterm
+}
+
+// Residual is a compiled residual test for one (constraint, pattern,
+// pinned values) triple. It is immutable after compilation and safe for
+// concurrent Decide calls.
+type Residual struct {
+	outcome Outcome
+	noIndex bool
+	// disjuncts in rule/occurrence order; empty unless ResidualGoal.
+	disjuncts []*disjunct
+	maxRegs   int
+}
+
+// Outcome reports the compile-time classification.
+func (r *Residual) Outcome() Outcome { return r.outcome }
+
+// Disjuncts reports how many residual disjuncts survived compilation.
+func (r *Residual) Disjuncts() int { return len(r.disjuncts) }
+
+// Compile partially evaluates prog against the update pattern
+// (rel, insert polarity, tuple t) under shape sh. Positions pinned by sh
+// bake t's value in; the rest become parameters, so the result may be
+// reused for any tuple agreeing with t on the pinned positions. The
+// database contributes only its shape (relation arities), never tuples.
+func Compile(prog *ast.Program, rel string, insert bool, t relation.Tuple, sh Shape, db *store.Store, opts Options) *Residual {
+	res := &Residual{noIndex: opts.DisableIndexes}
+	for _, rule := range prog.Rules {
+		for oi, l := range rule.Body {
+			if !harmful(l, rel, insert) || len(l.Atom.Args) != len(t) {
+				continue
+			}
+			body, ok := specialize(rule, oi, t, sh)
+			if !ok {
+				continue // constant clash or unsatisfiable comparisons
+			}
+			d := plan(body, db, opts)
+			if d == nil {
+				continue // a dead atom made the disjunct underivable
+			}
+			if len(d.steps) == 0 {
+				// The update alone completes a derivation: nothing left to
+				// check at runtime and no other disjunct can change that.
+				return &Residual{outcome: AlwaysViolating, noIndex: opts.DisableIndexes}
+			}
+			res.disjuncts = append(res.disjuncts, d)
+			if d.regs > res.maxRegs {
+				res.maxRegs = d.regs
+			}
+		}
+	}
+	if len(res.disjuncts) > 0 {
+		res.outcome = ResidualGoal
+	}
+	return res
+}
+
+// specialize builds the symbolic body of the disjunct for one harmful
+// occurrence: σ(body minus the occurrence) plus unification guards, with
+// ground comparisons folded and the ineq-unsatisfiable conjunctions
+// pruned. ok is false when the disjunct folds away entirely.
+func specialize(rule *ast.Rule, oi int, t relation.Tuple, sh Shape) ([]slit, bool) {
+	occ := rule.Body[oi].Atom
+	sigma := make(map[string]sterm)
+	var guards []slit
+	for i, a := range occ.Args {
+		// The tuple side: pinned positions are the concrete value, the
+		// rest the runtime parameter $i.
+		tv := sterm{kind: stParam, pos: i}
+		if sh.Pinned[i] {
+			tv = sterm{kind: stConst, val: t[i]}
+		}
+		if a.IsConst() {
+			// Pinned by construction, so tv is a constant: decide now.
+			if !a.Const.Equal(tv.val) {
+				return nil, false
+			}
+			continue
+		}
+		prev, bound := sigma[a.Var]
+		if !bound {
+			sigma[a.Var] = tv
+			continue
+		}
+		// Repeated variable in the occurrence: both bindings must agree.
+		if prev.kind == stConst && tv.kind == stConst {
+			if !prev.val.Equal(tv.val) {
+				return nil, false
+			}
+			continue
+		}
+		guards = append(guards, slit{comp: true, op: ast.Eq, l: prev, r: tv})
+	}
+	body := guards
+	for bi, l := range rule.Body {
+		if bi == oi {
+			continue
+		}
+		if l.IsComp() {
+			s := slit{comp: true, op: l.Comp.Op, l: applySigma(l.Comp.Left, sigma), r: applySigma(l.Comp.Right, sigma)}
+			if s.l.kind == stConst && s.r.kind == stConst {
+				if !s.op.Eval(s.l.val, s.r.val) {
+					return nil, false
+				}
+				continue // true: drop the folded literal
+			}
+			body = append(body, s)
+			continue
+		}
+		args := make([]sterm, len(l.Atom.Args))
+		for i, a := range l.Atom.Args {
+			args[i] = applySigma(a, sigma)
+		}
+		body = append(body, slit{neg: l.IsNeg(), pred: l.Atom.Pred, args: args})
+	}
+	if !satisfiable(body) {
+		return nil, false
+	}
+	return body, true
+}
+
+// applySigma maps one rule term into the symbolic domain.
+func applySigma(a ast.Term, sigma map[string]sterm) sterm {
+	if a.IsConst() {
+		return sterm{kind: stConst, val: a.Const}
+	}
+	if b, ok := sigma[a.Var]; ok {
+		return b
+	}
+	return sterm{kind: stVar, name: a.Var}
+}
+
+// satisfiable asks internal/ineq whether the disjunct's comparison
+// conjunction (guards included) admits any assignment, treating
+// parameters as fresh variables P$i — a namespace user programs cannot
+// produce. An unsatisfiable conjunction makes the disjunct underivable
+// for every tuple of the pattern.
+func satisfiable(body []slit) bool {
+	var conj []ast.Comparison
+	for _, l := range body {
+		if !l.comp {
+			continue
+		}
+		conj = append(conj, ast.NewComparison(symTerm(l.l), l.op, symTerm(l.r)))
+	}
+	if len(conj) == 0 {
+		return true
+	}
+	return ineq.Satisfiable(conj)
+}
+
+// symTerm renders an sterm for the ineq solver.
+func symTerm(s sterm) ast.Term {
+	switch s.kind {
+	case stConst:
+		return ast.C(s.val)
+	case stParam:
+		return ast.V(fmt.Sprintf("P$%d", s.pos))
+	}
+	return ast.V(s.name)
+}
+
+// Program renders the residual as a plain constraint program for the
+// concrete tuple t — parameters substituted, registers as fresh R$n
+// variables — suitable for cross-checking against the full evaluator or
+// shipping to a subquery server. An AlwaysViolating residual renders as
+// the fact panic; AlwaysSafe as a program with no panic rule.
+func (r *Residual) Program(t relation.Tuple) *ast.Program {
+	prog := ast.NewProgram()
+	if r.outcome == AlwaysViolating {
+		prog.Rules = append(prog.Rules, ast.Fact(ast.Atom{Pred: ast.PanicPred}))
+		return prog
+	}
+	for _, d := range r.disjuncts {
+		rule := &ast.Rule{Head: ast.Atom{Pred: ast.PanicPred}}
+		for i := range d.steps {
+			rule.Body = append(rule.Body, d.steps[i].literal(t))
+		}
+		prog.Rules = append(prog.Rules, rule)
+	}
+	return prog
+}
+
+// literal renders one compiled step back into AST form under tuple t.
+func (s *step) literal(t relation.Tuple) ast.Literal {
+	term := func(a arg) ast.Term {
+		switch a.kind {
+		case argConst:
+			return ast.C(a.val)
+		case argParam:
+			return ast.C(t[a.idx])
+		}
+		return ast.V(fmt.Sprintf("R$%d", a.idx))
+	}
+	if s.kind == stepComp {
+		return ast.Cmp(ast.NewComparison(term(s.l), s.op, term(s.r)))
+	}
+	args := make([]ast.Term, len(s.args))
+	for i, a := range s.args {
+		args[i] = term(a)
+	}
+	atom := ast.Atom{Pred: s.pred, Args: args}
+	if s.kind == stepNeg {
+		return ast.Neg(atom)
+	}
+	return ast.Pos(atom)
+}

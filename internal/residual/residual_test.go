@@ -1,0 +1,287 @@
+package residual
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func prog(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	return parser.MustParseProgram(src)
+}
+
+func TestDeriveShapeEligibility(t *testing.T) {
+	for _, tc := range []struct {
+		src      string
+		rel      string
+		insert   bool
+		eligible bool
+		arity    int
+		pinned   []bool
+	}{
+		// Flat constraint, positive occurrence of the inserted relation.
+		{"panic :- emp(E,D) & not dept(D).", "emp", true, true, 2, []bool{false, false}},
+		// Deleting dept is harmful through the negated occurrence.
+		{"panic :- emp(E,D) & not dept(D).", "dept", false, true, 1, []bool{false}},
+		// Inserting dept has no harmful occurrence: any tuple is safe.
+		{"panic :- emp(E,D) & not dept(D).", "dept", true, true, -1, nil},
+		// A constant in a harmful occurrence pins the position.
+		{"panic :- emp(E,sales,S) & emp(E,accounting,S).", "emp", true, true, 3, []bool{false, true, false}},
+		// Helper (IDB) predicates disqualify the whole constraint.
+		{"panic :- boss(E,E).\nboss(E,M) :- mgr(E,M).", "mgr", true, false, 0, nil},
+		// Updates to the goal predicate itself are never eligible.
+		{"panic :- p(X).", "panic", true, false, 0, nil},
+	} {
+		sh := DeriveShape(prog(t, tc.src), tc.rel, tc.insert)
+		if sh.Eligible != tc.eligible {
+			t.Errorf("%q %s insert=%v: eligible=%v, want %v", tc.src, tc.rel, tc.insert, sh.Eligible, tc.eligible)
+			continue
+		}
+		if !sh.Eligible {
+			continue
+		}
+		if sh.Arity != tc.arity {
+			t.Errorf("%q %s: arity=%d, want %d", tc.src, tc.rel, sh.Arity, tc.arity)
+		}
+		if len(sh.Pinned) != len(tc.pinned) {
+			t.Errorf("%q %s: pinned=%v, want %v", tc.src, tc.rel, sh.Pinned, tc.pinned)
+			continue
+		}
+		for i := range tc.pinned {
+			if sh.Pinned[i] != tc.pinned[i] {
+				t.Errorf("%q %s: pinned=%v, want %v", tc.src, tc.rel, sh.Pinned, tc.pinned)
+				break
+			}
+		}
+	}
+}
+
+// compileFor derives the shape and compiles in one step, failing the test
+// on an ineligible pattern.
+func compileFor(t *testing.T, src, rel string, insert bool, tu relation.Tuple, db *store.Store) *Residual {
+	t.Helper()
+	p := prog(t, src)
+	sh := DeriveShape(p, rel, insert)
+	if !sh.Eligible {
+		t.Fatalf("%q not residual-eligible for %s", src, rel)
+	}
+	return Compile(p, rel, insert, tu, sh, db, Options{})
+}
+
+func TestCompileOutcomes(t *testing.T) {
+	db := store.New()
+	// The update alone completes the derivation.
+	r := compileFor(t, "panic :- p(X).", "p", true, relation.Strs("a"), db)
+	if r.Outcome() != AlwaysViolating {
+		t.Errorf("bare occurrence: outcome %v, want always-violating", r.Outcome())
+	}
+	if !r.Decide(db, relation.Strs("a")) {
+		t.Error("always-violating residual decided safe")
+	}
+	// No harmful occurrence: always safe.
+	r = compileFor(t, "panic :- emp(E,D) & not dept(D).", "dept", true, relation.Strs("toy"), db)
+	if r.Outcome() != AlwaysSafe {
+		t.Errorf("benign insert: outcome %v, want always-safe", r.Outcome())
+	}
+	if r.Decide(db, relation.Strs("toy")) {
+		t.Error("always-safe residual decided violating")
+	}
+	// A pinned constant clashing with the tuple folds the disjunct away.
+	r = compileFor(t, "panic :- p(a) & q(X).", "p", true, relation.Strs("b"), db)
+	if r.Outcome() != AlwaysSafe {
+		t.Errorf("constant clash: outcome %v, want always-safe", r.Outcome())
+	}
+	// The matching pinned value leaves the rest of the body as residual.
+	r = compileFor(t, "panic :- p(a) & q(X).", "p", true, relation.Strs("a"), db)
+	if r.Outcome() != ResidualGoal || r.Disjuncts() != 1 {
+		t.Errorf("pinned match: outcome %v disjuncts %d, want residual-goal/1", r.Outcome(), r.Disjuncts())
+	}
+	// An ineq-unsatisfiable comparison set prunes at compile time: the
+	// surviving conjunction X < 3 & X > 5 over the parameter is empty.
+	r = compileFor(t, "panic :- p(X) & X < 3 & X > 5.", "p", true, relation.Ints(4), db)
+	if r.Outcome() != AlwaysSafe {
+		t.Errorf("unsatisfiable comparisons: outcome %v, want always-safe", r.Outcome())
+	}
+	// A ground-false comparison after pinning folds the disjunct.
+	r = compileFor(t, "panic :- p(7,X) & q(X).", "p", true, relation.Ints(7, 1), db)
+	if r.Outcome() != ResidualGoal {
+		t.Errorf("pinned fold: outcome %v, want residual-goal", r.Outcome())
+	}
+	// Arity mismatch between tuple and every occurrence: trivially safe.
+	r = compileFor(t, "panic :- p(X,Y) & q(X).", "p", true, relation.Ints(1), db)
+	if r.Outcome() != AlwaysSafe {
+		t.Errorf("arity mismatch: outcome %v, want always-safe", r.Outcome())
+	}
+}
+
+func TestRepeatedVariableGuard(t *testing.T) {
+	// panic :- p(X,X): neither position is pinned, so one compiled
+	// residual serves every binary tuple; the repeated variable becomes a
+	// parameter-parameter equality guard.
+	db := store.New()
+	r := compileFor(t, "panic :- p(X,X).", "p", true, relation.Strs("a", "a"), db)
+	if r.Outcome() != ResidualGoal {
+		t.Fatalf("outcome %v, want residual-goal", r.Outcome())
+	}
+	if !r.Decide(db, relation.Strs("c", "c")) {
+		t.Error("p(c,c) not flagged")
+	}
+	if r.Decide(db, relation.Strs("a", "b")) {
+		t.Error("p(a,b) flagged")
+	}
+}
+
+func TestDecideDeleteNegatedOccurrence(t *testing.T) {
+	// Referential integrity: deleting a department is harmful through the
+	// negated occurrence; the residual asks whether any employee still
+	// references it on the post-update database.
+	db := store.New()
+	for _, f := range [][]string{{"ann", "toy"}, {"bob", "shoe"}} {
+		if _, err := db.Insert("emp", relation.Strs(f...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range []string{"toy", "shoe"} {
+		if _, err := db.Insert("dept", relation.Strs(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := compileFor(t, "panic :- emp(E,D) & not dept(D).", "dept", false, relation.Strs("toy"), db)
+	if r.Outcome() != ResidualGoal {
+		t.Fatalf("outcome %v, want residual-goal", r.Outcome())
+	}
+	// Residuals evaluate post-update: delete first, then decide.
+	del := store.Del("dept", relation.Strs("toy"))
+	if err := del.Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Decide(db, relation.Strs("toy")) {
+		t.Error("deleting referenced dept not flagged")
+	}
+	// The same compiled residual (no pinned positions) serves shoe after
+	// bob is gone: safe.
+	if !db.Delete("emp", relation.Strs("bob", "shoe")) {
+		t.Fatal("fixture delete failed")
+	}
+	if err := store.Del("dept", relation.Strs("shoe")).Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	if r.Decide(db, relation.Strs("shoe")) {
+		t.Error("deleting unreferenced dept flagged")
+	}
+}
+
+// TestDecideMatchesEval drives randomized interval streams through the
+// compiled residual and the full evaluator on identical post-update
+// stores; the residual's verdict must equal "panic derivable".
+func TestDecideMatchesEval(t *testing.T) {
+	const src = "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."
+	p := prog(t, src)
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		db := store.New()
+		for i := 0; i < 3; i++ {
+			lo := rng.Int63n(50)
+			if _, err := db.Insert("l", relation.Ints(lo, lo+rng.Int63n(30))); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Insert("r", relation.Ints(rng.Int63n(120))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The simplified-checking argument rests on the standing invariant
+		// that the constraint holds before the update; discard pre-states
+		// that already violate it.
+		if pre, err := eval.PanicHolds(p, db.Clone()); err != nil {
+			t.Fatal(err)
+		} else if pre {
+			continue
+		}
+		checked++
+		var u store.Update
+		if rng.Intn(2) == 0 {
+			lo := rng.Int63n(80)
+			u = store.Ins("l", relation.Ints(lo, lo+rng.Int63n(40)))
+		} else {
+			u = store.Ins("r", relation.Ints(rng.Int63n(120)))
+		}
+		sh := DeriveShape(p, u.Relation, u.Insert)
+		if !sh.Eligible {
+			t.Fatal("interval pattern ineligible")
+		}
+		for _, opts := range []Options{{}, {DisableIndexes: true}} {
+			res := Compile(p, u.Relation, u.Insert, u.Tuple, sh, db, opts)
+			post := db.Clone()
+			if err := u.Apply(post); err != nil {
+				t.Fatal(err)
+			}
+			want, err := eval.PanicHolds(p, post.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Decide(post, u.Tuple); got != want {
+				t.Fatalf("trial %d opts %+v: residual=%v eval=%v for %v on\n%s",
+					trial, opts, got, want, u, db)
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d trials survived the pre-state filter", checked)
+	}
+}
+
+// TestProgramRendering checks that the rendered residual program agrees
+// with Decide when run through the full evaluator — the cross-check the
+// subquery path and the oracle tests rely on.
+func TestProgramRendering(t *testing.T) {
+	db := store.New()
+	for _, tu := range [][]int64{{3, 6}, {5, 10}} {
+		if _, err := db.Insert("l", relation.Ints(tu[0], tu[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Insert("r", relation.Ints(100)); err != nil {
+		t.Fatal(err)
+	}
+	r := compileFor(t, "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.", "l", true, relation.Ints(90, 110), db)
+	for _, tc := range []struct {
+		tu   relation.Tuple
+		want bool
+	}{
+		{relation.Ints(90, 110), true},
+		{relation.Ints(40, 50), false},
+	} {
+		post := db.Clone()
+		if _, err := post.Insert("l", tc.tu); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Decide(post, tc.tu); got != tc.want {
+			t.Fatalf("Decide(%v) = %v, want %v", tc.tu, got, tc.want)
+		}
+		holds, err := eval.PanicHolds(r.Program(tc.tu), post)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if holds != tc.want {
+			t.Errorf("rendered program for %v evaluates to %v, want %v:\n%s",
+				tc.tu, holds, tc.want, r.Program(tc.tu))
+		}
+	}
+	// AlwaysViolating renders as the bare panic fact.
+	av := compileFor(t, "panic :- p(X).", "p", true, relation.Strs("a"), db)
+	if holds, err := eval.PanicHolds(av.Program(relation.Strs("a")), db.Clone()); err != nil || !holds {
+		t.Errorf("always-violating program: holds=%v err=%v", holds, err)
+	}
+	// AlwaysSafe renders as a program with no panic derivation.
+	as := compileFor(t, "panic :- emp(E,D) & not dept(D).", "dept", true, relation.Strs("x"), db)
+	if holds, err := eval.PanicHolds(as.Program(relation.Strs("x")), db.Clone()); err != nil || holds {
+		t.Errorf("always-safe program: holds=%v err=%v", holds, err)
+	}
+}

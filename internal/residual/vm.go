@@ -1,0 +1,339 @@
+package residual
+
+import (
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// The residual VM. A disjunct is a straight-line plan of steps —
+// comparisons (unification guards included), negated-atom probes, and
+// positive-atom joins — over three argument kinds: compile-time
+// constants, update-tuple positions (parameters), and registers holding
+// values bound by earlier join steps. Because the plan order is fixed at
+// compile time, register boundness is static: every column of every
+// atom is classified once as probe / check / bind / repeat-check, and
+// the runtime needs no substitution map, no trail, and no per-decision
+// allocation beyond a pooled scratch.
+
+type argKind uint8
+
+const (
+	argConst argKind = iota
+	argParam         // update-tuple position idx
+	argReg           // register idx
+)
+
+type arg struct {
+	kind argKind
+	val  ast.Value
+	idx  int
+}
+
+type stepKind uint8
+
+const (
+	stepComp stepKind = iota
+	stepPos
+	stepNeg
+)
+
+// step is one VM instruction. For stepPos, the column classification is
+// precomputed: probeCols/probeArgs form the indexed lookup signature
+// (empty under DisableIndexes — candidates then arrive by scan and every
+// bound column moves to checkCols), bindCols load fresh registers, and
+// repCols verify registers first bound at an earlier column of this same
+// atom.
+type step struct {
+	kind stepKind
+	// stepComp
+	op   ast.CompOp
+	l, r arg
+	// stepPos / stepNeg
+	pred      string
+	args      []arg
+	probeCols []int
+	probeArgs []arg
+	checkCols []int
+	checkArgs []arg
+	bindCols  []int
+	bindRegs  []int
+	repCols   []int
+	repRegs   []int
+}
+
+// disjunct is one compiled residual disjunct: its plan and how many
+// registers the plan uses.
+type disjunct struct {
+	steps []step
+	regs  int
+}
+
+// plan orders the symbolic body into a disjunct: comparisons and
+// negations at the earliest point their variables are bound, positive
+// atoms greedily most-bound-first (textual order under DisableIndexes),
+// mirroring the main evaluator's join planning. It returns nil when a
+// positive atom over an existing relation of disagreeing arity makes the
+// disjunct underivable; negated atoms in that situation are vacuously
+// true and are dropped instead.
+func plan(body []slit, db *store.Store, opts Options) *disjunct {
+	d := &disjunct{}
+	regOf := map[string]int{}
+	bound := map[string]bool{}
+	reg := func(name string) int {
+		if i, ok := regOf[name]; ok {
+			return i
+		}
+		i := len(regOf)
+		regOf[name] = i
+		return i
+	}
+	mkArg := func(s sterm) arg {
+		switch s.kind {
+		case stConst:
+			return arg{kind: argConst, val: s.val}
+		case stParam:
+			return arg{kind: argParam, idx: s.pos}
+		}
+		return arg{kind: argReg, idx: reg(s.name)}
+	}
+	litReady := func(l slit) bool {
+		if l.comp {
+			return (l.l.kind != stVar || bound[l.l.name]) && (l.r.kind != stVar || bound[l.r.name])
+		}
+		for _, a := range l.args {
+			if a.kind == stVar && !bound[a.name] {
+				return false
+			}
+		}
+		return true
+	}
+	emit := func(l slit) bool {
+		if l.comp {
+			d.steps = append(d.steps, step{kind: stepComp, op: l.op, l: mkArg(l.l), r: mkArg(l.r)})
+			return true
+		}
+		st := step{kind: stepNeg, pred: l.pred}
+		if !l.neg {
+			st.kind = stepPos
+		}
+		if rel := db.Relation(l.pred); rel != nil && rel.Arity() != len(l.args) {
+			// The stored relation can never match the atom (Insert enforces
+			// uniform arity): a positive atom kills the disjunct, a negated
+			// one is vacuously true. The cache keys on the store's schema
+			// version, so this fold never outlives the shape it saw.
+			return l.neg
+		}
+		inAtom := map[string]int{}
+		for i, a := range l.args {
+			st.args = append(st.args, mkArg(a))
+			switch {
+			case a.kind != stVar || bound[a.name]:
+				if l.neg || opts.DisableIndexes {
+					st.checkCols = append(st.checkCols, i)
+					st.checkArgs = append(st.checkArgs, st.args[i])
+				} else {
+					st.probeCols = append(st.probeCols, i)
+					st.probeArgs = append(st.probeArgs, st.args[i])
+				}
+			default:
+				if r, seen := inAtom[a.name]; seen {
+					st.repCols = append(st.repCols, i)
+					st.repRegs = append(st.repRegs, r)
+				} else {
+					r := reg(a.name)
+					inAtom[a.name] = r
+					st.bindCols = append(st.bindCols, i)
+					st.bindRegs = append(st.bindRegs, r)
+				}
+			}
+		}
+		for name := range inAtom {
+			bound[name] = true
+		}
+		d.steps = append(d.steps, st)
+		return true
+	}
+	var pending, positives []slit
+	for _, l := range body {
+		if l.comp || l.neg {
+			pending = append(pending, l)
+		} else {
+			positives = append(positives, l)
+		}
+	}
+	flushReady := func() bool {
+		rest := pending[:0]
+		for _, l := range pending {
+			if litReady(l) {
+				if !emit(l) {
+					return false
+				}
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		pending = rest
+		return true
+	}
+	if !flushReady() {
+		return nil // only vacuous negations drop; emit never fails here
+	}
+	for len(positives) > 0 {
+		pick := 0
+		if !opts.DisableIndexes {
+			best := -1
+			for idx, l := range positives {
+				score := 0
+				for _, a := range l.args {
+					if a.kind != stVar || bound[a.name] {
+						score++
+					}
+				}
+				if score > best {
+					best, pick = score, idx
+				}
+			}
+		}
+		l := positives[pick]
+		positives = append(positives[:pick], positives[pick+1:]...)
+		if !emit(l) {
+			return nil // dead positive atom: disjunct underivable
+		}
+		if !flushReady() {
+			return nil
+		}
+	}
+	// Safe rules bind every comparison/negation variable through positive
+	// atoms, so nothing remains pending by construction; a leftover would
+	// mean an unsafe source rule, which constraint admission rejects.
+	if len(pending) > 0 {
+		return nil
+	}
+	d.regs = len(regOf)
+	return d
+}
+
+// scratch is the pooled per-Decide state: the register file and one
+// candidate buffer per join depth.
+type scratch struct {
+	regs   []ast.Value
+	levels []levelScratch
+}
+
+type levelScratch struct {
+	vals []ast.Value
+	tups []relation.Tuple
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func (sc *scratch) level(i int) *levelScratch {
+	for len(sc.levels) <= i {
+		sc.levels = append(sc.levels, levelScratch{})
+	}
+	return &sc.levels[i]
+}
+
+// Decide evaluates the residual for the concrete update tuple t against
+// the (post-update) database and reports whether panic is derivable —
+// i.e. whether the update violates the constraint. It is safe for
+// concurrent use; t must agree with the compiled pattern on the pinned
+// positions (the cache guarantees this).
+func (r *Residual) Decide(db *store.Store, t relation.Tuple) bool {
+	switch r.outcome {
+	case AlwaysSafe:
+		return false
+	case AlwaysViolating:
+		return true
+	}
+	sc := scratchPool.Get().(*scratch)
+	if cap(sc.regs) < r.maxRegs {
+		sc.regs = make([]ast.Value, r.maxRegs)
+	}
+	sc.regs = sc.regs[:cap(sc.regs)]
+	violated := false
+	for _, d := range r.disjuncts {
+		if r.run(d, 0, db, t, sc) {
+			violated = true
+			break
+		}
+	}
+	scratchPool.Put(sc)
+	return violated
+}
+
+// value resolves an argument against the update tuple and register file.
+func value(a arg, t relation.Tuple, regs []ast.Value) ast.Value {
+	switch a.kind {
+	case argConst:
+		return a.val
+	case argParam:
+		return t[a.idx]
+	}
+	return regs[a.idx]
+}
+
+// run executes the plan from step si; true means the disjunct derived.
+func (r *Residual) run(d *disjunct, si int, db *store.Store, t relation.Tuple, sc *scratch) bool {
+	if si == len(d.steps) {
+		return true
+	}
+	st := &d.steps[si]
+	switch st.kind {
+	case stepComp:
+		return st.op.Eval(value(st.l, t, sc.regs), value(st.r, t, sc.regs)) &&
+			r.run(d, si+1, db, t, sc)
+	case stepNeg:
+		lv := sc.level(si)
+		vals := lv.vals[:0]
+		for _, a := range st.args {
+			vals = append(vals, value(a, t, sc.regs))
+		}
+		lv.vals = vals
+		return !db.Probe(st.pred, relation.Tuple(vals)) && r.run(d, si+1, db, t, sc)
+	}
+	lv := sc.level(si)
+	var cands []relation.Tuple
+	if len(st.probeCols) > 0 {
+		vals := lv.vals[:0]
+		for _, a := range st.probeArgs {
+			vals = append(vals, value(a, t, sc.regs))
+		}
+		lv.vals = vals
+		cands = db.LookupColsAppend(lv.tups[:0], st.pred, st.probeCols, vals)
+	} else {
+		cands = db.TuplesAppend(lv.tups[:0], st.pred)
+	}
+	lv.tups = cands
+	for _, tu := range cands {
+		if len(tu) != len(st.args) {
+			continue // relation unseen at compile time with another arity
+		}
+		ok := true
+		for j, ci := range st.checkCols {
+			if !value(st.checkArgs[j], t, sc.regs).Equal(tu[ci]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for j, ci := range st.bindCols {
+			sc.regs[st.bindRegs[j]] = tu[ci]
+		}
+		for j, ci := range st.repCols {
+			if !sc.regs[st.repRegs[j]].Equal(tu[ci]) {
+				ok = false
+				break
+			}
+		}
+		if ok && r.run(d, si+1, db, t, sc) {
+			return true
+		}
+	}
+	return false
+}

@@ -3,17 +3,22 @@
 # BENCH_pipeline.json, then the networked-runtime benchmarks
 # (BENCH_net.json), then the tracing-overhead benchmarks
 # (BENCH_obs.json), then the indexed-join benchmarks (BENCH_eval.json),
-# then the plan-cache benchmarks (BENCH_plan.json): one record per
-# benchmark run with name, iterations, ns/op, B/op and allocs/op,
-# suitable for diffing across commits. The obs file is the evidence for
+# then the plan-cache benchmarks (BENCH_plan.json), then the
+# residual-dispatch benchmarks (BENCH_residual.json): one record per
+# benchmark run with name, iterations, ns/op, B/op and allocs/op, plus
+# the git commit and UTC date the run was taken at, suitable for
+# diffing across commits. The obs file is the evidence for
 # EXPERIMENTS.md's claim that the disabled tracer costs ≤5% on the D1
 # workload; the eval file is the evidence for the indexed-vs-scan
 # speedup claim; the plan file is the evidence for the compile-once
-# speedup/allocation claim.
+# speedup/allocation claim; the residual file is the evidence for the
+# residual-vs-pipeline speedup claim.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
@@ -24,7 +29,7 @@ bench_to_json() {
   # B/op and allocs/op are located by their unit, not by position: lines
   # carrying ReportMetric extras (remote-tuples/op, wire-tuples/op, …)
   # shift the -benchmem columns.
-  awk '
+  awk -v commit="$COMMIT" -v date="$DATE" '
     BEGIN { print "[" }
     /^Benchmark/ {
       name = $1; iters = $2; ns = $3; bytes = 0; allocs = 0
@@ -32,8 +37,8 @@ bench_to_json() {
         if ($(i+1) == "B/op") bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
       }
-      printf "%s  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
-        (n++ ? ",\n" : ""), name, iters, ns, bytes, allocs
+      printf "%s  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s,\"commit\":\"%s\",\"date\":\"%s\"}", \
+        (n++ ? ",\n" : ""), name, iters, ns, bytes, allocs, commit, date
     }
     END { print "\n]" }
   ' "$TMP" > "$out"
@@ -50,3 +55,5 @@ bench_to_json 'BenchmarkEvalIndexed$' \
   "${EVAL_OUT:-BENCH_eval.json}"
 bench_to_json 'BenchmarkApplyCompiled$' \
   "${PLAN_OUT:-BENCH_plan.json}"
+bench_to_json 'BenchmarkApplyResidual$' \
+  "${RESID_OUT:-BENCH_residual.json}"
