@@ -1,0 +1,413 @@
+// Command ccload is the sustained-load generator for the decision
+// server: it drives thousands of concurrent client streams of mixed
+// check/apply/batch traffic against a ccserved instance over loopback
+// HTTP and reports per-arm p50/p99 latency and throughput as JSON (the
+// BENCH_serve.json format; scripts/bench.sh stamps commit and date via
+// -commit/-date).
+//
+// Usage:
+//
+//	ccload -streams 10000 -duration 5s                 # self-served
+//	ccload -addr http://127.0.0.1:8080 -streams 1000   # external daemon
+//
+// Without -addr, ccload starts an in-process ccserved-equivalent (the
+// same serve.Server over a real 127.0.0.1 listener) loaded with the D1
+// forbidden-interval workload, so a single command exercises the whole
+// stack: HTTP decode, admission, queue, staged pipeline, encode.
+//
+// Streams are closed-loop: each waits for its response before issuing
+// the next request. -mix weights the arms ("check=70,apply=25,batch=5"),
+// -ramp staggers stream starts, -conns caps the client connection pool
+// (10k streams multiplex over it — the file-descriptor budget stays
+// bounded). Deliberate 429s (queue full, rate limited) are counted
+// separately from errors; any true error makes ccload exit non-zero, so
+// CI can use a short run as a wiring smoke test.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/serve"
+	"repro/internal/serve/sdk"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// loadConfig is everything main parses from flags.
+type loadConfig struct {
+	addr     string
+	streams  int
+	duration time.Duration
+	ramp     time.Duration
+	mix      string
+	batch    int
+	conns    int
+	queue    int
+	rate     float64
+	density  int
+	seed     int64
+	out      string
+	commit   string
+	date     string
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.addr, "addr", "", "base URL of a running ccserved (empty: self-serve on 127.0.0.1)")
+	flag.IntVar(&cfg.streams, "streams", 10000, "concurrent client streams")
+	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "measured load duration")
+	flag.DurationVar(&cfg.ramp, "ramp", 0, "stagger stream starts across this window")
+	flag.StringVar(&cfg.mix, "mix", "check=70,apply=25,batch=5", "arm weights")
+	flag.IntVar(&cfg.batch, "batch", 8, "updates per batch request")
+	flag.IntVar(&cfg.conns, "conns", 512, "client connection-pool cap (streams multiplex over it)")
+	flag.IntVar(&cfg.queue, "queue", 4096, "self-serve request queue depth")
+	flag.Float64Var(&cfg.rate, "rate", 0, "self-serve per-client admission rate (0: unlimited)")
+	flag.IntVar(&cfg.density, "density", 200, "self-serve seed intervals in l")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty: stdout)")
+	flag.StringVar(&cfg.commit, "commit", "unknown", "git commit stamp for the report")
+	flag.StringVar(&cfg.date, "date", "", "UTC date stamp for the report (empty: now)")
+	flag.Parse()
+
+	report, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccload:", err)
+		os.Exit(1)
+	}
+	var sink io.Writer = os.Stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+	enc := json.NewEncoder(sink)
+	enc.SetIndent("", "  ")
+	enc.Encode(report)
+	for _, rec := range report {
+		fmt.Fprintf(os.Stderr, "ccload: %-18s ops=%-8d p50=%-8s p99=%-8s %.0f ops/s (429s=%d, violations=%d, errors=%d)\n",
+			rec.Name, rec.Ops, time.Duration(rec.P50US*1000), time.Duration(rec.P99US*1000),
+			rec.ThroughputPerS, rec.Rejected429, rec.Violations, rec.Errors)
+		if rec.Errors > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// record is one BENCH_serve.json entry.
+type record struct {
+	Name           string  `json:"name"`
+	Streams        int     `json:"streams"`
+	Conns          int     `json:"conns"`
+	DurationS      float64 `json:"duration_s"`
+	Ops            int64   `json:"ops"`
+	Errors         int64   `json:"errors"`
+	Rejected429    int64   `json:"rejected_429"`
+	Violations     int64   `json:"violations"`
+	P50US          int64   `json:"p50_us"`
+	P99US          int64   `json:"p99_us"`
+	ThroughputPerS float64 `json:"throughput_per_s"`
+	Commit         string  `json:"commit"`
+	Date           string  `json:"date"`
+}
+
+// armAgg accumulates one arm's measurements across streams.
+type armAgg struct {
+	lat                        []float64 // seconds
+	ops, errs, rejected, viols int64
+}
+
+const (
+	armCheck = iota
+	armApply
+	armBatch
+	armCount
+)
+
+var armNames = [armCount]string{"check", "apply", "batch"}
+
+func run(cfg loadConfig) ([]record, error) {
+	weights, err := parseMix(cfg.mix)
+	if err != nil {
+		return nil, err
+	}
+	addr := cfg.addr
+	if addr == "" {
+		stop, selfAddr, err := selfServe(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		addr = selfAddr
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.conns,
+		MaxIdleConnsPerHost: cfg.conns,
+		MaxConnsPerHost:     cfg.conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	client, err := sdk.New(sdk.Config{
+		URL:        addr,
+		HTTPClient: &http.Client{Transport: transport, Timeout: 60 * time.Second},
+		ClientID:   "ccload",
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	var agg [armCount]armAgg
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	for i := 0; i < cfg.streams; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if cfg.ramp > 0 {
+				time.Sleep(time.Duration(int64(cfg.ramp) * int64(id) / int64(cfg.streams)))
+			}
+			local := stream(client, id, cfg, weights, deadline)
+			mu.Lock()
+			for a := 0; a < armCount; a++ {
+				agg[a].lat = append(agg[a].lat, local[a].lat...)
+				agg[a].ops += local[a].ops
+				agg[a].errs += local[a].errs
+				agg[a].rejected += local[a].rejected
+				agg[a].viols += local[a].viols
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	date := cfg.date
+	if date == "" {
+		date = time.Now().UTC().Format(time.RFC3339)
+	}
+	var out []record
+	var total armAgg
+	for a := 0; a < armCount; a++ {
+		total.lat = append(total.lat, agg[a].lat...)
+		total.ops += agg[a].ops
+		total.errs += agg[a].errs
+		total.rejected += agg[a].rejected
+		total.viols += agg[a].viols
+		out = append(out, makeRecord("ServeLoad/"+armNames[a], agg[a], cfg, elapsed, date))
+	}
+	out = append(out, makeRecord("ServeLoad/total", total, cfg, elapsed, date))
+	return out, nil
+}
+
+func makeRecord(name string, a armAgg, cfg loadConfig, elapsed float64, date string) record {
+	rec := record{
+		Name: name, Streams: cfg.streams, Conns: cfg.conns, DurationS: elapsed,
+		Ops: a.ops, Errors: a.errs, Rejected429: a.rejected, Violations: a.viols,
+		Commit: cfg.commit, Date: date,
+	}
+	if len(a.lat) > 0 {
+		sort.Float64s(a.lat)
+		rec.P50US = int64(quantile(a.lat, 0.50) * 1e6)
+		rec.P99US = int64(quantile(a.lat, 0.99) * 1e6)
+	}
+	if elapsed > 0 {
+		rec.ThroughputPerS = float64(a.ops) / elapsed
+	}
+	return rec
+}
+
+// quantile reads q from sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// stream is one closed-loop client: it issues requests until the
+// deadline, recording latency per arm. Apply and batch traffic works in
+// a per-stream coordinate band far above the seeded intervals (always
+// safe) and alternates inserts with deletes so the store stays bounded;
+// check traffic probes the contended band and collects real violation
+// verdicts.
+func stream(client *sdk.SDK, id int, cfg loadConfig, weights [armCount]int, deadline time.Time) [armCount]armAgg {
+	var agg [armCount]armAgg
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	totalWeight := weights[armCheck] + weights[armApply] + weights[armBatch]
+	base := int64(1_000_000_000) + int64(id)*1_000_000
+	next := int64(0)
+	var pendingApply, pendingBatch []store.Update
+	for time.Now().Before(deadline) {
+		arm := armCheck
+		for w, acc := rng.Intn(totalWeight), 0; arm < armBatch; arm++ {
+			acc += weights[arm]
+			if w < acc {
+				break
+			}
+		}
+		var err error
+		var decided, violated bool
+		startOp := time.Now()
+		switch arm {
+		case armCheck:
+			var u store.Update
+			if rng.Intn(2) == 0 {
+				lo := rng.Int63n(200)
+				u = store.Ins("l", relation.Ints(lo, lo+1+rng.Int63n(20)))
+			} else {
+				u = store.Ins("r", relation.Ints(rng.Int63n(200)))
+			}
+			var d serve.Decision
+			d, err = client.Check(u)
+			decided, violated = err == nil, err == nil && !d.OK()
+		case armApply:
+			var u store.Update
+			if len(pendingApply) > 0 {
+				u = invert(pendingApply[len(pendingApply)-1])
+				pendingApply = pendingApply[:len(pendingApply)-1]
+			} else {
+				u = store.Ins("r", relation.Ints(base+next))
+				next++
+				pendingApply = append(pendingApply, u)
+			}
+			var d serve.Decision
+			d, err = client.Apply(u)
+			decided, violated = err == nil, err == nil && !d.OK()
+		case armBatch:
+			var us []store.Update
+			if len(pendingBatch) > 0 {
+				for i := len(pendingBatch) - 1; i >= 0; i-- {
+					us = append(us, invert(pendingBatch[i]))
+				}
+				pendingBatch = nil
+			} else {
+				for k := 0; k < cfg.batch; k++ {
+					u := store.Ins("r", relation.Ints(base+next))
+					next++
+					us = append(us, u)
+					pendingBatch = append(pendingBatch, u)
+				}
+			}
+			var res serve.BatchResult
+			res, err = client.Batch(us, true)
+			decided, violated = err == nil, err == nil && res.Applied < len(us)
+			if err != nil || res.Applied < len(us) {
+				// The batch did not land; don't try to invert it next round.
+				pendingBatch = nil
+			}
+		}
+		dur := time.Since(startOp).Seconds()
+		a := &agg[arm]
+		switch {
+		case decided:
+			a.ops++
+			a.lat = append(a.lat, dur)
+			if violated {
+				a.viols++
+			}
+		default:
+			if _, busy := sdk.IsBusy(err); busy {
+				a.rejected++
+			} else {
+				a.errs++
+			}
+		}
+	}
+	return agg
+}
+
+func invert(u store.Update) store.Update {
+	if u.Insert {
+		return store.Del(u.Relation, u.Tuple)
+	}
+	return store.Ins(u.Relation, u.Tuple)
+}
+
+// parseMix parses "check=70,apply=25,batch=5".
+func parseMix(mix string) ([armCount]int, error) {
+	var weights [armCount]int
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return weights, fmt.Errorf("bad -mix entry %q (want arm=weight)", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return weights, fmt.Errorf("bad -mix weight %q", part)
+		}
+		switch name {
+		case "check":
+			weights[armCheck] = n
+		case "apply":
+			weights[armApply] = n
+		case "batch":
+			weights[armBatch] = n
+		default:
+			return weights, fmt.Errorf("unknown -mix arm %q", name)
+		}
+	}
+	if weights[armCheck]+weights[armApply]+weights[armBatch] <= 0 {
+		return weights, fmt.Errorf("-mix %q has no positive weight", mix)
+	}
+	return weights, nil
+}
+
+// selfServe starts the in-process decision server on loopback, loaded
+// with the D1 forbidden-interval workload, and returns its base URL.
+func selfServe(cfg loadConfig) (stop func(), addr string, err error) {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	db := store.New()
+	for _, t := range workload.Intervals(rng, cfg.density, 20, 200) {
+		if _, err := db.Insert("l", t); err != nil {
+			return nil, "", err
+		}
+	}
+	for i := int64(0); i < 50; i++ {
+		if _, err := db.Insert("r", relation.Ints(10_000+i)); err != nil {
+			return nil, "", err
+		}
+	}
+	reg := obs.NewRegistry()
+	chk := core.New(db, core.Options{LocalRelations: []string{"l"}, Metrics: reg})
+	if err := chk.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+		return nil, "", err
+	}
+	srv := serve.New(chk, serve.Config{
+		QueueDepth:    cfg.queue,
+		RatePerClient: cfg.rate,
+		Metrics:       reg,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler("ccload", nil)}
+	go httpSrv.Serve(l)
+	stop = func() {
+		l.Close()
+		srv.Close()
+	}
+	return stop, "http://" + l.Addr().String(), nil
+}

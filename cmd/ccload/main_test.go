@@ -1,0 +1,94 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("check=70,apply=25,batch=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[armCheck] != 70 || w[armApply] != 25 || w[armBatch] != 5 {
+		t.Fatalf("weights = %v", w)
+	}
+	if w, err = parseMix("apply=1"); err != nil || w[armApply] != 1 || w[armCheck] != 0 {
+		t.Fatalf("single arm: %v %v", w, err)
+	}
+	for _, bad := range []string{"", "check", "check=x", "check=-1", "bogus=1", "check=0,apply=0,batch=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.50); q != 5 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := quantile(sorted, 0.99); q != 9 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := quantile([]float64{7}, 0.99); q != 7 {
+		t.Fatalf("single sample = %v", q)
+	}
+}
+
+// TestRunSelfServeSmoke is the wiring smoke test CI runs in spirit: a
+// short self-served load with all three arms must finish with zero
+// errors and produce the full record set.
+func TestRunSelfServeSmoke(t *testing.T) {
+	cfg := loadConfig{
+		streams:  8,
+		duration: 300 * time.Millisecond,
+		mix:      "check=50,apply=40,batch=10",
+		batch:    4,
+		conns:    8,
+		queue:    1024,
+		density:  20,
+		seed:     42,
+		commit:   "test",
+		date:     "2026-01-01T00:00:00Z",
+	}
+	recs, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != armCount+1 {
+		t.Fatalf("got %d records, want %d", len(recs), armCount+1)
+	}
+	names := map[string]record{}
+	var totalOps int64
+	for _, r := range recs {
+		names[r.Name] = r
+		if r.Errors > 0 {
+			t.Fatalf("%s saw %d errors", r.Name, r.Errors)
+		}
+		if r.Commit != "test" || r.Date != "2026-01-01T00:00:00Z" {
+			t.Fatalf("%s stamp = %q/%q", r.Name, r.Commit, r.Date)
+		}
+	}
+	for _, want := range []string{"ServeLoad/check", "ServeLoad/apply", "ServeLoad/batch", "ServeLoad/total"} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("missing record %q in %v", want, recs)
+		}
+	}
+	total := names["ServeLoad/total"]
+	totalOps = names["ServeLoad/check"].Ops + names["ServeLoad/apply"].Ops + names["ServeLoad/batch"].Ops
+	if total.Ops == 0 || total.Ops != totalOps {
+		t.Fatalf("total ops = %d, arms sum to %d", total.Ops, totalOps)
+	}
+	if total.P99US < total.P50US || total.P50US <= 0 {
+		t.Fatalf("quantiles p50=%d p99=%d", total.P50US, total.P99US)
+	}
+	if total.ThroughputPerS <= 0 {
+		t.Fatalf("throughput = %v", total.ThroughputPerS)
+	}
+	// The contended check band must have produced at least one violation
+	// verdict — proof the pipeline is actually deciding, not rubber-stamping.
+	if names["ServeLoad/check"].Violations == 0 {
+		t.Fatal("check arm produced no violation verdicts")
+	}
+}

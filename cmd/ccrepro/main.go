@@ -5,7 +5,8 @@
 //
 //	ccrepro            # everything
 //	ccrepro -only 2.1  # one artifact: 2.1, 4.1, 4.2, 6.1, ex4.1,
-//	                   # t3, t51, t52, t53, t61, d1, dnet, obs, plan, resid
+//	                   # t3, t51, t52, t53, t61, d1, dnet, obs, plan,
+//	                   # resid, serve
 //	ccrepro -quick     # smaller parameter sweeps
 package main
 
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "regenerate a single artifact (2.1, 4.1, 4.2, 6.1, ex4.1, t3, t51, t52, t53, t61, d1, dnet, obs, plan, resid)")
+	only := flag.String("only", "", "regenerate a single artifact (2.1, 4.1, 4.2, 6.1, ex4.1, t3, t51, t52, t53, t61, d1, dnet, obs, plan, resid, serve)")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	flag.Parse()
 	if err := run(*only, *quick); err != nil {
@@ -158,6 +159,17 @@ func run(only string, quick bool) error {
 			updates, rounds = 30, 2
 		}
 		t, err := experiments.ExpResidual(density, updates, rounds, 5)
+		if err != nil {
+			return err
+		}
+		p(t)
+	}
+	if want("serve") {
+		density, updates, rounds := 50, 200, 3
+		if quick {
+			updates, rounds = 50, 1
+		}
+		t, err := experiments.ExpServe(density, updates, rounds, 5)
 		if err != nil {
 			return err
 		}

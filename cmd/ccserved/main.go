@@ -1,0 +1,244 @@
+// Command ccserved is the decision server: a long-lived HTTP/JSON
+// daemon exposing the staged checking pipeline to online traffic.
+//
+// Usage:
+//
+//	ccserved -listen :8080 -constraints c.dl [-data d.dl] [-local emp]
+//	         [-queue 1024] [-rate 0 -burst 0] [-decision-log d.jsonl]
+//
+// Endpoints (one listener serves them all):
+//
+//	POST /v1/check   decide an update without applying it
+//	POST /v1/apply   decide and, when admitted, apply
+//	POST /v1/batch   a sequence in one request; "atomic" all-or-nothing
+//	GET  /v1/stats   pipeline + server statistics
+//	/metrics /healthz /debug/vars /debug/pprof   obs live endpoints
+//
+// Requests carry updates as {"op":"insert","relation":"r","tuple":[1,"x"]};
+// the per-client admission buckets key on the X-Client-ID header. A full
+// request queue answers 429 with Retry-After; on SIGINT/SIGTERM the
+// daemon stops accepting, drains what it already admitted, flushes the
+// decision log and exits.
+//
+// Constraint files hold blank-line-separated constraint programs (each
+// defines panic), data files hold facts — the same formats ccheck reads.
+// -noindex, -noplancache and -noresidual are the usual A/B escape
+// hatches; -workers sizes the checker's dispatch pool.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// config is everything main parses from flags.
+type config struct {
+	listen      string
+	constraints string
+	data        string
+	local       string
+	queue       int
+	rate        float64
+	burst       float64
+	maxBatch    int
+	logPath     string
+	logDepth    int
+	workers     int
+	noindex     bool
+	noplancache bool
+	noresidual  bool
+	verbose     bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", ":8080", "address to serve on")
+	flag.StringVar(&cfg.constraints, "constraints", "", "path to constraint programs (blank-line separated; required)")
+	flag.StringVar(&cfg.data, "data", "", "path to initial facts")
+	flag.StringVar(&cfg.local, "local", "", "comma-separated local relations (default: all local)")
+	flag.IntVar(&cfg.queue, "queue", 0, "request queue depth (0: 1024); a full queue answers 429")
+	flag.Float64Var(&cfg.rate, "rate", 0, "per-client admission rate in requests/second (0: unlimited)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "per-client token-bucket burst (0: max(rate,1))")
+	flag.IntVar(&cfg.maxBatch, "maxbatch", 0, "updates accepted per batch request (0: 1024)")
+	flag.StringVar(&cfg.logPath, "decision-log", "", "append one JSON line per decision to this file (empty: off)")
+	flag.IntVar(&cfg.logDepth, "decision-log-depth", 0, "decision-log buffer in records (0: 1024); overflow drops and counts")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for constraint dispatch (default: one per CPU)")
+	flag.BoolVar(&cfg.noindex, "noindex", false, "disable hash-index probes and bound-first join planning (A/B escape hatch)")
+	flag.BoolVar(&cfg.noplancache, "noplancache", false, "disable the compiled evaluation plan cache (A/B escape hatch)")
+	flag.BoolVar(&cfg.noresidual, "noresidual", false, "disable residual check compilation (A/B escape hatch)")
+	flag.BoolVar(&cfg.verbose, "v", false, "log the served constraints at startup")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "ccserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config) error {
+	var logSink io.WriteCloser
+	if cfg.logPath != "" {
+		f, err := os.OpenFile(cfg.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-decision-log: %w", err)
+		}
+		logSink = f
+		defer f.Close()
+	}
+	srv, chk, err := setup(cfg, logSink)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	httpSrv := &http.Server{Handler: srv.Handler("ccserved", func() map[string]any {
+		return map[string]any{
+			"uptime_seconds": int64(time.Since(start).Seconds()),
+			"constraints":    chk.Constraints(),
+			"queue_depth":    srv.Stats().QueueDepth,
+			"draining":       srv.Draining(),
+		}
+	})}
+	fmt.Printf("ccserved: serving on http://%s/v1/check\n", l.Addr())
+	if cfg.verbose {
+		for _, name := range chk.Constraints() {
+			fmt.Printf("ccserved:   constraint %s\n", name)
+		}
+	}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go httpSrv.Serve(l)
+	<-done
+	// Graceful drain: stop accepting connections and wait for in-flight
+	// handlers (whose queued requests the worker will answer), then close
+	// the serve queue and flush the decision log.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ccserved: shutdown:", err)
+	}
+	srv.Close()
+	fmt.Print(renderStats(srv.Stats()))
+	return nil
+}
+
+// setup builds the checker and server from the config. Split from run
+// for testing.
+func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, error) {
+	if cfg.constraints == "" {
+		return nil, nil, fmt.Errorf("-constraints is required")
+	}
+	db := store.New()
+	if cfg.data != "" {
+		src, err := os.ReadFile(cfg.data)
+		if err != nil {
+			return nil, nil, err
+		}
+		facts, err := parser.ParseProgram(string(src))
+		if err != nil {
+			return nil, nil, fmt.Errorf("data: %w", err)
+		}
+		if err := db.LoadFacts(facts); err != nil {
+			return nil, nil, err
+		}
+	}
+	reg := obs.NewRegistry()
+	opts := core.Options{
+		Workers:          cfg.workers,
+		DisableIndexes:   cfg.noindex,
+		DisablePlanCache: cfg.noplancache,
+		DisableResidual:  cfg.noresidual,
+		Metrics:          reg,
+	}
+	if cfg.local != "" {
+		for _, r := range strings.Split(cfg.local, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				return nil, nil, fmt.Errorf("-local has an empty name in %q", cfg.local)
+			}
+			opts.LocalRelations = append(opts.LocalRelations, r)
+		}
+	}
+	chk := core.New(db, opts)
+	csrc, err := os.ReadFile(cfg.constraints)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, block := range splitBlocks(string(csrc)) {
+		name := fmt.Sprintf("c%d", i+1)
+		if err := chk.AddConstraintSource(name, block); err != nil {
+			return nil, nil, fmt.Errorf("constraint %s: %w", name, err)
+		}
+	}
+	srv := serve.New(chk, serve.Config{
+		QueueDepth:       cfg.queue,
+		RatePerClient:    cfg.rate,
+		Burst:            cfg.burst,
+		MaxBatch:         cfg.maxBatch,
+		DecisionLog:      logSink,
+		DecisionLogDepth: cfg.logDepth,
+		Metrics:          reg,
+	})
+	return srv, chk, nil
+}
+
+// splitBlocks splits a constraint file into blank-line-separated
+// programs (the ccheck file format).
+func splitBlocks(src string) []string {
+	var out []string
+	for _, block := range strings.Split(src, "\n\n") {
+		if strings.TrimSpace(block) != "" {
+			out = append(out, block)
+		}
+	}
+	return out
+}
+
+// renderStats formats the daemon's accounting for shutdown.
+func renderStats(st serve.Stats) string {
+	var sb strings.Builder
+	endpoints := make([]string, 0, len(st.Requests))
+	var total int64
+	for e, n := range st.Requests {
+		endpoints = append(endpoints, e)
+		total += n
+	}
+	sort.Strings(endpoints)
+	fmt.Fprintf(&sb, "ccserved: %d requests served\n", total)
+	for _, e := range endpoints {
+		fmt.Fprintf(&sb, "ccserved:   %-6s %d\n", e, st.Requests[e])
+	}
+	reasons := make([]string, 0, len(st.Rejections))
+	for r := range st.Rejections {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		if st.Rejections[r] > 0 {
+			fmt.Fprintf(&sb, "ccserved:   rejected %s: %d\n", r, st.Rejections[r])
+		}
+	}
+	if st.DecisionLogDrops > 0 {
+		fmt.Fprintf(&sb, "ccserved:   decision-log drops: %d\n", st.DecisionLogDrops)
+	}
+	return sb.String()
+}

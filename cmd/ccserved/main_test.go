@@ -1,0 +1,103 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSetupServesConstraintFile(t *testing.T) {
+	dir := t.TempDir()
+	cpath := writeFile(t, dir, "c.dl",
+		"panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.\n\npanic :- r(X) & X < 0.\n")
+	dpath := writeFile(t, dir, "d.dl", "l(0,10).\nl(50,60).\n")
+
+	srv, chk, err := setup(config{
+		constraints: cpath,
+		data:        dpath,
+		local:       "l",
+		queue:       16,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if got := chk.Constraints(); len(got) != 2 || got[0] != "c1" || got[1] != "c2" {
+		t.Fatalf("constraints = %v, want [c1 c2]", got)
+	}
+
+	ts := httptest.NewServer(srv.Handler("", nil))
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/check", "application/json",
+		strings.NewReader(`{"update":{"op":"insert","relation":"r","tuple":[5]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("check status = %d", resp.StatusCode)
+	}
+	var buf [1024]byte
+	n, _ := resp.Body.Read(buf[:])
+	if body := string(buf[:n]); !strings.Contains(body, `"violation"`) || !strings.Contains(body, `"c1"`) {
+		t.Fatalf("check body = %s", body)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := setup(config{}, nil); err == nil {
+		t.Fatal("missing -constraints should fail")
+	}
+	bad := writeFile(t, dir, "bad.dl", "panic :- r(X) &&& nope\n")
+	if _, _, err := setup(config{constraints: bad}, nil); err == nil {
+		t.Fatal("unparsable constraint should fail")
+	}
+	good := writeFile(t, dir, "good.dl", "panic :- r(X) & X < 0.\n")
+	if _, _, err := setup(config{constraints: good, local: "r,,"}, nil); err == nil {
+		t.Fatal("empty -local entry should fail")
+	}
+}
+
+func TestSplitBlocks(t *testing.T) {
+	blocks := splitBlocks("a :- b.\n\n\nc :- d.\ne :- f.\n\n")
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %q", blocks)
+	}
+	if !strings.Contains(blocks[1], "e :- f.") {
+		t.Fatalf("second block = %q", blocks[1])
+	}
+	if got := splitBlocks("  \n\n \n"); len(got) != 0 {
+		t.Fatalf("all-blank input gave %q", got)
+	}
+}
+
+func TestRenderStats(t *testing.T) {
+	out := renderStats(serve.Stats{
+		Requests:         map[string]int64{serve.EndpointCheck: 3, serve.EndpointApply: 2},
+		Rejections:       map[string]int64{serve.ReasonQueueFull: 1, serve.ReasonRateLimited: 0},
+		DecisionLogDrops: 4,
+	})
+	for _, want := range []string{"5 requests served", "check  3", "apply  2", "rejected queue_full: 1", "decision-log drops: 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("renderStats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "rate_limited") {
+		t.Fatalf("zero-count rejection should be omitted:\n%s", out)
+	}
+}

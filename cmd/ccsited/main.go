@@ -138,8 +138,7 @@ func setup(listen, dataPath, relations string) (*netdist.Server, net.Listener, e
 func liveMux(srv *netdist.Server, start time.Time) *http.ServeMux {
 	reg := obs.NewRegistry()
 	srv.Instrument(reg)
-	reg.PublishExpvar("ccsited")
-	return obs.Mux(reg, func() map[string]any {
+	return obs.NewServeMux(reg, "ccsited", func() map[string]any {
 		rels := srv.ServedRelations()
 		names := make([]string, 0, len(rels))
 		for n := range rels {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func TestCheckLeavesStoreUntouched(t *testing.T) {
+	c := newChecker(t, "dept(toy).", Options{})
+	if err := c.AddConstraintSource("ri", "panic :- emp(E,D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	before := c.DB().Dump()
+
+	// Admitted insert: decided yes, not kept.
+	rep, err := c.Check(store.Ins("emp", relation.Strs("ann", "toy")))
+	if err != nil || !rep.Applied {
+		t.Fatalf("safe check: applied=%v err=%v", rep.Applied, err)
+	}
+	// Rejected insert: decided no.
+	rep, err = c.Check(store.Ins("emp", relation.Strs("eve", "ghost")))
+	if err != nil || rep.Applied {
+		t.Fatalf("violating check: applied=%v err=%v", rep.Applied, err)
+	}
+	if vs := rep.Violations(); len(vs) != 1 || vs[0] != "ri" {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Delete of an existing tuple: restored after the trial.
+	rep, err = c.Check(store.Del("dept", relation.Strs("toy")))
+	if err != nil || !rep.Applied {
+		t.Fatalf("delete check: applied=%v err=%v", rep.Applied, err)
+	}
+	// No-op shapes: duplicate insert and absent delete change nothing, so
+	// the undo must not delete the pre-existing tuple or invent one.
+	if rep, err = c.Check(store.Ins("dept", relation.Strs("toy"))); err != nil || !rep.Applied {
+		t.Fatalf("duplicate-insert check: applied=%v err=%v", rep.Applied, err)
+	}
+	if rep, err = c.Check(store.Del("emp", relation.Strs("nobody", "toy"))); err != nil || !rep.Applied {
+		t.Fatalf("absent-delete check: applied=%v err=%v", rep.Applied, err)
+	}
+
+	if after := c.DB().Dump(); after != before {
+		t.Fatalf("Check mutated the store:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+}
+
+func TestCheckThenApplyAgree(t *testing.T) {
+	c := newChecker(t, "l(0,10).", Options{LocalRelations: []string{"l"}})
+	if err := c.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []store.Update{
+		store.Ins("r", relation.Ints(100)),
+		store.Ins("r", relation.Ints(5)),
+		store.Del("r", relation.Ints(100)),
+		store.Ins("l", relation.Ints(90, 110)),
+	} {
+		chk, err := c.Check(u)
+		if err != nil {
+			t.Fatalf("check %v: %v", u, err)
+		}
+		app, err := c.Apply(u)
+		if err != nil {
+			t.Fatalf("apply %v: %v", u, err)
+		}
+		if chk.Applied != app.Applied {
+			t.Fatalf("%v: check said %v, apply said %v", u, chk.Applied, app.Applied)
+		}
+		if len(chk.Violations()) != len(app.Violations()) {
+			t.Fatalf("%v: check violations %v, apply violations %v", u, chk.Violations(), app.Violations())
+		}
+	}
+	// After checks + applies interleaved, any state Check trialed must be
+	// fully unwound: +r(95) lands inside the applied l(90,110), so it must
+	// be rejected, proving the interval survives the earlier trial undos.
+	rep, err := c.Apply(store.Ins("r", relation.Ints(95)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied {
+		t.Fatal("expected +r(95) to be rejected")
+	}
+}
+
+func TestCheckCountsInStats(t *testing.T) {
+	c := newChecker(t, "dept(toy).", Options{})
+	if err := c.AddConstraintSource("ri", "panic :- emp(E,D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetStats()
+	if _, err := c.Check(store.Ins("emp", relation.Strs("ann", "toy"))); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Updates != 1 {
+		t.Fatalf("stats updates = %d, want 1", st.Updates)
+	}
+}

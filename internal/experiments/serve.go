@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/serve"
+	"repro/internal/serve/sdk"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// ExpServe measures what each serving layer costs on the D1 interval
+// workload: the same randomized check/apply stream is decided by direct
+// core.Checker calls, by the in-process SDK (queue + admission + the
+// decision machinery, no socket) and by the HTTP SDK against a loopback
+// listener (adds JSON encode/decode and a real round trip). All three
+// arms must produce identical verdict counts — the serving layers add
+// latency, never decisions.
+func ExpServe(density, updates, rounds int, seed int64) (Table, error) {
+	t := Table{
+		Title:   "Decision service — D1 interval workload, direct checker vs in-process SDK vs loopback HTTP",
+		Columns: []string{"arm", "ops", "total time", "time/op", "vs direct", "admitted", "rejected"},
+	}
+	type armResult struct {
+		total              time.Duration
+		admitted, rejected int64
+	}
+	arms := []string{"direct", "sdk-inproc", "sdk-http"}
+	results := make(map[string]*armResult)
+	for _, arm := range arms {
+		results[arm] = &armResult{}
+	}
+
+	for round := 0; round < rounds; round++ {
+		// One identical stream per round, replayed on each arm.
+		rng := rand.New(rand.NewSource(seed + int64(round)))
+		type op struct {
+			u     store.Update
+			apply bool
+		}
+		stream := make([]op, 0, updates)
+		for i := 0; i < updates; i++ {
+			var u store.Update
+			if rng.Intn(2) == 0 {
+				lo := rng.Int63n(400)
+				u = store.Ins("l", relation.Ints(lo, lo+1+rng.Int63n(20)))
+			} else {
+				u = store.Ins("r", relation.Ints(rng.Int63n(400)))
+			}
+			stream = append(stream, op{u: u, apply: rng.Intn(2) == 0})
+		}
+
+		for _, arm := range arms {
+			chk, err := serveFixture(density, seed)
+			if err != nil {
+				return t, err
+			}
+			res := results[arm]
+			var client *sdk.SDK
+			var cleanup func()
+			switch arm {
+			case "direct":
+			case "sdk-inproc":
+				client, err = sdk.New(sdk.Config{Checker: chk, ClientID: "exp"})
+				if err != nil {
+					return t, err
+				}
+				cleanup = client.Close
+			case "sdk-http":
+				srv := serve.New(chk, serve.Config{})
+				ts := httptest.NewServer(srv.Handler("", nil))
+				client, err = sdk.New(sdk.Config{URL: ts.URL, HTTPClient: ts.Client(), ClientID: "exp"})
+				if err != nil {
+					ts.Close()
+					srv.Close()
+					return t, err
+				}
+				cleanup = func() { ts.Close(); srv.Close() }
+			}
+			start := time.Now()
+			for _, o := range stream {
+				var ok bool
+				switch {
+				case client == nil && o.apply:
+					rep, err := chk.Apply(o.u)
+					if err != nil {
+						return t, err
+					}
+					ok = rep.Applied
+				case client == nil:
+					rep, err := chk.Check(o.u)
+					if err != nil {
+						return t, err
+					}
+					ok = rep.Applied
+				case o.apply:
+					d, err := client.Apply(o.u)
+					if err != nil {
+						return t, err
+					}
+					ok = d.OK()
+				default:
+					d, err := client.Check(o.u)
+					if err != nil {
+						return t, err
+					}
+					ok = d.OK()
+				}
+				if ok {
+					res.admitted++
+				} else {
+					res.rejected++
+				}
+			}
+			res.total += time.Since(start)
+			if cleanup != nil {
+				cleanup()
+			}
+		}
+	}
+
+	direct := results["direct"]
+	n := int64(updates * rounds)
+	for _, arm := range arms {
+		res := results[arm]
+		if res.admitted != direct.admitted || res.rejected != direct.rejected {
+			return t, fmt.Errorf("experiments: %s verdicts diverged: %d/%d admitted/rejected, direct %d/%d",
+				arm, res.admitted, res.rejected, direct.admitted, direct.rejected)
+		}
+		ratio := "—"
+		if arm != "direct" && direct.total > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(res.total)/float64(direct.total))
+		}
+		t.Rows = append(t.Rows, []string{
+			arm, fmt.Sprint(n), res.total.String(), (res.total / time.Duration(n)).String(), ratio,
+			fmt.Sprint(res.admitted), fmt.Sprint(res.rejected),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"all arms run the identical randomized check/apply stream and must agree on every verdict — the table errors out otherwise",
+		"sdk-inproc isolates the queue/admission cost; sdk-http adds JSON codec plus a loopback HTTP round trip per decision",
+		"sustained-load percentiles (10k streams) come from cmd/ccload — BENCH_serve.json; this table is the single-stream overhead view")
+	return t, nil
+}
+
+// serveFixture seeds the D1 store and checker the serving arms share.
+func serveFixture(density int, seed int64) (*core.Checker, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := store.New()
+	for _, tu := range workload.Intervals(rng, density, 20, 200) {
+		if _, err := db.Insert("l", tu); err != nil {
+			return nil, err
+		}
+	}
+	for i := int64(0); i < 50; i++ {
+		if _, err := db.Insert("r", relation.Ints(10000+i)); err != nil {
+			return nil, err
+		}
+	}
+	chk := core.New(db, core.Options{LocalRelations: []string{"l"}})
+	if err := chk.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+		return nil, err
+	}
+	return chk, nil
+}

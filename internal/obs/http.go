@@ -16,6 +16,18 @@ import (
 //
 // health may be nil; the endpoint then reports only {"status":"ok"}.
 func Mux(reg *Registry, health func() map[string]any) *http.ServeMux {
+	return NewServeMux(reg, "", health)
+}
+
+// NewServeMux is the shared live-endpoint constructor for daemons
+// (ccsited -http, ccserved): it publishes reg under the given expvar
+// name (empty skips the bridge; republishing an existing name is a
+// no-op) and builds the Mux endpoints. Daemons register their own API
+// handlers onto the returned mux so one listener serves both.
+func NewServeMux(reg *Registry, expvarName string, health func() map[string]any) *http.ServeMux {
+	if expvarName != "" {
+		reg.PublishExpvar(expvarName)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,168 @@
+// HTTP layer of the decision service: request decoding, client
+// identification, and the mapping from admission errors onto status
+// codes (BusyError → 429 + Retry-After, ErrDraining → 503). The
+// endpoints ride the same mux as the obs live endpoints, so one
+// listener serves /v1/*, /metrics, /healthz and /debug/pprof.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// ClientHeader names the request header carrying the client id the
+// per-client token buckets key on. Absent means ClientAnonymous.
+const ClientHeader = "X-Client-ID"
+
+// ClientAnonymous is the admission bucket for requests without a client
+// id.
+const ClientAnonymous = "anonymous"
+
+// Routes registers the decision API onto mux.
+func (s *Server) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
+		s.decide(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/apply", func(w http.ResponseWriter, r *http.Request) {
+		s.decide(w, r, true)
+	})
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+}
+
+// Handler builds the daemon's full mux: the decision API plus, when the
+// server carries a registry, the shared obs live endpoints published
+// under expvarName. health augments /healthz (may be nil).
+func (s *Server) Handler(expvarName string, health func() map[string]any) http.Handler {
+	var mux *http.ServeMux
+	if s.cfg.Metrics != nil {
+		mux = obs.NewServeMux(s.cfg.Metrics, expvarName, health)
+	} else {
+		mux = http.NewServeMux()
+	}
+	s.Routes(mux)
+	return mux
+}
+
+// clientID extracts the admission-control key from the request.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(ClientHeader); id != "" {
+		return id
+	}
+	return ClientAnonymous
+}
+
+// decodeBody JSON-decodes the request body with exact number handling.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+// decide serves /v1/check (apply=false) and /v1/apply (apply=true).
+func (s *Server) decide(w http.ResponseWriter, r *http.Request, apply bool) {
+	var req CheckRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	u, err := req.Update.ToUpdate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	client := clientID(r)
+	var rep core.Report
+	if apply {
+		rep, err = s.Apply(client, u)
+	} else {
+		rep, err = s.Check(client, u)
+	}
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DecisionFrom(rep, apply))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	updates := make([]store.Update, len(req.Updates))
+	for i, wu := range req.Updates {
+		u, err := wu.ToUpdate()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("updates[%d]: %w", i, err))
+			return
+		}
+		updates[i] = u
+	}
+	out, err := s.Batch(clientID(r), updates, req.Atomic)
+	if err != nil {
+		if errors.Is(err, ErrBatchTooLarge) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResultFrom(out))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs, err := s.CheckerStats()
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsPayloadFrom(cs, s.Stats()))
+}
+
+// writeAdmissionError maps server-level errors onto status codes.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	var busy *BusyError
+	switch {
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(busy.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// retryAfterSeconds renders a delay as whole seconds, at least 1 (a
+// Retry-After of 0 reads as "retry immediately", defeating the point).
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestHTTPCheckApplyEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	chk := newTestChecker(t, reg)
+	s := New(chk, Config{Metrics: reg})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler("test-ccserved", nil))
+	defer ts.Close()
+
+	// A safe check decides ok but applies nothing.
+	resp, body := postJSON(t, ts, "/v1/check", `{"update":{"op":"insert","relation":"r","tuple":[100]}}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status = %d: %s", resp.StatusCode, body)
+	}
+	var d Decision
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() || d.Applied {
+		t.Fatalf("check decision = %+v, want ok/not-applied", d)
+	}
+	if len(d.Decisions) != 1 || d.Decisions[0].Constraint != "fi" {
+		t.Fatalf("decisions = %+v", d.Decisions)
+	}
+	if chk.DB().Contains("r", relation.Ints(100)) {
+		t.Fatal("/v1/check mutated the store")
+	}
+
+	// A violating check reports the constraint.
+	_, body = postJSON(t, ts, "/v1/check", `{"update":{"op":"insert","relation":"r","tuple":[5]}}`, nil)
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != VerdictViolation || len(d.Violations) != 1 || d.Violations[0] != "fi" {
+		t.Fatalf("violating check decision = %+v", d)
+	}
+
+	// Apply admits and keeps the update.
+	_, body = postJSON(t, ts, "/v1/apply", `{"update":{"op":"insert","relation":"r","tuple":[100]}}`, nil)
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() || !d.Applied {
+		t.Fatalf("apply decision = %+v, want ok/applied", d)
+	}
+	if !chk.DB().Contains("r", relation.Ints(100)) {
+		t.Fatal("/v1/apply did not apply")
+	}
+
+	// Malformed updates are 400s, not queue traffic.
+	resp, _ = postJSON(t, ts, "/v1/apply", `{"update":{"op":"upsert","relation":"r","tuple":[1]}}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/apply", `{"update":`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPBatchAndStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	chk := newTestChecker(t, reg)
+	s := New(chk, Config{Metrics: reg})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler("test-ccserved-batch", nil))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/v1/batch",
+		`{"atomic":true,"updates":[
+			{"op":"insert","relation":"r","tuple":[100]},
+			{"op":"insert","relation":"r","tuple":[5]}]}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResult
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied != 0 || br.FailedAt != 1 || !br.Atomic {
+		t.Fatalf("batch result = %+v, want atomic rollback at 1", br)
+	}
+	if chk.DB().Contains("r", relation.Ints(100)) {
+		t.Fatal("atomic batch rollback left +r(100)")
+	}
+
+	resp, body = postJSON(t, ts, "/v1/batch", `{"updates":[{"op":"bad"}]}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch member status = %d: %s", resp.StatusCode, body)
+	}
+
+	r, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats StatsPayload
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Updates == 0 || stats.Server.Requests[EndpointBatch] != 1 {
+		t.Fatalf("stats payload = %+v", stats)
+	}
+
+	// The obs endpoints ride the same listener.
+	mr, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(expo), "cc_serve_requests_total") {
+		t.Fatalf("/metrics missing cc_serve_requests_total:\n%s", expo)
+	}
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if !strings.Contains(string(hb), `"status":"ok"`) {
+		t.Fatalf("/healthz = %s", hb)
+	}
+}
+
+func TestHTTPRateLimit429(t *testing.T) {
+	chk := newTestChecker(t, nil)
+	s := New(chk, Config{RatePerClient: 0.001, Burst: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler("", nil))
+	defer ts.Close()
+
+	hdr := map[string]string{ClientHeader: "hot-client"}
+	resp, _ := postJSON(t, ts, "/v1/check", `{"update":{"op":"insert","relation":"r","tuple":[100]}}`, hdr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request status = %d", resp.StatusCode)
+	}
+	resp, body := postJSON(t, ts, "/v1/check", `{"update":{"op":"insert","relation":"r","tuple":[100]}}`, hdr)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429: %s", resp.StatusCode, body)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want >= 1 second", resp.Header.Get("Retry-After"))
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("429 body = %s", body)
+	}
+	// Another client is unaffected.
+	resp, _ = postJSON(t, ts, "/v1/check", `{"update":{"op":"insert","relation":"r","tuple":[100]}}`,
+		map[string]string{ClientHeader: "cold-client"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold client status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestHTTPDraining503(t *testing.T) {
+	chk := newTestChecker(t, nil)
+	s := New(chk, Config{})
+	ts := httptest.NewServer(s.Handler("", nil))
+	defer ts.Close()
+	s.Close()
+	resp, _ := postJSON(t, ts, "/v1/apply", `{"update":{"op":"insert","relation":"r","tuple":[100]}}`, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestWireValueCodec(t *testing.T) {
+	cases := []struct {
+		in   any
+		want ast.Value
+	}{
+		{json.Number("42"), ast.Int(42)},
+		{json.Number("2.5"), ast.Rat(5, 2)},
+		{json.Number("-7"), ast.Int(-7)},
+		{float64(3), ast.Int(3)},
+		{"#3/2", ast.Rat(3, 2)},
+		{"$shoe", ast.Str("shoe")},
+		{"shoe", ast.Str("shoe")},
+	}
+	for _, c := range cases {
+		got, err := DecodeWireValue(c.in)
+		if err != nil {
+			t.Fatalf("DecodeWireValue(%v): %v", c.in, err)
+		}
+		if !got.Equal(c.want) {
+			t.Fatalf("DecodeWireValue(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := DecodeWireValue(true); err == nil {
+		t.Fatal("DecodeWireValue(true) should fail")
+	}
+	if _, err := DecodeWireValue(json.Number("x")); err == nil {
+		t.Fatal("DecodeWireValue(bad number) should fail")
+	}
+
+	// FromUpdate/ToUpdate round-trips exactly, non-integer rationals and
+	// awkward symbols included.
+	u := store.Ins("emp", relation.Tuple{ast.Str("jones"), ast.Rat(7, 3), ast.Int(50), ast.Str("#odd")})
+	w := FromUpdate(u)
+	// Push through JSON like a real request would.
+	b, err := json.Marshal(CheckRequest{Update: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req CheckRequest
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := req.Update.ToUpdate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != u.String() || !got.Tuple.Equal(u.Tuple) {
+		t.Fatalf("round trip %v -> %v", u, got)
+	}
+	if _, err := (WireUpdate{Op: "insert"}).ToUpdate(); err == nil {
+		t.Fatal("missing relation should fail")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, c := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1}, {10 * time.Millisecond, 1}, {time.Second, 1}, {1500 * time.Millisecond, 2}, {5 * time.Second, 5},
+	} {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Fatalf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package sdk
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// newChecker builds one instance of the shared fixture: l(0,10), l(50,60)
+// and the forbidden-interval constraint over r.
+func newChecker(t *testing.T) *core.Checker {
+	t.Helper()
+	db := store.New()
+	for _, iv := range [][2]int64{{0, 10}, {50, 60}} {
+		if _, err := db.Insert("l", relation.Ints(iv[0], iv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chk := core.New(db, core.Options{LocalRelations: []string{"l"}})
+	if err := chk.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+		t.Fatal(err)
+	}
+	return chk
+}
+
+// TestArmAgreement is the acceptance test for the SDK: a randomized
+// stream of check/apply/batch operations run against three arms — the
+// HTTP SDK, the in-process SDK, and direct core.Checker calls — must
+// produce identical verdicts at every step and identical stores at the
+// end.
+func TestArmAgreement(t *testing.T) {
+	direct := newChecker(t)
+
+	inprocChk := newChecker(t)
+	inproc, err := New(Config{Checker: inprocChk, ClientID: "agreement"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inproc.Close()
+
+	httpChk := newChecker(t)
+	httpSrv := serve.New(httpChk, serve.Config{})
+	defer httpSrv.Close()
+	ts := httptest.NewServer(httpSrv.Handler("", nil))
+	defer ts.Close()
+	remote, err := New(Config{URL: ts.URL, HTTPClient: ts.Client(), ClientID: "agreement"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// directDecision mirrors the server's dispatch for the reference arm.
+	directDecision := func(u store.Update, apply bool) serve.Decision {
+		t.Helper()
+		var (
+			rep  core.Report
+			rerr error
+		)
+		if apply {
+			rep, rerr = direct.Apply(u)
+		} else {
+			rep, rerr = direct.Check(u)
+		}
+		if rerr != nil {
+			t.Fatalf("direct %v: %v", u, rerr)
+		}
+		return serve.DecisionFrom(rep, apply)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	randomUpdate := func() store.Update {
+		// Mix safe and violating coordinates; mix inserts and deletes so
+		// deletes sometimes hit existing tuples.
+		v := rng.Int63n(120)
+		if rng.Intn(2) == 0 {
+			return store.Ins("r", relation.Ints(v))
+		}
+		return store.Del("r", relation.Ints(v))
+	}
+
+	sameDecision := func(step int, a, b serve.Decision, arm string) {
+		t.Helper()
+		if a.Verdict != b.Verdict || a.Applied != b.Applied {
+			t.Fatalf("step %d: %s decision {%s applied=%v} != direct {%s applied=%v}",
+				step, arm, b.Verdict, b.Applied, a.Verdict, a.Applied)
+		}
+		if len(a.Violations) != len(b.Violations) {
+			t.Fatalf("step %d: %s violations %v != direct %v", step, arm, b.Violations, a.Violations)
+		}
+	}
+
+	const steps = 300
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // check
+			u := randomUpdate()
+			want := directDecision(u, false)
+			for arm, s := range map[string]*SDK{"inproc": inproc, "http": remote} {
+				got, err := s.Check(u)
+				if err != nil {
+					t.Fatalf("step %d: %s check %v: %v", i, arm, u, err)
+				}
+				sameDecision(i, want, got, arm)
+			}
+		case 3, 4, 5, 6: // apply
+			u := randomUpdate()
+			want := directDecision(u, true)
+			for arm, s := range map[string]*SDK{"inproc": inproc, "http": remote} {
+				got, err := s.Apply(u)
+				if err != nil {
+					t.Fatalf("step %d: %s apply %v: %v", i, arm, u, err)
+				}
+				sameDecision(i, want, got, arm)
+			}
+		default: // batch, alternating atomic
+			n := 1 + rng.Intn(4)
+			us := make([]store.Update, n)
+			for j := range us {
+				us[j] = randomUpdate()
+			}
+			atomic := rng.Intn(2) == 0
+			var want serve.BatchResult
+			if atomic {
+				br, err := direct.ApplyBatch(us)
+				if err != nil {
+					t.Fatalf("step %d: direct batch: %v", i, err)
+				}
+				applied := 0
+				if br.Applied {
+					applied = len(us)
+				}
+				want = serve.BatchResultFrom(serve.BatchOutcome{
+					Reports: br.Reports, Atomic: true, Applied: applied, FailedAt: br.FailedAt,
+				})
+			} else {
+				out := serve.BatchOutcome{Atomic: false, FailedAt: -1}
+				for _, u := range us {
+					rep, err := direct.Apply(u)
+					if err != nil {
+						t.Fatalf("step %d: direct apply %v: %v", i, u, err)
+					}
+					out.Reports = append(out.Reports, rep)
+					if rep.Applied {
+						out.Applied++
+					}
+				}
+				want = serve.BatchResultFrom(out)
+			}
+			for arm, s := range map[string]*SDK{"inproc": inproc, "http": remote} {
+				got, err := s.Batch(us, atomic)
+				if err != nil {
+					t.Fatalf("step %d: %s batch: %v", i, arm, err)
+				}
+				if got.Applied != want.Applied || got.FailedAt != want.FailedAt || got.Atomic != want.Atomic {
+					t.Fatalf("step %d: %s batch {applied=%d failedAt=%d atomic=%v} != direct {applied=%d failedAt=%d atomic=%v}",
+						i, arm, got.Applied, got.FailedAt, got.Atomic, want.Applied, want.FailedAt, want.Atomic)
+				}
+				if len(got.Results) != len(want.Results) {
+					t.Fatalf("step %d: %s batch results %d != direct %d", i, arm, len(got.Results), len(want.Results))
+				}
+				for j := range want.Results {
+					sameDecision(i, want.Results[j], got.Results[j], arm)
+				}
+			}
+		}
+	}
+
+	// After an identical stream, the three stores must be identical.
+	ref := direct.DB().Dump()
+	if got := inprocChk.DB().Dump(); got != ref {
+		t.Fatalf("in-process store diverged:\n--- direct ---\n%s--- inproc ---\n%s", ref, got)
+	}
+	if got := httpChk.DB().Dump(); got != ref {
+		t.Fatalf("HTTP store diverged:\n--- direct ---\n%s--- http ---\n%s", ref, got)
+	}
+
+	// And the checkers must have seen the same number of updates.
+	ds, _ := direct.Stats(), error(nil)
+	is, err := inproc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := remote.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.Updates != ds.Updates || hs.Updates != ds.Updates {
+		t.Fatalf("update counts diverged: direct=%d inproc=%d http=%d", ds.Updates, is.Updates, hs.Updates)
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no arm selected should fail")
+	}
+	chk := newChecker(t)
+	srv := serve.New(chk, serve.Config{})
+	defer srv.Close()
+	if _, err := New(Config{URL: "http://x", Server: srv}); err == nil {
+		t.Fatal("two arms selected should fail")
+	}
+	s, err := New(Config{Server: srv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close must not drain a shared server.
+	s.Close()
+	if srv.Draining() {
+		t.Fatal("Close drained a server the SDK does not own")
+	}
+}
+
+func TestIsBusy(t *testing.T) {
+	chk := newChecker(t)
+	s, err := New(Config{Checker: chk, ServeConfig: serve.Config{RatePerClient: 0.001, Burst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Check(store.Ins("r", relation.Ints(200))); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Check(store.Ins("r", relation.Ints(200)))
+	if d, ok := IsBusy(err); !ok || d <= 0 {
+		t.Fatalf("IsBusy(%v) = %v,%v; want busy with positive delay", err, d, ok)
+	}
+
+	// The HTTP arm's 429 is recognized too.
+	srv := serve.New(newChecker(t), serve.Config{RatePerClient: 0.001, Burst: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler("", nil))
+	defer ts.Close()
+	r, err := New(Config{URL: ts.URL, HTTPClient: ts.Client(), ClientID: "limited"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Check(store.Ins("r", relation.Ints(200))); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Check(store.Ins("r", relation.Ints(200)))
+	if d, ok := IsBusy(err); !ok || d <= 0 {
+		t.Fatalf("IsBusy(http %v) = %v,%v; want busy with positive delay", err, d, ok)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 HTTPError, got %v", err)
+	}
+}
+
+// TestSharedServerHTTPAndInProcess drives one server over both arms at
+// once: an in-process SDK sharing the server that also backs an HTTP
+// listener. Both see each other's writes.
+func TestSharedServerHTTPAndInProcess(t *testing.T) {
+	chk := newChecker(t)
+	srv := serve.New(chk, serve.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler("", nil))
+	defer ts.Close()
+
+	local, err := New(Config{Server: srv, ClientID: "local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := New(Config{URL: ts.URL, HTTPClient: ts.Client(), ClientID: "remote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d, err := local.Apply(store.Ins("r", relation.Ints(300))); err != nil || !d.Applied {
+		t.Fatalf("local apply: %+v %v", d, err)
+	}
+	// The remote arm sees the tuple: deleting it reports a change.
+	d, err := remote.Apply(store.Del("r", relation.Ints(300)))
+	if err != nil || !d.Applied {
+		t.Fatalf("remote delete: %+v %v", d, err)
+	}
+	if chk.DB().Contains("r", relation.Ints(300)) {
+		t.Fatal("delete over HTTP did not land")
+	}
+	st, err := remote.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Requests[serve.EndpointApply] != 2 {
+		t.Fatalf("shared server apply count = %d, want 2", st.Server.Requests[serve.EndpointApply])
+	}
+}

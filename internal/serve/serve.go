@@ -1,0 +1,621 @@
+// Package serve is the decision-service subsystem: a long-lived front
+// end that exposes the staged checking pipeline to real traffic. A
+// Server wraps one core.Checker behind a bounded request queue drained
+// by a single worker (the checker's mutating calls are one-at-a-time by
+// contract), with
+//
+//   - backpressure: a full queue rejects immediately with a BusyError
+//     carrying a Retry-After estimate derived from the queue depth and
+//     an EWMA of recent per-request service time;
+//   - admission control: per-client token buckets (client = the
+//     X-Client-ID header over HTTP, or the SDK's configured id) so one
+//     hot client cannot starve the rest;
+//   - a decision log: a buffered JSONL sink on its own writer goroutine
+//     that counts drops instead of blocking the worker when the sink
+//     falls behind;
+//   - graceful drain: Close stops admitting, answers everything already
+//     queued, then flushes the log;
+//   - cc_serve_* metrics on the shared obs registry.
+//
+// The HTTP layer (http.go) and the embeddable SDK (internal/serve/sdk)
+// are thin shells over the same Check/Apply/Batch entry points, so both
+// arms return byte-identical decisions for the same stream.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Admission-rejection reasons, used in BusyError.Reason, the
+// cc_serve_admission_rejections_total metric and the stats payload.
+const (
+	ReasonQueueFull   = "queue_full"
+	ReasonRateLimited = "rate_limited"
+	ReasonDraining    = "draining"
+)
+
+// ErrDraining rejects requests that arrive after Close began: the
+// server answers what it already queued and admits nothing new.
+var ErrDraining = errors.New("serve: server is draining")
+
+// ErrBatchTooLarge rejects a batch exceeding Config.MaxBatch.
+var ErrBatchTooLarge = errors.New("serve: batch exceeds the configured maximum")
+
+// BusyError is a load-shedding rejection: the request was not queued,
+// and the client should retry after the advised delay. The HTTP layer
+// renders it as 429 with a Retry-After header.
+type BusyError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// Config tunes a Server. The zero value serves: a 1024-deep queue, no
+// per-client rate limit, 1024-update batches, no decision log, no
+// metrics.
+type Config struct {
+	// QueueDepth bounds the request queue; a request arriving on a full
+	// queue is rejected with BusyError{ReasonQueueFull}. 0 means 1024.
+	QueueDepth int
+	// RatePerClient is the steady per-client admission rate in
+	// requests/second, enforced by a token bucket per client id; 0
+	// disables admission control entirely.
+	RatePerClient float64
+	// Burst is the token-bucket capacity (how far a client may run ahead
+	// of its steady rate); 0 means max(RatePerClient, 1).
+	Burst float64
+	// MaxBatch bounds the updates accepted in one batch request. 0 means
+	// 1024.
+	MaxBatch int
+	// DecisionLog, when non-nil, receives one JSON line per decided
+	// update (and per update inside a batch). Writes happen on a
+	// dedicated goroutine behind a DecisionLogDepth-deep buffer; when the
+	// sink falls behind, records are dropped and counted rather than
+	// stalling the worker.
+	DecisionLog io.Writer
+	// DecisionLogDepth is the decision-log buffer, in records. 0 means
+	// 1024.
+	DecisionLogDepth int
+	// Metrics, when non-nil, receives the cc_serve_* families.
+	Metrics *obs.Registry
+
+	// workerGate, when non-nil, is received from before each task is
+	// executed — a test hook to hold the worker mid-queue.
+	workerGate chan struct{}
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 1024
+	}
+	return c.QueueDepth
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 1024
+	}
+	return c.MaxBatch
+}
+
+func (c Config) burst() float64 {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	return math.Max(c.RatePerClient, 1)
+}
+
+// Endpoint names, used as metric label values and stats keys.
+const (
+	EndpointCheck = "check"
+	EndpointApply = "apply"
+	EndpointBatch = "batch"
+	EndpointStats = "stats"
+)
+
+type opKind int
+
+const (
+	opCheck opKind = iota
+	opApply
+	opBatch
+	opStats
+)
+
+func (o opKind) endpoint() string {
+	switch o {
+	case opCheck:
+		return EndpointCheck
+	case opApply:
+		return EndpointApply
+	case opBatch:
+		return EndpointBatch
+	}
+	return EndpointStats
+}
+
+// task is one queued request; reply is buffered so the worker never
+// blocks on an abandoned caller.
+type task struct {
+	op     opKind
+	client string
+	u      store.Update
+	us     []store.Update
+	atomic bool
+	reply  chan taskResult
+}
+
+type taskResult struct {
+	rep   core.Report
+	batch BatchOutcome
+	stats core.Stats
+	err   error
+}
+
+// BatchOutcome is the worker-level result of a batch request.
+type BatchOutcome struct {
+	// Reports holds one report per attempted update, in order; an atomic
+	// batch stops at the first rejection, so it may be shorter than the
+	// request.
+	Reports []core.Report
+	// Atomic echoes the request mode.
+	Atomic bool
+	// Applied counts the updates left applied in the store: every
+	// admitted one when non-atomic, all-or-nothing when atomic.
+	Applied int
+	// FailedAt is the index of the rejected update that rolled an atomic
+	// batch back, -1 otherwise.
+	FailedAt int
+}
+
+// Server is the decision service. All exported methods are safe for
+// concurrent use; the wrapped checker is only ever driven from the
+// worker goroutine.
+type Server struct {
+	chk *core.Checker
+	cfg Config
+
+	mu       sync.RWMutex // excludes enqueue vs Close's queue close
+	draining bool
+	queue    chan *task
+
+	workerDone chan struct{}
+	closeOnce  sync.Once
+
+	limMu   sync.Mutex
+	buckets map[string]*bucket
+	clock   func() time.Time // injected in tests
+
+	dlog *decisionLog
+
+	// ewmaNanos tracks recent per-task service time for Retry-After
+	// estimation (α = 1/8; updated only by the worker).
+	ewmaNanos atomic.Int64
+
+	requests   [4]atomic.Int64          // by opKind
+	rejections map[string]*atomic.Int64 // by reason
+	met        *serveMetrics
+}
+
+// New builds a Server over chk and starts its worker. The caller owns
+// chk and must not drive it concurrently with the server; Close stops
+// the worker and flushes the decision log.
+func New(chk *core.Checker, cfg Config) *Server {
+	s := &Server{
+		chk:        chk,
+		cfg:        cfg,
+		queue:      make(chan *task, cfg.queueDepth()),
+		workerDone: make(chan struct{}),
+		buckets:    map[string]*bucket{},
+		clock:      time.Now,
+		rejections: map[string]*atomic.Int64{
+			ReasonQueueFull:   new(atomic.Int64),
+			ReasonRateLimited: new(atomic.Int64),
+			ReasonDraining:    new(atomic.Int64),
+		},
+	}
+	s.ewmaNanos.Store(int64(50 * time.Microsecond))
+	if cfg.Metrics != nil {
+		s.met = newServeMetrics(cfg.Metrics)
+	}
+	if cfg.DecisionLog != nil {
+		s.dlog = newDecisionLog(cfg.DecisionLog, cfg.DecisionLogDepth)
+	}
+	go s.worker()
+	return s
+}
+
+// Check decides the update without applying it.
+func (s *Server) Check(client string, u store.Update) (core.Report, error) {
+	res, err := s.do(&task{op: opCheck, client: client, u: u})
+	return res.rep, err
+}
+
+// Apply decides the update and, when admitted, applies it.
+func (s *Server) Apply(client string, u store.Update) (core.Report, error) {
+	res, err := s.do(&task{op: opApply, client: client, u: u})
+	return res.rep, err
+}
+
+// Batch runs the updates in one queue slot: atomically (all-or-nothing,
+// core.ApplyBatch) or independently (rejected updates are skipped, the
+// rest stay applied).
+func (s *Server) Batch(client string, us []store.Update, atomic bool) (BatchOutcome, error) {
+	if len(us) > s.cfg.maxBatch() {
+		return BatchOutcome{}, ErrBatchTooLarge
+	}
+	res, err := s.do(&task{op: opBatch, client: client, us: us, atomic: atomic})
+	return res.batch, err
+}
+
+// CheckerStats snapshots the wrapped checker's statistics through the
+// queue (the checker's counters are not safe to read mid-Apply).
+func (s *Server) CheckerStats() (core.Stats, error) {
+	res, err := s.do(&task{op: opStats})
+	return res.stats, err
+}
+
+// do admits, enqueues, and waits for the worker's answer.
+func (s *Server) do(t *task) (taskResult, error) {
+	// Stats requests skip the token bucket: they are cheap, and load
+	// shedding that blinds the operator is self-defeating.
+	if t.op != opStats {
+		if err := s.admit(t.client); err != nil {
+			s.reject(ReasonRateLimited)
+			return taskResult{}, err
+		}
+	}
+	t.reply = make(chan taskResult, 1)
+	start := s.clock()
+	if err := s.enqueue(t); err != nil {
+		return taskResult{}, err
+	}
+	res := <-t.reply
+	if s.met != nil {
+		verdict := verdictLabel(t, res)
+		s.met.latency.With(t.op.endpoint(), verdict).Observe(time.Since(start).Seconds())
+	}
+	return res, res.err
+}
+
+// verdictLabel classifies a finished request for the latency histogram.
+func verdictLabel(t *task, res taskResult) string {
+	switch {
+	case res.err != nil:
+		return "error"
+	case t.op == opCheck || t.op == opApply:
+		if res.rep.Applied {
+			return "ok"
+		}
+		return "violation"
+	case t.op == opBatch:
+		if res.batch.Applied == len(t.us) {
+			return "ok"
+		}
+		return "violation"
+	}
+	return "ok"
+}
+
+// enqueue places the task on the queue unless the server is draining or
+// the queue is full. It holds the read lock across the send so Close
+// cannot close the queue under an in-flight send.
+func (s *Server) enqueue(t *task) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		s.reject(ReasonDraining)
+		return ErrDraining
+	}
+	select {
+	case s.queue <- t:
+		s.requests[t.op].Add(1)
+		if s.met != nil {
+			s.met.queueDepth.Set(int64(len(s.queue)))
+			s.met.requests.With(t.op.endpoint()).Inc()
+		}
+		return nil
+	default:
+		s.reject(ReasonQueueFull)
+		return &BusyError{Reason: ReasonQueueFull, RetryAfter: s.retryAfter()}
+	}
+}
+
+// retryAfter estimates how long the full queue needs to drain: depth ×
+// recent per-task service time, clamped to [10ms, 5s].
+func (s *Server) retryAfter() time.Duration {
+	d := time.Duration(len(s.queue)) * time.Duration(s.ewmaNanos.Load())
+	return min(max(d, 10*time.Millisecond), 5*time.Second)
+}
+
+func (s *Server) reject(reason string) {
+	s.rejections[reason].Add(1)
+	if s.met != nil {
+		s.met.rejections.With(reason).Inc()
+	}
+}
+
+// worker drains the queue until Close closes it, answering every queued
+// task (the drain guarantee).
+func (s *Server) worker() {
+	defer close(s.workerDone)
+	for t := range s.queue {
+		if s.cfg.workerGate != nil {
+			<-s.cfg.workerGate
+		}
+		if s.met != nil {
+			s.met.queueDepth.Set(int64(len(s.queue)))
+		}
+		start := time.Now()
+		var res taskResult
+		switch t.op {
+		case opCheck:
+			res.rep, res.err = s.chk.Check(t.u)
+		case opApply:
+			res.rep, res.err = s.chk.Apply(t.u)
+		case opBatch:
+			res.batch, res.err = s.runBatch(t.us, t.atomic)
+		case opStats:
+			res.stats = s.chk.Stats()
+		}
+		dur := time.Since(start)
+		prev := s.ewmaNanos.Load()
+		s.ewmaNanos.Store(prev - prev/8 + int64(dur)/8)
+		if t.op != opStats {
+			s.logTask(t, res, dur)
+		}
+		t.reply <- res
+	}
+}
+
+func (s *Server) runBatch(us []store.Update, atomic bool) (BatchOutcome, error) {
+	out := BatchOutcome{Atomic: atomic, FailedAt: -1}
+	if atomic {
+		br, err := s.chk.ApplyBatch(us)
+		out.Reports = br.Reports
+		out.FailedAt = br.FailedAt
+		if err != nil {
+			return out, err
+		}
+		if br.Applied {
+			out.Applied = len(us)
+		}
+		return out, nil
+	}
+	for _, u := range us {
+		rep, err := s.chk.Apply(u)
+		if err != nil {
+			return out, err
+		}
+		out.Reports = append(out.Reports, rep)
+		if rep.Applied {
+			out.Applied++
+		}
+	}
+	return out, nil
+}
+
+// Close drains the server: no new request is admitted (ErrDraining),
+// every already-queued request is answered, then the decision log is
+// flushed and closed. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.closeOnce.Do(func() { close(s.queue) })
+	}
+	<-s.workerDone
+	if s.dlog != nil {
+		s.dlog.close()
+	}
+}
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// bucket is one client's token bucket; tokens refill continuously at
+// Config.RatePerClient up to Config.Burst.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admit charges one token from the client's bucket, or returns a
+// BusyError advising when the next token lands.
+func (s *Server) admit(client string) error {
+	rate := s.cfg.RatePerClient
+	if rate <= 0 {
+		return nil
+	}
+	burst := s.cfg.burst()
+	now := s.clock()
+	s.limMu.Lock()
+	defer s.limMu.Unlock()
+	b := s.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: burst, last: now}
+		s.buckets[client] = b
+	}
+	b.tokens = math.Min(burst, b.tokens+now.Sub(b.last).Seconds()*rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - b.tokens) / rate * float64(time.Second))
+	return &BusyError{Reason: ReasonRateLimited, RetryAfter: wait}
+}
+
+// Stats is the server-level accounting snapshot (the checker's own
+// statistics travel separately, through CheckerStats).
+type Stats struct {
+	Requests         map[string]int64 `json:"requests"`
+	Rejections       map[string]int64 `json:"rejections"`
+	QueueDepth       int              `json:"queue_depth"`
+	DecisionLogDrops int64            `json:"decision_log_drops"`
+	Draining         bool             `json:"draining"`
+}
+
+// Stats snapshots the server-level counters without touching the queue.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Requests:   map[string]int64{},
+		Rejections: map[string]int64{},
+		QueueDepth: len(s.queue),
+		Draining:   s.Draining(),
+	}
+	for op := opCheck; op <= opStats; op++ {
+		st.Requests[op.endpoint()] = s.requests[op].Load()
+	}
+	for reason, n := range s.rejections {
+		st.Rejections[reason] = n.Load()
+	}
+	if s.dlog != nil {
+		st.DecisionLogDrops = s.dlog.drops.Load()
+	}
+	return st
+}
+
+// DecisionLogDrops returns the dropped-record count (0 without a log).
+func (s *Server) DecisionLogDrops() int64 {
+	if s.dlog == nil {
+		return 0
+	}
+	return s.dlog.drops.Load()
+}
+
+// logTask emits decision-log records for a finished task: one per
+// update, batches included.
+func (s *Server) logTask(t *task, res taskResult, dur time.Duration) {
+	if s.dlog == nil {
+		return
+	}
+	ts := s.clock().UTC().Format(time.RFC3339Nano)
+	emit := func(u store.Update, rep core.Report, err error) {
+		rec := logRecord{
+			Time:      ts,
+			Client:    t.client,
+			Op:        t.op.endpoint(),
+			Update:    u.String(),
+			LatencyUS: dur.Microseconds(),
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		} else {
+			rec.Applied = rep.Applied
+			rec.Violations = rep.Violations()
+		}
+		if !s.dlog.emit(rec) && s.met != nil {
+			s.met.logDrops.Inc()
+		}
+	}
+	switch t.op {
+	case opCheck, opApply:
+		emit(t.u, res.rep, res.err)
+	case opBatch:
+		for i, rep := range res.batch.Reports {
+			emit(t.us[i], rep, nil)
+		}
+		if res.err != nil && len(res.batch.Reports) < len(t.us) {
+			emit(t.us[len(res.batch.Reports)], core.Report{}, res.err)
+		}
+	}
+}
+
+// logRecord is one decision-log line (JSONL).
+type logRecord struct {
+	Time       string   `json:"ts"`
+	Client     string   `json:"client,omitempty"`
+	Op         string   `json:"op"`
+	Update     string   `json:"update"`
+	Applied    bool     `json:"applied"`
+	Violations []string `json:"violations,omitempty"`
+	LatencyUS  int64    `json:"latency_us"`
+	Err        string   `json:"error,omitempty"`
+}
+
+// decisionLog is the buffered JSONL sink: emit never blocks (drops are
+// counted), the writer goroutine owns the io.Writer, close flushes.
+type decisionLog struct {
+	ch    chan logRecord
+	drops atomic.Int64
+	done  chan struct{}
+}
+
+func newDecisionLog(w io.Writer, depth int) *decisionLog {
+	if depth <= 0 {
+		depth = 1024
+	}
+	l := &decisionLog{ch: make(chan logRecord, depth), done: make(chan struct{})}
+	go func() {
+		defer close(l.done)
+		enc := json.NewEncoder(w)
+		for rec := range l.ch {
+			// A failing sink cannot stall the worker; the error surfaces
+			// as missing lines, which the drop counter does not cover —
+			// operators watch the sink's own health for that.
+			_ = enc.Encode(rec)
+		}
+	}()
+	return l
+}
+
+func (l *decisionLog) emit(rec logRecord) bool {
+	select {
+	case l.ch <- rec:
+		return true
+	default:
+		l.drops.Add(1)
+		return false
+	}
+}
+
+func (l *decisionLog) close() {
+	close(l.ch)
+	<-l.done
+}
+
+// serveMetrics holds the cc_serve_* handles.
+type serveMetrics struct {
+	requests   *obs.CounterVec
+	latency    *obs.HistogramVec
+	queueDepth *obs.Gauge
+	rejections *obs.CounterVec
+	logDrops   *obs.Counter
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	return &serveMetrics{
+		requests: reg.CounterVec("cc_serve_requests_total",
+			"Requests admitted to the decision queue, by endpoint.", "endpoint"),
+		latency: reg.HistogramVec("cc_serve_request_seconds",
+			"Request latency from admission to reply (queue wait included), by endpoint and verdict.",
+			nil, "endpoint", "verdict"),
+		queueDepth: reg.Gauge("cc_serve_queue_depth",
+			"Requests currently queued for the decision worker."),
+		rejections: reg.CounterVec("cc_serve_admission_rejections_total",
+			"Requests shed before queueing, by reason (queue_full, rate_limited, draining).", "reason"),
+		logDrops: reg.Counter("cc_serve_decision_log_drops_total",
+			"Decision-log records dropped because the sink fell behind."),
+	}
+}

@@ -4,15 +4,18 @@
 # (BENCH_net.json), then the tracing-overhead benchmarks
 # (BENCH_obs.json), then the indexed-join benchmarks (BENCH_eval.json),
 # then the plan-cache benchmarks (BENCH_plan.json), then the
-# residual-dispatch benchmarks (BENCH_residual.json): one record per
-# benchmark run with name, iterations, ns/op, B/op and allocs/op, plus
-# the git commit and UTC date the run was taken at, suitable for
-# diffing across commits. The obs file is the evidence for
+# residual-dispatch benchmarks (BENCH_residual.json), then the
+# sustained-load decision-server run (BENCH_serve.json via ccload): one
+# record per benchmark run with name, iterations, ns/op, B/op and
+# allocs/op, plus the git commit and UTC date the run was taken at,
+# suitable for diffing across commits. The obs file is the evidence for
 # EXPERIMENTS.md's claim that the disabled tracer costs ≤5% on the D1
 # workload; the eval file is the evidence for the indexed-vs-scan
 # speedup claim; the plan file is the evidence for the compile-once
 # speedup/allocation claim; the residual file is the evidence for the
-# residual-vs-pipeline speedup claim.
+# residual-vs-pipeline speedup claim; the serve file records per-arm
+# p50/p99 latency and throughput under SERVE_STREAMS concurrent client
+# streams on loopback.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,3 +60,12 @@ bench_to_json 'BenchmarkApplyCompiled$' \
   "${PLAN_OUT:-BENCH_plan.json}"
 bench_to_json 'BenchmarkApplyResidual$' \
   "${RESID_OUT:-BENCH_residual.json}"
+
+# Sustained-load decision-server run: ccload self-serves a loopback
+# ccserved over the D1 workload and reports per-arm p50/p99/throughput.
+SERVE_JSON="${SERVE_OUT:-BENCH_serve.json}"
+go run ./cmd/ccload \
+  -streams "${SERVE_STREAMS:-10000}" -duration "${SERVE_DURATION:-5s}" \
+  -ramp "${SERVE_RAMP:-1s}" -conns "${SERVE_CONNS:-512}" \
+  -commit "$COMMIT" -date "$DATE" -out "$SERVE_JSON"
+echo "wrote $SERVE_JSON ($(grep -c '"name"' "$SERVE_JSON") records)"
