@@ -577,6 +577,76 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	})
 }
 
+// benchSpanOverhead replays the BenchmarkTraceOverhead D1 stream with
+// the span layer in a given state. sampled controls whether each update
+// runs under an active root span; withStore whether finished spans are
+// retained in a tail-sampling TraceStore.
+func benchSpanOverhead(b *testing.B, installed, sampled, withStore bool) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(42))
+		db := store.New()
+		for _, t := range workload.Intervals(rng, 40, 20, 200) {
+			if _, err := db.Insert("l", t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := int64(0); j < 50; j++ {
+			if _, err := db.Insert("r", relation.Ints(10000+j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var spans *obs.SpanTracer
+		var bridge *obs.SpanBridge
+		opts := core.Options{LocalRelations: []string{"l"}}
+		if installed {
+			var st *obs.TraceStore
+			if withStore {
+				st = obs.NewTraceStore(64)
+			}
+			spans = obs.NewSpanTracer("bench", st, 1)
+			bridge = obs.NewSpanBridge(spans)
+			opts.Tracer = bridge
+		}
+		c := core.New(db, opts)
+		if err := c.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+			b.Fatal(err)
+		}
+		updates := workload.IntervalInserts(rng, 20, 10, 200, "l")
+		b.StartTimer()
+		for _, u := range updates {
+			var sp *obs.Span
+			if sampled {
+				sp = spans.StartRoot("bench.apply", obs.SpanContext{})
+				bridge.SetActive(sp)
+			}
+			_, err := c.Apply(u)
+			if sampled {
+				bridge.SetActive(nil)
+				sp.End()
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSpanOverhead is the EXPERIMENTS.md span-overhead benchmark
+// (BENCH_obs.json): "off" has no span layer at all, "idle" installs the
+// bridge but never activates a span (the spans-disabled production
+// state the ≤2% acceptance bound applies to), "sampled" runs every
+// update under a root span, and "sampled+store" additionally retains
+// the finished traces.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchSpanOverhead(b, false, false, false) })
+	b.Run("idle", func(b *testing.B) { benchSpanOverhead(b, true, false, false) })
+	b.Run("sampled", func(b *testing.B) { benchSpanOverhead(b, true, true, false) })
+	b.Run("sampled+store", func(b *testing.B) { benchSpanOverhead(b, true, true, true) })
+}
+
 // --- substrate micro-benchmarks ----------------------------------------------
 
 func BenchmarkIneqImplies(b *testing.B) {

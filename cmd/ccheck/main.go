@@ -23,7 +23,10 @@
 // attempt, cache hits, remote relations consulted); -trace-out file
 // appends the same events as JSON lines; -stats-json file dumps the
 // final pipeline statistics — per-phase decision counts, cache hit rate,
-// and the deployment's data-access accounting — as JSON.
+// and the deployment's data-access accounting — as JSON. -spans file
+// additionally records every update as a distributed trace (a root span
+// with phase children and, under -sites, per-RPC and site-side spans)
+// and writes the collected traces as OTLP-JSON at exit.
 //
 // Global evaluations use hash-index probes with bound-first join
 // planning and reuse compiled evaluation plans across the update stream;
@@ -73,6 +76,7 @@ type config struct {
 	trace       bool
 	traceOut    string
 	statsJSON   string
+	spansOut    string
 }
 
 // flags is the raw flag surface buildConfig validates into a config.
@@ -95,6 +99,7 @@ type flags struct {
 	trace       bool
 	traceOut    string
 	statsJSON   string
+	spansOut    string
 }
 
 // siteFlags collects repeated -sites values.
@@ -124,6 +129,7 @@ func main() {
 		trace           = flag.Bool("trace", false, "print the per-update decision trace (which phase decided each constraint and why)")
 		traceOut        = flag.String("trace-out", "", "append the decision trace to this file as JSON lines")
 		statsJSON       = flag.String("stats-json", "", "write the final pipeline statistics to this file as JSON")
+		spansOut        = flag.String("spans", "", "record every update as a distributed trace and write OTLP-JSON here at exit")
 		sites           siteFlags
 	)
 	flag.Var(&sites, "sites", "site daemon spec host:port=rel1,rel2 (repeatable)")
@@ -140,6 +146,7 @@ func main() {
 		noplancache: *noplancache, noresidual: *noresidual, repeat: *repeat,
 		verbose: *verbose, save: *savePath, timeout: *timeout, retries: *retries,
 		sites: sites, trace: *trace, traceOut: *traceOut, statsJSON: *statsJSON,
+		spansOut: *spansOut,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccheck:", err)
@@ -164,6 +171,7 @@ func buildConfig(f flags) (config, error) {
 		noresidual: f.noresidual, repeat: f.repeat,
 		verbose: f.verbose, save: f.save, timeout: f.timeout, retries: f.retries,
 		trace: f.trace, traceOut: f.traceOut, statsJSON: f.statsJSON,
+		spansOut: f.spansOut,
 	}
 	if f.constraints == "" || f.updates == "" {
 		return cfg, fmt.Errorf("-constraints and -updates are required")
@@ -263,6 +271,17 @@ func run(cfg config) error {
 		jsonl = obs.NewJSONLTracer(f)
 		tracers = append(tracers, jsonl)
 	}
+	// -spans: every update becomes a sampled trace whose phase events the
+	// bridge converts into child spans; under -sites the coordinator adds
+	// per-RPC spans and sites echo their side back. Dumped as OTLP-JSON
+	// at exit.
+	var spans *obs.SpanTracer
+	var bridge *obs.SpanBridge
+	if cfg.spansOut != "" {
+		spans = obs.NewSpanTracer("ccheck", obs.NewTraceStore(1024), 1)
+		bridge = obs.NewSpanBridge(spans)
+		tracers = append(tracers, bridge)
+	}
 	switch len(tracers) {
 	case 0:
 	case 1:
@@ -278,6 +297,7 @@ func run(cfg config) error {
 			Checker: opts,
 			Timeout: cfg.timeout,
 			Retries: cfg.retries,
+			Spans:   bridge,
 		})
 		if err != nil {
 			return err
@@ -318,7 +338,20 @@ func run(cfg config) error {
 			db.ResetReads()
 		}
 		for _, u := range updates {
+			var sp *obs.Span
+			if spans != nil {
+				sp = spans.StartRoot("ccheck.apply", obs.SpanContext{})
+				sp.SetAttr("update", fmt.Sprint(u))
+				bridge.SetActive(sp)
+			}
 			rep, err := sys.Apply(u)
+			if spans != nil {
+				bridge.SetActive(nil)
+				if err != nil {
+					sp.SetError(err.Error())
+				}
+				sp.End()
+			}
 			if err != nil {
 				return fmt.Errorf("update %v: %w", u, err)
 			}
@@ -344,6 +377,21 @@ func run(cfg config) error {
 		if err := writeStatsJSON(cfg.statsJSON, checker, sys); err != nil {
 			return fmt.Errorf("stats-json: %w", err)
 		}
+	}
+	if cfg.spansOut != "" {
+		f, err := os.Create(cfg.spansOut)
+		if err != nil {
+			return fmt.Errorf("spans: %w", err)
+		}
+		traces := spans.Store().Traces()
+		if err := obs.WriteOTLP(f, traces); err != nil {
+			f.Close()
+			return fmt.Errorf("spans: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("spans: %w", err)
+		}
+		fmt.Printf("wrote %d traces (OTLP-JSON) to %s\n", len(traces), cfg.spansOut)
 	}
 	if cfg.save != "" {
 		if err := os.WriteFile(cfg.save, []byte(db.Dump()), 0o644); err != nil {

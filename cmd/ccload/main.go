@@ -22,6 +22,11 @@
 // bounded). Deliberate 429s (queue full, rate limited) are counted
 // separately from errors; any true error makes ccload exit non-zero, so
 // CI can use a short run as a wiring smoke test.
+//
+// A -trace fraction of requests carries a freshly minted sampled
+// traceparent; the report counts responses whose X-Request-ID echoed the
+// sent trace id (traced) against the rest (untraced), so a load run
+// doubles as a propagation health check of the serving stack.
 package main
 
 import (
@@ -61,6 +66,7 @@ type loadConfig struct {
 	rate     float64
 	density  int
 	seed     int64
+	trace    float64
 	out      string
 	commit   string
 	date     string
@@ -79,6 +85,7 @@ func main() {
 	flag.Float64Var(&cfg.rate, "rate", 0, "self-serve per-client admission rate (0: unlimited)")
 	flag.IntVar(&cfg.density, "density", 200, "self-serve seed intervals in l")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	flag.Float64Var(&cfg.trace, "trace", 0.05, "fraction of requests carrying a sampled traceparent (0: none)")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty: stdout)")
 	flag.StringVar(&cfg.commit, "commit", "unknown", "git commit stamp for the report")
 	flag.StringVar(&cfg.date, "date", "", "UTC date stamp for the report (empty: now)")
@@ -106,6 +113,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccload: %-18s ops=%-8d p50=%-8s p99=%-8s %.0f ops/s (429s=%d, violations=%d, errors=%d)\n",
 			rec.Name, rec.Ops, time.Duration(rec.P50US*1000), time.Duration(rec.P99US*1000),
 			rec.ThroughputPerS, rec.Rejected429, rec.Violations, rec.Errors)
+		if rec.Traced+rec.Untraced > 0 {
+			fmt.Fprintf(os.Stderr, "ccload: trace propagation: %d traced, %d untraced responses\n",
+				rec.Traced, rec.Untraced)
+		}
 		if rec.Errors > 0 {
 			os.Exit(1)
 		}
@@ -125,6 +136,8 @@ type record struct {
 	P50US          int64   `json:"p50_us"`
 	P99US          int64   `json:"p99_us"`
 	ThroughputPerS float64 `json:"throughput_per_s"`
+	Traced         int64   `json:"traced,omitempty"`
+	Untraced       int64   `json:"untraced,omitempty"`
 	Commit         string  `json:"commit"`
 	Date           string  `json:"date"`
 }
@@ -168,6 +181,15 @@ func run(cfg loadConfig) ([]record, error) {
 		URL:        addr,
 		HTTPClient: &http.Client{Transport: transport, Timeout: 60 * time.Second},
 		ClientID:   "ccload",
+		// Mint a fresh sampled trace context for a -trace fraction of
+		// requests (the global rand source is concurrency-safe); the rest
+		// go out bare and count as untraced.
+		Trace: func() obs.SpanContext {
+			if cfg.trace <= 0 || rand.Float64() >= cfg.trace {
+				return obs.SpanContext{}
+			}
+			return obs.NewSpanContext(true)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -214,7 +236,9 @@ func run(cfg loadConfig) ([]record, error) {
 		total.viols += agg[a].viols
 		out = append(out, makeRecord("ServeLoad/"+armNames[a], agg[a], cfg, elapsed, date))
 	}
-	out = append(out, makeRecord("ServeLoad/total", total, cfg, elapsed, date))
+	tot := makeRecord("ServeLoad/total", total, cfg, elapsed, date)
+	tot.Traced, tot.Untraced = client.TraceCounts()
+	out = append(out, tot)
 	return out, nil
 }
 
@@ -389,21 +413,27 @@ func selfServe(cfg loadConfig) (stop func(), addr string, err error) {
 		}
 	}
 	reg := obs.NewRegistry()
-	chk := core.New(db, core.Options{LocalRelations: []string{"l"}, Metrics: reg})
+	spans := obs.NewSpanTracer("ccload-serve", obs.NewTraceStore(256), 0)
+	bridge := obs.NewSpanBridge(spans)
+	chk := core.New(db, core.Options{LocalRelations: []string{"l"}, Metrics: reg, Tracer: bridge})
 	if err := chk.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
 		return nil, "", err
 	}
+	// Rate 0: only requests that arrive with a sampled traceparent get
+	// spans, so -trace controls sampling end to end in self-serve mode.
 	srv := serve.New(chk, serve.Config{
 		QueueDepth:    cfg.queue,
 		RatePerClient: cfg.rate,
 		Metrics:       reg,
+		Spans:         spans,
+		SpanBridge:    bridge,
 	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()
 		return nil, "", err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler("ccload", nil)}
+	httpSrv := &http.Server{Handler: srv.Handler("ccload", nil, nil)}
 	go httpSrv.Serve(l)
 	stop = func() {
 		l.Close()

@@ -6,7 +6,7 @@
 //	ccrepro            # everything
 //	ccrepro -only 2.1  # one artifact: 2.1, 4.1, 4.2, 6.1, ex4.1,
 //	                   # t3, t51, t52, t53, t61, d1, dnet, obs, plan,
-//	                   # resid, serve
+//	                   # resid, serve, span
 //	ccrepro -quick     # smaller parameter sweeps
 package main
 
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "regenerate a single artifact (2.1, 4.1, 4.2, 6.1, ex4.1, t3, t51, t52, t53, t61, d1, dnet, obs, plan, resid, serve)")
+	only := flag.String("only", "", "regenerate a single artifact (2.1, 4.1, 4.2, 6.1, ex4.1, t3, t51, t52, t53, t61, d1, dnet, obs, plan, resid, serve, span)")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	flag.Parse()
 	if err := run(*only, *quick); err != nil {
@@ -137,6 +137,17 @@ func run(only string, quick bool) error {
 			updates, rounds = 30, 2
 		}
 		t, err := experiments.ExpTraceOverhead(density, updates, rounds, 5)
+		if err != nil {
+			return err
+		}
+		p(t)
+	}
+	if want("span") {
+		density, updates, rounds := 50, 100, 5
+		if quick {
+			updates, rounds = 30, 2
+		}
+		t, err := experiments.ExpSpanOverhead(density, updates, rounds, 5)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@
 //
 //	ccserved -listen :8080 -constraints c.dl [-data d.dl] [-local emp]
 //	         [-queue 1024] [-rate 0 -burst 0] [-decision-log d.jsonl]
+//	         [-sites host:port=rel1,rel2]... [-trace-sample 0.1]
 //
 // Endpoints (one listener serves them all):
 //
@@ -12,13 +13,26 @@
 //	POST /v1/apply   decide and, when admitted, apply
 //	POST /v1/batch   a sequence in one request; "atomic" all-or-nothing
 //	GET  /v1/stats   pipeline + server statistics
-//	/metrics /healthz /debug/vars /debug/pprof   obs live endpoints
+//	/metrics /healthz /readyz /debug/vars /debug/pprof /debug/traces
 //
 // Requests carry updates as {"op":"insert","relation":"r","tuple":[1,"x"]};
 // the per-client admission buckets key on the X-Client-ID header. A full
 // request queue answers 429 with Retry-After; on SIGINT/SIGTERM the
-// daemon stops accepting, drains what it already admitted, flushes the
-// decision log and exits.
+// daemon flips /readyz to 503 (load balancers drain it), stops
+// accepting, answers what it already admitted, flushes the decision log
+// and exits.
+//
+// With -sites flags (repeatable, the ccheck/ccsited spec syntax) the
+// daemon fronts a multi-site netdist system: decisions run against a
+// local mirror, remote relations are refreshed before global phases, and
+// admitted writes propagate to the owning ccsited.
+//
+// Distributed tracing is on by default at -trace-sample 0.1: sampled
+// requests (and any request carrying a sampled traceparent header)
+// become traces — HTTP root, queue wait, decision, checker phases, and
+// per-site RPCs with site-side spans echoed back — stored in a
+// tail-sampling ring served at /debug/traces, exportable as OTLP JSON on
+// shutdown with -trace-otlp. -trace-sample 0 turns spans off.
 //
 // Constraint files hold blank-line-separated constraint programs (each
 // defines panic), data files hold facts — the same formats ccheck reads.
@@ -37,10 +51,12 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netdist"
 	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/serve"
@@ -64,6 +80,23 @@ type config struct {
 	noplancache bool
 	noresidual  bool
 	verbose     bool
+
+	sites       []string
+	siteTimeout time.Duration
+	siteRetries int
+
+	traceSample float64
+	traceStore  int
+	traceOTLP   string
+}
+
+// siteFlags collects repeated -sites values (the ccheck syntax).
+type siteFlags struct{ cfg *config }
+
+func (s siteFlags) String() string { return "" }
+func (s siteFlags) Set(v string) error {
+	s.cfg.sites = append(s.cfg.sites, v)
+	return nil
 }
 
 func main() {
@@ -83,6 +116,12 @@ func main() {
 	flag.BoolVar(&cfg.noplancache, "noplancache", false, "disable the compiled evaluation plan cache (A/B escape hatch)")
 	flag.BoolVar(&cfg.noresidual, "noresidual", false, "disable residual check compilation (A/B escape hatch)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log the served constraints at startup")
+	flag.Var(siteFlags{&cfg}, "sites", "remote site spec host:port=rel1,rel2 (repeatable; fronts a netdist system)")
+	flag.DurationVar(&cfg.siteTimeout, "site-timeout", 2*time.Second, "per-request deadline for -sites round trips")
+	flag.IntVar(&cfg.siteRetries, "site-retries", 0, "retries per failed site round trip (0: default of 3, negative: none)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0.1, "head-sampling probability for distributed traces (0 disables spans)")
+	flag.IntVar(&cfg.traceStore, "trace-store", 512, "completed traces retained in memory (plus the tail-kept slow/violation ones)")
+	flag.StringVar(&cfg.traceOTLP, "trace-otlp", "", "write retained traces to this file as OTLP JSON on shutdown")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -101,7 +140,7 @@ func run(cfg config) error {
 		logSink = f
 		defer f.Close()
 	}
-	srv, chk, err := setup(cfg, logSink)
+	srv, chk, spans, err := setup(cfg, logSink)
 	if err != nil {
 		return err
 	}
@@ -110,6 +149,11 @@ func run(cfg config) error {
 		return err
 	}
 	start := time.Now()
+	// /readyz flips to 503 the moment the drain starts — before the
+	// listener stops accepting — so load balancers stop routing here
+	// while in-flight requests still complete.
+	var notReady atomic.Bool
+	ready := func() bool { return !notReady.Load() && !srv.Draining() }
 	httpSrv := &http.Server{Handler: srv.Handler("ccserved", func() map[string]any {
 		return map[string]any{
 			"uptime_seconds": int64(time.Since(start).Seconds()),
@@ -117,7 +161,7 @@ func run(cfg config) error {
 			"queue_depth":    srv.Stats().QueueDepth,
 			"draining":       srv.Draining(),
 		}
-	})}
+	}, ready)}
 	fmt.Printf("ccserved: serving on http://%s/v1/check\n", l.Addr())
 	if cfg.verbose {
 		for _, name := range chk.Constraints() {
@@ -128,6 +172,7 @@ func run(cfg config) error {
 	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
 	go httpSrv.Serve(l)
 	<-done
+	notReady.Store(true)
 	// Graceful drain: stop accepting connections and wait for in-flight
 	// handlers (whose queued requests the worker will answer), then close
 	// the serve queue and flush the decision log.
@@ -137,31 +182,56 @@ func run(cfg config) error {
 		fmt.Fprintln(os.Stderr, "ccserved: shutdown:", err)
 	}
 	srv.Close()
+	if cfg.traceOTLP != "" && spans != nil {
+		if err := exportOTLP(cfg.traceOTLP, spans.Store()); err != nil {
+			fmt.Fprintln(os.Stderr, "ccserved: trace export:", err)
+		}
+	}
 	fmt.Print(renderStats(srv.Stats()))
 	return nil
 }
 
-// setup builds the checker and server from the config. Split from run
-// for testing.
-func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, error) {
+// exportOTLP writes the store's retained traces as one OTLP-JSON file.
+func exportOTLP(path string, store *obs.TraceStore) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteOTLP(f, store.Traces()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// setup builds the backend (direct checker, or netdist coordinator when
+// -sites is given) and the server from the config. Split from run for
+// testing. The returned tracer is nil when -trace-sample is 0.
+func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, *obs.SpanTracer, error) {
 	if cfg.constraints == "" {
-		return nil, nil, fmt.Errorf("-constraints is required")
+		return nil, nil, nil, fmt.Errorf("-constraints is required")
 	}
 	db := store.New()
 	if cfg.data != "" {
 		src, err := os.ReadFile(cfg.data)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		facts, err := parser.ParseProgram(string(src))
 		if err != nil {
-			return nil, nil, fmt.Errorf("data: %w", err)
+			return nil, nil, nil, fmt.Errorf("data: %w", err)
 		}
 		if err := db.LoadFacts(facts); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	reg := obs.NewRegistry()
+	var spans *obs.SpanTracer
+	var bridge *obs.SpanBridge
+	if cfg.traceSample > 0 {
+		spans = obs.NewSpanTracer("ccserved", obs.NewTraceStore(cfg.traceStore), cfg.traceSample)
+		bridge = obs.NewSpanBridge(spans)
+	}
 	opts := core.Options{
 		Workers:          cfg.workers,
 		DisableIndexes:   cfg.noindex,
@@ -169,27 +239,56 @@ func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, error) 
 		DisableResidual:  cfg.noresidual,
 		Metrics:          reg,
 	}
+	if bridge != nil {
+		opts.Tracer = bridge
+	}
 	if cfg.local != "" {
 		for _, r := range strings.Split(cfg.local, ",") {
 			r = strings.TrimSpace(r)
 			if r == "" {
-				return nil, nil, fmt.Errorf("-local has an empty name in %q", cfg.local)
+				return nil, nil, nil, fmt.Errorf("-local has an empty name in %q", cfg.local)
 			}
 			opts.LocalRelations = append(opts.LocalRelations, r)
 		}
 	}
-	chk := core.New(db, opts)
+	var backend serve.Backend
+	var chk *core.Checker
+	if len(cfg.sites) > 0 {
+		var specs []netdist.SiteSpec
+		for _, s := range cfg.sites {
+			spec, err := netdist.ParseSiteSpec(s)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			specs = append(specs, spec)
+		}
+		co, err := netdist.New(db, specs, netdist.NewTCPTransport(), netdist.Options{
+			Checker: opts,
+			Timeout: cfg.siteTimeout,
+			Retries: cfg.siteRetries,
+			Metrics: reg,
+			Spans:   bridge,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		chk = co.Checker
+		backend = netdist.ServeBackend{Co: co}
+	} else {
+		chk = core.New(db, opts)
+		backend = chk
+	}
 	csrc, err := os.ReadFile(cfg.constraints)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for i, block := range splitBlocks(string(csrc)) {
 		name := fmt.Sprintf("c%d", i+1)
 		if err := chk.AddConstraintSource(name, block); err != nil {
-			return nil, nil, fmt.Errorf("constraint %s: %w", name, err)
+			return nil, nil, nil, fmt.Errorf("constraint %s: %w", name, err)
 		}
 	}
-	srv := serve.New(chk, serve.Config{
+	srv := serve.New(backend, serve.Config{
 		QueueDepth:       cfg.queue,
 		RatePerClient:    cfg.rate,
 		Burst:            cfg.burst,
@@ -197,8 +296,10 @@ func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, error) 
 		DecisionLog:      logSink,
 		DecisionLogDepth: cfg.logDepth,
 		Metrics:          reg,
+		Spans:            spans,
+		SpanBridge:       bridge,
 	})
-	return srv, chk, nil
+	return srv, chk, spans, nil
 }
 
 // splitBlocks splits a constraint file into blank-line-separated

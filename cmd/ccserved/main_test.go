@@ -25,22 +25,26 @@ func TestSetupServesConstraintFile(t *testing.T) {
 		"panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y.\n\npanic :- r(X) & X < 0.\n")
 	dpath := writeFile(t, dir, "d.dl", "l(0,10).\nl(50,60).\n")
 
-	srv, chk, err := setup(config{
+	srv, chk, spans, err := setup(config{
 		constraints: cpath,
 		data:        dpath,
 		local:       "l",
 		queue:       16,
+		traceSample: 1,
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+	if spans == nil {
+		t.Fatal("traceSample 1 should build a span tracer")
+	}
 
 	if got := chk.Constraints(); len(got) != 2 || got[0] != "c1" || got[1] != "c2" {
 		t.Fatalf("constraints = %v, want [c1 c2]", got)
 	}
 
-	ts := httptest.NewServer(srv.Handler("", nil))
+	ts := httptest.NewServer(srv.Handler("", nil, nil))
 	defer ts.Close()
 	resp, err := ts.Client().Post(ts.URL+"/v1/check", "application/json",
 		strings.NewReader(`{"update":{"op":"insert","relation":"r","tuple":[5]}}`))
@@ -60,16 +64,19 @@ func TestSetupServesConstraintFile(t *testing.T) {
 
 func TestSetupErrors(t *testing.T) {
 	dir := t.TempDir()
-	if _, _, err := setup(config{}, nil); err == nil {
+	if _, _, _, err := setup(config{}, nil); err == nil {
 		t.Fatal("missing -constraints should fail")
 	}
 	bad := writeFile(t, dir, "bad.dl", "panic :- r(X) &&& nope\n")
-	if _, _, err := setup(config{constraints: bad}, nil); err == nil {
+	if _, _, _, err := setup(config{constraints: bad}, nil); err == nil {
 		t.Fatal("unparsable constraint should fail")
 	}
 	good := writeFile(t, dir, "good.dl", "panic :- r(X) & X < 0.\n")
-	if _, _, err := setup(config{constraints: good, local: "r,,"}, nil); err == nil {
+	if _, _, _, err := setup(config{constraints: good, local: "r,,"}, nil); err == nil {
 		t.Fatal("empty -local entry should fail")
+	}
+	if _, _, _, err := setup(config{constraints: good, sites: []string{"nope"}}, nil); err == nil {
+		t.Fatal("malformed -sites spec should fail")
 	}
 }
 

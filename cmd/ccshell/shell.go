@@ -21,6 +21,7 @@
 //	:check                    fully evaluate every constraint
 //	:stats                    phase statistics
 //	:explain                  replay the last update's decision trace
+//	:trace                    render the last update's span tree
 //	:dump                     print the database as facts
 //	:quit                     exit
 //	+rel(t…) / -rel(t…)       apply an update through the pipeline
@@ -58,19 +59,27 @@ func main() {
 
 // shell holds interactive state; exec processes one line and reports
 // whether the session should end. Every update is traced into a small
-// ring buffer so :explain can replay the latest decision after the fact.
+// ring buffer so :explain can replay the latest decision after the
+// fact, and into a span store so :trace can render the span tree with
+// per-phase timing.
 type shell struct {
-	out   io.Writer
-	chk   *core.Checker
-	trace *obs.BufferTracer
+	out    io.Writer
+	chk    *core.Checker
+	trace  *obs.BufferTracer
+	spans  *obs.SpanTracer
+	bridge *obs.SpanBridge
 }
 
 func newShell(out io.Writer) *shell {
 	trace := obs.NewBufferTracer(8)
+	spans := obs.NewSpanTracer("ccshell", obs.NewTraceStore(64), 1)
+	bridge := obs.NewSpanBridge(spans)
 	return &shell{
-		out:   out,
-		chk:   core.New(store.New(), core.Options{Tracer: trace}),
-		trace: trace,
+		out:    out,
+		chk:    core.New(store.New(), core.Options{Tracer: obs.MultiTracer(trace, bridge)}),
+		trace:  trace,
+		spans:  spans,
+		bridge: bridge,
 	}
 }
 
@@ -101,7 +110,7 @@ func (sh *shell) command(line string) {
 	fields := strings.SplitN(line, " ", 3)
 	switch fields[0] {
 	case ":help":
-		sh.printf(":load <file> | :constraint <name> <rules> | :constraints | :redundant | :check | :stats | :explain | :dump | :quit | +atom | -atom | ? <conj>\n")
+		sh.printf(":load <file> | :constraint <name> <rules> | :constraints | :redundant | :check | :stats | :explain | :trace | :dump | :quit | +atom | -atom | ? <conj>\n")
 	case ":load":
 		if len(fields) < 2 {
 			sh.printf("usage: :load <file>\n")
@@ -178,6 +187,13 @@ func (sh *shell) command(line string) {
 			return
 		}
 		obs.WriteText(sh.out, events)
+	case ":trace":
+		traces := sh.spans.Store().Traces()
+		if len(traces) == 0 {
+			sh.printf("no update to trace yet\n")
+			return
+		}
+		obs.WriteSpanTree(sh.out, traces[0])
 	case ":dump":
 		sh.printf("%s", sh.chk.DB().Dump())
 	default:
@@ -197,7 +213,15 @@ func (sh *shell) update(line string) {
 		return
 	}
 	u := store.Update{Insert: line[0] == '+', Relation: atom.Pred, Tuple: t}
+	sp := sh.spans.StartRoot("shell.apply", obs.SpanContext{})
+	sp.SetAttr("update", fmt.Sprint(u))
+	sh.bridge.SetActive(sp)
 	rep, err := sh.chk.Apply(u)
+	sh.bridge.SetActive(nil)
+	if err != nil {
+		sp.SetError(err.Error())
+	}
+	sp.End()
 	if err != nil {
 		sh.printf("error: %v\n", err)
 		return

@@ -20,8 +20,10 @@
 // With -http the daemon also serves live endpoints on a second address:
 // /metrics (Prometheus text format: per-op request counters and latency
 // histograms, tuples shipped per relation, frame bytes), /healthz (JSON
-// status with uptime and served relations), /debug/vars (expvar, the
-// same metrics as a JSON snapshot) and /debug/pprof.
+// status with uptime and served relations), /readyz (503 once shutdown
+// has begun — wired to the wire listener's liveness), /debug/vars
+// (expvar, the same metrics as a JSON snapshot), /debug/pprof and
+// /debug/traces (the site's side of sampled coordinator traces).
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -69,13 +72,17 @@ func main() {
 	}
 	srv.SetEvalOptions(evalOpts)
 	fmt.Printf("ccsited: serving on %s\n", l.Addr())
+	// Readiness tracks the wire listener: true while it accepts site
+	// RPCs, flipped before it closes so load balancers stop routing.
+	var live atomic.Bool
+	live.Store(true)
 	if *httpAddr != "" {
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccsited: -http:", err)
 			os.Exit(1)
 		}
-		mux := liveMux(srv, time.Now())
+		mux := liveMux(srv, time.Now(), live.Load)
 		go http.Serve(hl, mux)
 		fmt.Printf("ccsited: live endpoints on http://%s/metrics\n", hl.Addr())
 	}
@@ -94,6 +101,7 @@ func main() {
 	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
 	go srv.Serve(l)
 	<-done
+	live.Store(false)
 	l.Close()
 	fmt.Print(renderStats(srv.Stats()))
 }
@@ -132,12 +140,16 @@ func setup(listen, dataPath, relations string) (*netdist.Server, net.Listener, e
 	return netdist.NewServer(db, rels), l, nil
 }
 
-// liveMux instruments the server with a fresh registry and builds the
-// live-endpoint mux: /metrics, /healthz (uptime + served relations),
-// /debug/vars and /debug/pprof. Split from main for testing.
-func liveMux(srv *netdist.Server, start time.Time) *http.ServeMux {
+// liveMux instruments the server with a fresh registry and a span
+// tracer, then builds the live-endpoint mux: /metrics, /healthz (uptime
+// + served relations), /readyz (wired to ready, the wire listener's
+// liveness), /debug/vars, /debug/pprof and /debug/traces (the site's
+// side of sampled coordinator RPCs). Split from main for testing.
+func liveMux(srv *netdist.Server, start time.Time, ready func() bool) *http.ServeMux {
 	reg := obs.NewRegistry()
 	srv.Instrument(reg)
+	spans := obs.NewSpanTracer("ccsited", obs.NewTraceStore(256), 1)
+	srv.InstrumentSpans(spans)
 	return obs.NewServeMux(reg, "ccsited", func() map[string]any {
 		rels := srv.ServedRelations()
 		names := make([]string, 0, len(rels))
@@ -149,7 +161,7 @@ func liveMux(srv *netdist.Server, start time.Time) *http.ServeMux {
 			"uptime_seconds": int64(time.Since(start).Seconds()),
 			"relations":      names,
 		}
-	})
+	}, ready, spans.Store())
 }
 
 // renderStats formats the daemon's accounting for shutdown.

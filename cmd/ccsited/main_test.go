@@ -56,7 +56,8 @@ func TestLiveEndpoints(t *testing.T) {
 	}
 	defer l.Close()
 	go srv.Serve(l)
-	mux := liveMux(srv, time.Now())
+	live := true
+	mux := liveMux(srv, time.Now(), func() bool { return live })
 
 	tr := netdist.NewTCPTransport()
 	defer tr.Close()
@@ -105,6 +106,16 @@ func TestLiveEndpoints(t *testing.T) {
 	health := get("/healthz")
 	if !strings.Contains(health, `"status":"ok"`) || !strings.Contains(health, `"relations":["r"]`) {
 		t.Errorf("/healthz payload: %s", health)
+	}
+
+	if body := get("/readyz"); !strings.Contains(body, `"ready":true`) {
+		t.Errorf("/readyz while live: %s", body)
+	}
+	live = false
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), `"ready":false`) {
+		t.Errorf("/readyz after shutdown began: status %d body %s", rec.Code, rec.Body.String())
 	}
 }
 

@@ -568,8 +568,10 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	}
 	tracing := c.tracing()
 	uStr := ""
+	var probes0 int64
 	if tracing {
 		uStr = u.String()
+		probes0 = relation.IndexProbes()
 		c.emit(uStr, obs.Event{Kind: obs.KindUpdateBegin, Constraints: len(c.constraints)})
 	}
 	n := len(c.constraints)
@@ -753,7 +755,12 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	}
 	sort.SliceStable(rep.Decisions, func(i, j int) bool { return rep.Decisions[i].Constraint < rep.Decisions[j].Constraint })
 	if tracing {
-		c.emit(uStr, obs.Event{Kind: obs.KindUpdateEnd, Applied: rep.Applied, Rejected: rep.Violations()})
+		// The probe delta is process-wide, so concurrent appliers blur it;
+		// under the decision server's single mutation worker it is exact.
+		c.emit(uStr, obs.Event{
+			Kind: obs.KindUpdateEnd, Applied: rep.Applied, Rejected: rep.Violations(),
+			IndexProbes: relation.IndexProbes() - probes0,
+		})
 	}
 	if c.met != nil {
 		c.met.applySeconds.Observe(time.Since(applyStart).Seconds())

@@ -73,7 +73,7 @@ func ExpServe(density, updates, rounds int, seed int64) (Table, error) {
 				cleanup = client.Close
 			case "sdk-http":
 				srv := serve.New(chk, serve.Config{})
-				ts := httptest.NewServer(srv.Handler("", nil))
+				ts := httptest.NewServer(srv.Handler("", nil, nil))
 				client, err = sdk.New(sdk.Config{URL: ts.URL, HTTPClient: ts.Client(), ClientID: "exp"})
 				if err != nil {
 					ts.Close()

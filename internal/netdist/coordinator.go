@@ -59,6 +59,12 @@ type Options struct {
 	// counters and frame-byte totals (names in DESIGN.md). Independent of
 	// Checker.Metrics — pass the same registry to see both sides.
 	Metrics *obs.Registry
+	// Spans, when non-nil, makes each site RPC of a traced request a
+	// child span ("rpc.<op>") of the bridge's active span, propagates it
+	// over Request.Trace, and adopts the site's echoed spans — so the
+	// coordinator's trace store ends up with the full cross-process tree.
+	// Pass the same bridge that serves as Checker.Tracer.
+	Spans *obs.SpanBridge
 }
 
 func (o *Options) withDefaults() Options {
@@ -226,9 +232,21 @@ func (co *Coordinator) Stats() Stats {
 // is a *SiteError matching ErrSiteUnavailable.
 func (co *Coordinator) call(site string, req *Request) (*Response, error) {
 	req.ID = co.reqID.Add(1)
+	var sp *obs.Span
+	if parent := co.opts.Spans.Active(); parent != nil {
+		sp = co.opts.Spans.Tracer().StartChild(parent, "rpc."+req.Type)
+		sp.SetAttr("site", site)
+		if req.Relation != "" {
+			sp.SetAttr("relation", req.Relation)
+		}
+		req.Trace = sp.Context().Traceparent()
+		defer sp.End()
+	}
 	backoff := co.opts.Backoff
 	var lastErr error
+	attempts := 0
 	for attempt := 0; attempt <= co.opts.Retries; attempt++ {
+		attempts++
 		if attempt > 0 {
 			co.stats.Retries++
 			co.stats.RetriesBySite[site]++
@@ -248,13 +266,27 @@ func (co *Coordinator) call(site string, req *Request) (*Response, error) {
 			continue
 		}
 		co.stats.RoundTrips++
+		if sp != nil {
+			if attempts > 1 {
+				sp.SetAttr("attempts", fmt.Sprint(attempts))
+			}
+			for _, ws := range resp.Spans {
+				if sd, err := DecodeSpan(ws); err == nil {
+					co.opts.Spans.Tracer().Adopt([]obs.SpanData{sd})
+				}
+			}
+		}
 		if !resp.OK {
-			return nil, &RemoteError{Site: site, Msg: resp.Err}
+			err := &RemoteError{Site: site, Msg: resp.Err}
+			sp.SetError(err.Error())
+			return nil, err
 		}
 		co.stats.WireTuples += int64(len(resp.Tuples))
 		return resp, nil
 	}
-	return nil, &SiteError{Site: site, Err: lastErr}
+	err := &SiteError{Site: site, Err: lastErr}
+	sp.SetError(err.Error())
+	return nil, err
 }
 
 // refresh re-fetches the given relations from their owning sites into
@@ -344,6 +376,59 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 	}
 	return rep, nil
 }
+
+// Check decides one update without committing anything: the remote
+// relations its plan needs are refreshed, then the checker decides and
+// exactly undoes its trial application (core.Checker.Check). Nothing is
+// propagated, so the sites are untouched whatever the verdict.
+func (co *Coordinator) Check(u store.Update) (core.Report, error) {
+	co.stats.Updates++
+	trips := co.stats.RoundTrips
+	retries := co.stats.Retries
+	plan := co.Checker.Plan(u)
+	var needed []string
+	for _, rel := range plan.Relations {
+		if _, remote := co.siteOf[rel]; remote {
+			needed = append(needed, rel)
+		}
+	}
+	if err := co.refresh(needed); err != nil {
+		co.noteUnavailable(err)
+		return core.Report{Update: u}, fmt.Errorf("update %s: %w", u, err)
+	}
+	rep, err := co.Checker.Check(u)
+	if err != nil {
+		return rep, err
+	}
+	for _, d := range rep.Decisions {
+		co.stats.ByPhase[d.Phase]++
+	}
+	if co.stats.RoundTrips == trips && co.stats.Retries == retries {
+		co.stats.DecidedLocally++
+	}
+	return rep, nil
+}
+
+// ServeBackend adapts a Coordinator to internal/serve's Backend surface
+// (satisfied structurally — serve is not imported), so a decision server
+// can front a multi-site system. It is an adapter rather than methods on
+// Coordinator because the backend's Stats() must return the checker's
+// core.Stats while Coordinator.Stats() reports wire accounting.
+type ServeBackend struct{ Co *Coordinator }
+
+// Check decides without applying (Coordinator.Check).
+func (b ServeBackend) Check(u store.Update) (core.Report, error) { return b.Co.Check(u) }
+
+// Apply decides and, when admitted, applies and propagates.
+func (b ServeBackend) Apply(u store.Update) (core.Report, error) { return b.Co.Apply(u) }
+
+// ApplyBatch applies the updates as one atomic transaction.
+func (b ServeBackend) ApplyBatch(us []store.Update) (core.BatchReport, error) {
+	return b.Co.ApplyBatch(us)
+}
+
+// Stats snapshots the wrapped checker's statistics.
+func (b ServeBackend) Stats() core.Stats { return b.Co.Checker.Stats() }
 
 // noteUnavailable accounts one update refused because a site was
 // unreachable, attributing it to the offending site when the error chain

@@ -25,8 +25,10 @@ import (
 	"io"
 	"math/big"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -72,6 +74,11 @@ type Request struct {
 	// Insert and Tuple carry Apply's update (Tuple is EncodeTuple'd).
 	Insert bool     `json:"insert,omitempty"`
 	Tuple  []string `json:"tuple,omitempty"`
+	// Trace, when non-empty, is the W3C traceparent of the coordinator's
+	// RPC span: the site records its handling as a child span and echoes
+	// it back in Response.Spans. Old peers ignore the field (and old
+	// requests simply omit it), so the protocol stays wire-compatible.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Response is one site→client frame.
@@ -91,6 +98,74 @@ type Response struct {
 	Reads map[string]int64 `json:"reads,omitempty"`
 	// Relations answers Ping: served relation name → arity.
 	Relations map[string]int `json:"relations,omitempty"`
+	// Spans carries the site-side spans of a traced request back to the
+	// coordinator (set only when Request.Trace was), so the coordinator's
+	// trace store holds the complete cross-process tree without a
+	// separate collection pipeline.
+	Spans []WireSpan `json:"spans,omitempty"`
+}
+
+// WireSpan is a completed span in wire form. Only durations are
+// compared across processes during attribution, so clock skew between
+// coordinator and site distorts nothing but the rendering order.
+type WireSpan struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	Parent   string            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Service  string            `json:"service"`
+	StartNS  int64             `json:"start_unix_nano"`
+	Duration int64             `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Err      string            `json:"err,omitempty"`
+}
+
+// EncodeSpan renders one span for the wire.
+func EncodeSpan(sd obs.SpanData) WireSpan {
+	ws := WireSpan{
+		TraceID:  sd.TraceID.String(),
+		SpanID:   sd.SpanID.String(),
+		Name:     sd.Name,
+		Service:  sd.Service,
+		StartNS:  sd.Start.UnixNano(),
+		Duration: int64(sd.Duration),
+		Attrs:    sd.Attrs,
+		Err:      sd.Err,
+	}
+	if !sd.Parent.IsZero() {
+		ws.Parent = sd.Parent.String()
+	}
+	return ws
+}
+
+// DecodeSpan parses EncodeSpan's output; malformed ids fail.
+func DecodeSpan(ws WireSpan) (obs.SpanData, error) {
+	tid, err := obs.ParseTraceID(ws.TraceID)
+	if err != nil {
+		return obs.SpanData{}, err
+	}
+	sid, err := obs.ParseSpanID(ws.SpanID)
+	if err != nil {
+		return obs.SpanData{}, err
+	}
+	sd := obs.SpanData{
+		TraceID:  tid,
+		SpanID:   sid,
+		Name:     ws.Name,
+		Service:  ws.Service,
+		Start:    time.Unix(0, ws.StartNS),
+		Duration: time.Duration(ws.Duration),
+		Attrs:    ws.Attrs,
+		Err:      ws.Err,
+	}
+	if ws.Parent != "" {
+		pid, err := obs.ParseSpanID(ws.Parent)
+		if err != nil {
+			return obs.SpanData{}, err
+		}
+		sd.Parent = pid
+	}
+	return sd, nil
 }
 
 // WriteFrame writes one length-prefixed JSON frame.

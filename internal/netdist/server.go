@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/store"
 )
@@ -37,10 +38,20 @@ type Server struct {
 	// met is set once by Instrument before serving; nil keeps Handle on
 	// the uninstrumented path.
 	met *serverMetrics
+	// spans is set once by InstrumentSpans before serving: traced
+	// requests are then also retained in the site's own trace store (and
+	// carry its service name). Even without it, a request with a sampled
+	// Trace context gets its span echoed back to the coordinator.
+	spans *obs.SpanTracer
 	// evalOpts configure OpEval subquery evaluation; the zero value is
 	// the indexed default. Set once by SetEvalOptions before serving.
 	evalOpts eval.Options
 }
+
+// InstrumentSpans attaches a span tracer: traced requests land in its
+// store as single-span traces for the site's own /debug/traces, named
+// with its service. Call before serving.
+func (s *Server) InstrumentSpans(t *obs.SpanTracer) { s.spans = t }
 
 // SetEvalOptions configures how OpEval subqueries are evaluated
 // (ccsited -noindex routes through here). Call before serving: the
@@ -108,7 +119,7 @@ func (s *Server) ServedRelations() map[string]int {
 // failure comes back as OK=false with the reason in Err.
 func (s *Server) Handle(req *Request) *Response {
 	var start time.Time
-	if s.met != nil {
+	if s.met != nil || req.Trace != "" {
 		start = time.Now()
 	}
 	s.mu.Lock()
@@ -121,10 +132,45 @@ func (s *Server) Handle(req *Request) *Response {
 		s.stats.Errors++
 		s.mu.Unlock()
 	}
+	if req.Trace != "" {
+		s.traceRequest(req, resp, start)
+	}
 	if s.met != nil {
 		s.met.observe(req, resp, time.Since(start))
 	}
 	return resp
+}
+
+// traceRequest records the site's side of a traced RPC as a child span
+// of the coordinator's context and echoes it in the response, so the
+// coordinator's trace tree includes real site-side time (wire cost =
+// rpc-span duration − site-span duration).
+func (s *Server) traceRequest(req *Request, resp *Response, start time.Time) {
+	parent, err := obs.ParseTraceparent(req.Trace)
+	if err != nil || !parent.Sampled {
+		return
+	}
+	service := s.spans.Service()
+	if service == "" {
+		service = "site"
+	}
+	sd := obs.SpanData{
+		TraceID:  parent.TraceID,
+		SpanID:   obs.NewSpanID(),
+		Parent:   parent.SpanID,
+		Name:     "site." + req.Type,
+		Service:  service,
+		Start:    start,
+		Duration: time.Since(start),
+	}
+	if req.Relation != "" {
+		sd.Attrs = map[string]string{"relation": req.Relation}
+	}
+	if !resp.OK {
+		sd.Err = resp.Err
+	}
+	s.spans.Store().AddComplete(sd)
+	resp.Spans = append(resp.Spans, EncodeSpan(sd))
 }
 
 func (s *Server) handle(req *Request) *Response {

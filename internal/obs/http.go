@@ -5,18 +5,20 @@ import (
 	"expvar"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
 // Mux builds the live-endpoint mux a daemon serves on its -http address:
 //
 //	/metrics      Prometheus text exposition of reg
 //	/healthz      JSON health payload (health() merged over {"status":"ok"})
+//	/readyz       readiness: 200 while ready() is true (or nil), 503 after
 //	/debug/vars   expvar (publish reg with PublishExpvar to include it)
 //	/debug/pprof  the standard runtime profiles
 //
 // health may be nil; the endpoint then reports only {"status":"ok"}.
 func Mux(reg *Registry, health func() map[string]any) *http.ServeMux {
-	return NewServeMux(reg, "", health)
+	return NewServeMux(reg, "", health, nil, nil)
 }
 
 // NewServeMux is the shared live-endpoint constructor for daemons
@@ -24,12 +26,26 @@ func Mux(reg *Registry, health func() map[string]any) *http.ServeMux {
 // name (empty skips the bridge; republishing an existing name is a
 // no-op) and builds the Mux endpoints. Daemons register their own API
 // handlers onto the returned mux so one listener serves both.
-func NewServeMux(reg *Registry, expvarName string, health func() map[string]any) *http.ServeMux {
-	if expvarName != "" {
-		reg.PublishExpvar(expvarName)
-	}
+//
+// ready distinguishes liveness from load-balancer eligibility: /healthz
+// answers 200 for as long as the process can serve it, while /readyz
+// flips to 503 the moment ready() reports false — ccserved wires it to
+// its drain flag so traffic stops being routed before shutdown, ccsited
+// to site-server liveness. A nil ready means always ready.
+//
+// traces, when non-nil, additionally exposes the trace store:
+//
+//	/debug/traces          list of stored traces (newest first)
+//	/debug/traces/summary  latency attribution rollup
+//	/debug/traces/{id}     one trace's span tree as JSON
+func NewServeMux(reg *Registry, expvarName string, health func() map[string]any, ready func() bool, traces *TraceStore) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
+	if reg != nil {
+		if expvarName != "" {
+			reg.PublishExpvar(expvarName)
+		}
+		mux.Handle("/metrics", reg.Handler())
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		payload := map[string]any{"status": "ok"}
 		if health != nil {
@@ -40,11 +56,111 @@ func NewServeMux(reg *Registry, expvarName string, health func() map[string]any)
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(payload)
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"ready": false})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"ready": true})
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if traces != nil {
+		registerTraceEndpoints(mux, traces)
+	}
 	return mux
+}
+
+// traceSummaryJSON is one row of the /debug/traces listing.
+type traceSummaryJSON struct {
+	ID         string `json:"id"`
+	Root       string `json:"root"`
+	Service    string `json:"service"`
+	Spans      int    `json:"spans"`
+	DurationUS int64  `json:"duration_us"`
+	Violation  bool   `json:"violation,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+// spanJSON is one span of a /debug/traces/{id} tree.
+type spanJSON struct {
+	SpanID     string            `json:"span_id"`
+	Parent     string            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Service    string            `json:"service"`
+	StartUnix  int64             `json:"start_unix_nano"`
+	DurationUS int64             `json:"duration_us"`
+	SelfUS     int64             `json:"self_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Err        string            `json:"err,omitempty"`
+}
+
+func registerTraceEndpoints(mux *http.ServeMux, store *TraceStore) {
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		// The Go 1.22 pattern "/debug/traces" only matches the exact
+		// path, so /summary and /{id} route below.
+		all := store.Traces()
+		out := make([]traceSummaryJSON, 0, len(all))
+		for _, tr := range all {
+			out = append(out, traceSummaryJSON{
+				ID:         tr.ID.String(),
+				Root:       tr.Root.Name,
+				Service:    tr.Root.Service,
+				Spans:      len(tr.Spans),
+				DurationUS: tr.Root.Duration.Microseconds(),
+				Violation:  tr.Violation,
+				Err:        tr.Root.Err,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"traces": out})
+	})
+	mux.HandleFunc("GET /debug/traces/summary", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(store.Summarize())
+	})
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		raw := strings.TrimSpace(r.PathValue("id"))
+		id, err := ParseTraceID(raw)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		tr := store.Trace(id)
+		if tr == nil {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		selves := SelfTimes(tr)
+		spans := make([]spanJSON, 0, len(tr.Spans))
+		for _, sp := range tr.Spans {
+			sj := spanJSON{
+				SpanID:     sp.SpanID.String(),
+				Name:       sp.Name,
+				Service:    sp.Service,
+				StartUnix:  sp.Start.UnixNano(),
+				DurationUS: sp.Duration.Microseconds(),
+				SelfUS:     selves[sp.SpanID].Microseconds(),
+				Attrs:      sp.Attrs,
+				Err:        sp.Err,
+			}
+			if !sp.Parent.IsZero() {
+				sj.Parent = sp.Parent.String()
+			}
+			spans = append(spans, sj)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"id":          tr.ID.String(),
+			"duration_us": tr.Root.Duration.Microseconds(),
+			"violation":   tr.Violation,
+			"spans":       spans,
+		})
+	})
 }

@@ -53,6 +53,9 @@ type Event struct {
 	// Applied and Rejected summarize the update (update-end only).
 	Applied  bool     `json:"applied,omitempty"`
 	Rejected []string `json:"rejected,omitempty"`
+	// IndexProbes is the process-wide index-probe delta observed across
+	// the update (update-end only; 0 when index stats are unavailable).
+	IndexProbes int64 `json:"index_probes,omitempty"`
 	// Err records an evaluation error that aborted the update.
 	Err string `json:"err,omitempty"`
 }

@@ -27,6 +27,15 @@ const ClientHeader = "X-Client-ID"
 // id.
 const ClientAnonymous = "anonymous"
 
+// TraceparentHeader names the W3C trace-context header the decision
+// endpoints honor: a request carrying it joins the caller's trace.
+const TraceparentHeader = "traceparent"
+
+// RequestIDHeader echoes the request's trace id back to the caller, so
+// clients can correlate a response with server-side traces and decision
+// log lines without parsing anything else.
+const RequestIDHeader = "X-Request-ID"
+
 // Routes registers the decision API onto mux.
 func (s *Server) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
@@ -41,16 +50,46 @@ func (s *Server) Routes(mux *http.ServeMux) {
 
 // Handler builds the daemon's full mux: the decision API plus, when the
 // server carries a registry, the shared obs live endpoints published
-// under expvarName. health augments /healthz (may be nil).
-func (s *Server) Handler(expvarName string, health func() map[string]any) http.Handler {
+// under expvarName. health augments /healthz (may be nil). ready backs
+// /readyz; nil defaults to "ready until draining". When the server
+// traces, its store rides along as /debug/traces.
+func (s *Server) Handler(expvarName string, health func() map[string]any, ready func() bool) http.Handler {
+	if ready == nil {
+		ready = func() bool { return !s.Draining() }
+	}
 	var mux *http.ServeMux
 	if s.cfg.Metrics != nil {
-		mux = obs.NewServeMux(s.cfg.Metrics, expvarName, health)
+		mux = obs.NewServeMux(s.cfg.Metrics, expvarName, health, ready, s.cfg.Spans.Store())
 	} else {
-		mux = http.NewServeMux()
+		mux = obs.NewServeMux(nil, "", health, ready, s.cfg.Spans.Store())
 	}
 	s.Routes(mux)
 	return mux
+}
+
+// traceStart begins the request's root span from the incoming
+// traceparent (if any) and echoes the trace id. It returns a nil span
+// for unsampled requests; traceID is non-empty whenever the request has
+// an id worth logging — a span of its own or an upstream context.
+func (s *Server) traceStart(w http.ResponseWriter, r *http.Request, endpoint string) (*obs.Span, string) {
+	var parent obs.SpanContext
+	if h := r.Header.Get(TraceparentHeader); h != "" {
+		if sc, err := obs.ParseTraceparent(h); err == nil {
+			parent = sc
+		}
+	}
+	sp := s.cfg.Spans.StartRoot("serve."+endpoint, parent)
+	var traceID string
+	switch {
+	case sp != nil:
+		traceID = sp.Context().TraceID.String()
+	case !parent.IsZero():
+		traceID = parent.TraceID.String()
+	}
+	if traceID != "" {
+		w.Header().Set(RequestIDHeader, traceID)
+	}
+	return sp, traceID
 }
 
 // clientID extracts the admission-control key from the request.
@@ -73,22 +112,31 @@ func decodeBody(r *http.Request, v any) error {
 
 // decide serves /v1/check (apply=false) and /v1/apply (apply=true).
 func (s *Server) decide(w http.ResponseWriter, r *http.Request, apply bool) {
+	endpoint := EndpointCheck
+	if apply {
+		endpoint = EndpointApply
+	}
+	sp, traceID := s.traceStart(w, r, endpoint)
+	defer sp.End()
 	var req CheckRequest
 	if err := decodeBody(r, &req); err != nil {
+		sp.SetError(err.Error())
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	u, err := req.Update.ToUpdate()
 	if err != nil {
+		sp.SetError(err.Error())
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	client := clientID(r)
+	sp.SetAttr("client", client)
 	var rep core.Report
 	if apply {
-		rep, err = s.Apply(client, u)
+		rep, err = s.applyTraced(client, u, sp, traceID)
 	} else {
-		rep, err = s.Check(client, u)
+		rep, err = s.checkTraced(client, u, sp, traceID)
 	}
 	if err != nil {
 		writeAdmissionError(w, err)
@@ -98,8 +146,11 @@ func (s *Server) decide(w http.ResponseWriter, r *http.Request, apply bool) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sp, traceID := s.traceStart(w, r, EndpointBatch)
+	defer sp.End()
 	var req BatchRequest
 	if err := decodeBody(r, &req); err != nil {
+		sp.SetError(err.Error())
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -107,12 +158,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, wu := range req.Updates {
 		u, err := wu.ToUpdate()
 		if err != nil {
+			sp.SetError(err.Error())
 			writeError(w, http.StatusBadRequest, fmt.Errorf("updates[%d]: %w", i, err))
 			return
 		}
 		updates[i] = u
 	}
-	out, err := s.Batch(clientID(r), updates, req.Atomic)
+	client := clientID(r)
+	sp.SetAttr("client", client)
+	sp.SetAttr("updates", strconv.Itoa(len(updates)))
+	out, err := s.batchTraced(client, updates, req.Atomic, sp, traceID)
 	if err != nil {
 		if errors.Is(err, ErrBatchTooLarge) {
 			writeError(w, http.StatusBadRequest, err)

@@ -43,7 +43,7 @@ func TestHTTPCheckApplyEndpoints(t *testing.T) {
 	chk := newTestChecker(t, reg)
 	s := New(chk, Config{Metrics: reg})
 	defer s.Close()
-	ts := httptest.NewServer(s.Handler("test-ccserved", nil))
+	ts := httptest.NewServer(s.Handler("test-ccserved", nil, nil))
 	defer ts.Close()
 
 	// A safe check decides ok but applies nothing.
@@ -102,7 +102,7 @@ func TestHTTPBatchAndStats(t *testing.T) {
 	chk := newTestChecker(t, reg)
 	s := New(chk, Config{Metrics: reg})
 	defer s.Close()
-	ts := httptest.NewServer(s.Handler("test-ccserved-batch", nil))
+	ts := httptest.NewServer(s.Handler("test-ccserved-batch", nil, nil))
 	defer ts.Close()
 
 	resp, body := postJSON(t, ts, "/v1/batch",
@@ -166,7 +166,7 @@ func TestHTTPRateLimit429(t *testing.T) {
 	chk := newTestChecker(t, nil)
 	s := New(chk, Config{RatePerClient: 0.001, Burst: 1})
 	defer s.Close()
-	ts := httptest.NewServer(s.Handler("", nil))
+	ts := httptest.NewServer(s.Handler("", nil, nil))
 	defer ts.Close()
 
 	hdr := map[string]string{ClientHeader: "hot-client"}
@@ -197,13 +197,33 @@ func TestHTTPRateLimit429(t *testing.T) {
 func TestHTTPDraining503(t *testing.T) {
 	chk := newTestChecker(t, nil)
 	s := New(chk, Config{})
-	ts := httptest.NewServer(s.Handler("", nil))
+	ts := httptest.NewServer(s.Handler("", nil, nil))
 	defer ts.Close()
+
+	// Before the drain the default readiness probe says yes.
+	ready, err := http.Get(ts.URL + "/readyz")
+	if err != nil || ready.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before drain = %v %v, want 200", ready.StatusCode, err)
+	}
+	ready.Body.Close()
+
 	s.Close()
 	resp, _ := postJSON(t, ts, "/v1/apply", `{"update":{"op":"insert","relation":"r","tuple":[100]}}`, nil)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
 	}
+	// /readyz flips with the drain so load balancers stop routing here,
+	// while /healthz keeps answering 200 (the process is alive).
+	ready, err = http.Get(ts.URL + "/readyz")
+	if err != nil || ready.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %v %v, want 503", ready.StatusCode, err)
+	}
+	ready.Body.Close()
+	alive, err := http.Get(ts.URL + "/healthz")
+	if err != nil || alive.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain = %v %v, want 200", alive.StatusCode, err)
+	}
+	alive.Body.Close()
 }
 
 func TestWireValueCodec(t *testing.T) {

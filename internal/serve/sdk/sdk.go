@@ -21,9 +21,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -50,17 +52,37 @@ type Config struct {
 	// passed to the server directly in-process. Empty means
 	// serve.ClientAnonymous.
 	ClientID string
+
+	// Trace, when non-nil, is consulted per HTTP request for the outgoing
+	// trace context: a non-zero context is sent as the traceparent header
+	// (obs.NewSpanContext mints fresh ones; the zero context sends
+	// nothing). The SDK counts responses whose X-Request-ID echoes the
+	// sent trace id (traced) against the rest (untraced) — see
+	// TraceCounts. The in-process arm ignores it.
+	Trace func() obs.SpanContext
 }
 
 // SDK is a handle on one arm. Safe for concurrent use.
 type SDK struct {
 	client string
 
-	url string
-	hc  *http.Client
+	url   string
+	hc    *http.Client
+	trace func() obs.SpanContext
+
+	traced   atomic.Int64
+	untraced atomic.Int64
 
 	srv   *serve.Server
 	owned bool
+}
+
+// TraceCounts reports, for the HTTP arm, how many responses carried an
+// X-Request-ID matching the trace id the SDK sent (traced) versus the
+// rest (no traceparent sent, or no matching echo) — the propagation
+// health of a load run.
+func (s *SDK) TraceCounts() (traced, untraced int64) {
+	return s.traced.Load(), s.untraced.Load()
 }
 
 // New builds an SDK from the config.
@@ -82,6 +104,7 @@ func New(cfg Config) (*SDK, error) {
 	case cfg.URL != "":
 		s.url = cfg.URL
 		s.hc = cfg.HTTPClient
+		s.trace = cfg.Trace
 		if s.hc == nil {
 			s.hc = &http.Client{Timeout: 30 * time.Second}
 		}
@@ -211,11 +234,25 @@ func (s *SDK) roundTrip(req *http.Request, out any) error {
 	if s.client != "" {
 		req.Header.Set(serve.ClientHeader, s.client)
 	}
+	var sentTrace string
+	if s.trace != nil {
+		if sc := s.trace(); !sc.IsZero() {
+			req.Header.Set(serve.TraceparentHeader, sc.Traceparent())
+			sentTrace = sc.TraceID.String()
+		}
+	}
 	resp, err := s.hc.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if s.trace != nil {
+		if sentTrace != "" && resp.Header.Get(serve.RequestIDHeader) == sentTrace {
+			s.traced.Add(1)
+		} else {
+			s.untraced.Add(1)
+		}
+	}
 	if resp.StatusCode != http.StatusOK {
 		he := &HTTPError{Status: resp.StatusCode}
 		var eb serve.ErrorBody

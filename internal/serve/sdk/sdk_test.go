@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -48,7 +49,7 @@ func TestArmAgreement(t *testing.T) {
 	httpChk := newChecker(t)
 	httpSrv := serve.New(httpChk, serve.Config{})
 	defer httpSrv.Close()
-	ts := httptest.NewServer(httpSrv.Handler("", nil))
+	ts := httptest.NewServer(httpSrv.Handler("", nil, nil))
 	defer ts.Close()
 	remote, err := New(Config{URL: ts.URL, HTTPClient: ts.Client(), ClientID: "agreement"})
 	if err != nil {
@@ -235,7 +236,7 @@ func TestIsBusy(t *testing.T) {
 	// The HTTP arm's 429 is recognized too.
 	srv := serve.New(newChecker(t), serve.Config{RatePerClient: 0.001, Burst: 1})
 	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler("", nil))
+	ts := httptest.NewServer(srv.Handler("", nil, nil))
 	defer ts.Close()
 	r, err := New(Config{URL: ts.URL, HTTPClient: ts.Client(), ClientID: "limited"})
 	if err != nil {
@@ -261,7 +262,7 @@ func TestSharedServerHTTPAndInProcess(t *testing.T) {
 	chk := newChecker(t)
 	srv := serve.New(chk, serve.Config{})
 	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler("", nil))
+	ts := httptest.NewServer(srv.Handler("", nil, nil))
 	defer ts.Close()
 
 	local, err := New(Config{Server: srv, ClientID: "local"})
@@ -290,5 +291,55 @@ func TestSharedServerHTTPAndInProcess(t *testing.T) {
 	}
 	if st.Server.Requests[serve.EndpointApply] != 2 {
 		t.Fatalf("shared server apply count = %d, want 2", st.Server.Requests[serve.EndpointApply])
+	}
+}
+
+// TestTraceCounts drives the HTTP arm with a Trace hook that alternates
+// between sending a sampled context and sending nothing, and checks the
+// SDK's traced/untraced split matches — the signal ccload reports as
+// trace-propagation health.
+func TestTraceCounts(t *testing.T) {
+	srv := serve.New(newChecker(t), serve.Config{
+		Spans:      obs.NewSpanTracer("sdk-test", obs.NewTraceStore(64), 0),
+		SpanBridge: nil,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler("", nil, nil))
+	defer ts.Close()
+
+	var calls int
+	s, err := New(Config{URL: ts.URL, HTTPClient: ts.Client(), Trace: func() obs.SpanContext {
+		calls++
+		if calls%2 == 0 {
+			return obs.SpanContext{} // even calls: no traceparent sent
+		}
+		return obs.NewSpanContext(true)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 10; i++ {
+		if _, err := s.Check(store.Ins("r", relation.Ints(100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traced, untraced := s.TraceCounts()
+	if traced != 5 || untraced != 5 {
+		t.Fatalf("TraceCounts() = %d traced, %d untraced; want 5/5", traced, untraced)
+	}
+
+	// An SDK without a Trace hook leaves the counters idle.
+	plain, err := New(Config{URL: ts.URL, HTTPClient: ts.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.Check(store.Ins("r", relation.Ints(100))); err != nil {
+		t.Fatal(err)
+	}
+	if tr, un := plain.TraceCounts(); tr != 0 || un != 0 {
+		t.Fatalf("plain TraceCounts() = %d/%d, want 0/0", tr, un)
 	}
 }

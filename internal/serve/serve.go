@@ -92,6 +92,17 @@ type Config struct {
 	DecisionLogDepth int
 	// Metrics, when non-nil, receives the cc_serve_* families.
 	Metrics *obs.Registry
+	// Spans, when non-nil, turns on distributed tracing: each sampled
+	// request becomes a trace rooted at the HTTP handler, with queue
+	// wait, the decision itself, bridged checker phases and (behind a
+	// coordinator backend) per-site RPCs as child spans. Completed
+	// traces land in Spans.Store().
+	Spans *obs.SpanTracer
+	// SpanBridge, when non-nil alongside Spans, is the bridge installed
+	// as the checker's Tracer: the worker points it at the active
+	// request's decision span before driving the backend and clears it
+	// after, so checker phase events nest under the right request.
+	SpanBridge *obs.SpanBridge
 
 	// workerGate, when non-nil, is received from before each task is
 	// executed — a test hook to hold the worker mid-queue.
@@ -157,6 +168,13 @@ type task struct {
 	us     []store.Update
 	atomic bool
 	reply  chan taskResult
+
+	// span is the request's root span (nil when untraced); traceID is
+	// set whenever the request carries a trace id — sampled or not — so
+	// decision-log lines join against client-side traces either way.
+	span     *obs.Span
+	traceID  string
+	enqueued time.Time
 }
 
 type taskResult struct {
@@ -182,11 +200,24 @@ type BatchOutcome struct {
 	FailedAt int
 }
 
+// Backend is the decision engine a Server fronts. *core.Checker
+// satisfies it directly (the single-checker deployment);
+// netdist.ServeBackend adapts a distributed Coordinator so the same
+// server can front a multi-site system. The server drives the backend
+// only from its single worker goroutine, preserving the checker's
+// one-mutator-at-a-time contract.
+type Backend interface {
+	Check(store.Update) (core.Report, error)
+	Apply(store.Update) (core.Report, error)
+	ApplyBatch([]store.Update) (core.BatchReport, error)
+	Stats() core.Stats
+}
+
 // Server is the decision service. All exported methods are safe for
 // concurrent use; the wrapped checker is only ever driven from the
 // worker goroutine.
 type Server struct {
-	chk *core.Checker
+	chk Backend
 	cfg Config
 
 	mu       sync.RWMutex // excludes enqueue vs Close's queue close
@@ -214,7 +245,7 @@ type Server struct {
 // New builds a Server over chk and starts its worker. The caller owns
 // chk and must not drive it concurrently with the server; Close stops
 // the worker and flushes the decision log.
-func New(chk *core.Checker, cfg Config) *Server {
+func New(chk Backend, cfg Config) *Server {
 	s := &Server{
 		chk:        chk,
 		cfg:        cfg,
@@ -241,13 +272,21 @@ func New(chk *core.Checker, cfg Config) *Server {
 
 // Check decides the update without applying it.
 func (s *Server) Check(client string, u store.Update) (core.Report, error) {
-	res, err := s.do(&task{op: opCheck, client: client, u: u})
+	return s.checkTraced(client, u, nil, "")
+}
+
+func (s *Server) checkTraced(client string, u store.Update, sp *obs.Span, traceID string) (core.Report, error) {
+	res, err := s.do(&task{op: opCheck, client: client, u: u, span: sp, traceID: traceID})
 	return res.rep, err
 }
 
 // Apply decides the update and, when admitted, applies it.
 func (s *Server) Apply(client string, u store.Update) (core.Report, error) {
-	res, err := s.do(&task{op: opApply, client: client, u: u})
+	return s.applyTraced(client, u, nil, "")
+}
+
+func (s *Server) applyTraced(client string, u store.Update, sp *obs.Span, traceID string) (core.Report, error) {
+	res, err := s.do(&task{op: opApply, client: client, u: u, span: sp, traceID: traceID})
 	return res.rep, err
 }
 
@@ -255,10 +294,14 @@ func (s *Server) Apply(client string, u store.Update) (core.Report, error) {
 // core.ApplyBatch) or independently (rejected updates are skipped, the
 // rest stay applied).
 func (s *Server) Batch(client string, us []store.Update, atomic bool) (BatchOutcome, error) {
+	return s.batchTraced(client, us, atomic, nil, "")
+}
+
+func (s *Server) batchTraced(client string, us []store.Update, atomic bool, sp *obs.Span, traceID string) (BatchOutcome, error) {
 	if len(us) > s.cfg.maxBatch() {
 		return BatchOutcome{}, ErrBatchTooLarge
 	}
-	res, err := s.do(&task{op: opBatch, client: client, us: us, atomic: atomic})
+	res, err := s.do(&task{op: opBatch, client: client, us: us, atomic: atomic, span: sp, traceID: traceID})
 	return res.batch, err
 }
 
@@ -281,13 +324,23 @@ func (s *Server) do(t *task) (taskResult, error) {
 	}
 	t.reply = make(chan taskResult, 1)
 	start := s.clock()
+	t.enqueued = time.Now()
 	if err := s.enqueue(t); err != nil {
+		if t.span != nil {
+			t.span.SetError(err.Error())
+		}
 		return taskResult{}, err
 	}
 	res := <-t.reply
+	verdict := verdictLabel(t, res)
 	if s.met != nil {
-		verdict := verdictLabel(t, res)
 		s.met.latency.With(t.op.endpoint(), verdict).Observe(time.Since(start).Seconds())
+	}
+	if t.span != nil {
+		t.span.SetAttr("verdict", verdict)
+		if res.err != nil {
+			t.span.SetError(res.err.Error())
+		}
 	}
 	return res, res.err
 }
@@ -361,6 +414,14 @@ func (s *Server) worker() {
 			s.met.queueDepth.Set(int64(len(s.queue)))
 		}
 		start := time.Now()
+		var decide *obs.Span
+		if t.span != nil {
+			s.cfg.Spans.RecordChild(t.span, "queue.wait", t.enqueued, start.Sub(t.enqueued), nil, "")
+			if t.op != opStats {
+				decide = s.cfg.Spans.StartChild(t.span, "decide")
+				s.cfg.SpanBridge.SetActive(decide)
+			}
+		}
 		var res taskResult
 		switch t.op {
 		case opCheck:
@@ -371,6 +432,13 @@ func (s *Server) worker() {
 			res.batch, res.err = s.runBatch(t.us, t.atomic)
 		case opStats:
 			res.stats = s.chk.Stats()
+		}
+		if decide != nil {
+			s.cfg.SpanBridge.SetActive(nil)
+			if res.err != nil {
+				decide.SetError(res.err.Error())
+			}
+			decide.End()
 		}
 		dur := time.Since(start)
 		prev := s.ewmaNanos.Load()
@@ -515,6 +583,7 @@ func (s *Server) logTask(t *task, res taskResult, dur time.Duration) {
 		rec := logRecord{
 			Time:      ts,
 			Client:    t.client,
+			TraceID:   t.traceID,
 			Op:        t.op.endpoint(),
 			Update:    u.String(),
 			LatencyUS: dur.Microseconds(),
@@ -542,10 +611,13 @@ func (s *Server) logTask(t *task, res taskResult, dur time.Duration) {
 	}
 }
 
-// logRecord is one decision-log line (JSONL).
+// logRecord is one decision-log line (JSONL). TraceID joins the line
+// against the stored trace (and the client's own spans) whenever the
+// request carried or minted a trace id.
 type logRecord struct {
 	Time       string   `json:"ts"`
 	Client     string   `json:"client,omitempty"`
+	TraceID    string   `json:"trace_id,omitempty"`
 	Op         string   `json:"op"`
 	Update     string   `json:"update"`
 	Applied    bool     `json:"applied"`

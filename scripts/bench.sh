@@ -9,8 +9,10 @@
 # record per benchmark run with name, iterations, ns/op, B/op and
 # allocs/op, plus the git commit and UTC date the run was taken at,
 # suitable for diffing across commits. The obs file is the evidence for
-# EXPERIMENTS.md's claim that the disabled tracer costs ≤5% on the D1
-# workload; the eval file is the evidence for the indexed-vs-scan
+# EXPERIMENTS.md's claims that the disabled tracer costs ≤5% and the
+# idle span layer ≤2% on the D1 workload (spans-enabled vs -disabled
+# arms of BenchmarkSpanOverhead, with BenchmarkApplyResidual/residual (the D1 stream) as the
+# hot-path reference); the eval file is the evidence for the indexed-vs-scan
 # speedup claim; the plan file is the evidence for the compile-once
 # speedup/allocation claim; the residual file is the evidence for the
 # residual-vs-pipeline speedup claim; the serve file records per-arm
@@ -52,7 +54,7 @@ bench_to_json 'BenchmarkDistributedStaged$|BenchmarkTheorem51$|BenchmarkApplyPar
   "${OUT:-BENCH_pipeline.json}"
 bench_to_json 'BenchmarkNetDistLoopback$|BenchmarkDistributedStaged$' \
   "${NET_OUT:-BENCH_net.json}"
-bench_to_json 'BenchmarkTraceOverhead$' \
+bench_to_json 'BenchmarkTraceOverhead$|BenchmarkSpanOverhead$|BenchmarkApplyResidual/residual$' \
   "${OBS_OUT:-BENCH_obs.json}"
 bench_to_json 'BenchmarkEvalIndexed$' \
   "${EVAL_OUT:-BENCH_eval.json}"
