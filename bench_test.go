@@ -12,7 +12,14 @@
 // T5.3  BenchmarkRACompile / BenchmarkRALocalTest
 // F6.1  BenchmarkIntervalDatalog / BenchmarkIntervalSweep (ablation)
 // D1    BenchmarkDistributedStaged / BenchmarkDistributedNaive
-// D-net BenchmarkNetDistLoopback (wire protocol + coordinator)
+// D-net BenchmarkNetDistLoopback (wire protocol + coordinator,
+//
+//	sequential vs pipelined arms)
+//
+// Pipe  BenchmarkServePipeline (conflict-aware apply scheduler behind
+//
+//	the decision server, 1/2/4/8 workers, low vs high conflict)
+//
 // plus substrate micro-benchmarks (solver, evaluator, SAT).
 package repro
 
@@ -21,7 +28,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/classify"
@@ -38,6 +47,7 @@ import (
 	"repro/internal/reduction"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/subsume"
 	"repro/internal/workload"
@@ -329,12 +339,16 @@ func benchDistributed(b *testing.B, naive bool) {
 func BenchmarkDistributedStaged(b *testing.B) { benchDistributed(b, false) }
 func BenchmarkDistributedNaive(b *testing.B)  { benchDistributed(b, true) }
 
-// BenchmarkNetDistLoopback is the D-net counterpart of
+// benchNetDistLoopback is the D-net counterpart of
 // BenchmarkDistributedStaged: the same interval workload, but the remote
 // relation answers through the netdist wire protocol (frame codec and
-// all) over the in-process loopback transport. The gap between the two
-// is the real marshalling cost of going remote.
-func BenchmarkNetDistLoopback(b *testing.B) {
+// all) over the in-process loopback transport. The gap between the
+// sequential arm and BenchmarkDistributedStaged is the real marshalling
+// cost of going remote; the gap between the sequential and pipelined
+// arms is what the conflict-aware scheduler recovers by overlapping
+// independent updates' checks and round trips, which grows with the
+// injected wire latency.
+func benchNetDistLoopback(b *testing.B, workers int, latency time.Duration) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -348,6 +362,9 @@ func BenchmarkNetDistLoopback(b *testing.B) {
 		}
 		lb := netdist.NewLoopback()
 		lb.AddSite("siteR", netdist.NewServer(remote, []string{"r"}))
+		if latency > 0 {
+			lb.SetLatency("siteR", latency)
+		}
 		local := store.New()
 		for _, tu := range workload.Intervals(rng, 40, 20, 200) {
 			if _, err := local.Insert("l", tu); err != nil {
@@ -364,9 +381,9 @@ func BenchmarkNetDistLoopback(b *testing.B) {
 		}
 		updates := workload.IntervalInserts(rng, 20, 10, 200, "l")
 		b.StartTimer()
-		for _, u := range updates {
-			if _, err := co.Apply(u); err != nil {
-				b.Fatal(err)
+		for _, r := range co.ApplyStream(updates, workers) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
 			}
 		}
 		b.StopTimer()
@@ -375,6 +392,104 @@ func BenchmarkNetDistLoopback(b *testing.B) {
 		b.ReportMetric(float64(st.RoundTrips), "round-trips/op")
 		b.StartTimer()
 	}
+}
+
+func BenchmarkNetDistLoopback(b *testing.B) {
+	b.Run("arm=sequential", func(b *testing.B) { benchNetDistLoopback(b, 1, 0) })
+	b.Run("arm=pipelined8", func(b *testing.B) { benchNetDistLoopback(b, 8, 0) })
+	b.Run("arm=sequential/latency=500us", func(b *testing.B) { benchNetDistLoopback(b, 1, 500*time.Microsecond) })
+	b.Run("arm=pipelined8/latency=500us", func(b *testing.B) { benchNetDistLoopback(b, 8, 500*time.Microsecond) })
+}
+
+// --- Pipe: conflict-aware apply scheduling ----------------------------------
+
+// benchServePipeline drives 16 concurrent closed-loop clients against a
+// decision server fronting the loopback D-net deployment with 300µs of
+// wire latency on the r-site. Every admitted l-insert refreshes r over
+// the wire before its global phase, so the sequential arm (workers=1)
+// waits out one round trip per update while the pipelined arm overlaps
+// the round trips of non-conflicting updates. One benchmark op is the
+// whole 64-update stream.
+//
+// The low-conflict stream inserts 64 distinct l intervals — pairwise
+// independent footprints (distinct write fingerprints, read-read on r).
+// The high-conflict stream churns one l tuple — every update conflicts
+// with its predecessor, so the scheduler must degrade to admission-order
+// sequential behaviour and the pipelined arm buys nothing.
+func benchServePipeline(b *testing.B, workers int, conflict bool) {
+	const n, clients = 64, 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		remote := store.New()
+		for j := int64(0); j < 50; j++ {
+			if _, err := remote.Insert("r", relation.Ints(10000+j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		lb := netdist.NewLoopback()
+		lb.AddSite("siteR", netdist.NewServer(remote, []string{"r"}))
+		lb.SetLatency("siteR", 300*time.Microsecond)
+		rng := rand.New(rand.NewSource(42))
+		local := store.New()
+		for _, tu := range workload.Intervals(rng, 40, 20, 200) {
+			if _, err := local.Insert("l", tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+		co, err := netdist.New(local, []netdist.SiteSpec{{Site: "siteR", Relations: []string{"r"}}}, lb,
+			netdist.Options{Checker: core.Options{LocalRelations: []string{"l"}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := co.Checker.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+			b.Fatal(err)
+		}
+		srv := serve.New(netdist.ServeBackend{Co: co}, serve.Config{ApplyWorkers: workers, QueueDepth: 256})
+		updates := make([]store.Update, n)
+		for k := range updates {
+			if conflict {
+				tu := relation.Ints(300, 301)
+				if k%2 == 0 {
+					updates[k] = store.Ins("l", tu)
+				} else {
+					updates[k] = store.Del("l", tu)
+				}
+			} else {
+				lo := int64(300 + 2*k)
+				updates[k] = store.Ins("l", relation.Ints(lo, lo+1))
+			}
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for k := c; k < n; k += clients {
+					if _, err := srv.Apply(fmt.Sprintf("c%d", c), updates[k]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		b.StopTimer()
+		st := srv.Stats()
+		srv.Close()
+		b.ReportMetric(float64(st.SchedConflictStalls), "stalls/op")
+		b.StartTimer()
+	}
+	b.ReportMetric(n, "updates/op")
+}
+
+func BenchmarkServePipeline(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchServePipeline(b, 1, false) })
+	b.Run("workers=2", func(b *testing.B) { benchServePipeline(b, 2, false) })
+	b.Run("workers=4", func(b *testing.B) { benchServePipeline(b, 4, false) })
+	b.Run("workers=8", func(b *testing.B) { benchServePipeline(b, 8, false) })
+	b.Run("workers=8/conflict", func(b *testing.B) { benchServePipeline(b, 8, true) })
 }
 
 // --- pipeline: parallel dispatch + decision cache ----------------------------

@@ -27,6 +27,14 @@
 // traceparent; the report counts responses whose X-Request-ID echoed the
 // sent trace id (traced) against the rest (untraced), so a load run
 // doubles as a propagation health check of the serving stack.
+//
+// -apply-workers N (self-serve) selects the server's apply arm:
+// sequential at 1, conflict-aware pipelined above. -conflict F makes the
+// first F fraction of streams write one shared key band so their apply
+// traffic collides tuple-for-tuple (scheduler conflicts); the total
+// record carries the run's apply_workers and sched_conflict_stalls
+// deltas from /v1/stats, so a sequential-vs-pipelined A/B at varying
+// -conflict quantifies the scheduler's stall behaviour.
 package main
 
 import (
@@ -67,6 +75,8 @@ type loadConfig struct {
 	density  int
 	seed     int64
 	trace    float64
+	conflict float64
+	workers  int
 	out      string
 	commit   string
 	date     string
@@ -86,6 +96,8 @@ func main() {
 	flag.IntVar(&cfg.density, "density", 200, "self-serve seed intervals in l")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	flag.Float64Var(&cfg.trace, "trace", 0.05, "fraction of requests carrying a sampled traceparent (0: none)")
+	flag.Float64Var(&cfg.conflict, "conflict", 0, "fraction of streams whose apply traffic writes one shared key band (conflicting updates; the rest write disjoint bands)")
+	flag.IntVar(&cfg.workers, "apply-workers", 1, "self-serve apply workers (1: sequential arm; >1: conflict-aware pipelined arm)")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty: stdout)")
 	flag.StringVar(&cfg.commit, "commit", "unknown", "git commit stamp for the report")
 	flag.StringVar(&cfg.date, "date", "", "UTC date stamp for the report (empty: now)")
@@ -117,6 +129,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ccload: trace propagation: %d traced, %d untraced responses\n",
 				rec.Traced, rec.Untraced)
 		}
+		if rec.ApplyWorkers > 1 {
+			fmt.Fprintf(os.Stderr, "ccload: pipelined arm: %d apply workers, %d scheduled, %d conflict stalls (conflict=%.2f)\n",
+				rec.ApplyWorkers, rec.SchedTasks, rec.ConflictStalls, rec.Conflict)
+		}
 		if rec.Errors > 0 {
 			os.Exit(1)
 		}
@@ -138,6 +154,10 @@ type record struct {
 	ThroughputPerS float64 `json:"throughput_per_s"`
 	Traced         int64   `json:"traced,omitempty"`
 	Untraced       int64   `json:"untraced,omitempty"`
+	ApplyWorkers   int     `json:"apply_workers,omitempty"`
+	Conflict       float64 `json:"conflict,omitempty"`
+	SchedTasks     int64   `json:"sched_tasks,omitempty"`
+	ConflictStalls int64   `json:"sched_conflict_stalls,omitempty"`
 	Commit         string  `json:"commit"`
 	Date           string  `json:"date"`
 }
@@ -195,6 +215,10 @@ func run(cfg loadConfig) ([]record, error) {
 		return nil, err
 	}
 
+	// Snapshot the server's scheduler counters around the run so the
+	// report carries this arm's conflict-stall delta.
+	pre, preErr := client.Stats()
+
 	var mu sync.Mutex
 	var agg [armCount]armAgg
 	var wg sync.WaitGroup
@@ -238,6 +262,12 @@ func run(cfg loadConfig) ([]record, error) {
 	}
 	tot := makeRecord("ServeLoad/total", total, cfg, elapsed, date)
 	tot.Traced, tot.Untraced = client.TraceCounts()
+	tot.Conflict = cfg.conflict
+	if post, err := client.Stats(); err == nil && preErr == nil {
+		tot.ApplyWorkers = post.Server.ApplyWorkers
+		tot.SchedTasks = post.Server.SchedTasks - pre.Server.SchedTasks
+		tot.ConflictStalls = post.Server.SchedConflictStalls - pre.Server.SchedConflictStalls
+	}
 	out = append(out, tot)
 	return out, nil
 }
@@ -276,6 +306,11 @@ func stream(client *sdk.SDK, id int, cfg loadConfig, weights [armCount]int, dead
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	totalWeight := weights[armCheck] + weights[armApply] + weights[armBatch]
 	base := int64(1_000_000_000) + int64(id)*1_000_000
+	// The first -conflict fraction of streams shares one narrow key band:
+	// their apply writes collide tuple-for-tuple across streams (same
+	// fingerprint → scheduler conflicts), while the rest keep per-stream
+	// disjoint bands and pipeline freely.
+	shared := cfg.conflict > 0 && float64(id) < cfg.conflict*float64(cfg.streams)
 	next := int64(0)
 	var pendingApply, pendingBatch []store.Update
 	for time.Now().Before(deadline) {
@@ -307,7 +342,11 @@ func stream(client *sdk.SDK, id int, cfg loadConfig, weights [armCount]int, dead
 				u = invert(pendingApply[len(pendingApply)-1])
 				pendingApply = pendingApply[:len(pendingApply)-1]
 			} else {
-				u = store.Ins("r", relation.Ints(base+next))
+				key := base + next
+				if shared {
+					key = 2_000_000_000 + next%32
+				}
+				u = store.Ins("r", relation.Ints(key))
 				next++
 				pendingApply = append(pendingApply, u)
 			}
@@ -424,6 +463,7 @@ func selfServe(cfg loadConfig) (stop func(), addr string, err error) {
 	srv := serve.New(chk, serve.Config{
 		QueueDepth:    cfg.queue,
 		RatePerClient: cfg.rate,
+		ApplyWorkers:  cfg.workers,
 		Metrics:       reg,
 		Spans:         spans,
 		SpanBridge:    bridge,

@@ -4,8 +4,9 @@
 // Usage:
 //
 //	ccserved -listen :8080 -constraints c.dl [-data d.dl] [-local emp]
-//	         [-queue 1024] [-rate 0 -burst 0] [-decision-log d.jsonl]
-//	         [-sites host:port=rel1,rel2]... [-trace-sample 0.1]
+//	         [-queue 1024] [-rate 0 -burst 0] [-apply-workers 8]
+//	         [-decision-log d.jsonl] [-sites host:port=rel1,rel2]...
+//	         [-trace-sample 0.1]
 //
 // Endpoints (one listener serves them all):
 //
@@ -38,6 +39,13 @@
 // defines panic), data files hold facts — the same formats ccheck reads.
 // -noindex, -noplancache and -noresidual are the usual A/B escape
 // hatches; -workers sizes the checker's dispatch pool.
+//
+// -apply-workers N (default 1) turns on the conflict-aware pipelined
+// arm: N workers apply non-conflicting queued updates concurrently
+// while conflicting ones keep admission order, so verdicts and state
+// match the sequential arm exactly (see DESIGN.md, "Conflict-aware
+// apply scheduling"). With -sites it also pipelines the coordinator's
+// atomic batches.
 package main
 
 import (
@@ -65,21 +73,22 @@ import (
 
 // config is everything main parses from flags.
 type config struct {
-	listen      string
-	constraints string
-	data        string
-	local       string
-	queue       int
-	rate        float64
-	burst       float64
-	maxBatch    int
-	logPath     string
-	logDepth    int
-	workers     int
-	noindex     bool
-	noplancache bool
-	noresidual  bool
-	verbose     bool
+	listen       string
+	constraints  string
+	data         string
+	local        string
+	queue        int
+	rate         float64
+	burst        float64
+	maxBatch     int
+	logPath      string
+	logDepth     int
+	workers      int
+	applyWorkers int
+	noindex      bool
+	noplancache  bool
+	noresidual   bool
+	verbose      bool
 
 	sites       []string
 	siteTimeout time.Duration
@@ -112,6 +121,7 @@ func main() {
 	flag.StringVar(&cfg.logPath, "decision-log", "", "append one JSON line per decision to this file (empty: off)")
 	flag.IntVar(&cfg.logDepth, "decision-log-depth", 0, "decision-log buffer in records (0: 1024); overflow drops and counts")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for constraint dispatch (default: one per CPU)")
+	flag.IntVar(&cfg.applyWorkers, "apply-workers", 1, "apply workers behind the request queue (1: sequential; >1: conflict-aware pipelined applies)")
 	flag.BoolVar(&cfg.noindex, "noindex", false, "disable hash-index probes and bound-first join planning (A/B escape hatch)")
 	flag.BoolVar(&cfg.noplancache, "noplancache", false, "disable the compiled evaluation plan cache (A/B escape hatch)")
 	flag.BoolVar(&cfg.noresidual, "noresidual", false, "disable residual check compilation (A/B escape hatch)")
@@ -163,6 +173,11 @@ func run(cfg config) error {
 		}
 	}, ready)}
 	fmt.Printf("ccserved: serving on http://%s/v1/check\n", l.Addr())
+	if aw := srv.ApplyWorkers(); aw > 1 {
+		fmt.Printf("ccserved: pipelined apply arm, %d workers\n", aw)
+	} else if cfg.applyWorkers > 1 {
+		fmt.Println("ccserved: -apply-workers ignored: backend refuses concurrent applies, sequential arm")
+	}
 	if cfg.verbose {
 		for _, name := range chk.Constraints() {
 			fmt.Printf("ccserved:   constraint %s\n", name)
@@ -263,11 +278,12 @@ func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, *obs.Sp
 			specs = append(specs, spec)
 		}
 		co, err := netdist.New(db, specs, netdist.NewTCPTransport(), netdist.Options{
-			Checker: opts,
-			Timeout: cfg.siteTimeout,
-			Retries: cfg.siteRetries,
-			Metrics: reg,
-			Spans:   bridge,
+			Checker:      opts,
+			Timeout:      cfg.siteTimeout,
+			Retries:      cfg.siteRetries,
+			ApplyWorkers: cfg.applyWorkers,
+			Metrics:      reg,
+			Spans:        bridge,
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -293,6 +309,7 @@ func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, *obs.Sp
 		RatePerClient:    cfg.rate,
 		Burst:            cfg.burst,
 		MaxBatch:         cfg.maxBatch,
+		ApplyWorkers:     cfg.applyWorkers,
 		DecisionLog:      logSink,
 		DecisionLogDepth: cfg.logDepth,
 		Metrics:          reg,
@@ -340,6 +357,10 @@ func renderStats(st serve.Stats) string {
 	}
 	if st.DecisionLogDrops > 0 {
 		fmt.Fprintf(&sb, "ccserved:   decision-log drops: %d\n", st.DecisionLogDrops)
+	}
+	if st.ApplyWorkers > 1 {
+		fmt.Fprintf(&sb, "ccserved:   apply workers %d: %d scheduled, %d conflict stalls\n",
+			st.ApplyWorkers, st.SchedTasks, st.SchedConflictStalls)
 	}
 	return sb.String()
 }

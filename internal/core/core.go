@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/residual"
 	"repro/internal/rewrite"
+	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/subsume"
 )
@@ -223,16 +226,28 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
-// Checker manages constraints over a store. A Checker's methods are not
-// themselves safe for concurrent use (one Apply at a time), but while an
-// Apply is in flight other goroutines may freely read the store: the
-// read-only stages run before the mutation, the global evaluations after.
+// Checker manages constraints over a store.
+//
+// Concurrency contract: the constraint-set mutators (AddConstraint,
+// RemoveConstraint) require exclusive access. Apply/Check/ApplyBatch may
+// run concurrently with each other only for updates whose footprints
+// (Footprints) do not conflict, and only when ConcurrentApplySafe
+// reports true — internal/sched enforces exactly this discipline, and
+// under it every concurrent schedule is equivalent to some sequential
+// one. The stats and trace counters are internally synchronized; while
+// an Apply is in flight other goroutines may freely read the store (the
+// read-only stages run before the mutation, the global evaluations
+// after).
 type Checker struct {
 	db          *store.Store
 	opts        Options
 	local       map[string]bool // nil: everything local
 	constraints []*Constraint
-	stats       Stats
+
+	// statsMu guards stats: concurrent appliers bump the counters from
+	// worker goroutines.
+	statsMu sync.Mutex
+	stats   Stats
 
 	cache *decisionCache
 	// progs is the shared {all constraints} slice handed to the phase-2
@@ -251,9 +266,15 @@ type Checker struct {
 	// phase pipeline and falls back for ineligible patterns.
 	residuals *residual.Cache
 
+	// fpIndex memoizes the update-pattern footprints the scheduler keys
+	// on, built lazily by Footprints and dropped when the constraint set
+	// changes.
+	fpMu    sync.Mutex
+	fpIndex *sched.Index
+
 	// traceSeq numbers emitted trace events; met holds the registry
 	// handles (nil when Options.Metrics is nil). See trace.go.
-	traceSeq uint64
+	traceSeq atomic.Uint64
 	met      *checkerMetrics
 }
 
@@ -284,11 +305,13 @@ func (c *Checker) DB() *store.Store { return c.db }
 // Stats returns aggregate phase statistics. The ByPhase map is a copy:
 // mutating it does not touch the checker's live counters.
 func (c *Checker) Stats() Stats {
+	c.statsMu.Lock()
 	s := c.stats
 	s.ByPhase = make(map[Phase]int, len(c.stats.ByPhase))
 	for p, n := range c.stats.ByPhase {
 		s.ByPhase[p] = n
 	}
+	c.statsMu.Unlock()
 	s.CacheHits = c.cache.hits.Load()
 	s.CacheMisses = c.cache.misses.Load()
 	if c.planCache != nil {
@@ -305,7 +328,9 @@ func (c *Checker) Stats() Stats {
 // touching the caches' contents, so a warmed checker can report one
 // run's statistics in isolation (ccheck -repeat resets between runs).
 func (c *Checker) ResetStats() {
+	c.statsMu.Lock()
 	c.stats = Stats{ByPhase: map[Phase]int{}}
+	c.statsMu.Unlock()
 	c.cache.resetStats()
 	if c.planCache != nil {
 		c.planCache.ResetStats()
@@ -330,6 +355,9 @@ func (c *Checker) refreshSet() {
 		h.Write([]byte{0})
 	}
 	c.fp = h.Sum64()
+	c.fpMu.Lock()
+	c.fpIndex = nil // footprints derive from the constraint set
+	c.fpMu.Unlock()
 	c.cache.invalidate()
 	if c.planCache != nil {
 		// Compiled plans key on program identity; a removed constraint's
@@ -560,7 +588,9 @@ func (c *Checker) stageOne(k *Constraint, u store.Update, tr *[]obs.Event) (Phas
 // the update is rolled back and the report's Applied is false.
 func (c *Checker) Apply(u store.Update) (Report, error) {
 	rep := Report{Update: u, Applied: true}
+	c.statsMu.Lock()
 	c.stats.Updates++
+	c.statsMu.Unlock()
 	var applyStart time.Time
 	if c.met != nil {
 		c.met.updates.Inc()
@@ -620,8 +650,10 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 		cache string
 	}
 	needGlobal := make([]globalCheck, 0, n)
+	c.statsMu.Lock()
+	c.stats.Decisions += n
+	c.statsMu.Unlock()
 	for i, k := range c.constraints {
-		c.stats.Decisions++
 		if tracing {
 			for _, e := range traces[i] {
 				c.emit(uStr, e)
@@ -748,7 +780,9 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 	if violated {
 		rollback()
 		rep.Applied = false
+		c.statsMu.Lock()
 		c.stats.Rejected++
+		c.statsMu.Unlock()
 		if c.met != nil {
 			c.met.rejected.Inc()
 		}
@@ -774,7 +808,9 @@ func (c *Checker) Apply(u store.Update) (Report, error) {
 // bumpPhase counts one decision in the stats and, when a registry is
 // attached, in the cc_checker_decisions_total family.
 func (c *Checker) bumpPhase(p Phase) {
+	c.statsMu.Lock()
 	c.stats.ByPhase[p]++
+	c.statsMu.Unlock()
 	if c.met != nil {
 		c.met.decisions.With(p.String()).Inc()
 	}

@@ -1,0 +1,33 @@
+package core
+
+import "repro/internal/sched"
+
+// Footprints returns the scheduler footprint index for the current
+// constraint set: per update pattern (relation + polarity) it derives
+// the relations a check may read, mirroring the checker's enabled
+// phases (residual dispatch narrows reads to the harmful-occurrence
+// disjunct bodies; without it the conservative set is every relation
+// the constraint mentions). The index is memoized and dropped whenever
+// the constraint set changes, so callers should fetch it per update or
+// per batch rather than holding one across AddConstraint/
+// RemoveConstraint. Safe for concurrent use.
+func (c *Checker) Footprints() *sched.Index {
+	c.fpMu.Lock()
+	defer c.fpMu.Unlock()
+	if c.fpIndex == nil {
+		c.fpIndex = sched.NewIndex(c.progs, sched.IndexOptions{
+			Residual: c.residuals != nil,
+			Polarity: !c.opts.DisableUpdateOnly,
+		})
+	}
+	return c.fpIndex
+}
+
+// ConcurrentApplySafe reports whether this checker admits concurrent
+// Apply calls for non-conflicting updates (the internal/sched
+// discipline). Incremental mode does not: its materializations are
+// updated by unsynchronized notification on every apply, whatever the
+// update's footprint.
+func (c *Checker) ConcurrentApplySafe() bool {
+	return !c.opts.Incremental
+}

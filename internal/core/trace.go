@@ -22,11 +22,12 @@ func (c *Checker) tracing() bool {
 }
 
 // emit stamps the update string and the checker-wide sequence number on
-// the event and hands it to the tracer. Only Apply's goroutine emits, so
-// the sequence is strictly increasing within and across updates.
+// the event and hands it to the tracer. The sequence counter is atomic:
+// with a single applier it is strictly increasing within and across
+// updates; concurrent appliers (internal/sched) get unique, globally
+// ordered numbers, though events of overlapping updates interleave.
 func (c *Checker) emit(update string, e obs.Event) {
-	c.traceSeq++
-	e.Seq = c.traceSeq
+	e.Seq = c.traceSeq.Add(1)
 	e.Update = update
 	c.opts.Tracer.Emit(e)
 }

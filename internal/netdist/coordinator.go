@@ -6,11 +6,13 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -65,6 +67,15 @@ type Options struct {
 	// coordinator's trace store ends up with the full cross-process tree.
 	// Pass the same bridge that serves as Checker.Tracer.
 	Spans *obs.SpanBridge
+	// ApplyWorkers > 1 routes ApplyBatch through the conflict-aware
+	// scheduler (internal/sched): non-conflicting updates overlap their
+	// phase-1–3 checks and site RPCs instead of running strictly one at
+	// a time, while the batch stays atomic. 0 or 1 keeps the sequential
+	// path. The pipelined path requires the checker to admit concurrent
+	// applies (it does, unless Checker.Incremental) and falls back to
+	// sequential otherwise. ApplyStream takes its worker count as an
+	// argument instead.
+	ApplyWorkers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -129,8 +140,13 @@ type Stats struct {
 // therefore fails only the updates whose plan needed that site —
 // reported as ErrSiteUnavailable, never as a verdict.
 //
-// A Coordinator is single-writer, like core.Checker: one Apply at a
-// time.
+// Concurrency: the coordinator's own accounting is mutex-guarded, and
+// its transports tolerate concurrent round trips — but Apply/Check are
+// safe to overlap only for updates with non-conflicting footprints
+// (core.Checker's contract). Callers must not race conflicting applies
+// themselves; ApplyStream and the pipelined ApplyBatch enforce the
+// discipline with internal/sched, and remain equivalent to a sequential
+// run in admission order.
 type Coordinator struct {
 	Checker *core.Checker
 
@@ -139,10 +155,14 @@ type Coordinator struct {
 	siteOf    map[string]string   // relation -> owning site
 	relsOf    map[string][]string // site -> owned relations, sorted
 	opts      Options
-	stats     Stats
 	met       *coordMetrics
 	reqID     atomic.Uint64
-	rng       *rand.Rand
+
+	// statsMu guards stats and rng (retry jitter); everything else is
+	// immutable after New or internally synchronized.
+	statsMu sync.Mutex
+	stats   Stats
+	rng     *rand.Rand
 }
 
 // New builds a coordinator over the local store and the given site
@@ -210,6 +230,8 @@ func (co *Coordinator) remoteRelations() []string {
 
 // Stats returns the accumulated statistics; the maps are copies.
 func (co *Coordinator) Stats() Stats {
+	co.statsMu.Lock()
+	defer co.statsMu.Unlock()
 	st := co.stats
 	st.ByPhase = make(map[core.Phase]int, len(co.stats.ByPhase))
 	for p, n := range co.stats.ByPhase {
@@ -248,24 +270,31 @@ func (co *Coordinator) call(site string, req *Request) (*Response, error) {
 	for attempt := 0; attempt <= co.opts.Retries; attempt++ {
 		attempts++
 		if attempt > 0 {
+			co.statsMu.Lock()
 			co.stats.Retries++
 			co.stats.RetriesBySite[site]++
+			jitter := time.Duration(co.rng.Int63n(int64(backoff)/2 + 1))
+			co.statsMu.Unlock()
 			if co.met != nil {
 				co.met.retries.With(site).Inc()
 			}
-			time.Sleep(backoff + time.Duration(co.rng.Int63n(int64(backoff)/2+1)))
+			time.Sleep(backoff + jitter)
 			backoff *= 2
 		}
 		start := time.Now()
 		resp, err := co.transport.RoundTrip(site, req, co.opts.Timeout)
 		elapsed := time.Since(start)
+		co.statsMu.Lock()
 		co.stats.NetTime += elapsed
+		co.statsMu.Unlock()
 		co.met.observeAttempt(site, req.Type, req, resp, err, elapsed)
 		if err != nil {
 			lastErr = err
 			continue
 		}
+		co.statsMu.Lock()
 		co.stats.RoundTrips++
+		co.statsMu.Unlock()
 		if sp != nil {
 			if attempts > 1 {
 				sp.SetAttr("attempts", fmt.Sprint(attempts))
@@ -281,7 +310,9 @@ func (co *Coordinator) call(site string, req *Request) (*Response, error) {
 			sp.SetError(err.Error())
 			return nil, err
 		}
+		co.statsMu.Lock()
 		co.stats.WireTuples += int64(len(resp.Tuples))
+		co.statsMu.Unlock()
 		return resp, nil
 	}
 	err := &SiteError{Site: site, Err: lastErr}
@@ -329,9 +360,9 @@ func (co *Coordinator) refresh(rels []string) error {
 // matching ErrSiteUnavailable and the database is untouched; updates
 // decidable from local information commit regardless of site health.
 func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
+	co.statsMu.Lock()
 	co.stats.Updates++
-	trips := co.stats.RoundTrips
-	retries := co.stats.Retries
+	co.statsMu.Unlock()
 
 	// Decide what the global phase would need before touching anything.
 	plan := co.Checker.Plan(u)
@@ -352,7 +383,9 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 	// Propagate an applied update on a remote relation to its owner; if
 	// the owner is unreachable the local application is undone — the
 	// sites never diverge from the mirror over a failure.
+	propagated := false
 	if site, remote := co.siteOf[u.Relation]; remote && rep.Applied {
+		propagated = true
 		_, err := co.call(site, &Request{
 			Type:     OpApply,
 			Relation: u.Relation,
@@ -365,15 +398,21 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 			return core.Report{Update: u}, fmt.Errorf("update %s: propagate: %w", u, err)
 		}
 	}
+	co.statsMu.Lock()
 	for _, d := range rep.Decisions {
 		co.stats.ByPhase[d.Phase]++
 	}
 	if !rep.Applied {
 		co.stats.Rejected++
 	}
-	if co.stats.RoundTrips == trips && co.stats.Retries == retries {
+	// Wire-free iff no remote relation needed a refresh and nothing was
+	// propagated; computed directly because the old round-trip-delta
+	// comparison misattributes other updates' traffic under concurrent
+	// appliers.
+	if len(needed) == 0 && !propagated {
 		co.stats.DecidedLocally++
 	}
+	co.statsMu.Unlock()
 	return rep, nil
 }
 
@@ -382,9 +421,9 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 // exactly undoes its trial application (core.Checker.Check). Nothing is
 // propagated, so the sites are untouched whatever the verdict.
 func (co *Coordinator) Check(u store.Update) (core.Report, error) {
+	co.statsMu.Lock()
 	co.stats.Updates++
-	trips := co.stats.RoundTrips
-	retries := co.stats.Retries
+	co.statsMu.Unlock()
 	plan := co.Checker.Plan(u)
 	var needed []string
 	for _, rel := range plan.Relations {
@@ -400,12 +439,14 @@ func (co *Coordinator) Check(u store.Update) (core.Report, error) {
 	if err != nil {
 		return rep, err
 	}
+	co.statsMu.Lock()
 	for _, d := range rep.Decisions {
 		co.stats.ByPhase[d.Phase]++
 	}
-	if co.stats.RoundTrips == trips && co.stats.Retries == retries {
+	if len(needed) == 0 {
 		co.stats.DecidedLocally++
 	}
+	co.statsMu.Unlock()
 	return rep, nil
 }
 
@@ -430,18 +471,30 @@ func (b ServeBackend) ApplyBatch(us []store.Update) (core.BatchReport, error) {
 // Stats snapshots the wrapped checker's statistics.
 func (b ServeBackend) Stats() core.Stats { return b.Co.Checker.Stats() }
 
+// Footprints exposes the wrapped checker's conflict-footprint index so a
+// pipelined server (serve.Config.ApplyWorkers > 1) can schedule
+// coordinator applies concurrently. The coordinator side is safe for
+// that discipline: its accounting is mutex-guarded and its transports
+// tolerate concurrent round trips.
+func (b ServeBackend) Footprints() *sched.Index { return b.Co.Checker.Footprints() }
+
+// ConcurrentApplySafe defers to the wrapped checker.
+func (b ServeBackend) ConcurrentApplySafe() bool { return b.Co.Checker.ConcurrentApplySafe() }
+
 // noteUnavailable accounts one update refused because a site was
 // unreachable, attributing it to the offending site when the error chain
 // names one. A RemoteError (site answered, refused) lands here only from
 // refresh's decode path and counts site-less.
 func (co *Coordinator) noteUnavailable(err error) {
+	co.statsMu.Lock()
 	co.stats.Unavailable++
-	if co.met != nil {
-		co.met.unavailable.Inc()
-	}
 	var se *SiteError
 	if errors.As(err, &se) {
 		co.stats.UnavailableBySite[se.Site]++
+	}
+	co.statsMu.Unlock()
+	if co.met != nil {
+		co.met.unavailable.Inc()
 	}
 }
 
@@ -461,7 +514,13 @@ func (co *Coordinator) undoMirror(u store.Update) {
 // core.Checker.ApplyBatch: on the first rejection or error every
 // already-applied update is undone locally and, for remote relations,
 // un-propagated. FailedAt reports the offending index on rejection.
+// With Options.ApplyWorkers > 1 the batch runs on the pipelined path
+// (see applyBatchPipelined): same verdicts, same final state, same
+// batch atomicity — overlapping wire waits of independent updates.
 func (co *Coordinator) ApplyBatch(updates []store.Update) (core.BatchReport, error) {
+	if co.opts.ApplyWorkers > 1 && co.Checker.ConcurrentApplySafe() {
+		return co.applyBatchPipelined(updates, co.opts.ApplyWorkers)
+	}
 	br := core.BatchReport{Applied: true, FailedAt: -1}
 	type undo struct {
 		u       store.Update
@@ -510,7 +569,7 @@ func (co *Coordinator) ApplyBatch(updates []store.Update) (core.BatchReport, err
 // Report renders the statistics as a small table, the measured
 // counterpart of dist.System.Report.
 func (co *Coordinator) Report() string {
-	st := co.stats
+	st := co.Stats()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "updates: %d  rejected: %d  unavailable: %d  decided-locally: %d\n",
 		st.Updates, st.Rejected, st.Unavailable, st.DecidedLocally)

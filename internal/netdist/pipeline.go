@@ -1,0 +1,133 @@
+package netdist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// This file is the coordinator's pipelined arm: ApplyStream and the
+// ApplyWorkers > 1 path of ApplyBatch push updates through the
+// conflict-aware scheduler (internal/sched) so that independent updates
+// overlap their phase-1–3 checks and site RPCs — the wire wait of one
+// update hides behind the local work and wire waits of others — while
+// conflicting updates keep strict admission order. Verdicts and the
+// final global state are identical to the sequential arm; only the
+// interleaving of independent updates (and therefore throughput under
+// latency) changes.
+
+// StreamResult pairs one streamed update's report and error.
+type StreamResult struct {
+	Report core.Report
+	Err    error
+}
+
+// ApplyStream applies a stream of independently-fated updates — the
+// concurrent counterpart of a sequential loop of Apply calls, with no
+// batch atomicity: a rejected or failed update rolls back alone and the
+// rest proceed. workers <= 1 (or a checker that refuses concurrent
+// applies) runs the plain loop; otherwise the scheduler dispatches
+// non-conflicting updates to a worker pool and serializes conflicting
+// ones in admission order, so per-update verdicts and the final state
+// match the sequential loop exactly.
+func (co *Coordinator) ApplyStream(updates []store.Update, workers int) []StreamResult {
+	out := make([]StreamResult, len(updates))
+	if workers <= 1 || !co.Checker.ConcurrentApplySafe() {
+		for i, u := range updates {
+			out[i].Report, out[i].Err = co.Apply(u)
+		}
+		return out
+	}
+	s := sched.New(sched.Options{Workers: workers, Metrics: sched.NewMetrics(co.opts.Metrics, "netdist")})
+	ix := co.Checker.Footprints()
+	for i, u := range updates {
+		i, u := i, u
+		s.Submit(ix.Update(u), func(sched.Info) {
+			out[i].Report, out[i].Err = co.Apply(u)
+		})
+	}
+	s.Close()
+	return out
+}
+
+// applyBatchPipelined is ApplyBatch on the scheduler: every update runs
+// as one task (conflicting tasks in admission order), and the batch
+// stays atomic — any rejection or error rolls back every applied update,
+// locally and at its owning site, in reverse completion order.
+//
+// Equivalence to the sequential path: updates before the first bad index
+// see exactly the sequential verdicts (conflict-serializability in
+// admission order), so the first rejection lands at the same index with
+// the same reports. The one divergence mirrors serve's non-atomic batch:
+// updates past the failure have already been dispatched here — but they
+// are rolled back with everything else, so the committed outcome is
+// bit-identical to the sequential arm's.
+func (co *Coordinator) applyBatchPipelined(updates []store.Update, workers int) (core.BatchReport, error) {
+	br := core.BatchReport{Applied: true, FailedAt: -1}
+	n := len(updates)
+	if n == 0 {
+		return br, nil
+	}
+	reports := make([]core.Report, n)
+	errs := make([]error, n)
+	type applied struct {
+		idx     int
+		changed bool
+	}
+	var mu sync.Mutex
+	var done []applied // completion order of successful applies
+	s := sched.New(sched.Options{Workers: workers, Metrics: sched.NewMetrics(co.opts.Metrics, "netdist")})
+	ix := co.Checker.Footprints()
+	for i, u := range updates {
+		i, u := i, u
+		s.Submit(ix.Update(u), func(sched.Info) {
+			// Same-fingerprint writers are serialized by the scheduler, so
+			// the membership probe cannot interleave with a conflicting
+			// apply.
+			changes := co.mirror.Contains(u.Relation, u.Tuple) != u.Insert
+			reports[i], errs[i] = co.Apply(u)
+			if errs[i] == nil && reports[i].Applied {
+				mu.Lock()
+				done = append(done, applied{i, changes})
+				mu.Unlock()
+			}
+		})
+	}
+	s.Close()
+
+	bad := -1
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || !reports[i].Applied {
+			bad = i
+			break
+		}
+	}
+	if bad < 0 {
+		br.Reports = reports
+		return br, nil
+	}
+	for k := len(done) - 1; k >= 0; k-- {
+		if !done[k].changed {
+			continue
+		}
+		u := updates[done[k].idx]
+		co.undoMirror(u)
+		if site, remote := co.siteOf[u.Relation]; remote {
+			inv := &Request{Type: OpApply, Relation: u.Relation, Insert: !u.Insert, Tuple: EncodeTuple(u.Tuple)}
+			if _, err := co.call(site, inv); err != nil {
+				return br, fmt.Errorf("netdist: batch rollback of %s: %w", u, err)
+			}
+		}
+	}
+	if errs[bad] != nil {
+		br.Reports = reports[:bad]
+		return br, errs[bad]
+	}
+	br.Applied = false
+	br.FailedAt = bad
+	br.Reports = reports[:bad+1]
+	return br, nil
+}

@@ -203,6 +203,19 @@ func (cv *CounterVec) With(values ...string) *Counter {
 	return cv.f.with(values, func() any { return &Counter{} }).(*Counter)
 }
 
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, typeGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	return gv.f.with(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
 // HistogramVec is a histogram family keyed by label values.
 type HistogramVec struct{ f *family }
 

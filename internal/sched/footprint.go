@@ -1,0 +1,274 @@
+// Package sched schedules constraint-checked updates for concurrent
+// apply. The paper's locality result — most updates are decided from a
+// small footprint of the database — has a scheduling corollary: two
+// updates whose footprints are disjoint commute, so they may be checked
+// and applied in parallel without changing any verdict or the final
+// store state. This package computes those footprints symbolically from
+// the constraint set (the same update-pattern analysis internal/residual
+// compiles from) and runs a conflict-aware worker pool that dispatches
+// independent updates concurrently while serializing conflicting ones in
+// admission order. The result is serializable in admission order:
+// verdicts and final state are identical to a single worker applying the
+// same stream sequentially.
+package sched
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/classify"
+	"repro/internal/residual"
+	"repro/internal/store"
+)
+
+// Write is one tuple-level write: the relation plus the tuple's interned
+// projection fingerprint. Two writes to the same relation with different
+// fingerprints are disjoint under set semantics (insert/delete of
+// different tuples commute); same-fingerprint writes conflict because
+// insert-then-delete and delete-then-insert diverge.
+type Write struct {
+	Relation string
+	FP       uint64
+}
+
+// Footprint is the read/write set of one scheduled task. Reads are
+// whole relations — the constraint bodies an update's check may consult;
+// tuple-level refinement of reads is unsound because a residual probe
+// ranges over the whole read relation. Writes are tuple-level. A Barrier
+// footprint conflicts with everything (used for batches that must see a
+// quiescent store, stats snapshots, and unknown update patterns).
+type Footprint struct {
+	Barrier bool
+	Writes  []Write
+	Reads   []string
+}
+
+// Union merges o into f (set semantics); used to footprint atomic
+// batches as a single task.
+func (f Footprint) Union(o Footprint) Footprint {
+	out := Footprint{Barrier: f.Barrier || o.Barrier}
+	seenW := map[Write]bool{}
+	for _, w := range append(append([]Write{}, f.Writes...), o.Writes...) {
+		if !seenW[w] {
+			seenW[w] = true
+			out.Writes = append(out.Writes, w)
+		}
+	}
+	seenR := map[string]bool{}
+	for _, r := range append(append([]string{}, f.Reads...), o.Reads...) {
+		if !seenR[r] {
+			seenR[r] = true
+			out.Reads = append(out.Reads, r)
+		}
+	}
+	sort.Strings(out.Reads)
+	return out
+}
+
+// Barrier returns a footprint that conflicts with every other task.
+func Barrier() Footprint { return Footprint{Barrier: true} }
+
+// Conflicts reports whether the two footprints may not be reordered:
+// either is a barrier, they write the same tuple of the same relation
+// (WW), or one writes a relation the other reads (RW/WR). Read/read
+// overlap is not a conflict.
+func (f Footprint) Conflicts(o Footprint) bool {
+	if f.Barrier || o.Barrier {
+		return true
+	}
+	for _, w := range f.Writes {
+		for _, x := range o.Writes {
+			if w == x {
+				return true
+			}
+		}
+		for _, r := range o.Reads {
+			if w.Relation == r {
+				return true
+			}
+		}
+	}
+	for _, w := range o.Writes {
+		for _, r := range f.Reads {
+			if w.Relation == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IndexOptions mirror the backing checker's A/B switches, because the
+// read set of an update is exactly the data the checker's enabled phases
+// may consult for it.
+type IndexOptions struct {
+	// Residual: the checker dispatches eligible update patterns to
+	// compiled residuals, which read only the harmful-occurrence
+	// disjunct bodies. Off, every undecided pattern may reach phase 3 /
+	// global evaluation, which read every stored relation the constraint
+	// mentions (including the updated one).
+	Residual bool
+	// Polarity: phase 1.5 is enabled (core.Options.DisableUpdateOnly
+	// unset), so monotone-safe patterns are decided without reading any
+	// data.
+	Polarity bool
+}
+
+// Index derives and memoizes footprints per update pattern (relation +
+// polarity) for a fixed constraint set. Safe for concurrent use. A
+// checker whose constraint set changes must discard its index (see
+// core.Checker.Footprints).
+type Index struct {
+	progs []*ast.Program
+	opts  IndexOptions
+
+	mu   sync.RWMutex
+	memo map[patKey][]string
+}
+
+type patKey struct {
+	rel    string
+	insert bool
+}
+
+// NewIndex builds a footprint index over the constraint programs.
+func NewIndex(progs []*ast.Program, opts IndexOptions) *Index {
+	return &Index{progs: progs, opts: opts, memo: map[patKey][]string{}}
+}
+
+// Update footprints a single update: one tuple-level write plus the
+// union over all constraints of the relations the update's check may
+// read.
+func (ix *Index) Update(u store.Update) Footprint {
+	return Footprint{
+		Writes: []Write{{Relation: u.Relation, FP: u.Tuple.Fingerprint()}},
+		Reads:  ix.readsFor(u.Relation, u.Insert),
+	}
+}
+
+// Batch footprints a set of updates checked and applied as one atomic
+// task.
+func (ix *Index) Batch(us []store.Update) Footprint {
+	var f Footprint
+	for _, u := range us {
+		f = f.Union(ix.Update(u))
+	}
+	return f
+}
+
+func (ix *Index) readsFor(rel string, insert bool) []string {
+	k := patKey{rel, insert}
+	ix.mu.RLock()
+	reads, ok := ix.memo[k]
+	ix.mu.RUnlock()
+	if ok {
+		return reads
+	}
+	set := map[string]bool{}
+	for _, prog := range ix.progs {
+		progReads(prog, rel, insert, ix.opts, set)
+	}
+	reads = make([]string, 0, len(set))
+	for r := range set {
+		reads = append(reads, r)
+	}
+	sort.Strings(reads)
+	ix.mu.Lock()
+	ix.memo[k] = reads
+	ix.mu.Unlock()
+	return reads
+}
+
+// progReads accumulates into set the relations a check of the (rel,
+// insert) pattern against prog may read, mirroring the checker's phase
+// ladder:
+//
+//   - phase 1: a constraint that never mentions rel is unaffected — no
+//     reads;
+//   - phase 1.5: a monotone-safe pattern is certified from polarity
+//     alone — no reads;
+//   - residual dispatch: an eligible pattern reads only the other
+//     literals of each harmful-occurrence disjunct (Nicolas' residual —
+//     the body minus the occurrence unified with the update);
+//   - otherwise the pattern may fall through to phase 3 or global
+//     evaluation, which read every stored relation in the constraint
+//     (conservatively including rel itself: phase 3 scans the local
+//     relation and global evaluation re-derives panic from all of them).
+func progReads(prog *ast.Program, rel string, insert bool, opts IndexOptions, set map[string]bool) {
+	if !mentionsRel(prog, rel) {
+		return
+	}
+	if opts.Polarity && classify.UpdateMonotoneSafe(prog, ast.PanicPred, rel, insert) {
+		return
+	}
+	if opts.Residual {
+		if sh := residual.DeriveShape(prog, rel, insert); sh.Eligible {
+			if sh.Arity < 0 {
+				return // no harmful occurrence: trivially safe, no reads
+			}
+			for _, r := range prog.Rules {
+				for oi, l := range r.Body {
+					if !harmfulOccurrence(l, rel, insert) {
+						continue
+					}
+					for bi, m := range r.Body {
+						if bi != oi && !m.IsComp() {
+							set[m.Atom.Pred] = true
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	for _, e := range edbPreds(prog) {
+		set[e] = true
+	}
+}
+
+// mentionsRel reports whether any body literal of prog names rel
+// (phase 1's test).
+func mentionsRel(prog *ast.Program, rel string) bool {
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if !l.IsComp() && l.Atom.Pred == rel {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// harmfulOccurrence mirrors residual compilation: positive occurrences
+// for inserts, negated ones for deletes.
+func harmfulOccurrence(l ast.Literal, rel string, insert bool) bool {
+	if l.IsComp() || l.Atom.Pred != rel {
+		return false
+	}
+	if insert {
+		return l.IsPos()
+	}
+	return l.IsNeg()
+}
+
+// edbPreds returns the body predicates not defined by any rule head —
+// the stored relations the constraint evaluates over.
+func edbPreds(prog *ast.Program) []string {
+	heads := map[string]bool{}
+	for _, r := range prog.Rules {
+		heads[r.Head.Pred] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			if l.IsComp() || heads[l.Atom.Pred] || seen[l.Atom.Pred] {
+				continue
+			}
+			seen[l.Atom.Pred] = true
+			out = append(out, l.Atom.Pred)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func fpOf(writes []Write, reads ...string) Footprint {
+	return Footprint{Writes: writes, Reads: reads}
+}
+
+func TestFootprintConflicts(t *testing.T) {
+	wX1 := []Write{{Relation: "x", FP: 1}}
+	wX2 := []Write{{Relation: "x", FP: 2}}
+	wY1 := []Write{{Relation: "y", FP: 1}}
+	cases := []struct {
+		name string
+		a, b Footprint
+		want bool
+	}{
+		{"ww same tuple", fpOf(wX1), fpOf(wX1), true},
+		{"ww same relation different tuple", fpOf(wX1), fpOf(wX2), false},
+		{"ww different relations", fpOf(wX1), fpOf(wY1), false},
+		{"rw writer vs reader", fpOf(wX1), fpOf(wY1, "x"), true},
+		{"wr reader vs writer", fpOf(wY1, "x"), fpOf(wX2), true},
+		{"read read overlap", fpOf(wX1, "z"), fpOf(wY1, "z"), false},
+		{"barrier vs anything", Barrier(), fpOf(wX1), true},
+		{"anything vs barrier", fpOf(wY1), Barrier(), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Conflicts(c.b); got != c.want {
+				t.Fatalf("Conflicts(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+			if got := c.b.Conflicts(c.a); got != c.want {
+				t.Fatalf("Conflicts is not symmetric on (%v, %v)", c.a, c.b)
+			}
+		})
+	}
+}
+
+func TestFootprintUnion(t *testing.T) {
+	a := fpOf([]Write{{"x", 1}}, "r")
+	b := fpOf([]Write{{"x", 1}, {"y", 2}}, "r", "s")
+	u := a.Union(b)
+	if len(u.Writes) != 2 {
+		t.Fatalf("union writes = %v, want deduped 2", u.Writes)
+	}
+	if !reflect.DeepEqual(u.Reads, []string{"r", "s"}) {
+		t.Fatalf("union reads = %v, want [r s]", u.Reads)
+	}
+	if !a.Union(Barrier()).Barrier {
+		t.Fatal("union with barrier lost the barrier")
+	}
+}
+
+// The interval-point exclusion constraint D1 drives most benchmarks:
+// inserting into l must re-check against r and vice versa, while
+// deletions are monotone-safe.
+const fiSrc = `panic :- l(X, Y) & r(Z) & X <= Z & Z <= Y.`
+
+func TestIndexResidualReads(t *testing.T) {
+	prog := parser.MustParseProgram(fiSrc)
+	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true})
+
+	cases := []struct {
+		rel    string
+		insert bool
+		want   []string
+	}{
+		{"l", true, []string{"r"}}, // residual disjunct body
+		{"r", true, []string{"l"}},
+		{"l", false, nil}, // monotone-safe: deletes cannot violate
+		{"r", false, nil},
+		{"unrelated", true, nil}, // phase 1: not mentioned
+	}
+	for _, c := range cases {
+		got := ix.readsFor(c.rel, c.insert)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("readsFor(%s, insert=%v) = %v, want %v", c.rel, c.insert, got, c.want)
+		}
+	}
+}
+
+func TestIndexConservativeWithoutResidual(t *testing.T) {
+	prog := parser.MustParseProgram(fiSrc)
+	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: false, Polarity: true})
+	got := ix.readsFor("l", true)
+	if !reflect.DeepEqual(got, []string{"l", "r"}) {
+		t.Fatalf("conservative reads = %v, want every EDB relation [l r]", got)
+	}
+	// Phase 1.5 still certifies deletions without reading anything.
+	if got := ix.readsFor("l", false); len(got) != 0 {
+		t.Fatalf("monotone-safe delete reads = %v, want none", got)
+	}
+}
+
+func TestIndexIDBFallsBackToConservative(t *testing.T) {
+	// A helper predicate makes the constraint residual-ineligible, so
+	// even with residual dispatch on the read set must cover every EDB
+	// relation (the pipeline may reach phase 3 / global evaluation).
+	prog := parser.MustParseProgram(`
+		covered(Z) :- l(Z, Y) & Z <= Y.
+		panic :- r(Z) & covered(Z).
+	`)
+	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true})
+	got := ix.readsFor("r", true)
+	if !reflect.DeepEqual(got, []string{"l", "r"}) {
+		t.Fatalf("IDB constraint reads = %v, want [l r]", got)
+	}
+}
+
+func TestIndexSecondOccurrenceKeepsOwnRelation(t *testing.T) {
+	// Overlapping-interval constraint: inserting into l must re-check
+	// against the *other* l tuples, so l stays in its own read set.
+	prog := parser.MustParseProgram(`panic :- l(X, Y) & l(U, V) & X < U & U < Y.`)
+	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true})
+	got := ix.readsFor("l", true)
+	if !reflect.DeepEqual(got, []string{"l"}) {
+		t.Fatalf("self-join reads = %v, want [l]", got)
+	}
+}
+
+func TestIndexUpdateFootprint(t *testing.T) {
+	prog := parser.MustParseProgram(fiSrc)
+	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true})
+	tup := relation.Ints(1, 5)
+	f := ix.Update(store.Ins("l", tup))
+	if len(f.Writes) != 1 || f.Writes[0].Relation != "l" || f.Writes[0].FP != tup.Fingerprint() {
+		t.Fatalf("update writes = %v, want l@%d", f.Writes, tup.Fingerprint())
+	}
+	if !reflect.DeepEqual(f.Reads, []string{"r"}) {
+		t.Fatalf("update reads = %v, want [r]", f.Reads)
+	}
+
+	// Two inserts of distinct tuples into l are independent; an insert
+	// into r conflicts with both.
+	g := ix.Update(store.Ins("l", relation.Ints(7, 9)))
+	if f.Conflicts(g) {
+		t.Fatal("distinct l inserts should not conflict")
+	}
+	h := ix.Update(store.Ins("r", relation.Ints(3)))
+	if !f.Conflicts(h) || !g.Conflicts(h) {
+		t.Fatal("r insert must conflict with l inserts (RW on both sides)")
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics are the cc_sched_* instrument handles for one scheduler. The
+// families are shared across layers (serve, netdist) and distinguished
+// by the layer label, so building two Metrics on one registry is fine.
+type Metrics struct {
+	// Tasks counts submitted tasks (cc_sched_tasks_total).
+	Tasks *obs.Counter
+	// ConflictStalls counts tasks admitted behind at least one
+	// conflicting in-flight task (cc_sched_conflict_stalls_total).
+	ConflictStalls *obs.Counter
+	// Inflight gauges admitted-but-unfinished tasks (cc_sched_inflight).
+	Inflight *obs.Gauge
+	// WorkersBusy gauges workers currently running a task
+	// (cc_sched_workers_busy).
+	WorkersBusy *obs.Gauge
+	// Wait distributes admission-to-dispatch delay in seconds
+	// (cc_sched_wait_seconds).
+	Wait *obs.Histogram
+	// Footprint distributes the conflict-scan time of Submit in seconds
+	// (cc_sched_footprint_seconds).
+	Footprint *obs.Histogram
+}
+
+// footprintBuckets: the conflict scan is a memory-bound walk over the
+// in-flight set — microseconds, not milliseconds.
+var footprintBuckets = []float64{
+	1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 1e-3,
+}
+
+// NewMetrics registers (or fetches) the cc_sched_* families on reg and
+// returns the handles for the given layer label ("serve", "netdist").
+// Nil reg returns nil, which disables instrumentation.
+func NewMetrics(reg *obs.Registry, layer string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Tasks: reg.CounterVec("cc_sched_tasks_total",
+			"Tasks submitted to the conflict-aware apply scheduler.", "layer").With(layer),
+		ConflictStalls: reg.CounterVec("cc_sched_conflict_stalls_total",
+			"Tasks admitted behind at least one conflicting in-flight task.", "layer").With(layer),
+		Inflight: reg.GaugeVec("cc_sched_inflight",
+			"Admitted, not yet finished scheduler tasks.", "layer").With(layer),
+		WorkersBusy: reg.GaugeVec("cc_sched_workers_busy",
+			"Apply workers currently running a task.", "layer").With(layer),
+		Wait: reg.HistogramVec("cc_sched_wait_seconds",
+			"Admission-to-dispatch delay per task.", nil, "layer").With(layer),
+		Footprint: reg.HistogramVec("cc_sched_footprint_seconds",
+			"Footprint conflict-scan time per submission.", footprintBuckets, "layer").With(layer),
+	}
+}
+
+// observeSubmit records one submission's conflict-scan cost and stall
+// status.
+func (m *Metrics) observeSubmit(scan time.Duration, stalled bool) {
+	m.Tasks.Inc()
+	m.Footprint.Observe(scan.Seconds())
+	if stalled {
+		m.ConflictStalls.Inc()
+	}
+}

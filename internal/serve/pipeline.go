@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// This file is the pipelined arm of the server (Config.ApplyWorkers >
+// 1): instead of one worker goroutine draining the queue inline, a
+// dispatcher footprints every task and submits it to the conflict-aware
+// scheduler. The scheduler guarantees that conflicting tasks run in
+// admission order, so the arm answers every request with the same
+// verdict — and leaves the store in the same final state — as the
+// sequential arm would for the same admitted stream; only the
+// interleaving of *independent* requests (and therefore throughput)
+// changes. One semantic caveat is documented on submitBatch.
+
+// dispatcher drains the queue, turning each task into one scheduler
+// submission (non-atomic batches become one submission per update).
+// When Close closes the queue it drains the scheduler, preserving the
+// answer-everything-queued guarantee.
+func (s *Server) dispatcher() {
+	defer close(s.workerDone)
+	for t := range s.queue {
+		t := t
+		if t.op == opBatch && !t.atomic {
+			s.submitBatch(t)
+			continue
+		}
+		s.sched.Submit(s.footprintFor(t), func(info sched.Info) { s.runTask(t, info) })
+	}
+	s.sched.Close()
+}
+
+// footprintFor derives the scheduler footprint of one task. Check
+// includes the tuple write even though it undoes it: the transient
+// mutation must not interleave with a reader of the relation. Stats is
+// a barrier so the snapshot reflects a quiescent backend, exactly like
+// the sequential arm's queue position did.
+func (s *Server) footprintFor(t *task) sched.Footprint {
+	switch t.op {
+	case opCheck, opApply:
+		return s.fpb.Footprints().Update(t.u)
+	case opBatch: // atomic: one all-or-nothing task
+		return s.fpb.Footprints().Batch(t.us)
+	}
+	return sched.Barrier()
+}
+
+// runTask executes one scheduled task — the pipelined counterpart of
+// the worker loop body. The span bridge is single-flight by design, so
+// the checker runs untraced here; requests instead carry a sched.wait
+// child span whenever the task stalled behind a conflicting one.
+func (s *Server) runTask(t *task, info sched.Info) {
+	if s.cfg.workerGate != nil {
+		<-s.cfg.workerGate
+	}
+	if s.met != nil {
+		s.met.queueDepth.Set(int64(len(s.queue)))
+	}
+	start := time.Now()
+	var decide *obs.Span
+	if t.span != nil {
+		s.cfg.Spans.RecordChild(t.span, "queue.wait", t.enqueued, start.Sub(t.enqueued), nil, "")
+		if info.Conflicts > 0 {
+			s.cfg.Spans.RecordChild(t.span, "sched.wait", start.Add(-info.Wait), info.Wait,
+				map[string]string{"conflicts": strconv.Itoa(info.Conflicts)}, "")
+		}
+		if t.op != opStats {
+			decide = s.cfg.Spans.StartChild(t.span, "decide")
+		}
+	}
+	var res taskResult
+	switch t.op {
+	case opCheck:
+		res.rep, res.err = s.chk.Check(t.u)
+	case opApply:
+		res.rep, res.err = s.chk.Apply(t.u)
+	case opBatch:
+		res.batch, res.err = s.runBatch(t.us, t.atomic)
+	case opStats:
+		res.stats = s.chk.Stats()
+	}
+	if decide != nil {
+		if res.err != nil {
+			decide.SetError(res.err.Error())
+		}
+		decide.End()
+	}
+	dur := time.Since(start)
+	s.observeEWMA(dur)
+	if t.op != opStats {
+		s.logTask(t, res, dur)
+	}
+	t.reply <- res
+}
+
+// submitBatch decomposes a non-atomic batch into one scheduler task per
+// update, so independent updates of the same batch pipeline like
+// independent requests; the reply is assembled by whichever task
+// finishes last. Verdicts and final state match the sequential arm for
+// error-free streams; the one divergence is a backend *error* (not a
+// violation) mid-batch, after which the sequential arm stops attempting
+// the remaining updates while this arm has already dispatched them —
+// the outcome still reports the first error at its index, and every
+// update's fate is in the decision log either way.
+func (s *Server) submitBatch(t *task) {
+	n := len(t.us)
+	if n == 0 {
+		t.reply <- taskResult{batch: BatchOutcome{FailedAt: -1}}
+		return
+	}
+	start := time.Now()
+	if t.span != nil {
+		s.cfg.Spans.RecordChild(t.span, "queue.wait", t.enqueued, start.Sub(t.enqueued), nil, "")
+	}
+	reports := make([]core.Report, n)
+	errs := make([]error, n)
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	ix := s.fpb.Footprints()
+	for i, u := range t.us {
+		i, u := i, u
+		s.sched.Submit(ix.Update(u), func(sched.Info) {
+			if s.cfg.workerGate != nil {
+				<-s.cfg.workerGate
+			}
+			reports[i], errs[i] = s.chk.Apply(u)
+			if remaining.Add(-1) == 0 {
+				s.finishBatch(t, reports, errs, start)
+			}
+		})
+	}
+}
+
+// finishBatch assembles the non-atomic batch outcome in request order —
+// identical aggregation to the sequential loop — and replies.
+func (s *Server) finishBatch(t *task, reports []core.Report, errs []error, start time.Time) {
+	var res taskResult
+	res.batch = BatchOutcome{FailedAt: -1}
+	for i := range reports {
+		if errs[i] != nil {
+			res.err = errs[i]
+			break
+		}
+		res.batch.Reports = append(res.batch.Reports, reports[i])
+		if reports[i].Applied {
+			res.batch.Applied++
+		}
+	}
+	dur := time.Since(start)
+	if t.span != nil {
+		s.cfg.Spans.RecordChild(t.span, "decide", start, dur,
+			map[string]string{"batch": strconv.Itoa(len(t.us))}, "")
+	}
+	s.observeEWMA(dur)
+	s.logTask(t, res, dur)
+	t.reply <- res
+}

@@ -1,8 +1,11 @@
 // Package serve is the decision-service subsystem: a long-lived front
 // end that exposes the staged checking pipeline to real traffic. A
 // Server wraps one core.Checker behind a bounded request queue drained
-// by a single worker (the checker's mutating calls are one-at-a-time by
-// contract), with
+// either by a single worker (the sequential arm, Config.ApplyWorkers <=
+// 1) or by a conflict-aware apply scheduler (internal/sched) that runs
+// non-conflicting requests concurrently while serializing conflicting
+// ones in admission order — same verdicts, same final store, higher
+// throughput. Either way the server provides
 //
 //   - backpressure: a full queue rejects immediately with a BusyError
 //     carrying a Retry-After estimate derived from the queue depth and
@@ -34,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -101,8 +105,21 @@ type Config struct {
 	// SpanBridge, when non-nil alongside Spans, is the bridge installed
 	// as the checker's Tracer: the worker points it at the active
 	// request's decision span before driving the backend and clears it
-	// after, so checker phase events nest under the right request.
+	// after, so checker phase events nest under the right request. The
+	// bridge is single-flight by design, so only the sequential arm uses
+	// it; with ApplyWorkers > 1 the checker runs untraced and requests
+	// carry sched.wait/decide envelope spans instead.
 	SpanBridge *obs.SpanBridge
+
+	// ApplyWorkers sizes the conflict-aware apply scheduler: requests
+	// whose footprints do not conflict are decided concurrently by this
+	// many workers, conflicting ones run in admission order. 0 or 1
+	// keeps the sequential single-worker arm (the A/B baseline).
+	// Values > 1 require a backend that exposes footprints and admits
+	// concurrent applies (FootprintBackend — *core.Checker and
+	// netdist.ServeBackend both qualify); otherwise the server falls
+	// back to the sequential arm.
+	ApplyWorkers int
 
 	// workerGate, when non-nil, is received from before each task is
 	// executed — a test hook to hold the worker mid-queue.
@@ -203,14 +220,30 @@ type BatchOutcome struct {
 // Backend is the decision engine a Server fronts. *core.Checker
 // satisfies it directly (the single-checker deployment);
 // netdist.ServeBackend adapts a distributed Coordinator so the same
-// server can front a multi-site system. The server drives the backend
-// only from its single worker goroutine, preserving the checker's
-// one-mutator-at-a-time contract.
+// server can front a multi-site system. On the sequential arm the
+// server drives the backend only from its single worker goroutine; the
+// pipelined arm (Config.ApplyWorkers > 1) requires FootprintBackend.
 type Backend interface {
 	Check(store.Update) (core.Report, error)
 	Apply(store.Update) (core.Report, error)
 	ApplyBatch([]store.Update) (core.BatchReport, error)
 	Stats() core.Stats
+}
+
+// FootprintBackend is a Backend that can be driven by more than one
+// apply worker: it derives per-update footprints for conflict detection
+// and guarantees that concurrent calls for non-conflicting updates are
+// equivalent to some sequential order. *core.Checker and
+// netdist.ServeBackend implement it.
+type FootprintBackend interface {
+	Backend
+	// Footprints returns the backend's current footprint index; called
+	// per request, so constraint-set changes are picked up.
+	Footprints() *sched.Index
+	// ConcurrentApplySafe reports whether the backend's configuration
+	// admits concurrent applies at all (core.Checker's incremental mode
+	// does not).
+	ConcurrentApplySafe() bool
 }
 
 // Server is the decision service. All exported methods are safe for
@@ -219,6 +252,13 @@ type Backend interface {
 type Server struct {
 	chk Backend
 	cfg Config
+
+	// fpb and sched are set on the pipelined arm (effective
+	// ApplyWorkers > 1): the dispatcher footprints each task through fpb
+	// and submits it to the scheduler instead of running it inline.
+	fpb          FootprintBackend
+	sched        *sched.Scheduler
+	applyWorkers int // effective worker count (1 on the sequential arm)
 
 	mu       sync.RWMutex // excludes enqueue vs Close's queue close
 	draining bool
@@ -266,9 +306,29 @@ func New(chk Backend, cfg Config) *Server {
 	if cfg.DecisionLog != nil {
 		s.dlog = newDecisionLog(cfg.DecisionLog, cfg.DecisionLogDepth)
 	}
+	s.applyWorkers = 1
+	if cfg.ApplyWorkers > 1 {
+		if fb, ok := chk.(FootprintBackend); ok && fb.ConcurrentApplySafe() {
+			s.fpb = fb
+			s.applyWorkers = cfg.ApplyWorkers
+			s.sched = sched.New(sched.Options{
+				Workers: cfg.ApplyWorkers,
+				Metrics: sched.NewMetrics(cfg.Metrics, "serve"),
+			})
+			go s.dispatcher()
+			return s
+		}
+		// No footprints (or a configuration that forbids concurrent
+		// applies): fall back to the sequential arm rather than fail.
+	}
 	go s.worker()
 	return s
 }
+
+// ApplyWorkers returns the effective apply-pool width (1 on the
+// sequential arm, including fallbacks from an unsatisfiable
+// Config.ApplyWorkers).
+func (s *Server) ApplyWorkers() int { return s.applyWorkers }
 
 // Check decides the update without applying it.
 func (s *Server) Check(client string, u store.Update) (core.Report, error) {
@@ -441,12 +501,24 @@ func (s *Server) worker() {
 			decide.End()
 		}
 		dur := time.Since(start)
-		prev := s.ewmaNanos.Load()
-		s.ewmaNanos.Store(prev - prev/8 + int64(dur)/8)
+		s.observeEWMA(dur)
 		if t.op != opStats {
 			s.logTask(t, res, dur)
 		}
 		t.reply <- res
+	}
+}
+
+// observeEWMA folds one task's service time into the Retry-After
+// estimate (α = 1/8). CAS because pipelined apply workers observe
+// concurrently; the sequential worker is just the uncontended case.
+func (s *Server) observeEWMA(dur time.Duration) {
+	for {
+		prev := s.ewmaNanos.Load()
+		next := prev - prev/8 + int64(dur)/8
+		if s.ewmaNanos.CompareAndSwap(prev, next) {
+			return
+		}
 	}
 }
 
@@ -542,15 +614,28 @@ type Stats struct {
 	QueueDepth       int              `json:"queue_depth"`
 	DecisionLogDrops int64            `json:"decision_log_drops"`
 	Draining         bool             `json:"draining"`
+	// ApplyWorkers is the effective apply-pool width (1 = sequential
+	// arm). The sched_* counters are zero on the sequential arm.
+	ApplyWorkers        int   `json:"apply_workers"`
+	SchedTasks          int64 `json:"sched_tasks"`
+	SchedConflictStalls int64 `json:"sched_conflict_stalls"`
+	SchedInflight       int   `json:"sched_inflight"`
 }
 
 // Stats snapshots the server-level counters without touching the queue.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Requests:   map[string]int64{},
-		Rejections: map[string]int64{},
-		QueueDepth: len(s.queue),
-		Draining:   s.Draining(),
+		Requests:     map[string]int64{},
+		Rejections:   map[string]int64{},
+		QueueDepth:   len(s.queue),
+		Draining:     s.Draining(),
+		ApplyWorkers: s.applyWorkers,
+	}
+	if s.sched != nil {
+		ss := s.sched.Stats()
+		st.SchedTasks = ss.Tasks
+		st.SchedConflictStalls = ss.ConflictStalls
+		st.SchedInflight = ss.Inflight
 	}
 	for op := opCheck; op <= opStats; op++ {
 		st.Requests[op.endpoint()] = s.requests[op].Load()

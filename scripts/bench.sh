@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Runs the key pipeline benchmarks (-count=5 each) and emits
-# BENCH_pipeline.json, then the networked-runtime benchmarks
-# (BENCH_net.json), then the tracing-overhead benchmarks
-# (BENCH_obs.json), then the indexed-join benchmarks (BENCH_eval.json),
-# then the plan-cache benchmarks (BENCH_plan.json), then the
-# residual-dispatch benchmarks (BENCH_residual.json), then the
+# Runs the benchmark families (-count=5 each) and emits one JSON file
+# per family: BENCH_pipeline.json (conflict-aware apply scheduling:
+# BenchmarkServePipeline's sequential-vs-pipelined arms plus the
+# BenchmarkNetDistLoopback arms — the evidence for the ≥2.5x pipelined
+# apply-throughput claim), BENCH_staged.json (the staged checking
+# pipeline: Theorem51 / DistributedStaged / ApplyParallel),
+# BENCH_net.json (networked runtime), BENCH_obs.json (tracing
+# overhead), BENCH_eval.json (indexed joins), BENCH_plan.json (plan
+# cache), BENCH_residual.json (residual dispatch), and the
 # sustained-load decision-server run (BENCH_serve.json via ccload): one
 # record per benchmark run with name, iterations, ns/op, B/op and
 # allocs/op, plus the git commit and UTC date the run was taken at,
@@ -50,8 +53,32 @@ bench_to_json() {
   echo "wrote $out ($(grep -c '"name"' "$out") runs)"
 }
 
+PIPE_JSON="${OUT:-BENCH_pipeline.json}"
+bench_to_json 'BenchmarkServePipeline$|BenchmarkNetDistLoopback$' "$PIPE_JSON"
+
+# Sequential-vs-pipelined summary: mean ns/op per arm read back from the
+# records just written, plus the headline speedup (ServePipeline is one
+# 64-update stream per op, so ns/op ratios are throughput ratios).
+awk -F'"' '
+  $2 == "name" && $4 ~ /ServePipeline|NetDistLoopback/ {
+    if (match($0, /"ns_per_op":[0-9]+/)) {
+      ns = substr($0, RSTART + 12, RLENGTH - 12)
+      sum[$4] += ns; cnt[$4]++
+    }
+  }
+  END {
+    for (n in sum) {
+      m = sum[n] / cnt[n]
+      printf "  %-58s %12.0f ns/op\n", n, m
+      if (n ~ /ServePipeline\/workers=1(-[0-9]+)?$/) seq = m
+      if (n ~ /ServePipeline\/workers=8(-[0-9]+)?$/) pipe = m
+    }
+    if (seq > 0 && pipe > 0)
+      printf "  pipelined apply throughput: %.2fx sequential (ServePipeline workers=8 vs workers=1)\n", seq / pipe
+  }' "$PIPE_JSON" | sort
+
 bench_to_json 'BenchmarkDistributedStaged$|BenchmarkTheorem51$|BenchmarkApplyParallel$' \
-  "${OUT:-BENCH_pipeline.json}"
+  "${STAGED_OUT:-BENCH_staged.json}"
 bench_to_json 'BenchmarkNetDistLoopback$|BenchmarkDistributedStaged$' \
   "${NET_OUT:-BENCH_net.json}"
 bench_to_json 'BenchmarkTraceOverhead$|BenchmarkSpanOverhead$|BenchmarkApplyResidual/residual$' \
@@ -69,5 +96,6 @@ SERVE_JSON="${SERVE_OUT:-BENCH_serve.json}"
 go run ./cmd/ccload \
   -streams "${SERVE_STREAMS:-10000}" -duration "${SERVE_DURATION:-5s}" \
   -ramp "${SERVE_RAMP:-1s}" -conns "${SERVE_CONNS:-512}" \
+  -apply-workers "${SERVE_APPLY_WORKERS:-1}" -conflict "${SERVE_CONFLICT:-0}" \
   -commit "$COMMIT" -date "$DATE" -out "$SERVE_JSON"
 echo "wrote $SERVE_JSON ($(grep -c '"name"' "$SERVE_JSON") records)"
