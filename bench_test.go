@@ -399,6 +399,95 @@ func BenchmarkNetDistLoopback(b *testing.B) {
 	b.Run("arm=pipelined8", func(b *testing.B) { benchNetDistLoopback(b, 8, 0) })
 	b.Run("arm=sequential/latency=500us", func(b *testing.B) { benchNetDistLoopback(b, 1, 500*time.Microsecond) })
 	b.Run("arm=pipelined8/latency=500us", func(b *testing.B) { benchNetDistLoopback(b, 8, 500*time.Microsecond) })
+
+	// Scale-out arms (BENCH_shard.json): the referential workload against
+	// a dept relation placed whole on one site, hash-sharded across 4 and
+	// 16 sites, and sharded with routing disabled (pure scatter-gather).
+	// Uniform keys; every update's probe is key-covered, so the sharded
+	// arms route it to the single owning shard.
+	b.Run("shard/sites=1/place=whole/lat=0us", func(b *testing.B) { benchNetDistShard(b, 1, "whole", 0) })
+	b.Run("shard/sites=4/place=whole/lat=0us", func(b *testing.B) { benchNetDistShard(b, 4, "whole", 0) })
+	b.Run("shard/sites=4/place=sharded/lat=0us", func(b *testing.B) { benchNetDistShard(b, 4, "sharded", 0) })
+	b.Run("shard/sites=4/place=scatter/lat=0us", func(b *testing.B) { benchNetDistShard(b, 4, "scatter", 0) })
+	b.Run("shard/sites=16/place=sharded/lat=0us", func(b *testing.B) { benchNetDistShard(b, 16, "sharded", 0) })
+	b.Run("shard/sites=1/place=whole/lat=500us", func(b *testing.B) { benchNetDistShard(b, 1, "whole", 500*time.Microsecond) })
+	b.Run("shard/sites=4/place=sharded/lat=500us", func(b *testing.B) { benchNetDistShard(b, 4, "sharded", 500*time.Microsecond) })
+	b.Run("shard/sites=16/place=sharded/lat=500us", func(b *testing.B) { benchNetDistShard(b, 16, "sharded", 500*time.Microsecond) })
+}
+
+// benchNetDistShard measures horizontal scale-out: 64 emp inserts, each
+// checked against a remotely-placed dept of 200 keys by the referential
+// constraint, streamed through 8 apply workers. The whole-relation
+// placement refreshes all of dept (one scan, ~200 tuples) per update —
+// more sites do not help it. The sharded placement's residual probe is
+// key-covered, so each update ships one key group from its owning shard;
+// scatter mode keeps the partitioning but disables routing, paying one
+// scan per shard instead. wire-tuples/op is the shipped-bytes story;
+// routed/scatter count the routing decisions.
+func benchNetDistShard(b *testing.B, sites int, mode string, latency time.Duration) {
+	const deptKeys, updates, workers = 200, 64, 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(7))
+		lb := netdist.NewLoopback()
+		rp := netdist.RelPlacement{KeyCol: 0}
+		stores := make([]*store.Store, sites)
+		for s := range stores {
+			site := fmt.Sprintf("site%d", s)
+			stores[s] = store.New()
+			lb.AddSite(site, netdist.NewServer(stores[s], []string{"dept"}))
+			if latency > 0 {
+				lb.SetLatency(site, latency)
+			}
+			rp.Shards = append(rp.Shards, netdist.ShardSpec{Leader: site})
+		}
+		if mode == "whole" {
+			rp = netdist.RelPlacement{Shards: rp.Shards[:1]}
+		}
+		place := netdist.Placement{"dept": rp}
+		for k := int64(0); k < deptKeys; k++ {
+			tu := relation.Ints(k)
+			si := 0
+			if rp.Sharded() {
+				si = place.ShardOf("dept", tu[0])
+			}
+			if _, err := stores[si].Insert("dept", tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+		co, err := netdist.NewPlaced(store.New(), place, lb, netdist.Options{
+			Checker:             core.Options{LocalRelations: []string{"emp"}},
+			DisableShardRouting: mode == "scatter",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := co.Checker.AddConstraintSource("ref", "panic :- emp(E, D) & not dept(D)."); err != nil {
+			b.Fatal(err)
+		}
+		us := make([]store.Update, updates)
+		for j := range us {
+			us[j] = store.Ins("emp", relation.Ints(int64(10_000+j), rng.Int63n(deptKeys)))
+		}
+		b.StartTimer()
+		for _, r := range co.ApplyStream(us, workers) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if !r.Report.Applied {
+				b.Fatal("admissible emp insert rejected")
+			}
+		}
+		b.StopTimer()
+		st := co.Stats()
+		b.ReportMetric(float64(st.WireTuples), "wire-tuples/op")
+		b.ReportMetric(float64(st.RoundTrips), "round-trips/op")
+		b.ReportMetric(float64(st.ShardRouted), "routed/op")
+		b.ReportMetric(float64(st.ShardScatter), "scatter/op")
+		b.StartTimer()
+	}
 }
 
 // --- Pipe: conflict-aware apply scheduling ----------------------------------

@@ -35,6 +35,14 @@
 // record carries the run's apply_workers and sched_conflict_stalls
 // deltas from /v1/stats, so a sequential-vs-pipelined A/B at varying
 // -conflict quantifies the scheduler's stall behaviour.
+//
+// -shards N (self-serve) hash-partitions r across N loopback sites
+// behind a netdist coordinator, and -skew S (Zipf exponent, > 1) draws
+// apply keys from one shared skewed band instead of per-stream uniform
+// bands — hot keys concentrate their writes on few shards, so the
+// per-shard footprint serialization shows up as conflict stalls. The
+// total record carries the run's shard_routed/shard_scatter deltas, so
+// uniform-vs-skewed arms quantify shard fanout under load.
 package main
 
 import (
@@ -53,6 +61,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netdist"
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/serve"
@@ -76,6 +85,8 @@ type loadConfig struct {
 	seed     int64
 	trace    float64
 	conflict float64
+	skew     float64
+	shards   int
 	workers  int
 	out      string
 	commit   string
@@ -97,6 +108,8 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	flag.Float64Var(&cfg.trace, "trace", 0.05, "fraction of requests carrying a sampled traceparent (0: none)")
 	flag.Float64Var(&cfg.conflict, "conflict", 0, "fraction of streams whose apply traffic writes one shared key band (conflicting updates; the rest write disjoint bands)")
+	flag.Float64Var(&cfg.skew, "skew", 0, "Zipf exponent (>1) for apply-arm key choice: all streams draw keys from one skewed band, concentrating writes on hot shard keys (0: uniform per-stream bands)")
+	flag.IntVar(&cfg.shards, "shards", 0, "self-serve: hash-shard r across this many loopback sites (0 or 1: local r as before); the total record carries shard_routed/shard_scatter deltas")
 	flag.IntVar(&cfg.workers, "apply-workers", 1, "self-serve apply workers (1: sequential arm; >1: conflict-aware pipelined arm)")
 	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty: stdout)")
 	flag.StringVar(&cfg.commit, "commit", "unknown", "git commit stamp for the report")
@@ -133,6 +146,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ccload: pipelined arm: %d apply workers, %d scheduled, %d conflict stalls (conflict=%.2f)\n",
 				rec.ApplyWorkers, rec.SchedTasks, rec.ConflictStalls, rec.Conflict)
 		}
+		if rec.Shards > 1 {
+			fmt.Fprintf(os.Stderr, "ccload: sharded arm: %d shards, %d routed, %d scatter (skew=%.2f)\n",
+				rec.Shards, rec.ShardRouted, rec.ShardScatter, rec.Skew)
+		}
 		if rec.Errors > 0 {
 			os.Exit(1)
 		}
@@ -156,8 +173,12 @@ type record struct {
 	Untraced       int64   `json:"untraced,omitempty"`
 	ApplyWorkers   int     `json:"apply_workers,omitempty"`
 	Conflict       float64 `json:"conflict,omitempty"`
+	Skew           float64 `json:"skew,omitempty"`
+	Shards         int     `json:"shards,omitempty"`
 	SchedTasks     int64   `json:"sched_tasks,omitempty"`
 	ConflictStalls int64   `json:"sched_conflict_stalls,omitempty"`
+	ShardRouted    int     `json:"shard_routed,omitempty"`
+	ShardScatter   int     `json:"shard_scatter,omitempty"`
 	Commit         string  `json:"commit"`
 	Date           string  `json:"date"`
 }
@@ -181,6 +202,12 @@ func run(cfg loadConfig) ([]record, error) {
 	weights, err := parseMix(cfg.mix)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.skew != 0 && cfg.skew <= 1 {
+		return nil, fmt.Errorf("-skew %v: the Zipf exponent must exceed 1 (0 disables)", cfg.skew)
+	}
+	if cfg.shards > 1 && cfg.addr != "" {
+		return nil, fmt.Errorf("-shards is a self-serve knob; it cannot reshape an external -addr server")
 	}
 	addr := cfg.addr
 	if addr == "" {
@@ -263,10 +290,14 @@ func run(cfg loadConfig) ([]record, error) {
 	tot := makeRecord("ServeLoad/total", total, cfg, elapsed, date)
 	tot.Traced, tot.Untraced = client.TraceCounts()
 	tot.Conflict = cfg.conflict
+	tot.Skew = cfg.skew
+	tot.Shards = cfg.shards
 	if post, err := client.Stats(); err == nil && preErr == nil {
 		tot.ApplyWorkers = post.Server.ApplyWorkers
 		tot.SchedTasks = post.Server.SchedTasks - pre.Server.SchedTasks
 		tot.ConflictStalls = post.Server.SchedConflictStalls - pre.Server.SchedConflictStalls
+		tot.ShardRouted = post.Server.ShardRouted - pre.Server.ShardRouted
+		tot.ShardScatter = post.Server.ShardScatter - pre.Server.ShardScatter
 	}
 	out = append(out, tot)
 	return out, nil
@@ -306,6 +337,13 @@ func stream(client *sdk.SDK, id int, cfg loadConfig, weights [armCount]int, dead
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	totalWeight := weights[armCheck] + weights[armApply] + weights[armBatch]
 	base := int64(1_000_000_000) + int64(id)*1_000_000
+	// -skew: every stream draws apply keys from one shared Zipf-skewed
+	// band, so hot keys (and, with -shards, their owning shards) soak up
+	// most of the write traffic.
+	var zipf *rand.Zipf
+	if cfg.skew > 1 {
+		zipf = rand.NewZipf(rng, cfg.skew, 1, 1023)
+	}
 	// The first -conflict fraction of streams shares one narrow key band:
 	// their apply writes collide tuple-for-tuple across streams (same
 	// fingerprint → scheduler conflicts), while the rest keep per-stream
@@ -345,6 +383,9 @@ func stream(client *sdk.SDK, id int, cfg loadConfig, weights [armCount]int, dead
 				key := base + next
 				if shared {
 					key = 2_000_000_000 + next%32
+				}
+				if zipf != nil {
+					key = 3_000_000_000 + int64(zipf.Uint64())
 				}
 				u = store.Ins("r", relation.Ints(key))
 				next++
@@ -438,6 +479,9 @@ func parseMix(mix string) ([armCount]int, error) {
 
 // selfServe starts the in-process decision server on loopback, loaded
 // with the D1 forbidden-interval workload, and returns its base URL.
+// With -shards > 1 the r relation is hash-partitioned by its key across
+// that many loopback sites behind a netdist coordinator, so a single
+// command exercises the sharded scale-out stack under sustained load.
 func selfServe(cfg loadConfig) (stop func(), addr string, err error) {
 	rng := rand.New(rand.NewSource(cfg.seed))
 	db := store.New()
@@ -446,21 +490,56 @@ func selfServe(cfg loadConfig) (stop func(), addr string, err error) {
 			return nil, "", err
 		}
 	}
-	for i := int64(0); i < 50; i++ {
-		if _, err := db.Insert("r", relation.Ints(10_000+i)); err != nil {
-			return nil, "", err
-		}
-	}
 	reg := obs.NewRegistry()
 	spans := obs.NewSpanTracer("ccload-serve", obs.NewTraceStore(256), 0)
 	bridge := obs.NewSpanBridge(spans)
-	chk := core.New(db, core.Options{LocalRelations: []string{"l"}, Metrics: reg, Tracer: bridge})
+	chkOpts := core.Options{LocalRelations: []string{"l"}, Metrics: reg, Tracer: bridge}
+	var backend serve.Backend
+	var chk *core.Checker
+	if cfg.shards > 1 {
+		rp := netdist.RelPlacement{KeyCol: 0}
+		lb := netdist.NewLoopback()
+		siteDBs := make([]*store.Store, cfg.shards)
+		for i := range siteDBs {
+			site := fmt.Sprintf("shard%d", i)
+			siteDBs[i] = store.New()
+			lb.AddSite(site, netdist.NewServer(siteDBs[i], []string{"r"}))
+			rp.Shards = append(rp.Shards, netdist.ShardSpec{Leader: site})
+		}
+		place := netdist.Placement{"r": rp}
+		for i := int64(0); i < 50; i++ {
+			t := relation.Ints(10_000 + i)
+			if _, err := siteDBs[place.ShardOf("r", t[0])].Insert("r", t); err != nil {
+				return nil, "", err
+			}
+		}
+		co, err := netdist.NewPlaced(db, place, lb, netdist.Options{
+			Checker:      chkOpts,
+			Timeout:      time.Second,
+			ApplyWorkers: cfg.workers,
+			Metrics:      reg,
+			Spans:        bridge,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		chk = co.Checker
+		backend = netdist.ServeBackend{Co: co}
+	} else {
+		for i := int64(0); i < 50; i++ {
+			if _, err := db.Insert("r", relation.Ints(10_000+i)); err != nil {
+				return nil, "", err
+			}
+		}
+		chk = core.New(db, chkOpts)
+		backend = chk
+	}
 	if err := chk.AddConstraintSource("fi", "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
 		return nil, "", err
 	}
 	// Rate 0: only requests that arrive with a sampled traceparent get
 	// spans, so -trace controls sampling end to end in self-serve mode.
-	srv := serve.New(chk, serve.Config{
+	srv := serve.New(backend, serve.Config{
 		QueueDepth:    cfg.queue,
 		RatePerClient: cfg.rate,
 		ApplyWorkers:  cfg.workers,

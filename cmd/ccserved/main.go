@@ -90,21 +90,25 @@ type config struct {
 	noresidual   bool
 	verbose      bool
 
-	sites       []string
-	siteTimeout time.Duration
-	siteRetries int
+	sites        []string
+	shards       []string
+	replicas     []string
+	noShardRoute bool
+	siteTimeout  time.Duration
+	siteRetries  int
 
 	traceSample float64
 	traceStore  int
 	traceOTLP   string
 }
 
-// siteFlags collects repeated -sites values (the ccheck syntax).
-type siteFlags struct{ cfg *config }
+// appendFlag collects a repeatable string flag (-sites, -shard,
+// -replica).
+type appendFlag struct{ dst *[]string }
 
-func (s siteFlags) String() string { return "" }
-func (s siteFlags) Set(v string) error {
-	s.cfg.sites = append(s.cfg.sites, v)
+func (f appendFlag) String() string { return "" }
+func (f appendFlag) Set(v string) error {
+	*f.dst = append(*f.dst, v)
 	return nil
 }
 
@@ -126,7 +130,10 @@ func main() {
 	flag.BoolVar(&cfg.noplancache, "noplancache", false, "disable the compiled evaluation plan cache (A/B escape hatch)")
 	flag.BoolVar(&cfg.noresidual, "noresidual", false, "disable residual check compilation (A/B escape hatch)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log the served constraints at startup")
-	flag.Var(siteFlags{&cfg}, "sites", "remote site spec host:port=rel1,rel2 (repeatable; fronts a netdist system)")
+	flag.Var(appendFlag{&cfg.sites}, "sites", "remote site spec host:port=rel1,rel2 (repeatable; fronts a netdist system)")
+	flag.Var(appendFlag{&cfg.shards}, "shard", "hash-sharded relation spec rel@keycol=site1,site2,... (repeatable)")
+	flag.Var(appendFlag{&cfg.replicas}, "replica", "read-replica spec rel/shard=site for a -sites or -shard relation (repeatable)")
+	flag.BoolVar(&cfg.noShardRoute, "no-shard-routing", false, "scatter-gather every sharded read instead of routing key-covered probes to the owning shard (A/B escape hatch)")
 	flag.DurationVar(&cfg.siteTimeout, "site-timeout", 2*time.Second, "per-request deadline for -sites round trips")
 	flag.IntVar(&cfg.siteRetries, "site-retries", 0, "retries per failed site round trip (0: default of 3, negative: none)")
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 0.1, "head-sampling probability for distributed traces (0 disables spans)")
@@ -268,28 +275,27 @@ func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, *obs.Sp
 	}
 	var backend serve.Backend
 	var chk *core.Checker
-	if len(cfg.sites) > 0 {
-		var specs []netdist.SiteSpec
-		for _, s := range cfg.sites {
-			spec, err := netdist.ParseSiteSpec(s)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-			specs = append(specs, spec)
+	if len(cfg.sites) > 0 || len(cfg.shards) > 0 {
+		place, err := buildPlacement(cfg)
+		if err != nil {
+			return nil, nil, nil, err
 		}
-		co, err := netdist.New(db, specs, netdist.NewTCPTransport(), netdist.Options{
-			Checker:      opts,
-			Timeout:      cfg.siteTimeout,
-			Retries:      cfg.siteRetries,
-			ApplyWorkers: cfg.applyWorkers,
-			Metrics:      reg,
-			Spans:        bridge,
+		co, err := netdist.NewPlaced(db, place, netdist.NewTCPTransport(), netdist.Options{
+			Checker:             opts,
+			Timeout:             cfg.siteTimeout,
+			Retries:             cfg.siteRetries,
+			ApplyWorkers:        cfg.applyWorkers,
+			DisableShardRouting: cfg.noShardRoute,
+			Metrics:             reg,
+			Spans:               bridge,
 		})
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		chk = co.Checker
 		backend = netdist.ServeBackend{Co: co}
+	} else if len(cfg.replicas) > 0 {
+		return nil, nil, nil, fmt.Errorf("-replica needs the relation placed first via -sites or -shard")
 	} else {
 		chk = core.New(db, opts)
 		backend = chk
@@ -317,6 +323,55 @@ func setup(cfg config, logSink io.Writer) (*serve.Server, *core.Checker, *obs.Sp
 		SpanBridge:       bridge,
 	})
 	return srv, chk, spans, nil
+}
+
+// buildPlacement combines -sites (whole-relation ownership), -shard
+// (hash-partitioned relations) and -replica (per-shard read replicas)
+// into one placement. A relation may be placed by -sites or -shard but
+// not both.
+func buildPlacement(cfg config) (netdist.Placement, error) {
+	place := netdist.Placement{}
+	claimed := map[string]string{}
+	for _, s := range cfg.sites {
+		spec, err := netdist.ParseSiteSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, rel := range spec.Relations {
+			if by, dup := claimed[rel]; dup {
+				return nil, fmt.Errorf("relation %s placed twice (%s and %s)", rel, by, spec.Site)
+			}
+			claimed[rel] = spec.Site
+			place[rel] = netdist.RelPlacement{Shards: []netdist.ShardSpec{{Leader: spec.Site}}}
+		}
+	}
+	for _, s := range cfg.shards {
+		rel, rp, err := netdist.ParseShardSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		if by, dup := claimed[rel]; dup {
+			return nil, fmt.Errorf("relation %s placed twice (%s and -shard %s)", rel, by, s)
+		}
+		claimed[rel] = "-shard " + s
+		place[rel] = rp
+	}
+	for _, s := range cfg.replicas {
+		rel, shard, site, err := netdist.ParseReplicaSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		rp, ok := place[rel]
+		if !ok {
+			return nil, fmt.Errorf("-replica %s: relation %s is not placed by -sites or -shard", s, rel)
+		}
+		if shard >= len(rp.Shards) {
+			return nil, fmt.Errorf("-replica %s: relation %s has %d shard(s)", s, rel, len(rp.Shards))
+		}
+		rp.Shards[shard].Replicas = append(rp.Shards[shard].Replicas, site)
+		place[rel] = rp
+	}
+	return place, nil
 }
 
 // splitBlocks splits a constraint file into blank-line-separated

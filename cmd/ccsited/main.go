@@ -55,6 +55,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "log each served relation at startup")
 		noindex     = flag.Bool("noindex", false, "disable hash-index probes and bound-first join planning in Eval subqueries (A/B escape hatch)")
 		noplancache = flag.Bool("noplancache", false, "disable the compiled evaluation plan cache for Eval subqueries (A/B escape hatch)")
+		role        = flag.String("role", "leader", "site role: leader (owns its tuples) or replica (additionally accepts coordinator resyncs)")
 		// Residual dispatch lives in the coordinator's checker, not in the
 		// site's subquery evaluator; the flag exists for command-line
 		// parity with ccheck and is accepted (and ignored) here.
@@ -71,7 +72,12 @@ func main() {
 		evalOpts.Cache = eval.NewPlanCache()
 	}
 	srv.SetEvalOptions(evalOpts)
-	fmt.Printf("ccsited: serving on %s\n", l.Addr())
+	if *role != "leader" && *role != "replica" {
+		fmt.Fprintf(os.Stderr, "ccsited: -role %q is neither leader nor replica\n", *role)
+		os.Exit(1)
+	}
+	srv.SetRole(*role)
+	fmt.Printf("ccsited: serving on %s (%s)\n", l.Addr(), *role)
 	// Readiness tracks the wire listener: true while it accepts site
 	// RPCs, flipped before it closes so load balancers stop routing.
 	var live atomic.Bool

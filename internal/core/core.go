@@ -224,6 +224,15 @@ type Options struct {
 	// Metrics, when non-nil, receives the checker's counters and the
 	// Apply latency histogram (metric names in DESIGN.md).
 	Metrics *obs.Registry
+	// Sharder, when non-nil, refines the checker's footprints (see
+	// Footprints) to shard granularity: updates landing on different
+	// shards of one hash-partitioned relation may be applied
+	// concurrently. Set by the netdist coordinator from its placement.
+	Sharder sched.Sharder
+	// ProbeRouter, when non-nil, intercepts EDB reads during global
+	// evaluation — the netdist coordinator routes probes on sharded
+	// relations to the owning shard instead of a local mirror.
+	ProbeRouter eval.ProbeRouter
 }
 
 // Checker manages constraints over a store.
@@ -467,7 +476,7 @@ func (c *Checker) prepare(k *Constraint) {
 // evalOpts translates the checker options into evaluation options for
 // the global phase (constraint admission and CheckAll included).
 func (c *Checker) evalOpts() eval.Options {
-	return eval.Options{DisableIndexes: c.opts.DisableIndexes, Cache: c.planCache}
+	return eval.Options{DisableIndexes: c.opts.DisableIndexes, Cache: c.planCache, Probe: c.opts.ProbeRouter}
 }
 
 // residualOpts translates the checker options into residual compilation

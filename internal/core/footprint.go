@@ -18,6 +18,7 @@ func (c *Checker) Footprints() *sched.Index {
 		c.fpIndex = sched.NewIndex(c.progs, sched.IndexOptions{
 			Residual: c.residuals != nil,
 			Polarity: !c.opts.DisableUpdateOnly,
+			Sharder:  c.opts.Sharder,
 		})
 	}
 	return c.fpIndex

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/relation"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -19,7 +20,7 @@ func TestFootprintsFollowConstraintSet(t *testing.T) {
 	}
 	ix := c.Footprints()
 	f := ix.Update(store.Ins("l", relation.Ints(1, 5)))
-	if !reflect.DeepEqual(f.Reads, []string{"r"}) {
+	if !reflect.DeepEqual(f.Reads, []sched.Read{{Relation: "r", Shard: sched.WholeRelation}}) {
 		t.Fatalf("residual-eligible insert reads = %v, want [r]", f.Reads)
 	}
 
@@ -33,7 +34,7 @@ func TestFootprintsFollowConstraintSet(t *testing.T) {
 		t.Fatal("Footprints index not invalidated by AddConstraint")
 	}
 	f2 := ix2.Update(store.Ins("l", relation.Ints(1, 5)))
-	if !reflect.DeepEqual(f2.Reads, []string{"r", "s"}) {
+	if !reflect.DeepEqual(f2.Reads, []sched.Read{{Relation: "r", Shard: sched.WholeRelation}, {Relation: "s", Shard: sched.WholeRelation}}) {
 		t.Fatalf("reads after new constraint = %v, want [r s]", f2.Reads)
 	}
 }

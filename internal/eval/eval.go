@@ -48,6 +48,26 @@ type Options struct {
 	// PlanCache. Without a cache every call compiles afresh, which is
 	// the -noplancache A/B arm.
 	Cache *PlanCache
+	// Probe, when non-nil, may intercept EDB reads (candidate fetches
+	// and negated-subgoal membership probes) before they hit the store —
+	// the shard-routing hook: a distributed coordinator serves probes on
+	// hash-partitioned relations from the owning shard instead of a
+	// local mirror. IDB reads are never routed.
+	Probe ProbeRouter
+}
+
+// ProbeRouter intercepts EDB reads during evaluation. Implementations
+// decide per relation whether to handle the read (handled=false falls
+// through to the local store). A handled Probe must return exactly the
+// tuples whose projection onto cols equals vals — the join loop trusts
+// probe results to match every bound column and does not re-check them.
+// cols may be empty, demanding the relation's full contents. Errors
+// abort the evaluation and surface from Eval/GoalHolds.
+type ProbeRouter interface {
+	// Probe appends the matching tuples to dst and returns it.
+	Probe(dst []relation.Tuple, rel string, cols []int, vals []ast.Value) ([]relation.Tuple, bool, error)
+	// Contains reports membership of t in rel.
+	Contains(rel string, t relation.Tuple) (bool, bool, error)
 }
 
 // Eval computes the stratified fixpoint of prog over the extensional
@@ -422,7 +442,11 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 			vals = append(vals, a.Const)
 		}
 		lv.vals = vals
-		if ev.contains(step.lit.Atom.Pred, relation.Tuple(vals)) {
+		has, err := ev.contains(step.lit.Atom.Pred, relation.Tuple(vals))
+		if err != nil {
+			return err
+		}
+		if has {
 			return nil
 		}
 		return ev.joinLoop(plan, si+1, s, deltaPos, delta, emit)
@@ -442,7 +466,11 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 		}
 		lv.args = args
 		trail := lv.trail[:0]
-		for _, t := range ev.fetch(lv, step, step.bodyIndex == deltaPos, delta) {
+		cand, err := ev.fetch(lv, step, step.bodyIndex == deltaPos, delta)
+		if err != nil {
+			return err
+		}
+		for _, t := range cand {
 			ok := true
 			n0 := len(trail)
 			for i, arg := range args {
@@ -485,7 +513,7 @@ func (ev *evaluator) joinLoop(plan *rulePlan, si int, s ast.Subst, deltaPos int,
 // the signatures, and Insert maintains them incrementally). The indexed
 // paths append into the level's reusable buffers, so the steady state
 // fetches without allocating.
-func (ev *evaluator) fetch(lv *levelScratch, step *planStep, useDelta bool, delta map[string]*relation.Relation) []relation.Tuple {
+func (ev *evaluator) fetch(lv *levelScratch, step *planStep, useDelta bool, delta map[string]*relation.Relation) ([]relation.Tuple, error) {
 	pred := step.lit.Atom.Pred
 	if ev.opts.DisableIndexes {
 		return ev.scan(ast.Atom{Pred: pred, Args: lv.args}, useDelta, delta)
@@ -513,49 +541,82 @@ func (ev *evaluator) fetch(lv *levelScratch, step *planStep, useDelta bool, delt
 			} else {
 				dst = rel.LookupColsAppend(dst, cols, vals)
 			}
-		} else if len(cols) == 0 {
-			dst = ev.db.TuplesAppend(dst, pred)
 		} else {
-			dst = ev.db.LookupColsAppend(dst, pred, cols, vals)
+			if ev.opts.Probe != nil {
+				out, handled, err := ev.opts.Probe.Probe(dst, pred, cols, vals)
+				if err != nil {
+					return nil, err
+				}
+				if handled {
+					lv.tups = out
+					return out, nil
+				}
+			}
+			if len(cols) == 0 {
+				dst = ev.db.TuplesAppend(dst, pred)
+			} else {
+				dst = ev.db.LookupColsAppend(dst, pred, cols, vals)
+			}
 		}
 	}
 	lv.tups = dst
-	return dst
+	return dst, nil
 }
 
 // contains checks membership in an IDB result or the EDB store; EDB
-// probes are charged to the store's counters.
-func (ev *evaluator) contains(pred string, t relation.Tuple) bool {
+// probes are charged to the store's counters (or routed, when a
+// ProbeRouter claims the relation).
+func (ev *evaluator) contains(pred string, t relation.Tuple) (bool, error) {
 	if rel, ok := ev.res.idb[pred]; ok {
-		return rel.Contains(t)
+		return rel.Contains(t), nil
 	}
-	return ev.db.Probe(pred, t)
+	if ev.opts.Probe != nil {
+		has, handled, err := ev.opts.Probe.Contains(pred, t)
+		if err != nil {
+			return false, err
+		}
+		if handled {
+			return has, nil
+		}
+	}
+	return ev.db.Probe(pred, t), nil
 }
 
 // scan returns candidate tuples for atom, preferring an indexed lookup on
 // the first constant argument. useDelta restricts an IDB predicate of the
 // current stratum to the previous round's delta.
-func (ev *evaluator) scan(atom ast.Atom, useDelta bool, delta map[string]*relation.Relation) []relation.Tuple {
+func (ev *evaluator) scan(atom ast.Atom, useDelta bool, delta map[string]*relation.Relation) ([]relation.Tuple, error) {
 	if useDelta {
 		if d, ok := delta[atom.Pred]; ok {
-			return filterByConstants(d.Tuples(), atom)
+			return filterByConstants(d.Tuples(), atom), nil
 		}
 	}
 	if rel, ok := ev.res.idb[atom.Pred]; ok {
 		// IDB relations are not charged: they are derived scratch space.
 		for i, a := range atom.Args {
 			if a.IsConst() {
-				return filterByConstants(rel.Lookup(i, a.Const), atom)
+				return filterByConstants(rel.Lookup(i, a.Const), atom), nil
 			}
 		}
-		return filterByConstants(rel.Tuples(), atom)
+		return filterByConstants(rel.Tuples(), atom), nil
+	}
+	if ev.opts.Probe != nil {
+		// The unindexed path routes as a whole-relation read and filters
+		// locally — the -noindex arm measures probe strategy, not routing.
+		ts, handled, err := ev.opts.Probe.Probe(nil, atom.Pred, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return filterByConstants(ts, atom), nil
+		}
 	}
 	for i, a := range atom.Args {
 		if a.IsConst() {
-			return filterByConstants(ev.db.Lookup(atom.Pred, i, a.Const), atom)
+			return filterByConstants(ev.db.Lookup(atom.Pred, i, a.Const), atom), nil
 		}
 	}
-	return filterByConstants(ev.db.Tuples(atom.Pred), atom)
+	return filterByConstants(ev.db.Tuples(atom.Pred), atom), nil
 }
 
 // filterByConstants drops tuples that disagree with the atom's constant

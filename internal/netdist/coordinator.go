@@ -10,8 +10,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/relation"
 	"repro/internal/sched"
 	"repro/internal/store"
 )
@@ -76,6 +78,13 @@ type Options struct {
 	// sequential otherwise. ApplyStream takes its worker count as an
 	// argument instead.
 	ApplyWorkers int
+	// DisableShardRouting is the scatter-gather A/B arm: sharded
+	// relations are always refreshed in full (every shard scanned and
+	// merged into the mirror) and evaluation probes are never routed to
+	// shards. Verdicts are unchanged — only the wire traffic differs —
+	// which is what makes the routed-vs-scatter byte comparison in
+	// scripts/bench.sh meaningful.
+	DisableShardRouting bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -125,6 +134,19 @@ type Stats struct {
 	// dist cost model's per-update predictions.
 	SyncTrips  int
 	SyncTuples int64
+	// ShardRouted counts reads of a sharded relation that went to the
+	// single owning shard (keyed mirror refreshes + routed evaluation
+	// probes); ShardScatter counts reads that fanned out to every shard.
+	// KeyFetches is the keyed-refresh subset of ShardRouted. All three
+	// stay zero without sharded placement.
+	ShardRouted  int
+	ShardScatter int
+	KeyFetches   int
+	// ReplicaReads counts shard reads served by a fresh replica instead
+	// of the leader; ReplicaResyncs counts full rebuilds of a replica
+	// after its feed broke.
+	ReplicaReads   int
+	ReplicaResyncs int
 }
 
 // Coordinator runs the staged checker over a local mirror and reaches
@@ -152,11 +174,21 @@ type Coordinator struct {
 
 	mirror    *store.Store
 	transport Transport
-	siteOf    map[string]string   // relation -> owning site
-	relsOf    map[string][]string // site -> owned relations, sorted
+	place     Placement                // relation -> shards (remote relations only)
+	shardsOf  map[string][]*shardState // relation -> per-shard leader/replica state
 	opts      Options
 	met       *coordMetrics
+	shmet     *shardMetrics
 	reqID     atomic.Uint64
+	// applyGen advances at every Apply/Check/ApplyBatch entry; the shard
+	// router keys its probe cache on it so one update's evaluation reuses
+	// fetched groups while later updates see fresh state.
+	applyGen atomic.Uint64
+	// router is non-nil when some relation is sharded and routing is
+	// enabled; it is also installed as the checker's eval.ProbeRouter.
+	router *shardRouter
+	// replWG tracks queued replication ops (FlushReplicas).
+	replWG sync.WaitGroup
 
 	// statsMu guards stats and rng (retry jitter); everything else is
 	// immutable after New or internally synchronized.
@@ -172,11 +204,35 @@ type Coordinator struct {
 // relations; a relation claimed by two sites, or both local and remote,
 // is an error.
 func New(local *store.Store, sites []SiteSpec, tr Transport, opts Options) (*Coordinator, error) {
+	seen := map[string]string{}
+	for _, spec := range sites {
+		for _, rel := range spec.Relations {
+			if other, ok := seen[rel]; ok {
+				return nil, fmt.Errorf("netdist: relation %s claimed by sites %s and %s", rel, other, spec.Site)
+			}
+			seen[rel] = spec.Site
+		}
+	}
+	return NewPlaced(local, PlacementFromSites(sites), tr, opts)
+}
+
+// NewPlaced is New with an explicit placement: relations may be whole
+// (one shard — today's mode, what New builds), hash-partitioned across
+// several leader sites by a key column, and carry read replicas per
+// shard. Sharded placement installs the placement as the checker's
+// footprint Sharder (different-shard updates of one relation pipeline
+// concurrently) and, unless Options.DisableShardRouting, a probe router
+// that serves global-evaluation reads of sharded relations straight from
+// the owning shard.
+func NewPlaced(local *store.Store, place Placement, tr Transport, opts Options) (*Coordinator, error) {
+	if err := place.validate(); err != nil {
+		return nil, err
+	}
 	co := &Coordinator{
 		mirror:    local,
 		transport: tr,
-		siteOf:    map[string]string{},
-		relsOf:    map[string][]string{},
+		place:     place,
+		shardsOf:  map[string][]*shardState{},
 		opts:      opts.withDefaults(),
 		stats: Stats{
 			ByPhase:           map[core.Phase]int{},
@@ -192,36 +248,83 @@ func New(local *store.Store, sites []SiteSpec, tr Transport, opts Options) (*Coo
 	for _, n := range opts.Checker.LocalRelations {
 		localSet[n] = true
 	}
-	for _, spec := range sites {
-		for _, rel := range spec.Relations {
-			if other, ok := co.siteOf[rel]; ok {
-				return nil, fmt.Errorf("netdist: relation %s claimed by sites %s and %s", rel, other, spec.Site)
+	anySharded := false
+	for rel, rp := range place {
+		if localSet[rel] {
+			return nil, fmt.Errorf("netdist: relation %s is both local and remotely placed", rel)
+		}
+		if rp.Sharded() {
+			anySharded = true
+		}
+		shards := make([]*shardState, len(rp.Shards))
+		for i, sh := range rp.Shards {
+			ss := &shardState{rel: rel, idx: i, leader: sh.Leader}
+			for _, site := range sh.Replicas {
+				rs := &replicaState{site: site}
+				// A replica serves no reads before its first resync: the
+				// watermark starts below any sequence number so readTarget
+				// skips it while it is still empty.
+				rs.watermark.Store(-1)
+				ss.replicas = append(ss.replicas, rs)
 			}
-			if localSet[rel] {
-				return nil, fmt.Errorf("netdist: relation %s is both local and served by %s", rel, spec.Site)
-			}
-			co.siteOf[rel] = spec.Site
-			co.relsOf[spec.Site] = append(co.relsOf[spec.Site], rel)
+			shards[i] = ss
+		}
+		co.shardsOf[rel] = shards
+	}
+	if anySharded {
+		if opts.Checker.Incremental {
+			return nil, fmt.Errorf("netdist: sharded placement is incompatible with Checker.Incremental")
+		}
+		co.opts.Checker.Sharder = place
+		if !co.opts.DisableShardRouting {
+			co.router = newShardRouter(co)
+			co.opts.Checker.ProbeRouter = co.router
 		}
 	}
-	for _, rels := range co.relsOf {
-		sort.Strings(rels)
+	if co.opts.Metrics != nil && (anySharded || co.hasReplicas()) {
+		co.shmet = newShardMetrics(co.opts.Metrics)
 	}
 	if err := co.refresh(co.remoteRelations()); err != nil {
 		return nil, err
+	}
+	// Seed the replicas synchronously so a healthy cluster starts with
+	// every watermark current; an unreachable replica starts stale and is
+	// rebuilt lazily by its first queued write.
+	for _, shards := range co.shardsOf {
+		for _, ss := range shards {
+			for _, rs := range ss.replicas {
+				if err := co.resyncReplica(ss, rs); err != nil {
+					rs.stale = true
+				}
+			}
+		}
 	}
 	co.stats.SyncTrips, co.stats.RoundTrips = co.stats.RoundTrips, 0
 	co.stats.SyncTuples, co.stats.WireTuples = co.stats.WireTuples, 0
 	co.stats.Retries = 0
 	co.stats.RetriesBySite = map[string]int{}
-	co.Checker = core.New(local, opts.Checker)
+	co.stats.ShardRouted, co.stats.ShardScatter, co.stats.KeyFetches = 0, 0, 0
+	co.stats.ReplicaReads, co.stats.ReplicaResyncs = 0, 0
+	co.Checker = core.New(local, co.opts.Checker)
 	return co, nil
 }
 
-// remoteRelations returns every site-owned relation, sorted.
+// hasReplicas reports whether any shard carries a read replica.
+func (co *Coordinator) hasReplicas() bool {
+	for _, shards := range co.shardsOf {
+		for _, ss := range shards {
+			if len(ss.replicas) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// remoteRelations returns every remotely-placed relation, sorted.
 func (co *Coordinator) remoteRelations() []string {
-	out := make([]string, 0, len(co.siteOf))
-	for rel := range co.siteOf {
+	out := make([]string, 0, len(co.place))
+	for rel := range co.place {
 		out = append(out, rel)
 	}
 	sort.Strings(out)
@@ -320,17 +423,82 @@ func (co *Coordinator) call(site string, req *Request) (*Response, error) {
 	return nil, err
 }
 
-// refresh re-fetches the given relations from their owning sites into
-// the mirror. Relations not owned by any site are ignored (they are
-// local or derived). One scan per relation; the first unreachable site
-// aborts with its SiteError.
+// refresh re-fetches the given relations into the mirror in full.
+// Relations not remotely placed are ignored (they are local or derived).
+// One scan per shard; the first unreachable site aborts with its
+// SiteError.
 func (co *Coordinator) refresh(rels []string) error {
 	for _, rel := range rels {
-		site, ok := co.siteOf[rel]
-		if !ok {
+		if _, ok := co.place[rel]; !ok {
 			continue
 		}
+		if err := co.refreshRel(rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshRel rebuilds the mirror's copy of one placed relation from a
+// scan of every shard (a single scan for whole relations). Each shard is
+// read from a fresh replica when one exists, falling back to the leader.
+func (co *Coordinator) refreshRel(rel string) error {
+	shards := co.shardsOf[rel]
+	var ts []relation.Tuple
+	arity := 0
+	for _, ss := range shards {
+		site := co.readTarget(ss)
 		resp, err := co.call(site, &Request{Type: OpScan, Relation: rel})
+		if err != nil {
+			return err
+		}
+		part, err := DecodeTuples(resp.Tuples)
+		if err != nil {
+			return &RemoteError{Site: site, Msg: err.Error()}
+		}
+		ts = append(ts, part...)
+		if resp.Arity > arity {
+			arity = resp.Arity
+		}
+	}
+	if len(shards) > 1 {
+		co.noteScatter(1)
+	}
+	if arity == 0 {
+		// Empty, never-used relation: keep the mirror's arity if it
+		// already has one, otherwise skip (nothing to store).
+		if r := co.mirror.Relation(rel); r != nil {
+			arity = r.Arity()
+		} else {
+			return nil
+		}
+	}
+	if err := co.mirror.Replace(rel, arity, ts); err != nil {
+		return &RemoteError{Site: "", Msg: err.Error()}
+	}
+	return nil
+}
+
+// refreshKeys refreshes exactly the given key groups of a sharded
+// relation: each key is fetched from its owning shard and swapped into
+// the mirror with store.ReplaceKey, so the mirror is precisely as fresh
+// as the residual path's keyed probes require — shipping one key group
+// instead of the whole relation is the scale-out analogue of the paper's
+// "consult as little information as the update requires".
+func (co *Coordinator) refreshKeys(rel string, pl RelPlacement, keys []ast.Value) error {
+	for _, key := range keys {
+		ss := co.shardsOf[rel][co.place.ShardOf(rel, key)]
+		site := co.readTarget(ss)
+		sp := co.routeSpan(rel, "key-fetch")
+		resp, err := co.call(site, &Request{
+			Type:     OpFetch,
+			Relation: rel,
+			Col:      pl.KeyCol,
+			Value:    EncodeValue(key),
+		})
+		if sp != nil {
+			sp.End()
+		}
 		if err != nil {
 			return err
 		}
@@ -340,19 +508,113 @@ func (co *Coordinator) refresh(rels []string) error {
 		}
 		arity := resp.Arity
 		if arity == 0 {
-			// Empty, never-used relation: keep the mirror's arity if it
-			// already has one, otherwise skip (nothing to store).
 			if r := co.mirror.Relation(rel); r != nil {
 				arity = r.Arity()
 			} else {
-				continue
+				continue // relation nowhere materialized: no stale group to swap
 			}
 		}
-		if err := co.mirror.Replace(rel, arity, ts); err != nil {
+		if err := co.mirror.ReplaceKey(rel, arity, pl.KeyCol, key, ts); err != nil {
 			return &RemoteError{Site: site, Msg: err.Error()}
 		}
+		co.statsMu.Lock()
+		co.stats.KeyFetches++
+		co.statsMu.Unlock()
+		if co.shmet != nil {
+			co.shmet.keyFetches.Inc()
+		}
 	}
+	co.noteRouted(1)
 	return nil
+}
+
+// refreshForUpdate refreshes what this update's check may read. Whole
+// relations refresh in full, as ever. Sharded relations consult the
+// footprint index's residual-aware read plan: keyed residual probes pull
+// just their key groups from the owning shards, unkeyed residual reads
+// scatter-refresh, and relations read only through global evaluation are
+// left to the probe router (no refresh at all). The returned count is
+// the number of remote relations the update needed (0 = decidable
+// wire-free).
+func (co *Coordinator) refreshForUpdate(u store.Update, planRels []string) (int, error) {
+	needed := 0
+	var rp sched.ReadPlan
+	haveRP := false
+	for _, rel := range planRels {
+		pl, remote := co.place[rel]
+		if !remote {
+			continue
+		}
+		needed++
+		if !pl.Sharded() {
+			if err := co.refreshRel(rel); err != nil {
+				return needed, err
+			}
+			continue
+		}
+		if co.opts.DisableShardRouting {
+			if err := co.refreshRel(rel); err != nil {
+				return needed, err
+			}
+			continue
+		}
+		if !haveRP {
+			rp = co.Checker.Footprints().ReadPlan(u)
+			haveRP = true
+		}
+		switch {
+		case rp.Mirror[rel]:
+			if err := co.refreshRel(rel); err != nil {
+				return needed, err
+			}
+		case len(rp.Keys[rel]) > 0:
+			if err := co.refreshKeys(rel, pl, rp.Keys[rel]); err != nil {
+				return needed, err
+			}
+		case rp.Eval[rel]:
+			// Router-served: probes reach the owning shard at evaluation
+			// time; the mirror is not touched.
+		default:
+			// The residual-aware analysis proves this update's check never
+			// reads rel (the plan's relation list is residual-unaware and
+			// conservative); nothing to refresh, and no wire need.
+			needed--
+		}
+	}
+	return needed, nil
+}
+
+// noteRouted/noteScatter account single-shard-targeted and fan-out reads
+// of sharded relations.
+func (co *Coordinator) noteRouted(n int) {
+	co.statsMu.Lock()
+	co.stats.ShardRouted += n
+	co.statsMu.Unlock()
+	if co.shmet != nil {
+		co.shmet.routed.Add(int64(n))
+	}
+}
+
+func (co *Coordinator) noteScatter(n int) {
+	co.statsMu.Lock()
+	co.stats.ShardScatter += n
+	co.statsMu.Unlock()
+	if co.shmet != nil {
+		co.shmet.scatter.Add(int64(n))
+	}
+}
+
+// routeSpan opens a "shard.route" child span under the active trace (nil
+// when tracing is off or idle).
+func (co *Coordinator) routeSpan(rel, mode string) *obs.Span {
+	parent := co.opts.Spans.Active()
+	if parent == nil {
+		return nil
+	}
+	sp := co.opts.Spans.Tracer().StartChild(parent, "shard.route")
+	sp.SetAttr("relation", rel)
+	sp.SetAttr("mode", mode)
+	return sp
 }
 
 // Apply pushes one update through the pipeline. When the update's plan
@@ -360,39 +622,44 @@ func (co *Coordinator) refresh(rels []string) error {
 // matching ErrSiteUnavailable and the database is untouched; updates
 // decidable from local information commit regardless of site health.
 func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
+	co.applyGen.Add(1)
 	co.statsMu.Lock()
 	co.stats.Updates++
 	co.statsMu.Unlock()
 
 	// Decide what the global phase would need before touching anything.
 	plan := co.Checker.Plan(u)
-	var needed []string
-	for _, rel := range plan.Relations {
-		if _, remote := co.siteOf[rel]; remote {
-			needed = append(needed, rel)
-		}
-	}
-	if err := co.refresh(needed); err != nil {
+	needed, err := co.refreshForUpdate(u, plan.Relations)
+	if err != nil {
 		co.noteUnavailable(err)
 		return core.Report{Update: u}, fmt.Errorf("update %s: %w", u, err)
 	}
+	// While the checker holds the trial state for u, the router must not
+	// intercept reads of u's relation: the mirror is the authoritative
+	// post-update view (the scheduler keeps other updates off u's shards).
+	if co.router != nil {
+		co.router.addPending(u.Relation)
+	}
 	rep, err := co.Checker.Apply(u)
+	if co.router != nil {
+		co.router.removePending(u.Relation)
+	}
 	if err != nil {
+		if errors.Is(err, ErrSiteUnavailable) {
+			// A routed evaluation probe failed; the checker rolled the
+			// trial state back, so the update is refused, not misjudged.
+			co.noteUnavailable(err)
+			return core.Report{Update: u}, fmt.Errorf("update %s: %w", u, err)
+		}
 		return rep, err
 	}
-	// Propagate an applied update on a remote relation to its owner; if
-	// the owner is unreachable the local application is undone — the
-	// sites never diverge from the mirror over a failure.
+	// Propagate an applied update on a remote relation to its owning
+	// shard leader; if the leader is unreachable the local application is
+	// undone — the sites never diverge from the mirror over a failure.
 	propagated := false
-	if site, remote := co.siteOf[u.Relation]; remote && rep.Applied {
+	if _, remote := co.place[u.Relation]; remote && rep.Applied {
 		propagated = true
-		_, err := co.call(site, &Request{
-			Type:     OpApply,
-			Relation: u.Relation,
-			Insert:   u.Insert,
-			Tuple:    EncodeTuple(u.Tuple),
-		})
-		if err != nil {
+		if err := co.propagate(u); err != nil {
 			co.undoMirror(u)
 			co.noteUnavailable(err)
 			return core.Report{Update: u}, fmt.Errorf("update %s: propagate: %w", u, err)
@@ -409,11 +676,34 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 	// propagated; computed directly because the old round-trip-delta
 	// comparison misattributes other updates' traffic under concurrent
 	// appliers.
-	if len(needed) == 0 && !propagated {
+	if needed == 0 && !propagated {
 		co.stats.DecidedLocally++
 	}
 	co.statsMu.Unlock()
 	return rep, nil
+}
+
+// propagate applies u on its owning shard leader and feeds the shard's
+// replicas; unpropagate routes the inverse (rollback paths).
+func (co *Coordinator) propagate(u store.Update) error {
+	ss := co.shardFor(u.Relation, u.Tuple)
+	if ss == nil {
+		return nil
+	}
+	if _, err := co.call(ss.leader, &Request{
+		Type:     OpApply,
+		Relation: u.Relation,
+		Insert:   u.Insert,
+		Tuple:    EncodeTuple(u.Tuple),
+	}); err != nil {
+		return err
+	}
+	co.afterPropagate(ss, u)
+	return nil
+}
+
+func (co *Coordinator) unpropagate(u store.Update) error {
+	return co.propagate(store.Update{Relation: u.Relation, Insert: !u.Insert, Tuple: u.Tuple})
 }
 
 // Check decides one update without committing anything: the remote
@@ -421,29 +711,35 @@ func (co *Coordinator) Apply(u store.Update) (core.Report, error) {
 // exactly undoes its trial application (core.Checker.Check). Nothing is
 // propagated, so the sites are untouched whatever the verdict.
 func (co *Coordinator) Check(u store.Update) (core.Report, error) {
+	co.applyGen.Add(1)
 	co.statsMu.Lock()
 	co.stats.Updates++
 	co.statsMu.Unlock()
 	plan := co.Checker.Plan(u)
-	var needed []string
-	for _, rel := range plan.Relations {
-		if _, remote := co.siteOf[rel]; remote {
-			needed = append(needed, rel)
-		}
-	}
-	if err := co.refresh(needed); err != nil {
+	needed, err := co.refreshForUpdate(u, plan.Relations)
+	if err != nil {
 		co.noteUnavailable(err)
 		return core.Report{Update: u}, fmt.Errorf("update %s: %w", u, err)
 	}
+	if co.router != nil {
+		co.router.addPending(u.Relation)
+	}
 	rep, err := co.Checker.Check(u)
+	if co.router != nil {
+		co.router.removePending(u.Relation)
+	}
 	if err != nil {
+		if errors.Is(err, ErrSiteUnavailable) {
+			co.noteUnavailable(err)
+			return core.Report{Update: u}, fmt.Errorf("update %s: %w", u, err)
+		}
 		return rep, err
 	}
 	co.statsMu.Lock()
 	for _, d := range rep.Decisions {
 		co.stats.ByPhase[d.Phase]++
 	}
-	if len(needed) == 0 {
+	if needed == 0 {
 		co.stats.DecidedLocally++
 	}
 	co.statsMu.Unlock()
@@ -480,6 +776,14 @@ func (b ServeBackend) Footprints() *sched.Index { return b.Co.Checker.Footprints
 
 // ConcurrentApplySafe defers to the wrapped checker.
 func (b ServeBackend) ConcurrentApplySafe() bool { return b.Co.Checker.ConcurrentApplySafe() }
+
+// ShardStats satisfies serve's optional ShardStatser interface: the
+// coordinator's scale-out wire accounting, surfaced through the
+// decision server's /stats.
+func (b ServeBackend) ShardStats() (routed, scatter, replicaReads int) {
+	st := b.Co.Stats()
+	return st.ShardRouted, st.ShardScatter, st.ReplicaReads
+}
 
 // noteUnavailable accounts one update refused because a site was
 // unreachable, attributing it to the offending site when the error chain
@@ -534,9 +838,8 @@ func (co *Coordinator) ApplyBatch(updates []store.Update) (core.BatchReport, err
 			}
 			u := undos[i].u
 			co.undoMirror(u)
-			if site, remote := co.siteOf[u.Relation]; remote {
-				inv := &Request{Type: OpApply, Relation: u.Relation, Insert: !u.Insert, Tuple: EncodeTuple(u.Tuple)}
-				if _, err := co.call(site, inv); err != nil {
+			if _, remote := co.place[u.Relation]; remote {
+				if err := co.unpropagate(u); err != nil {
 					return fmt.Errorf("netdist: batch rollback of %s: %w", u, err)
 				}
 			}
@@ -575,6 +878,10 @@ func (co *Coordinator) Report() string {
 		st.Updates, st.Rejected, st.Unavailable, st.DecidedLocally)
 	fmt.Fprintf(&sb, "wire: %d round trips (%d retries), %d tuples, %s on the network\n",
 		st.RoundTrips, st.Retries, st.WireTuples, st.NetTime.Round(time.Microsecond))
+	if st.ShardRouted+st.ShardScatter+st.ReplicaReads+st.ReplicaResyncs > 0 {
+		fmt.Fprintf(&sb, "shards: %d routed (%d key fetches), %d scatter; replicas: %d reads, %d resyncs\n",
+			st.ShardRouted, st.KeyFetches, st.ShardScatter, st.ReplicaReads, st.ReplicaResyncs)
+	}
 	if len(st.RetriesBySite) > 0 {
 		fmt.Fprintf(&sb, "retries by site: %s\n", siteCounts(st.RetriesBySite))
 	}

@@ -66,6 +66,30 @@ func (m *coordMetrics) observeAttempt(site, op string, req *Request, resp *Respo
 	m.wireTuples.Add(int64(len(resp.Tuples)))
 }
 
+// shardMetrics holds the sharding/replication registry handles. Only
+// attached when the placement actually shards or replicates something,
+// so whole-relation deployments expose exactly the pre-placement metric
+// set.
+type shardMetrics struct {
+	routed       *obs.Counter
+	scatter      *obs.Counter
+	keyFetches   *obs.Counter
+	replicaReads *obs.Counter
+	replicaOps   *obs.Counter
+	staleness    *obs.Gauge
+}
+
+func newShardMetrics(reg *obs.Registry) *shardMetrics {
+	return &shardMetrics{
+		routed:       reg.Counter("cc_shard_routed_total", "probes answered by the single owning shard"),
+		scatter:      reg.Counter("cc_shard_scatter_total", "probes scatter-gathered across every shard"),
+		keyFetches:   reg.Counter("cc_shard_key_fetch_total", "single-key group fetches sent to owning shards"),
+		replicaReads: reg.Counter("cc_shard_replica_reads_total", "shard reads served by a fresh replica instead of the leader"),
+		replicaOps:   reg.Counter("cc_shard_replica_ops_total", "replication feed operations applied (writes + resyncs)"),
+		staleness:    reg.Gauge("cc_shard_replica_staleness", "worst replica lag in apply sequence numbers at the last propagated write"),
+	}
+}
+
 // serverMetrics holds the site-side registry handles. They are bumped in
 // Server.Handle from the same values as ServerStats, so the /metrics
 // exposition always sums to the shutdown accounting report.

@@ -115,9 +115,8 @@ func (co *Coordinator) applyBatchPipelined(updates []store.Update, workers int) 
 		}
 		u := updates[done[k].idx]
 		co.undoMirror(u)
-		if site, remote := co.siteOf[u.Relation]; remote {
-			inv := &Request{Type: OpApply, Relation: u.Relation, Insert: !u.Insert, Tuple: EncodeTuple(u.Tuple)}
-			if _, err := co.call(site, inv); err != nil {
+		if _, remote := co.place[u.Relation]; remote {
+			if err := co.unpropagate(u); err != nil {
 				return br, fmt.Errorf("netdist: batch rollback of %s: %w", u, err)
 			}
 		}

@@ -1,0 +1,483 @@
+package netdist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func TestParseShardSpec(t *testing.T) {
+	rel, rp, err := ParseShardSpec("dept@0=s0, s1,s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "dept" || rp.KeyCol != 0 || len(rp.Shards) != 3 || rp.Shards[1].Leader != "s1" {
+		t.Fatalf("parsed %q %+v", rel, rp)
+	}
+	if !rp.Sharded() {
+		t.Fatal("three shards must report Sharded")
+	}
+	for _, bad := range []string{"dept=s0", "dept@x=s0", "@0=s0", "dept@0=", "dept@0=s0,,s1", "dept@-1=s0"} {
+		if _, _, err := ParseShardSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestParseReplicaSpec(t *testing.T) {
+	rel, shard, site, err := ParseReplicaSpec("dept/1 = s9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "dept" || shard != 1 || site != "s9" {
+		t.Fatalf("parsed %q %d %q", rel, shard, site)
+	}
+	for _, bad := range []string{"dept=s9", "dept/x=s9", "/1=s9", "dept/1=", "dept/-1=s9"} {
+		if _, _, _, err := ParseReplicaSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestPlacementValidate(t *testing.T) {
+	lb := NewLoopback()
+	for name, place := range map[string]Placement{
+		"no shards":   {"dept": {KeyCol: 0}},
+		"no key col":  {"dept": {KeyCol: -1, Shards: []ShardSpec{{Leader: "a"}, {Leader: "b"}}}},
+		"dup site":    {"dept": {KeyCol: 0, Shards: []ShardSpec{{Leader: "a"}, {Leader: "a"}}}},
+		"dup replica": {"dept": {KeyCol: 0, Shards: []ShardSpec{{Leader: "a", Replicas: []string{"b"}}, {Leader: "b"}}}},
+		"no leader":   {"dept": {KeyCol: 0, Shards: []ShardSpec{{Replicas: []string{"b"}}}}},
+	} {
+		if _, err := NewPlaced(store.New(), place, lb, Options{}); err == nil {
+			t.Errorf("%s: want NewPlaced to refuse", name)
+		}
+	}
+}
+
+// shardArm describes one deployment shape of the same logical database
+// for the oracle test.
+type shardArm struct {
+	name     string
+	shards   int  // dept and r shard count (1 = whole-relation single site)
+	replicas bool // one read replica per shard
+	scatter  bool // DisableShardRouting
+}
+
+// buildShardedArm deploys emp and l at the coordinator and dept and r
+// across `shards` loopback sites, hash-partitioned by column 0 when
+// shards > 1, seeding every store identically across arms. Returns the
+// coordinator, the transport, and the per-site leader stores.
+func buildShardedArm(t *testing.T, arm shardArm) (*Coordinator, *Loopback, map[string]*store.Store) {
+	t.Helper()
+	sites := make([]string, arm.shards)
+	for i := range sites {
+		sites[i] = fmt.Sprintf("s%d", i)
+	}
+	place := Placement{}
+	for _, rel := range []string{"dept", "r"} {
+		rp := RelPlacement{KeyCol: 0}
+		for i, site := range sites {
+			sh := ShardSpec{Leader: site}
+			if arm.replicas {
+				sh.Replicas = []string{fmt.Sprintf("%s-%s-replica", rel, sites[i])}
+			}
+			rp.Shards = append(rp.Shards, sh)
+		}
+		place[rel] = rp
+	}
+
+	leaders := map[string]*store.Store{}
+	lb := NewLoopback()
+	for _, site := range sites {
+		db := store.New()
+		leaders[site] = db
+		lb.AddSite(site, NewServer(db, []string{"dept", "r"}))
+	}
+	for rel, rp := range place {
+		for _, sh := range rp.Shards {
+			for _, replica := range sh.Replicas {
+				srv := NewServer(store.New(), []string{rel})
+				srv.SetRole("replica")
+				lb.AddSite(replica, srv)
+			}
+		}
+	}
+
+	// Identical seed data in every arm: dept keys 0..29, r points, each
+	// tuple landed on its owning shard.
+	seed := func(rel string, tuples []relation.Tuple) {
+		rp := place[rel]
+		for _, tp := range tuples {
+			site := rp.Shards[0].Leader
+			if rp.Sharded() {
+				site = rp.Shards[place.ShardOf(rel, tp[0])].Leader
+			}
+			if _, err := leaders[site].Insert(rel, tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var deptSeed, rSeed []relation.Tuple
+	for k := int64(0); k < 30; k++ {
+		deptSeed = append(deptSeed, relation.Ints(k))
+	}
+	for _, p := range []int64{15, 35, 60} {
+		rSeed = append(rSeed, relation.Ints(p))
+	}
+	seed("dept", deptSeed)
+	seed("r", rSeed)
+
+	local := store.New()
+	for i := int64(0); i < 10; i++ {
+		if _, err := local.Insert("emp", relation.Ints(1000+i, i%30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, iv := range [][2]int64{{0, 10}, {20, 30}, {40, 50}} {
+		if _, err := local.Insert("l", relation.Ints(iv[0], iv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	co, err := NewPlaced(local, place, lb, Options{
+		Checker:             core.Options{LocalRelations: []string{"emp", "l"}},
+		Timeout:             time.Second,
+		Backoff:             time.Millisecond,
+		DisableShardRouting: arm.scatter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Checker.AddConstraintSource("ref", "panic :- emp(E, D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Checker.AddConstraintSource("fi", "panic :- l(X, Y) & r(Z) & X <= Z & Z <= Y."); err != nil {
+		t.Fatal(err)
+	}
+	return co, lb, leaders
+}
+
+// dumpGlobal renders the union of the leader stores plus the
+// coordinator's local relations, deterministically: what the whole
+// system holds, independent of how it is partitioned.
+func dumpGlobal(co *Coordinator, leaders map[string]*store.Store) string {
+	tuples := map[string][]string{}
+	add := func(db *store.Store, only func(string) bool) {
+		for _, name := range db.Names() {
+			if !only(name) {
+				continue
+			}
+			for _, tp := range db.Tuples(name) {
+				tuples[name] = append(tuples[name], tp.String())
+			}
+		}
+	}
+	for _, db := range leaders {
+		add(db, func(string) bool { return true })
+	}
+	add(co.Checker.DB(), func(rel string) bool { _, remote := co.place[rel]; return !remote })
+	rels := make([]string, 0, len(tuples))
+	for rel := range tuples {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	var b strings.Builder
+	for _, rel := range rels {
+		sort.Strings(tuples[rel])
+		fmt.Fprintf(&b, "%s: %s\n", rel, strings.Join(tuples[rel], " "))
+	}
+	return b.String()
+}
+
+// shardStream mixes referential (emp/dept) and interval (l/r) traffic,
+// inserts and deletes, over a band small enough that rejections — emp
+// referencing a missing dept, dept deletes stranding emps, intervals
+// capturing r points — are common.
+func shardStream(seed int64, n int) []store.Update {
+	rng := rand.New(rand.NewSource(seed))
+	us := make([]store.Update, n)
+	for i := range us {
+		switch rng.Intn(4) {
+		case 0:
+			u := store.Ins("emp", relation.Ints(int64(rng.Intn(50))+1000, int64(rng.Intn(40))))
+			if rng.Intn(4) == 0 {
+				u = store.Del("emp", u.Tuple)
+			}
+			us[i] = u
+		case 1:
+			u := store.Ins("dept", relation.Ints(int64(rng.Intn(40))))
+			if rng.Intn(3) == 0 {
+				u = store.Del("dept", u.Tuple)
+			}
+			us[i] = u
+		case 2:
+			lo := int64(rng.Intn(80))
+			u := store.Ins("l", relation.Ints(lo, lo+int64(rng.Intn(10))))
+			if rng.Intn(3) == 0 {
+				u = store.Del("l", u.Tuple)
+			}
+			us[i] = u
+		default:
+			u := store.Ins("r", relation.Ints(int64(rng.Intn(100))))
+			if rng.Intn(3) == 0 {
+				u = store.Del("r", u.Tuple)
+			}
+			us[i] = u
+		}
+	}
+	return us
+}
+
+// TestShardedOracleAgreement is the scale-out oracle: the same
+// randomized stream against a 1-site whole-relation deployment, a
+// 4-site hash-sharded one, a sharded one with read replicas, and a
+// sharded one with routing disabled (pure scatter-gather) must produce
+// identical verdicts, identical rejection indexes, an identical mirror,
+// and an identical global store.
+func TestShardedOracleAgreement(t *testing.T) {
+	arms := []shardArm{
+		{name: "whole", shards: 1},
+		{name: "sharded4", shards: 4},
+		{name: "sharded4+replicas", shards: 4, replicas: true},
+		{name: "sharded4+scatter", shards: 4, scatter: true},
+	}
+	for _, seed := range []int64{7, 23} {
+		stream := shardStream(seed, 240)
+		var wantVerdicts []bool
+		var wantMirror, wantGlobal string
+		for ai, arm := range arms {
+			co, _, leaders := buildShardedArm(t, arm)
+			verdicts := make([]bool, len(stream))
+			for i, u := range stream {
+				rep, err := co.Apply(u)
+				if err != nil {
+					t.Fatalf("seed %d arm %s update %d (%v): %v", seed, arm.name, i, u, err)
+				}
+				verdicts[i] = rep.Applied
+			}
+			co.FlushReplicas()
+			mirror, global := dumpStore(co.Checker.DB()), dumpGlobal(co, leaders)
+			if ai == 0 {
+				wantVerdicts, wantMirror, wantGlobal = verdicts, mirror, global
+				continue
+			}
+			for i := range verdicts {
+				if verdicts[i] != wantVerdicts[i] {
+					t.Fatalf("seed %d arm %s: verdict diverged at update %d (%v): got applied=%v, whole-relation arm=%v",
+						seed, arm.name, i, stream[i], verdicts[i], wantVerdicts[i])
+				}
+			}
+			if mirror != wantMirror {
+				t.Fatalf("seed %d arm %s: mirror diverged\narm:\n%s\nwhole:\n%s", seed, arm.name, mirror, wantMirror)
+			}
+			if global != wantGlobal {
+				t.Fatalf("seed %d arm %s: global store diverged\narm:\n%s\nwhole:\n%s", seed, arm.name, global, wantGlobal)
+			}
+			st := co.Stats()
+			if arm.shards > 1 && !arm.scatter && st.ShardRouted == 0 {
+				t.Errorf("seed %d arm %s: no probe was shard-routed", seed, arm.name)
+			}
+			if arm.scatter && st.ShardRouted > 0 {
+				t.Errorf("seed %d arm %s: routing disabled but %d probes routed", seed, arm.name, st.ShardRouted)
+			}
+			if arm.replicas && st.ReplicaReads == 0 {
+				t.Errorf("seed %d arm %s: no read was served by a replica", seed, arm.name)
+			}
+		}
+	}
+}
+
+// TestShardRoutingShipsFewerTuples pins the point of shard-routed
+// probes: deciding emp inserts against a sharded dept must ship far
+// fewer tuples when the bound shard key routes each probe to one key
+// group than when every decision scatter-refreshes the full relation.
+func TestShardRoutingShipsFewerTuples(t *testing.T) {
+	wire := func(scatter bool) (routed, scattered int, tuples int64) {
+		co, _, _ := buildShardedArm(t, shardArm{shards: 4, scatter: scatter})
+		for i := int64(0); i < 40; i++ {
+			u := store.Ins("emp", relation.Ints(2000+i, i%30))
+			if rep, err := co.Apply(u); err != nil || !rep.Applied {
+				t.Fatalf("emp insert %d: err=%v applied=%v", i, err, rep.Applied)
+			}
+		}
+		st := co.Stats()
+		return st.ShardRouted, st.ShardScatter, st.WireTuples
+	}
+	routed, _, routedTuples := wire(false)
+	_, scattered, scatterTuples := wire(true)
+	if routed == 0 {
+		t.Fatal("routing arm never routed a probe")
+	}
+	if scattered == 0 {
+		t.Fatal("scatter arm never scattered")
+	}
+	if routedTuples*5 > scatterTuples {
+		t.Fatalf("routed arm shipped %d tuples, scatter arm %d: want at least 5x reduction", routedTuples, scatterTuples)
+	}
+}
+
+// pickKeyOnShard returns an int key ≥ from that the placement hashes to
+// the wanted shard of rel.
+func pickKeyOnShard(t *testing.T, p Placement, rel string, shard int, from int64) int64 {
+	t.Helper()
+	for k := from; k < from+10000; k++ {
+		if p.ShardOf(rel, ast.Int(k)) == shard {
+			return k
+		}
+	}
+	t.Fatalf("no key on shard %d of %s", shard, rel)
+	return 0
+}
+
+// replicaFixture: dept hash-sharded across two leaders, shard 0 carrying
+// one read replica.
+func replicaFixture(t *testing.T) (*Coordinator, *Loopback, *store.Store, *store.Store) {
+	t.Helper()
+	place := Placement{"dept": {KeyCol: 0, Shards: []ShardSpec{
+		{Leader: "s0", Replicas: []string{"s0-replica"}},
+		{Leader: "s1"},
+	}}}
+	lb := NewLoopback()
+	leader0 := store.New()
+	lb.AddSite("s0", NewServer(leader0, []string{"dept"}))
+	lb.AddSite("s1", NewServer(store.New(), []string{"dept"}))
+	replicaDB := store.New()
+	replicaSrv := NewServer(replicaDB, []string{"dept"})
+	replicaSrv.SetRole("replica")
+	lb.AddSite("s0-replica", replicaSrv)
+
+	// Seed only shard 0 — the replicated shard is what these tests watch.
+	for k := int64(0); k < 20; k++ {
+		if place.ShardOf("dept", ast.Int(k)) != 0 {
+			continue
+		}
+		if _, err := leader0.Insert("dept", relation.Ints(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	local := store.New()
+	co, err := NewPlaced(local, place, lb, Options{
+		Checker: core.Options{LocalRelations: []string{"emp"}},
+		Timeout: time.Second,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Checker.AddConstraintSource("ref", "panic :- emp(E, D) & not dept(D)."); err != nil {
+		t.Fatal(err)
+	}
+	return co, lb, leader0, replicaDB
+}
+
+// TestReplicaSeedAndCatchup: NewPlaced seeds the replica synchronously,
+// propagated writes stream to it asynchronously, and once caught up the
+// replica serves shard reads.
+func TestReplicaSeedAndCatchup(t *testing.T) {
+	co, lb, leader0, replicaDB := replicaFixture(t)
+	if got, want := dumpStore(replicaDB), dumpStore(leader0); got != want {
+		t.Fatalf("replica not seeded at construction\nreplica:\n%s\nleader:\n%s", got, want)
+	}
+
+	key := pickKeyOnShard(t, co.place, "dept", 0, 100)
+	if rep, err := co.Apply(store.Ins("dept", relation.Ints(key))); err != nil || !rep.Applied {
+		t.Fatalf("insert: err=%v applied=%v", err, rep.Applied)
+	}
+	co.FlushReplicas()
+	if !replicaDB.Contains("dept", relation.Ints(key)) {
+		t.Fatal("propagated write did not reach the replica")
+	}
+	if got, want := dumpStore(replicaDB), dumpStore(leader0); got != want {
+		t.Fatalf("replica diverged from leader\nreplica:\n%s\nleader:\n%s", got, want)
+	}
+
+	// A fresh replica takes shard reads: scan the relation a few times and
+	// the round-robin must land on the replica.
+	before := lb.Stats().Delivered["s0-replica"]
+	for i := 0; i < 4; i++ {
+		if err := co.refreshRel("dept"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lb.Stats().Delivered["s0-replica"] <= before {
+		t.Fatal("no shard read reached the fresh replica")
+	}
+	if co.Stats().ReplicaReads == 0 {
+		t.Fatal("ReplicaReads not accounted")
+	}
+}
+
+// TestReplicaFailureStaleThenResync: a replica that misses a write goes
+// stale (and stops serving reads); the next write queues a full resync
+// that rebuilds it from the leader and restores freshness.
+func TestReplicaFailureStaleThenResync(t *testing.T) {
+	co, lb, leader0, replicaDB := replicaFixture(t)
+
+	lb.Partition("s0-replica")
+	k1 := pickKeyOnShard(t, co.place, "dept", 0, 200)
+	if rep, err := co.Apply(store.Ins("dept", relation.Ints(k1))); err != nil || !rep.Applied {
+		t.Fatalf("insert during partition: err=%v applied=%v", err, rep.Applied)
+	}
+	co.FlushReplicas()
+	if replicaDB.Contains("dept", relation.Ints(k1)) {
+		t.Fatal("partitioned replica received the write")
+	}
+	// Stale: shard reads all fall back to the leader.
+	base := co.Stats().ReplicaReads
+	for i := 0; i < 4; i++ {
+		if err := co.refreshRel("dept"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := co.Stats().ReplicaReads; got != base {
+		t.Fatalf("stale replica served %d reads", got-base)
+	}
+
+	lb.Heal("s0-replica")
+	k2 := pickKeyOnShard(t, co.place, "dept", 0, 300)
+	if rep, err := co.Apply(store.Ins("dept", relation.Ints(k2))); err != nil || !rep.Applied {
+		t.Fatalf("insert after heal: err=%v applied=%v", err, rep.Applied)
+	}
+	co.FlushReplicas()
+	if got, want := dumpStore(replicaDB), dumpStore(leader0); got != want {
+		t.Fatalf("resync did not converge replica to leader\nreplica:\n%s\nleader:\n%s", got, want)
+	}
+	st := co.Stats()
+	if st.ReplicaResyncs == 0 {
+		t.Fatal("no resync accounted")
+	}
+	// Fresh again: reads reach the replica once more.
+	before := lb.Stats().Delivered["s0-replica"]
+	for i := 0; i < 4; i++ {
+		if err := co.refreshRel("dept"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lb.Stats().Delivered["s0-replica"] <= before {
+		t.Fatal("recovered replica serves no reads")
+	}
+}
+
+// TestReplaceRequiresReplicaRole: a leader-role site refuses the bulk
+// OpReplace that replica resync uses.
+func TestReplaceRequiresReplicaRole(t *testing.T) {
+	srv := NewServer(store.New(), []string{"dept"})
+	resp := srv.Handle(&Request{ID: 1, Type: OpReplace, Relation: "dept", Arity: 1, Tuples: [][]string{{EncodeValue(ast.Int(1))}}})
+	if resp.OK {
+		t.Fatal("leader accepted OpReplace")
+	}
+	srv.SetRole("replica")
+	resp = srv.Handle(&Request{ID: 2, Type: OpReplace, Relation: "dept", Arity: 1, Tuples: [][]string{{EncodeValue(ast.Int(1))}}})
+	if !resp.OK {
+		t.Fatalf("replica refused OpReplace: %s", resp.Err)
+	}
+}

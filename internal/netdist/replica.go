@@ -1,0 +1,229 @@
+package netdist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// shardState is the coordinator-side view of one shard of a placed
+// relation: its leader site, the apply sequence number (bumped on every
+// write propagated to the leader), and the shard's read replicas.
+type shardState struct {
+	rel    string
+	idx    int
+	leader string
+	// seq counts writes propagated to this shard's leader. A replica
+	// whose watermark has reached seq has applied every propagated write
+	// and may serve reads in the leader's stead.
+	seq atomic.Int64
+	// rr is the round-robin cursor over read targets (replicas + leader).
+	rr       atomic.Int64
+	replicas []*replicaState
+}
+
+// replicaState tracks one read replica's freshness. The watermark is the
+// apply sequence number the replica is known to have caught up to; stale
+// marks a replica whose feed broke (a propagation failed), forcing a
+// full resync before it serves reads again.
+type replicaState struct {
+	site      string
+	watermark atomic.Int64
+
+	mu       sync.Mutex
+	stale    bool
+	queue    []replicaOp
+	draining bool
+}
+
+// replicaOp is one queued replication action: an incremental write at a
+// known sequence number, or a full resync from the leader.
+type replicaOp struct {
+	resync bool
+	u      store.Update
+	seq    int64
+}
+
+// shardFor returns the shard state owning the tuple, or nil when the
+// relation is not remotely placed.
+func (co *Coordinator) shardFor(rel string, t relation.Tuple) *shardState {
+	shards, ok := co.shardsOf[rel]
+	if !ok {
+		return nil
+	}
+	pl := co.place[rel]
+	if pl.Sharded() && pl.KeyCol < len(t) {
+		return shards[co.place.ShardOf(rel, t[pl.KeyCol])]
+	}
+	return shards[0]
+}
+
+// afterPropagate records one write that reached the shard leader: the
+// apply sequence advances and the write is queued to every replica.
+// Replication is asynchronous — the caller does not wait — so replicas
+// trail the leader; the watermark is what keeps reads correct.
+func (co *Coordinator) afterPropagate(ss *shardState, u store.Update) {
+	seq := ss.seq.Add(1)
+	if len(ss.replicas) == 0 {
+		return
+	}
+	maxLag := int64(0)
+	for _, rs := range ss.replicas {
+		co.enqueueReplica(ss, rs, replicaOp{u: u, seq: seq})
+		if lag := seq - rs.watermark.Load(); lag > maxLag {
+			maxLag = lag
+		}
+	}
+	if co.shmet != nil {
+		co.shmet.staleness.Set(maxLag)
+	}
+}
+
+// enqueueReplica appends one op to the replica's FIFO feed, prefixing a
+// resync when the feed previously broke, and spawns the drain goroutine
+// if none is running.
+func (co *Coordinator) enqueueReplica(ss *shardState, rs *replicaState, op replicaOp) {
+	rs.mu.Lock()
+	if rs.stale {
+		rs.stale = false
+		rs.queue = append(rs.queue[:0], replicaOp{resync: true})
+		co.replWG.Add(1)
+	}
+	rs.queue = append(rs.queue, op)
+	co.replWG.Add(1)
+	if !rs.draining {
+		rs.draining = true
+		go co.drainReplica(ss, rs)
+	}
+	rs.mu.Unlock()
+}
+
+// drainReplica applies the replica's queued ops in order. The first
+// failure marks the replica stale and drops the rest of the queue — the
+// next write will queue a resync, which rebuilds the replica from a
+// leader scan.
+func (co *Coordinator) drainReplica(ss *shardState, rs *replicaState) {
+	for {
+		rs.mu.Lock()
+		if len(rs.queue) == 0 {
+			rs.draining = false
+			rs.mu.Unlock()
+			return
+		}
+		op := rs.queue[0]
+		rs.queue = rs.queue[1:]
+		rs.mu.Unlock()
+
+		var err error
+		if op.resync {
+			err = co.resyncReplica(ss, rs)
+		} else {
+			_, err = co.replicaCall(rs.site, &Request{
+				Type:     OpApply,
+				Relation: ss.rel,
+				Insert:   op.u.Insert,
+				Tuple:    EncodeTuple(op.u.Tuple),
+			})
+			if err == nil {
+				rs.watermark.Store(op.seq)
+			}
+		}
+		if co.shmet != nil && err == nil {
+			co.shmet.replicaOps.Inc()
+		}
+		if err != nil {
+			rs.mu.Lock()
+			rs.stale = true
+			for range rs.queue {
+				co.replWG.Done()
+			}
+			rs.queue = nil
+			rs.mu.Unlock()
+		}
+		co.replWG.Done()
+	}
+}
+
+// resyncReplica rebuilds the replica from a full leader scan. The
+// watermark is the sequence number read BEFORE the scan: any write
+// propagated after that point may or may not be in the scanned state, so
+// claiming only the pre-scan sequence keeps the watermark a sound lower
+// bound (replicas may be fresher than they claim, never staler).
+func (co *Coordinator) resyncReplica(ss *shardState, rs *replicaState) error {
+	seq := ss.seq.Load()
+	resp, err := co.replicaCall(ss.leader, &Request{Type: OpScan, Relation: ss.rel})
+	if err != nil {
+		return err
+	}
+	if _, err := co.replicaCall(rs.site, &Request{
+		Type:     OpReplace,
+		Relation: ss.rel,
+		Arity:    resp.Arity,
+		Tuples:   resp.Tuples,
+	}); err != nil {
+		return err
+	}
+	rs.watermark.Store(seq)
+	co.statsMu.Lock()
+	co.stats.ReplicaResyncs++
+	co.statsMu.Unlock()
+	return nil
+}
+
+// replicaCall is the replication feed's round trip: direct transport
+// with one retry, outside the coordinator's per-update span/stats
+// machinery (replication is asynchronous background traffic, not part of
+// any update's decision cost).
+func (co *Coordinator) replicaCall(site string, req *Request) (*Response, error) {
+	req.ID = co.reqID.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		resp, err := co.transport.RoundTrip(site, req, co.opts.Timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !resp.OK {
+			return nil, &RemoteError{Site: site, Msg: resp.Err}
+		}
+		return resp, nil
+	}
+	return nil, &SiteError{Site: site, Err: lastErr}
+}
+
+// FlushReplicas blocks until every queued replication op has been
+// applied or dropped. Tests and orderly shutdown use it; normal
+// operation never waits on replicas.
+func (co *Coordinator) FlushReplicas() { co.replWG.Wait() }
+
+// readTarget picks the site to read this shard from: round-robin over
+// the replicas whose watermark covers every propagated write, with the
+// leader taking the slot after the replicas (and serving alone when no
+// replica is fresh).
+func (co *Coordinator) readTarget(ss *shardState) string {
+	if len(ss.replicas) == 0 {
+		return ss.leader
+	}
+	need := ss.seq.Load()
+	n := len(ss.replicas) + 1
+	start := int(ss.rr.Add(1)) % n
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if idx == len(ss.replicas) {
+			return ss.leader
+		}
+		rs := ss.replicas[idx]
+		if rs.watermark.Load() >= need {
+			co.statsMu.Lock()
+			co.stats.ReplicaReads++
+			co.statsMu.Unlock()
+			if co.shmet != nil {
+				co.shmet.replicaReads.Inc()
+			}
+			return rs.site
+		}
+	}
+	return ss.leader
+}

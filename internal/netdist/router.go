@@ -1,0 +1,208 @@
+package netdist
+
+import (
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+)
+
+// shardRouter implements eval.ProbeRouter over the coordinator's
+// placement: global-evaluation probes on hash-partitioned relations are
+// served from the owning shard over the wire instead of a local mirror.
+// When the probe's bound columns cover the shard key the fetch goes to
+// the single owning shard ("routed"); otherwise it scatter-gathers every
+// shard and merges ("scatter"). Results are cached per coordinator apply
+// generation — one update's evaluation may probe the same key group many
+// times across join positions, but pays the wire at most once.
+//
+// Relations with an update in flight (addPending) are not intercepted:
+// the coordinator's mirror already holds the post-update trial state for
+// them, and falling through to the store keeps trial visibility exact —
+// the conflict-aware scheduler guarantees no other in-flight update
+// reads the shards a pending write touches.
+type shardRouter struct {
+	co *Coordinator
+
+	mu      sync.Mutex
+	gen     uint64
+	full    map[string][]relation.Tuple // rel -> scatter-gathered contents
+	keys    map[string][]relation.Tuple // rel + "\x00" + key -> key group
+	pending map[string]int              // rel -> in-flight updates
+}
+
+func newShardRouter(co *Coordinator) *shardRouter {
+	return &shardRouter{
+		co:      co,
+		full:    map[string][]relation.Tuple{},
+		keys:    map[string][]relation.Tuple{},
+		pending: map[string]int{},
+	}
+}
+
+// addPending marks an update on rel in flight; probes on rel fall
+// through to the mirror until the matching removePending.
+func (r *shardRouter) addPending(rel string) {
+	r.mu.Lock()
+	r.pending[rel]++
+	r.mu.Unlock()
+}
+
+func (r *shardRouter) removePending(rel string) {
+	r.mu.Lock()
+	if r.pending[rel]--; r.pending[rel] <= 0 {
+		delete(r.pending, rel)
+	}
+	r.mu.Unlock()
+}
+
+// claims reports whether the router intercepts reads of rel right now,
+// resetting the cache when the coordinator has applied anything since
+// the last probe.
+func (r *shardRouter) claims(rel string) bool {
+	pl, ok := r.co.place[rel]
+	if !ok || !pl.Sharded() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gen := r.co.applyGen.Load(); gen != r.gen {
+		r.gen = gen
+		clear(r.full)
+		clear(r.keys)
+	}
+	return r.pending[rel] == 0
+}
+
+// Probe implements eval.ProbeRouter.
+func (r *shardRouter) Probe(dst []relation.Tuple, rel string, cols []int, vals []ast.Value) ([]relation.Tuple, bool, error) {
+	if !r.claims(rel) {
+		return dst, false, nil
+	}
+	pl := r.co.place[rel]
+	group, err := r.group(rel, pl, cols, vals)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, t := range group {
+		if matchCols(t, cols, vals) {
+			dst = append(dst, t)
+		}
+	}
+	return dst, true, nil
+}
+
+// Contains implements eval.ProbeRouter (negated-subgoal membership).
+func (r *shardRouter) Contains(rel string, t relation.Tuple) (bool, bool, error) {
+	if !r.claims(rel) {
+		return false, false, nil
+	}
+	pl := r.co.place[rel]
+	var group []relation.Tuple
+	var err error
+	if pl.KeyCol < len(t) {
+		group, err = r.fetchKey(rel, pl, t[pl.KeyCol])
+	} else {
+		group, err = r.fetchFull(rel)
+	}
+	if err != nil {
+		return false, false, err
+	}
+	for _, g := range group {
+		if g.Equal(t) {
+			return true, true, nil
+		}
+	}
+	return false, true, nil
+}
+
+// group returns the candidate tuples for a probe: the single owning
+// shard's key group when the bound columns cover the shard key, the
+// merged contents of every shard otherwise.
+func (r *shardRouter) group(rel string, pl RelPlacement, cols []int, vals []ast.Value) ([]relation.Tuple, error) {
+	for i, c := range cols {
+		if c == pl.KeyCol {
+			return r.fetchKey(rel, pl, vals[i])
+		}
+	}
+	return r.fetchFull(rel)
+}
+
+// fetchKey returns the key group from the owning shard, cached per
+// generation.
+func (r *shardRouter) fetchKey(rel string, pl RelPlacement, key ast.Value) ([]relation.Tuple, error) {
+	ck := rel + "\x00" + relation.ValueKey(key)
+	r.mu.Lock()
+	group, ok := r.keys[ck]
+	r.mu.Unlock()
+	if ok {
+		return group, nil
+	}
+	ss := r.co.shardsOf[rel][r.co.place.ShardOf(rel, key)]
+	sp := r.co.routeSpan(rel, "routed")
+	resp, err := r.co.call(r.co.readTarget(ss), &Request{
+		Type:     OpFetch,
+		Relation: rel,
+		Col:      pl.KeyCol,
+		Value:    EncodeValue(key),
+	})
+	if sp != nil {
+		sp.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+	group, err = DecodeTuples(resp.Tuples)
+	if err != nil {
+		return nil, &RemoteError{Site: ss.leader, Msg: err.Error()}
+	}
+	r.co.noteRouted(1)
+	r.mu.Lock()
+	r.keys[ck] = group
+	r.mu.Unlock()
+	return group, nil
+}
+
+// fetchFull scatter-gathers the relation from every shard, cached per
+// generation.
+func (r *shardRouter) fetchFull(rel string) ([]relation.Tuple, error) {
+	r.mu.Lock()
+	all, ok := r.full[rel]
+	r.mu.Unlock()
+	if ok {
+		return all, nil
+	}
+	sp := r.co.routeSpan(rel, "scatter")
+	defer func() {
+		if sp != nil {
+			sp.End()
+		}
+	}()
+	for _, ss := range r.co.shardsOf[rel] {
+		resp, err := r.co.call(r.co.readTarget(ss), &Request{Type: OpScan, Relation: rel})
+		if err != nil {
+			return nil, err
+		}
+		ts, err := DecodeTuples(resp.Tuples)
+		if err != nil {
+			return nil, &RemoteError{Site: ss.leader, Msg: err.Error()}
+		}
+		all = append(all, ts...)
+	}
+	r.co.noteScatter(1)
+	r.mu.Lock()
+	r.full[rel] = all
+	r.mu.Unlock()
+	return all, nil
+}
+
+// matchCols reports whether the tuple's projection onto cols equals
+// vals (the ProbeRouter contract: results match every bound column).
+func matchCols(t relation.Tuple, cols []int, vals []ast.Value) bool {
+	for i, c := range cols {
+		if c >= len(t) || !vals[i].Equal(t[c]) {
+			return false
+		}
+	}
+	return true
+}

@@ -18,30 +18,62 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/classify"
+	"repro/internal/relation"
 	"repro/internal/residual"
 	"repro/internal/store"
 )
 
+// WholeRelation is the shard id meaning "the whole relation": an
+// unsharded relation, or a read that may range over every shard.
+const WholeRelation = -1
+
+// Sharder resolves hash-partitioned relations for footprint refinement.
+// netdist.Placement implements it; a nil Sharder (the default) treats
+// every relation as whole, which recovers the relation-granular
+// footprints of the unsharded deployment exactly.
+type Sharder interface {
+	// ShardKey returns the shard-key column of rel and ok=true when rel
+	// is hash-partitioned across more than one shard; ok=false for whole
+	// relations.
+	ShardKey(rel string) (col int, ok bool)
+	// ShardOf returns the shard index owning the given key value. Only
+	// called for relations ShardKey reported sharded.
+	ShardOf(rel string, key ast.Value) int
+}
+
 // Write is one tuple-level write: the relation plus the tuple's interned
-// projection fingerprint. Two writes to the same relation with different
-// fingerprints are disjoint under set semantics (insert/delete of
-// different tuples commute); same-fingerprint writes conflict because
-// insert-then-delete and delete-then-insert diverge.
+// projection fingerprint, plus the shard the tuple lands on
+// (WholeRelation when the relation is unsharded). Two writes to the same
+// relation with different fingerprints are disjoint under set semantics
+// (insert/delete of different tuples commute); same-fingerprint writes
+// conflict because insert-then-delete and delete-then-insert diverge.
 type Write struct {
 	Relation string
 	FP       uint64
+	Shard    int
+}
+
+// Read is one read claim: a relation plus the shard the read is confined
+// to, or WholeRelation when the read may range over every shard. Reads
+// of different shards of one relation do not conflict with writes to the
+// others, which is what lets same-relation updates on different shards
+// pipeline.
+type Read struct {
+	Relation string
+	Shard    int
 }
 
 // Footprint is the read/write set of one scheduled task. Reads are
-// whole relations — the constraint bodies an update's check may consult;
-// tuple-level refinement of reads is unsound because a residual probe
-// ranges over the whole read relation. Writes are tuple-level. A Barrier
-// footprint conflicts with everything (used for batches that must see a
-// quiescent store, stats snapshots, and unknown update patterns).
+// relation- or shard-granular — the data an update's check may consult;
+// finer (tuple-level) refinement of reads is unsound because a residual
+// probe ranges over its whole key group. Writes are tuple-level. A
+// Barrier footprint conflicts with everything (used for batches that
+// must see a quiescent store, stats snapshots, and unknown update
+// patterns).
 type Footprint struct {
 	Barrier bool
 	Writes  []Write
-	Reads   []string
+	Reads   []Read
 }
 
 // Union merges o into f (set semantics); used to footprint atomic
@@ -55,43 +87,60 @@ func (f Footprint) Union(o Footprint) Footprint {
 			out.Writes = append(out.Writes, w)
 		}
 	}
-	seenR := map[string]bool{}
-	for _, r := range append(append([]string{}, f.Reads...), o.Reads...) {
+	seenR := map[Read]bool{}
+	for _, r := range append(append([]Read{}, f.Reads...), o.Reads...) {
 		if !seenR[r] {
 			seenR[r] = true
 			out.Reads = append(out.Reads, r)
 		}
 	}
-	sort.Strings(out.Reads)
+	sortReads(out.Reads)
 	return out
+}
+
+func sortReads(rs []Read) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Relation != rs[j].Relation {
+			return rs[i].Relation < rs[j].Relation
+		}
+		return rs[i].Shard < rs[j].Shard
+	})
 }
 
 // Barrier returns a footprint that conflicts with every other task.
 func Barrier() Footprint { return Footprint{Barrier: true} }
 
+// shardsOverlap reports whether two shard claims can touch the same
+// data: either side claiming the whole relation overlaps everything.
+func shardsOverlap(a, b int) bool {
+	return a == WholeRelation || b == WholeRelation || a == b
+}
+
 // Conflicts reports whether the two footprints may not be reordered:
 // either is a barrier, they write the same tuple of the same relation
-// (WW), or one writes a relation the other reads (RW/WR). Read/read
-// overlap is not a conflict.
+// (WW), or one writes a shard of a relation the other reads (RW/WR).
+// Read/read overlap is not a conflict, and neither is a write to one
+// shard against a read confined to a different shard of the same
+// relation.
 func (f Footprint) Conflicts(o Footprint) bool {
 	if f.Barrier || o.Barrier {
 		return true
 	}
 	for _, w := range f.Writes {
 		for _, x := range o.Writes {
-			if w == x {
+			if w.Relation == x.Relation && w.FP == x.FP {
 				return true
 			}
 		}
 		for _, r := range o.Reads {
-			if w.Relation == r {
+			if w.Relation == r.Relation && shardsOverlap(w.Shard, r.Shard) {
 				return true
 			}
 		}
 	}
 	for _, w := range o.Writes {
 		for _, r := range f.Reads {
-			if w.Relation == r {
+			if w.Relation == r.Relation && shardsOverlap(w.Shard, r.Shard) {
 				return true
 			}
 		}
@@ -113,6 +162,44 @@ type IndexOptions struct {
 	// unset), so monotone-safe patterns are decided without reading any
 	// data.
 	Polarity bool
+	// Sharder, when non-nil, refines footprints to shard granularity:
+	// writes carry the written tuple's shard, and residual reads whose
+	// probe key is pinned by the update tuple are confined to the owning
+	// shard. Nil keeps relation-granular footprints.
+	Sharder Sharder
+}
+
+// readKind classifies one symbolic read claim of an update pattern.
+type readKind int
+
+const (
+	// readWhole: the read may range over the whole relation.
+	readWhole readKind = iota
+	// readKeyAt: a residual probe whose shard-key value is the update
+	// tuple's keyPos-th component.
+	readKeyAt
+	// readKeyConst: a residual probe whose shard-key value is a constant
+	// baked into the constraint.
+	readKeyConst
+)
+
+// readSpec is one symbolic read of an update pattern, derived once per
+// (relation, polarity) and instantiated per concrete tuple. Keyed specs
+// come only from the residual analysis: the harmful occurrence binds the
+// probed literal's shard-key argument to a fixed tuple position (or a
+// constant), exactly mirroring residual.Compile's substitution, so the
+// instantiated shard covers every probe the residual VM will issue for
+// the tuple. general marks the conservative phase-3/global fallback
+// claim, which an evaluation-level probe router serves rather than the
+// residual VM — the distinction is what lets a coordinator skip mirror
+// refreshes for router-served relations (see ReadPlan).
+type readSpec struct {
+	rel     string
+	kind    readKind
+	keyPos  int       // readKeyAt: position in the update tuple
+	keyVal  ast.Value // readKeyConst: the baked constant
+	occAr   int       // keyed specs: occurrence arity; applies only to tuples of this arity
+	general bool      // whole specs: true when from the non-residual fallback
 }
 
 // Index derives and memoizes footprints per update pattern (relation +
@@ -124,7 +211,7 @@ type Index struct {
 	opts  IndexOptions
 
 	mu   sync.RWMutex
-	memo map[patKey][]string
+	memo map[patKey][]readSpec
 }
 
 type patKey struct {
@@ -134,16 +221,22 @@ type patKey struct {
 
 // NewIndex builds a footprint index over the constraint programs.
 func NewIndex(progs []*ast.Program, opts IndexOptions) *Index {
-	return &Index{progs: progs, opts: opts, memo: map[patKey][]string{}}
+	return &Index{progs: progs, opts: opts, memo: map[patKey][]readSpec{}}
 }
 
 // Update footprints a single update: one tuple-level write plus the
-// union over all constraints of the relations the update's check may
-// read.
+// union over all constraints of the data the update's check may read,
+// instantiated to shard granularity when a Sharder is attached.
 func (ix *Index) Update(u store.Update) Footprint {
+	w := Write{Relation: u.Relation, FP: u.Tuple.Fingerprint(), Shard: WholeRelation}
+	if sh := ix.opts.Sharder; sh != nil {
+		if kc, ok := sh.ShardKey(u.Relation); ok && kc < len(u.Tuple) {
+			w.Shard = sh.ShardOf(u.Relation, u.Tuple[kc])
+		}
+	}
 	return Footprint{
-		Writes: []Write{{Relation: u.Relation, FP: u.Tuple.Fingerprint()}},
-		Reads:  ix.readsFor(u.Relation, u.Insert),
+		Writes: []Write{w},
+		Reads:  ix.readsFor(u),
 	}
 }
 
@@ -157,31 +250,122 @@ func (ix *Index) Batch(us []store.Update) Footprint {
 	return f
 }
 
-func (ix *Index) readsFor(rel string, insert bool) []string {
-	k := patKey{rel, insert}
-	ix.mu.RLock()
-	reads, ok := ix.memo[k]
-	ix.mu.RUnlock()
-	if ok {
-		return reads
-	}
-	set := map[string]bool{}
-	for _, prog := range ix.progs {
-		progReads(prog, rel, insert, ix.opts, set)
-	}
-	reads = make([]string, 0, len(set))
-	for r := range set {
-		reads = append(reads, r)
-	}
-	sort.Strings(reads)
-	ix.mu.Lock()
-	ix.memo[k] = reads
-	ix.mu.Unlock()
-	return reads
+// ReadPlan classifies how one update's check reads each relation, for a
+// coordinator deciding what to refresh before the check. Only relations
+// some spec claims appear; the three views may overlap (one constraint
+// probes by key while another scans).
+type ReadPlan struct {
+	// Keys maps a relation to the exact shard-key values the residual
+	// path probes it with — set only when a Sharder is attached and the
+	// relation is sharded. A refresh that ships just those key groups
+	// makes the local mirror exactly as fresh as the residual VM needs.
+	Keys map[string][]ast.Value
+	// Mirror marks relations the residual path may range over wholly:
+	// the local mirror must be refreshed in full before the check.
+	Mirror map[string]bool
+	// Eval marks relations claimed only through phase-3/global
+	// evaluation, which an evaluation-level probe router can serve
+	// remotely at probe time — no mirror refresh required for them.
+	Eval map[string]bool
 }
 
-// progReads accumulates into set the relations a check of the (rel,
-// insert) pattern against prog may read, mirroring the checker's phase
+// ReadPlan instantiates the update pattern's symbolic read specs against
+// the concrete tuple.
+func (ix *Index) ReadPlan(u store.Update) ReadPlan {
+	rp := ReadPlan{Keys: map[string][]ast.Value{}, Mirror: map[string]bool{}, Eval: map[string]bool{}}
+	seenKey := map[string]map[string]bool{}
+	for _, sp := range ix.specsFor(u.Relation, u.Insert) {
+		switch sp.kind {
+		case readWhole:
+			if sp.general {
+				rp.Eval[sp.rel] = true
+			} else {
+				rp.Mirror[sp.rel] = true
+			}
+		default:
+			if sp.occAr != len(u.Tuple) {
+				continue // no disjunct matches this tuple: the probe never runs
+			}
+			v := sp.keyVal
+			if sp.kind == readKeyAt {
+				v = u.Tuple[sp.keyPos]
+			}
+			k := relation.ValueKey(v)
+			if seenKey[sp.rel] == nil {
+				seenKey[sp.rel] = map[string]bool{}
+			}
+			if !seenKey[sp.rel][k] {
+				seenKey[sp.rel][k] = true
+				rp.Keys[sp.rel] = append(rp.Keys[sp.rel], v)
+			}
+		}
+	}
+	// A whole residual read supersedes the keyed view: the refresh must
+	// cover everything anyway.
+	for rel := range rp.Mirror {
+		delete(rp.Keys, rel)
+	}
+	return rp
+}
+
+// readsFor instantiates the pattern's specs into shard-granular read
+// claims for the concrete tuple.
+func (ix *Index) readsFor(u store.Update) []Read {
+	specs := ix.specsFor(u.Relation, u.Insert)
+	if len(specs) == 0 {
+		return nil
+	}
+	sh := ix.opts.Sharder
+	seen := map[Read]bool{}
+	var out []Read
+	add := func(r Read) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, sp := range specs {
+		if sp.kind == readWhole || sh == nil {
+			add(Read{Relation: sp.rel, Shard: WholeRelation})
+			continue
+		}
+		if _, ok := sh.ShardKey(sp.rel); !ok {
+			add(Read{Relation: sp.rel, Shard: WholeRelation})
+			continue
+		}
+		if sp.occAr != len(u.Tuple) {
+			continue // no disjunct matches this tuple: the probe never runs
+		}
+		v := sp.keyVal
+		if sp.kind == readKeyAt {
+			v = u.Tuple[sp.keyPos]
+		}
+		add(Read{Relation: sp.rel, Shard: sh.ShardOf(sp.rel, v)})
+	}
+	sortReads(out)
+	return out
+}
+
+func (ix *Index) specsFor(rel string, insert bool) []readSpec {
+	k := patKey{rel, insert}
+	ix.mu.RLock()
+	specs, ok := ix.memo[k]
+	ix.mu.RUnlock()
+	if ok {
+		return specs
+	}
+	specs = []readSpec{}
+	for _, prog := range ix.progs {
+		specs = progSpecs(prog, rel, insert, ix.opts, specs)
+	}
+	ix.mu.Lock()
+	ix.memo[k] = specs
+	ix.mu.Unlock()
+	return specs
+}
+
+// progSpecs accumulates the symbolic reads a check of the (rel, insert)
+// pattern against prog may perform, mirroring the checker's phase
 // ladder:
 //
 //   - phase 1: a constraint that never mentions rel is unaffected — no
@@ -190,41 +374,83 @@ func (ix *Index) readsFor(rel string, insert bool) []string {
 //     alone — no reads;
 //   - residual dispatch: an eligible pattern reads only the other
 //     literals of each harmful-occurrence disjunct (Nicolas' residual —
-//     the body minus the occurrence unified with the update);
+//     the body minus the occurrence unified with the update). When the
+//     probed literal's shard-key argument is a variable the occurrence
+//     pins to a tuple position (or a baked constant), the read is keyed;
+//     otherwise it ranges over the whole relation;
 //   - otherwise the pattern may fall through to phase 3 or global
 //     evaluation, which read every stored relation in the constraint
 //     (conservatively including rel itself: phase 3 scans the local
 //     relation and global evaluation re-derives panic from all of them).
-func progReads(prog *ast.Program, rel string, insert bool, opts IndexOptions, set map[string]bool) {
+func progSpecs(prog *ast.Program, rel string, insert bool, opts IndexOptions, specs []readSpec) []readSpec {
 	if !mentionsRel(prog, rel) {
-		return
+		return specs
 	}
 	if opts.Polarity && classify.UpdateMonotoneSafe(prog, ast.PanicPred, rel, insert) {
-		return
+		return specs
 	}
 	if opts.Residual {
 		if sh := residual.DeriveShape(prog, rel, insert); sh.Eligible {
 			if sh.Arity < 0 {
-				return // no harmful occurrence: trivially safe, no reads
+				return specs // no harmful occurrence: trivially safe, no reads
 			}
 			for _, r := range prog.Rules {
 				for oi, l := range r.Body {
 					if !harmfulOccurrence(l, rel, insert) {
 						continue
 					}
-					for bi, m := range r.Body {
-						if bi != oi && !m.IsComp() {
-							set[m.Atom.Pred] = true
+					// sigma maps occurrence variables to tuple positions,
+					// first binding wins — exactly residual.Compile's
+					// substitution, so a keyed spec's position names the
+					// same value the VM will probe with.
+					sigma := map[string]int{}
+					for i, a := range l.Atom.Args {
+						if a.IsVar() {
+							if _, bound := sigma[a.Var]; !bound {
+								sigma[a.Var] = i
+							}
 						}
+					}
+					for bi, m := range r.Body {
+						if bi == oi || m.IsComp() {
+							continue
+						}
+						specs = append(specs, literalSpec(m, sigma, len(l.Atom.Args), opts.Sharder))
 					}
 				}
 			}
-			return
+			return specs
 		}
 	}
 	for _, e := range edbPreds(prog) {
-		set[e] = true
+		specs = append(specs, readSpec{rel: e, kind: readWhole, general: true})
 	}
+	return specs
+}
+
+// literalSpec derives the read claim of one non-occurrence body literal
+// of a residual disjunct: keyed when the literal's shard-key argument is
+// pinned (a constant, or an occurrence variable), whole otherwise — a
+// key flowing in from a join register ranges over data the update does
+// not determine.
+func literalSpec(m ast.Literal, sigma map[string]int, occAr int, sh Sharder) readSpec {
+	sp := readSpec{rel: m.Atom.Pred, kind: readWhole}
+	if sh == nil {
+		return sp
+	}
+	kc, ok := sh.ShardKey(m.Atom.Pred)
+	if !ok || kc >= len(m.Atom.Args) {
+		return sp
+	}
+	switch a := m.Atom.Args[kc]; {
+	case a.IsConst():
+		return readSpec{rel: sp.rel, kind: readKeyConst, keyVal: relation.Canonical(a.Const), occAr: occAr}
+	case a.IsVar():
+		if pos, bound := sigma[a.Var]; bound {
+			return readSpec{rel: sp.rel, kind: readKeyAt, keyPos: pos, occAr: occAr}
+		}
+	}
+	return sp
 }
 
 // mentionsRel reports whether any body literal of prog names rel

@@ -1,8 +1,10 @@
 package sched
 
 import (
+	"hash/fnv"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/parser"
@@ -10,14 +12,18 @@ import (
 	"repro/internal/store"
 )
 
-func fpOf(writes []Write, reads ...string) Footprint {
+func fpOf(writes []Write, reads ...Read) Footprint {
 	return Footprint{Writes: writes, Reads: reads}
 }
 
+func rd(rel string) Read { return Read{Relation: rel, Shard: WholeRelation} }
+
 func TestFootprintConflicts(t *testing.T) {
-	wX1 := []Write{{Relation: "x", FP: 1}}
-	wX2 := []Write{{Relation: "x", FP: 2}}
-	wY1 := []Write{{Relation: "y", FP: 1}}
+	wX1 := []Write{{Relation: "x", FP: 1, Shard: WholeRelation}}
+	wX2 := []Write{{Relation: "x", FP: 2, Shard: WholeRelation}}
+	wY1 := []Write{{Relation: "y", FP: 1, Shard: WholeRelation}}
+	wXs0 := []Write{{Relation: "x", FP: 3, Shard: 0}}
+	wXs1 := []Write{{Relation: "x", FP: 4, Shard: 1}}
 	cases := []struct {
 		name string
 		a, b Footprint
@@ -26,11 +32,15 @@ func TestFootprintConflicts(t *testing.T) {
 		{"ww same tuple", fpOf(wX1), fpOf(wX1), true},
 		{"ww same relation different tuple", fpOf(wX1), fpOf(wX2), false},
 		{"ww different relations", fpOf(wX1), fpOf(wY1), false},
-		{"rw writer vs reader", fpOf(wX1), fpOf(wY1, "x"), true},
-		{"wr reader vs writer", fpOf(wY1, "x"), fpOf(wX2), true},
-		{"read read overlap", fpOf(wX1, "z"), fpOf(wY1, "z"), false},
+		{"rw writer vs reader", fpOf(wX1), fpOf(wY1, rd("x")), true},
+		{"wr reader vs writer", fpOf(wY1, rd("x")), fpOf(wX2), true},
+		{"read read overlap", fpOf(wX1, rd("z")), fpOf(wY1, rd("z")), false},
 		{"barrier vs anything", Barrier(), fpOf(wX1), true},
 		{"anything vs barrier", fpOf(wY1), Barrier(), true},
+		{"shard write vs other-shard read", fpOf(wXs0), fpOf(wY1, Read{"x", 1}), false},
+		{"shard write vs same-shard read", fpOf(wXs0), fpOf(wY1, Read{"x", 0}), true},
+		{"shard write vs whole read", fpOf(wXs1), fpOf(wY1, rd("x")), true},
+		{"whole write vs shard read", fpOf(wX1), fpOf(wY1, Read{"x", 1}), true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -45,13 +55,13 @@ func TestFootprintConflicts(t *testing.T) {
 }
 
 func TestFootprintUnion(t *testing.T) {
-	a := fpOf([]Write{{"x", 1}}, "r")
-	b := fpOf([]Write{{"x", 1}, {"y", 2}}, "r", "s")
+	a := fpOf([]Write{{"x", 1, WholeRelation}}, rd("r"))
+	b := fpOf([]Write{{"x", 1, WholeRelation}, {"y", 2, WholeRelation}}, rd("r"), rd("s"))
 	u := a.Union(b)
 	if len(u.Writes) != 2 {
 		t.Fatalf("union writes = %v, want deduped 2", u.Writes)
 	}
-	if !reflect.DeepEqual(u.Reads, []string{"r", "s"}) {
+	if !reflect.DeepEqual(u.Reads, []Read{rd("r"), rd("s")}) {
 		t.Fatalf("union reads = %v, want [r s]", u.Reads)
 	}
 	if !a.Union(Barrier()).Barrier {
@@ -63,6 +73,14 @@ func TestFootprintUnion(t *testing.T) {
 // inserting into l must re-check against r and vice versa, while
 // deletions are monotone-safe.
 const fiSrc = `panic :- l(X, Y) & r(Z) & X <= Z & Z <= Y.`
+
+func relNames(rs []Read) []string {
+	var out []string
+	for _, r := range rs {
+		out = append(out, r.Relation)
+	}
+	return out
+}
 
 func TestIndexResidualReads(t *testing.T) {
 	prog := parser.MustParseProgram(fiSrc)
@@ -80,7 +98,11 @@ func TestIndexResidualReads(t *testing.T) {
 		{"unrelated", true, nil}, // phase 1: not mentioned
 	}
 	for _, c := range cases {
-		got := ix.readsFor(c.rel, c.insert)
+		tup := relation.Ints(1, 2)
+		if c.rel == "r" {
+			tup = relation.Ints(1)
+		}
+		got := relNames(ix.readsFor(store.Update{Relation: c.rel, Insert: c.insert, Tuple: tup}))
 		if len(got) == 0 && len(c.want) == 0 {
 			continue
 		}
@@ -93,12 +115,12 @@ func TestIndexResidualReads(t *testing.T) {
 func TestIndexConservativeWithoutResidual(t *testing.T) {
 	prog := parser.MustParseProgram(fiSrc)
 	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: false, Polarity: true})
-	got := ix.readsFor("l", true)
+	got := relNames(ix.readsFor(store.Ins("l", relation.Ints(1, 2))))
 	if !reflect.DeepEqual(got, []string{"l", "r"}) {
 		t.Fatalf("conservative reads = %v, want every EDB relation [l r]", got)
 	}
 	// Phase 1.5 still certifies deletions without reading anything.
-	if got := ix.readsFor("l", false); len(got) != 0 {
+	if got := ix.readsFor(store.Del("l", relation.Ints(1, 2))); len(got) != 0 {
 		t.Fatalf("monotone-safe delete reads = %v, want none", got)
 	}
 }
@@ -112,7 +134,7 @@ func TestIndexIDBFallsBackToConservative(t *testing.T) {
 		panic :- r(Z) & covered(Z).
 	`)
 	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true})
-	got := ix.readsFor("r", true)
+	got := relNames(ix.readsFor(store.Ins("r", relation.Ints(1))))
 	if !reflect.DeepEqual(got, []string{"l", "r"}) {
 		t.Fatalf("IDB constraint reads = %v, want [l r]", got)
 	}
@@ -123,7 +145,7 @@ func TestIndexSecondOccurrenceKeepsOwnRelation(t *testing.T) {
 	// against the *other* l tuples, so l stays in its own read set.
 	prog := parser.MustParseProgram(`panic :- l(X, Y) & l(U, V) & X < U & U < Y.`)
 	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true})
-	got := ix.readsFor("l", true)
+	got := relNames(ix.readsFor(store.Ins("l", relation.Ints(1, 2))))
 	if !reflect.DeepEqual(got, []string{"l"}) {
 		t.Fatalf("self-join reads = %v, want [l]", got)
 	}
@@ -137,7 +159,10 @@ func TestIndexUpdateFootprint(t *testing.T) {
 	if len(f.Writes) != 1 || f.Writes[0].Relation != "l" || f.Writes[0].FP != tup.Fingerprint() {
 		t.Fatalf("update writes = %v, want l@%d", f.Writes, tup.Fingerprint())
 	}
-	if !reflect.DeepEqual(f.Reads, []string{"r"}) {
+	if f.Writes[0].Shard != WholeRelation {
+		t.Fatalf("unsharded write shard = %d, want WholeRelation", f.Writes[0].Shard)
+	}
+	if !reflect.DeepEqual(f.Reads, []Read{rd("r")}) {
 		t.Fatalf("update reads = %v, want [r]", f.Reads)
 	}
 
@@ -150,5 +175,167 @@ func TestIndexUpdateFootprint(t *testing.T) {
 	h := ix.Update(store.Ins("r", relation.Ints(3)))
 	if !f.Conflicts(h) || !g.Conflicts(h) {
 		t.Fatal("r insert must conflict with l inserts (RW on both sides)")
+	}
+}
+
+// hashSharder hash-partitions the named relations on a key column —
+// the same FNV-over-canonical-key scheme netdist.Placement uses.
+type hashSharder struct {
+	rels map[string]int // relation -> key column
+	n    int
+}
+
+func (s hashSharder) ShardKey(rel string) (int, bool) {
+	col, ok := s.rels[rel]
+	return col, ok
+}
+
+func (s hashSharder) ShardOf(rel string, key ast.Value) int {
+	h := fnv.New32a()
+	h.Write([]byte(relation.ValueKey(key)))
+	return int(h.Sum32() % uint32(s.n))
+}
+
+// keyOnShard finds an integer key the sharder maps to the wanted shard.
+func keyOnShard(t *testing.T, s hashSharder, rel string, want int, avoid ...int64) int64 {
+	t.Helper()
+next:
+	for k := int64(0); k < 10_000; k++ {
+		for _, a := range avoid {
+			if k == a {
+				continue next
+			}
+		}
+		if s.ShardOf(rel, relation.Ints(k)[0]) == want {
+			return k
+		}
+	}
+	t.Fatal("no key found for shard")
+	return 0
+}
+
+// TestIndexShardedFootprints pins the per-shard refinement: a self-join
+// on the shard key makes an insert read only its own key's shard, so
+// inserts into different shards of one relation are independent while
+// same-shard writes still conflict.
+func TestIndexShardedFootprints(t *testing.T) {
+	prog := parser.MustParseProgram(`panic :- d(K, V) & d(K, W) & V < W.`)
+	sh := hashSharder{rels: map[string]int{"d": 0}, n: 4}
+	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true, Sharder: sh})
+
+	k0 := keyOnShard(t, sh, "d", 0)
+	k1 := keyOnShard(t, sh, "d", 1)
+	k0b := keyOnShard(t, sh, "d", 0, k0)
+
+	a := ix.Update(store.Ins("d", relation.Ints(k0, 1)))
+	if a.Writes[0].Shard != 0 {
+		t.Fatalf("write shard = %d, want 0", a.Writes[0].Shard)
+	}
+	if !reflect.DeepEqual(a.Reads, []Read{{"d", 0}}) {
+		t.Fatalf("key-bound self-join reads = %v, want [{d 0}]", a.Reads)
+	}
+	b := ix.Update(store.Ins("d", relation.Ints(k1, 2)))
+	if a.Conflicts(b) {
+		t.Fatal("inserts into different shards of d must not conflict")
+	}
+	c := ix.Update(store.Ins("d", relation.Ints(k0b, 3)))
+	if !a.Conflicts(c) {
+		t.Fatal("inserts into the same shard of d must conflict (RW on the shard)")
+	}
+
+	// Without a sharder the same pattern reads the whole relation and
+	// every pair conflicts — the unsharded baseline.
+	ixWhole := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true})
+	aw := ixWhole.Update(store.Ins("d", relation.Ints(k0, 1)))
+	bw := ixWhole.Update(store.Ins("d", relation.Ints(k1, 2)))
+	if !aw.Conflicts(bw) {
+		t.Fatal("whole-relation inserts into d must conflict")
+	}
+}
+
+// TestShardedSchedulerOverlap runs the refinement through the real
+// scheduler: two inserts into different shards of one relation overlap
+// in time, while same-shard inserts serialize in admission order.
+func TestShardedSchedulerOverlap(t *testing.T) {
+	prog := parser.MustParseProgram(`panic :- d(K, V) & d(K, W) & V < W.`)
+	sh := hashSharder{rels: map[string]int{"d": 0}, n: 4}
+	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true, Sharder: sh})
+	k0 := keyOnShard(t, sh, "d", 0)
+	k1 := keyOnShard(t, sh, "d", 1)
+	k0b := keyOnShard(t, sh, "d", 0, k0)
+
+	s := New(Options{Workers: 2})
+	second := make(chan struct{})
+	done := make(chan struct{})
+	s.Submit(ix.Update(store.Ins("d", relation.Ints(k0, 1))), func(Info) {
+		select {
+		case <-second:
+		case <-time.After(5 * time.Second):
+			t.Error("different-shard insert was serialized behind the first")
+		}
+		close(done)
+	})
+	s.Submit(ix.Update(store.Ins("d", relation.Ints(k1, 2))), func(Info) {
+		close(second)
+	})
+	<-done
+	s.Close()
+
+	// Same shard: admission order, strictly serialized.
+	s2 := New(Options{Workers: 2})
+	var order []string
+	release := make(chan struct{})
+	s2.Submit(ix.Update(store.Ins("d", relation.Ints(k0, 1))), func(Info) {
+		<-release
+		order = append(order, "first")
+	})
+	s2.Submit(ix.Update(store.Ins("d", relation.Ints(k0b, 2))), func(Info) {
+		order = append(order, "second")
+	})
+	close(release)
+	s2.Close()
+	if !reflect.DeepEqual(order, []string{"first", "second"}) {
+		t.Fatalf("same-shard inserts ran as %v, want [first second]", order)
+	}
+}
+
+// TestIndexReadPlan pins the coordinator-facing classification: keyed
+// residual probes surface their exact key values, unkeyed residual
+// reads demand a whole-mirror refresh, and residual-ineligible patterns
+// fall to the evaluation router.
+func TestIndexReadPlan(t *testing.T) {
+	sh := hashSharder{rels: map[string]int{"dept": 0}, n: 4}
+
+	// Key-bound: the occurrence pins D, so dept is probed with exactly
+	// the inserted tuple's second component.
+	prog := parser.MustParseProgram(`panic :- emp(E, D) & not dept(D).`)
+	ix := NewIndex([]*ast.Program{prog}, IndexOptions{Residual: true, Polarity: true, Sharder: sh})
+	rp := ix.ReadPlan(store.Ins("emp", relation.Ints(1, 42)))
+	if len(rp.Keys["dept"]) != 1 || !rp.Keys["dept"][0].Equal(relation.Ints(42)[0]) {
+		t.Fatalf("keys = %v, want [42]", rp.Keys["dept"])
+	}
+	if rp.Mirror["dept"] || rp.Eval["dept"] {
+		t.Fatalf("key-bound read misclassified: %+v", rp)
+	}
+
+	// Unkeyed residual read: r's key column is not pinned by the l
+	// occurrence, so the whole mirror must be refreshed.
+	prog2 := parser.MustParseProgram(fiSrc)
+	sh2 := hashSharder{rels: map[string]int{"r": 0}, n: 4}
+	ix2 := NewIndex([]*ast.Program{prog2}, IndexOptions{Residual: true, Polarity: true, Sharder: sh2})
+	rp2 := ix2.ReadPlan(store.Ins("l", relation.Ints(1, 5)))
+	if !rp2.Mirror["r"] || len(rp2.Keys["r"]) != 0 {
+		t.Fatalf("unkeyed residual read misclassified: %+v", rp2)
+	}
+
+	// Residual-ineligible (IDB helper): evaluation reads, router-served.
+	prog3 := parser.MustParseProgram(`
+		covered(Z) :- l(Z, Y) & Z <= Y.
+		panic :- r(Z) & covered(Z).
+	`)
+	ix3 := NewIndex([]*ast.Program{prog3}, IndexOptions{Residual: true, Polarity: true, Sharder: sh2})
+	rp3 := ix3.ReadPlan(store.Ins("r", relation.Ints(1)))
+	if !rp3.Eval["r"] || !rp3.Eval["l"] || rp3.Mirror["r"] {
+		t.Fatalf("general read misclassified: %+v", rp3)
 	}
 }

@@ -56,7 +56,7 @@ func TestIndependentTasksOverlap(t *testing.T) {
 
 	second := make(chan struct{})
 	done := make(chan struct{})
-	s.Submit(Footprint{Writes: []Write{{"x", 1}}, Reads: []string{"r"}}, func(Info) {
+	s.Submit(Footprint{Writes: []Write{{"x", 1, WholeRelation}}, Reads: []Read{{"r", WholeRelation}}}, func(Info) {
 		select {
 		case <-second:
 		case <-time.After(5 * time.Second):
@@ -64,7 +64,7 @@ func TestIndependentTasksOverlap(t *testing.T) {
 		}
 		close(done)
 	})
-	s.Submit(Footprint{Writes: []Write{{"x", 2}}, Reads: []string{"r"}}, func(Info) {
+	s.Submit(Footprint{Writes: []Write{{"x", 2, WholeRelation}}, Reads: []Read{{"r", WholeRelation}}}, func(Info) {
 		close(second)
 	})
 	<-done
@@ -95,10 +95,10 @@ func TestRandomizedSerializability(t *testing.T) {
 				f = Barrier()
 			default:
 				f = Footprint{
-					Writes: []Write{{Relation: rels[rng.Intn(len(rels))], FP: uint64(rng.Intn(4))}},
+					Writes: []Write{{Relation: rels[rng.Intn(len(rels))], FP: uint64(rng.Intn(4)), Shard: rng.Intn(3) - 1}},
 				}
 				if rng.Intn(2) == 0 {
-					f.Reads = []string{rels[rng.Intn(len(rels))]}
+					f.Reads = []Read{{Relation: rels[rng.Intn(len(rels))], Shard: rng.Intn(3) - 1}}
 				}
 			}
 			fps[i] = f
@@ -167,7 +167,7 @@ func TestDrainWaitsForStalledChains(t *testing.T) {
 	defer s.Close()
 
 	var done atomic.Int64
-	w := Footprint{Writes: []Write{{"x", 7}}}
+	w := Footprint{Writes: []Write{{"x", 7, WholeRelation}}}
 	for i := 0; i < 5; i++ {
 		s.Submit(w, func(Info) {
 			time.Sleep(5 * time.Millisecond)

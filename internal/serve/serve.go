@@ -620,6 +620,20 @@ type Stats struct {
 	SchedTasks          int64 `json:"sched_tasks"`
 	SchedConflictStalls int64 `json:"sched_conflict_stalls"`
 	SchedInflight       int   `json:"sched_inflight"`
+	// Shard* and ReplicaReads surface the backend's scale-out wire
+	// accounting when it implements ShardStatser (zero otherwise).
+	ShardRouted  int `json:"shard_routed,omitempty"`
+	ShardScatter int `json:"shard_scatter,omitempty"`
+	ReplicaReads int `json:"replica_reads,omitempty"`
+}
+
+// ShardStatser is an optional Backend refinement for scale-out
+// deployments: how many sharded-relation reads were routed to a single
+// owning shard, how many scatter-gathered every shard, and how many
+// shard reads a fresh replica served. netdist.ServeBackend implements
+// it; single-checker backends simply don't.
+type ShardStatser interface {
+	ShardStats() (routed, scatter, replicaReads int)
 }
 
 // Stats snapshots the server-level counters without touching the queue.
@@ -636,6 +650,9 @@ func (s *Server) Stats() Stats {
 		st.SchedTasks = ss.Tasks
 		st.SchedConflictStalls = ss.ConflictStalls
 		st.SchedInflight = ss.Inflight
+	}
+	if sh, ok := s.chk.(ShardStatser); ok {
+		st.ShardRouted, st.ShardScatter, st.ReplicaReads = sh.ShardStats()
 	}
 	for op := opCheck; op <= opStats; op++ {
 		st.Requests[op.endpoint()] = s.requests[op].Load()

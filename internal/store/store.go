@@ -290,6 +290,47 @@ func (s *Store) Replace(name string, arity int, ts []relation.Tuple) error {
 	return nil
 }
 
+// ReplaceKey swaps one key group of the named relation: every stored
+// tuple whose column col equals val is replaced by ts (each of which
+// must carry val at col). Like Replace it is bulk state transfer — no
+// read counters are charged — but unlike Replace it mutates the
+// relation in place via Insert/Delete, so the schema version does not
+// advance and compiled plans stay valid. The relation is created when
+// absent. Tuple-at-a-time mutation means a concurrent reader may see a
+// partially swapped group; callers (the netdist coordinator's sharded
+// mirror refresh) serialize refreshes against readers of the same key
+// group through the scheduler's shard-granular footprints.
+func (s *Store) ReplaceKey(name string, arity, col int, val ast.Value, ts []relation.Tuple) error {
+	if col < 0 || col >= arity {
+		return fmt.Errorf("store: replace key %s/%d: column %d out of range", name, arity, col)
+	}
+	for _, t := range ts {
+		if len(t) != arity {
+			return fmt.Errorf("store: replace key %s/%d: tuple %s has arity %d", name, arity, t, len(t))
+		}
+		if !t[col].Equal(val) {
+			return fmt.Errorf("store: replace key %s: tuple %s does not carry %s at column %d", name, t, val, col)
+		}
+	}
+	r, err := s.Ensure(name, arity)
+	if err != nil {
+		return err
+	}
+	fresh := map[string]bool{}
+	for _, t := range ts {
+		fresh[t.Key()] = true
+	}
+	for _, old := range r.Lookup(col, val) {
+		if !fresh[old.Key()] {
+			r.Delete(old)
+		}
+	}
+	for _, t := range ts {
+		r.Insert(t)
+	}
+	return nil
+}
+
 // Clone returns a deep copy of the store with zeroed counters.
 func (s *Store) Clone() *Store {
 	out := New()

@@ -270,3 +270,50 @@ func TestReplaceCarriesIndexSignatures(t *testing.T) {
 		t.Fatalf("probe after Replace = %d tuples, want 1", len(ts))
 	}
 }
+
+func TestReplaceKey(t *testing.T) {
+	s := New()
+	for _, ts := range [][]int64{{1, 10}, {1, 11}, {2, 20}} {
+		if _, err := s.Insert("d", relation.Ints(ts...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ver := s.SchemaVersion()
+
+	// Swap key group 1: {1,10},{1,11} -> {1,12}; group 2 untouched.
+	if err := s.ReplaceKey("d", 2, 0, ast.Int(1), []relation.Tuple{relation.Ints(1, 12)}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Relation("d").Tuples()
+	want := map[string]bool{relation.Ints(1, 12).Key(): true, relation.Ints(2, 20).Key(): true}
+	if len(got) != len(want) {
+		t.Fatalf("after ReplaceKey: %v", got)
+	}
+	for _, tu := range got {
+		if !want[tu.Key()] {
+			t.Fatalf("unexpected tuple %s after ReplaceKey", tu)
+		}
+	}
+	if s.SchemaVersion() != ver {
+		t.Fatal("ReplaceKey must not advance the schema version (data-only change)")
+	}
+
+	// Emptying a group deletes all its tuples.
+	if err := s.ReplaceKey("d", 2, 0, ast.Int(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("d", relation.Ints(2, 20)) {
+		t.Fatal("ReplaceKey with empty group left the old tuples")
+	}
+
+	// Creating an absent relation works; arity and key mismatches fail.
+	if err := s.ReplaceKey("fresh", 1, 0, ast.Int(7), []relation.Tuple{relation.Ints(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplaceKey("d", 2, 0, ast.Int(1), []relation.Tuple{relation.Ints(9, 9)}); err == nil {
+		t.Fatal("tuple not carrying the key value must be rejected")
+	}
+	if err := s.ReplaceKey("d", 2, 5, ast.Int(1), nil); err == nil {
+		t.Fatal("out-of-range key column must be rejected")
+	}
+}

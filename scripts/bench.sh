@@ -7,7 +7,10 @@
 # pipeline: Theorem51 / DistributedStaged / ApplyParallel),
 # BENCH_net.json (networked runtime), BENCH_obs.json (tracing
 # overhead), BENCH_eval.json (indexed joins), BENCH_plan.json (plan
-# cache), BENCH_residual.json (residual dispatch), and the
+# cache), BENCH_residual.json (residual dispatch), BENCH_shard.json
+# (horizontal scale-out: BenchmarkNetDistLoopback's shard arms at
+# 1/4/16 sites × whole/sharded/scatter × 0/500us, with a
+# scaling-efficiency summary), and the
 # sustained-load decision-server run (BENCH_serve.json via ccload): one
 # record per benchmark run with name, iterations, ns/op, B/op and
 # allocs/op, plus the git commit and UTC date the run was taken at,
@@ -54,7 +57,7 @@ bench_to_json() {
 }
 
 PIPE_JSON="${OUT:-BENCH_pipeline.json}"
-bench_to_json 'BenchmarkServePipeline$|BenchmarkNetDistLoopback$' "$PIPE_JSON"
+bench_to_json 'BenchmarkServePipeline$|BenchmarkNetDistLoopback/arm=' "$PIPE_JSON"
 
 # Sequential-vs-pipelined summary: mean ns/op per arm read back from the
 # records just written, plus the headline speedup (ServePipeline is one
@@ -79,7 +82,7 @@ awk -F'"' '
 
 bench_to_json 'BenchmarkDistributedStaged$|BenchmarkTheorem51$|BenchmarkApplyParallel$' \
   "${STAGED_OUT:-BENCH_staged.json}"
-bench_to_json 'BenchmarkNetDistLoopback$|BenchmarkDistributedStaged$' \
+bench_to_json 'BenchmarkNetDistLoopback/arm=|BenchmarkDistributedStaged$' \
   "${NET_OUT:-BENCH_net.json}"
 bench_to_json 'BenchmarkTraceOverhead$|BenchmarkSpanOverhead$|BenchmarkApplyResidual/residual$' \
   "${OBS_OUT:-BENCH_obs.json}"
@@ -89,6 +92,40 @@ bench_to_json 'BenchmarkApplyCompiled$' \
   "${PLAN_OUT:-BENCH_plan.json}"
 bench_to_json 'BenchmarkApplyResidual$' \
   "${RESID_OUT:-BENCH_residual.json}"
+
+# Horizontal scale-out: BenchmarkNetDistLoopback's shard arms (1/4/16
+# sites × whole/sharded/scatter placement × 0/500us link latency) —
+# the evidence for the ≥2.5x 4-site-sharded vs 1-site-whole throughput
+# claim and the routed-vs-scatter wire reduction.
+SHARD_JSON="${SHARD_OUT:-BENCH_shard.json}"
+bench_to_json 'BenchmarkNetDistLoopback/shard/' "$SHARD_JSON"
+
+# Scaling-efficiency summary: per-arm mean ns/op, then the headline
+# ratios (each op is one 64-update stream, so ns/op ratios are
+# throughput ratios; efficiency = speedup / site count).
+awk -F'"' '
+  $2 == "name" && match($0, /"ns_per_op":[0-9]+/) {
+    ns = substr($0, RSTART + 12, RLENGTH - 12)
+    sum[$4] += ns; cnt[$4]++
+  }
+  END {
+    for (n in sum) {
+      m = sum[n] / cnt[n]
+      printf "  %-66s %12.0f ns/op\n", n, m
+      if (n ~ /sites=1\/place=whole\/lat=0us/)    whole1 = m
+      if (n ~ /sites=4\/place=sharded\/lat=0us/)  shard4 = m
+      if (n ~ /sites=16\/place=sharded\/lat=0us/) shard16 = m
+      if (n ~ /sites=4\/place=scatter\/lat=0us/)  scat4 = m
+    }
+    if (whole1 > 0 && shard4 > 0)
+      printf "  scale-out: 4-site sharded %.2fx 1-site whole (efficiency %.0f%%)\n", \
+        whole1 / shard4, 100 * whole1 / shard4 / 4
+    if (whole1 > 0 && shard16 > 0)
+      printf "  scale-out: 16-site sharded %.2fx 1-site whole (efficiency %.0f%%)\n", \
+        whole1 / shard16, 100 * whole1 / shard16 / 16
+    if (scat4 > 0 && shard4 > 0)
+      printf "  routing: shard-routed probes %.2fx scatter-gather at 4 sites\n", scat4 / shard4
+  }' "$SHARD_JSON" | sort
 
 # Sustained-load decision-server run: ccload self-serves a loopback
 # ccserved over the D1 workload and reports per-arm p50/p99/throughput.
